@@ -1,0 +1,176 @@
+//! Micro-benchmarks for the substrates: reliability arithmetic, the
+//! simplex/B&B solver, workload generation, graph queries, and
+//! Monte-Carlo failure injection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lp_solver::{solve_lp, solve_mip, BnbConfig, Cmp, Model, Sense};
+use mec_sim::{failure, Simulation};
+use mec_topology::generators::{self, CloudletPlacement};
+use mec_topology::{NodeId, Reliability};
+use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+use vnfrel::reliability::{offsite_availability, onsite_instances};
+use vnfrel_bench::{Scenario, ScenarioParams};
+
+fn bench_reliability_math(c: &mut Criterion) {
+    let vnf = Reliability::new(0.9).unwrap();
+    let cl = Reliability::new(0.9999).unwrap();
+    let req = Reliability::new(0.995).unwrap();
+    c.bench_function("reliability/onsite_instances", |b| {
+        b.iter(|| black_box(onsite_instances(black_box(vnf), black_box(cl), black_box(req))))
+    });
+    let sites: Vec<Reliability> = (0..8)
+        .map(|i| Reliability::new(0.9 + 0.01 * i as f64).unwrap())
+        .collect();
+    c.bench_function("reliability/offsite_availability_8_sites", |b| {
+        b.iter(|| black_box(offsite_availability(vnf, sites.iter().copied())))
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    // A 60-var, 20-row packing LP.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut model = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..60)
+        .map(|_| {
+            model
+                .add_var(0.0, Some(1.0), rand::Rng::gen_range(&mut rng, 1.0..9.0))
+                .unwrap()
+        })
+        .collect();
+    for _ in 0..20 {
+        let terms: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rand::Rng::gen_range(&mut rng, 0.1..2.0)))
+            .collect();
+        let rhs: f64 = terms.iter().map(|(_, w)| w).sum::<f64>() * 0.35;
+        model.add_constraint(terms, Cmp::Le, rhs).unwrap();
+    }
+    c.bench_function("solver/simplex_60x20", |b| {
+        b.iter(|| black_box(solve_lp(&model).unwrap()))
+    });
+
+    // A 16-item binary knapsack solved exactly.
+    let mut knap = Model::new(Sense::Maximize);
+    let kvars: Vec<_> = (0..16)
+        .map(|i| knap.add_binary_var(((i * 7) % 13 + 1) as f64).unwrap())
+        .collect();
+    let terms: Vec<_> = kvars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 5) % 7 + 1) as f64))
+        .collect();
+    let rhs: f64 = terms.iter().map(|(_, w)| w).sum::<f64>() * 0.4;
+    knap.add_constraint(terms, Cmp::Le, rhs).unwrap();
+    c.bench_function("solver/bnb_knapsack_16", |b| {
+        b.iter(|| black_box(solve_mip(&knap, &BnbConfig::default()).unwrap()))
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let catalog = VnfCatalog::standard();
+    let gen = RequestGenerator::new(Horizon::new(48));
+    c.bench_function("workload/generate_1000_requests", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            black_box(gen.generate(1000, &catalog, &mut rng).unwrap())
+        })
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let net = generators::barabasi_albert(200, 3, &CloudletPlacement::balanced(), &mut rng)
+        .unwrap();
+    c.bench_function("topology/dijkstra_200_nodes", |b| {
+        b.iter(|| black_box(net.shortest_path(NodeId(0), NodeId(199))))
+    });
+    c.bench_function("topology/generate_ba_200", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            black_box(
+                generators::barabasi_albert(200, 3, &CloudletPlacement::balanced(), &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_failure_injection(c: &mut Criterion) {
+    let scenario = Scenario::build(&ScenarioParams {
+        requests: 100,
+        ..ScenarioParams::default()
+    });
+    let sim = Simulation::new(&scenario.instance, &scenario.requests).unwrap();
+    let mut alg = OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap();
+    let schedule = sim.run(&mut alg).unwrap().schedule;
+    c.bench_function("failure/inject_1000_trials_100_requests", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            black_box(
+                failure::inject_failures(
+                    &scenario.instance,
+                    &scenario.requests,
+                    &schedule,
+                    1000,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_chain_alloc(c: &mut Criterion) {
+    let stages: Vec<(Reliability, u64)> = vec![
+        (Reliability::new(0.99).unwrap(), 2),
+        (Reliability::new(0.9).unwrap(), 3),
+        (Reliability::new(0.95).unwrap(), 1),
+        (Reliability::new(0.9995).unwrap(), 1),
+    ];
+    let rc = Reliability::new(0.9999).unwrap();
+    let rq = Reliability::new(0.995).unwrap();
+    c.bench_function("chain/allocate_replicas_4_stages", |b| {
+        b.iter(|| {
+            black_box(vnfrel::chain::alloc::allocate_replicas(
+                black_box(&stages),
+                black_box(rc),
+                black_box(rq),
+            ))
+        })
+    });
+}
+
+fn bench_lp_format(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut model = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..200)
+        .map(|_| model.add_binary_var(rand::Rng::gen_range(&mut rng, 1.0..9.0)).unwrap())
+        .collect();
+    for _ in 0..50 {
+        let terms: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rand::Rng::gen_range(&mut rng, 0.0..2.0)))
+            .collect();
+        model.add_constraint(terms, Cmp::Le, 40.0).unwrap();
+    }
+    c.bench_function("solver/lp_format_200x50", |b| {
+        b.iter(|| black_box(lp_solver::to_lp_format(&model)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_reliability_math,
+    bench_solver,
+    bench_workload,
+    bench_topology,
+    bench_failure_injection,
+    bench_chain_alloc,
+    bench_lp_format
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the Figure 1 sweeps: online scheduling
+//! throughput of Algorithm 1/2 and the greedy baselines as the request
+//! count grows (reduced sizes — the full curves come from the `fig1a`
+//! and `fig1b` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vnfrel_bench::{Scenario, ScenarioParams};
+
+fn bench_fig1a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1a_onsite_revenue");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let scenario = Scenario::build(&ScenarioParams {
+            requests: n,
+            ..ScenarioParams::default()
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &scenario, |b, s| {
+            b.iter(|| black_box(s.alg1_revenue()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &scenario, |b, s| {
+            b.iter(|| black_box(s.greedy_onsite_revenue()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b_offsite_revenue");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let scenario = Scenario::build(&ScenarioParams {
+            requests: n,
+            ..ScenarioParams::default()
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &scenario, |b, s| {
+            b.iter(|| black_box(s.alg2_revenue()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &scenario, |b, s| {
+            b.iter(|| black_box(s.greedy_offsite_revenue()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_offline_opt(c: &mut Criterion) {
+    // The CPLEX-substitute: exact B&B at a small size, LP bound at a
+    // medium size.
+    let mut group = c.benchmark_group("fig1_offline_optimum");
+    group.sample_size(10);
+    let small = Scenario::build(&ScenarioParams {
+        requests: 40,
+        ..ScenarioParams::default()
+    });
+    group.bench_function("onsite_bnb_exact_40", |b| {
+        b.iter(|| black_box(small.offline_revenue(vnfrel::Scheme::OnSite, usize::MAX)))
+    });
+    let medium = Scenario::build(&ScenarioParams {
+        requests: 150,
+        ..ScenarioParams::default()
+    });
+    group.bench_function("onsite_lp_bound_150", |b| {
+        b.iter(|| black_box(medium.offline_revenue(vnfrel::Scheme::OnSite, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1a, bench_fig1b, bench_offline_opt);
+criterion_main!(benches);

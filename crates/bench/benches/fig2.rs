@@ -1,0 +1,57 @@
+//! Criterion benches for the Figure 2 parameter sweeps: sensitivity of
+//! the schedulers to the payment-rate variation H and the
+//! cloudlet-reliability variation K (reduced sizes — full curves come
+//! from the `fig2a` / `fig2b` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vnfrel_bench::{Scenario, ScenarioParams};
+
+fn bench_h_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a_payment_variation");
+    group.sample_size(10);
+    for &h in &[1.0f64, 5.0, 10.0] {
+        let scenario = Scenario::build(&ScenarioParams {
+            requests: 200,
+            h_ratio: h,
+            ..ScenarioParams::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", format!("H{h}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.alg1_revenue())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2", format!("H{h}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.alg2_revenue())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_reliability_variation");
+    group.sample_size(10);
+    for &k in &[1.0f64, 1.05, 1.1] {
+        let scenario = Scenario::build(&ScenarioParams {
+            requests: 200,
+            k_ratio: k,
+            ..ScenarioParams::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2", format!("K{k}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.alg2_revenue())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_offsite", format!("K{k}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.greedy_offsite_revenue())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_h_sweep, bench_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates **Figure 2(b)**: revenue vs the cloudlet-reliability
+//! variation `K = rc_max / rc_min` (`rc_max` fixed, `rc_min` lowered).
+//!
+//! Run with: `cargo run --release -p vnfrel-bench --bin fig2b [--quick]`
+//!
+//! Paper shape to reproduce: revenue decreases as K grows (cloudlets get
+//! less reliable, more backups are needed), and the greedy baseline
+//! degrades much faster than Algorithm 2 because it exhausts the reliable
+//! cloudlets first.
+
+use vnfrel_bench::fig2b_sweep;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (k_values, requests, seeds): (Vec<f64>, usize, Vec<u64>) = if quick {
+        (vec![1.0, 1.05, 1.1], 150, vec![1])
+    } else {
+        (
+            vec![1.0, 1.02, 1.04, 1.06, 1.08, 1.1, 1.15, 1.2],
+            600,
+            vec![1, 2, 3],
+        )
+    };
+    let table = fig2b_sweep(&k_values, requests, &seeds);
+    println!("Figure 2(b) — revenue vs cloudlet-reliability variation K ({requests} requests)\n");
+    println!("{table}");
+    if let Some(r_first) = table.rows.first() {
+        let r_last = table.rows.last().unwrap();
+        let alg2_drop = 1.0 - r_last.1[0] / r_first.1[0];
+        let greedy_drop = 1.0 - r_last.1[1] / r_first.1[1];
+        println!(
+            "revenue drop from K={} to K={}: Algorithm 2 {:.1}%, greedy {:.1}%",
+            r_first.0,
+            r_last.0,
+            alg2_drop * 100.0,
+            greedy_drop * 100.0
+        );
+    }
+    println!("\nmarkdown:\n{}", table.to_markdown());
+}

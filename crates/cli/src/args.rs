@@ -1,0 +1,445 @@
+//! Minimal, dependency-free argument parsing for the `vnfrel` binary.
+
+use std::fmt;
+
+/// Which topology to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyChoice {
+    /// An embedded Topology-Zoo network by name.
+    Zoo(String),
+    /// Erdős–Rényi with `n` nodes and edge probability `p`.
+    ErdosRenyi {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// Barabási–Albert with `n` nodes, `m` links per new node.
+    BarabasiAlbert {
+        /// Node count.
+        n: usize,
+        /// Links per new node.
+        m: usize,
+    },
+    /// rows×cols grid.
+    Grid {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+}
+
+/// Scheduler selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// The paper's primal-dual algorithm (1 or 2 per scheme).
+    PrimalDual,
+    /// The paper's greedy baseline.
+    Greedy,
+    /// Uniform-random feasible placement.
+    Random,
+    /// Payment-density greedy (on-site only).
+    Density,
+}
+
+/// Fully parsed `simulate` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Network to build.
+    pub topology: TopologyChoice,
+    /// Number of requests.
+    pub requests: usize,
+    /// Backup scheme.
+    pub scheme: vnfrel::Scheme,
+    /// Scheduler.
+    pub algorithm: AlgorithmChoice,
+    /// RNG seed.
+    pub seed: u64,
+    /// Horizon length in slots.
+    pub horizon: usize,
+    /// Cloudlet capacity range.
+    pub capacity: (u64, u64),
+    /// Cloudlet reliability range.
+    pub cloudlet_reliability: (f64, f64),
+    /// Request reliability-requirement range.
+    pub requirement: (f64, f64),
+    /// Payment-rate range.
+    pub payment_rate: (f64, f64),
+    /// Fraction of APs hosting cloudlets.
+    pub cloudlet_fraction: f64,
+    /// Monte-Carlo failure trials (0 = skip).
+    pub failure_trials: usize,
+}
+
+impl Default for SimulateArgs {
+    fn default() -> Self {
+        SimulateArgs {
+            topology: TopologyChoice::Zoo("abilene".into()),
+            requests: 200,
+            scheme: vnfrel::Scheme::OnSite,
+            algorithm: AlgorithmChoice::PrimalDual,
+            seed: 1,
+            horizon: 16,
+            capacity: (8, 12),
+            cloudlet_reliability: (0.99, 0.9999),
+            requirement: (0.9, 0.95),
+            payment_rate: (1.0, 10.0),
+            cloudlet_fraction: 0.5,
+            failure_trials: 0,
+        }
+    }
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation and print metrics.
+    Simulate(SimulateArgs),
+    /// Print stats (and optionally DOT) for a topology.
+    Topo {
+        /// Network to describe.
+        topology: TopologyChoice,
+        /// Emit Graphviz DOT instead of stats.
+        dot: bool,
+        /// Seed for cloudlet placement.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed by `vnfrel help`.
+pub const USAGE: &str = "\
+vnfrel — reliability-aware VNF scheduling experiments
+
+USAGE:
+  vnfrel simulate [OPTIONS]     run one online-scheduling simulation
+  vnfrel topo [OPTIONS]         describe a topology (--dot for Graphviz)
+  vnfrel help                   show this text
+
+SIMULATE OPTIONS (defaults in brackets):
+  --topology <T>        abilene|cesnet|nsfnet|aarnet|garr|att|geant|er:N:P|ba:N:M|grid:R:C [abilene]
+  --requests <N>        number of requests [200]
+  --scheme <S>          onsite|offsite [onsite]
+  --algorithm <A>       primal-dual|greedy|random|density [primal-dual]
+  --seed <U64>          RNG seed [1]
+  --horizon <N>         slots in the monitoring period [16]
+  --capacity <LO:HI>    cloudlet capacity range [8:12]
+  --cloudlet-rel <LO:HI> cloudlet reliability range [0.99:0.9999]
+  --requirement <LO:HI> request reliability requirements [0.9:0.95]
+  --payment <LO:HI>     payment-rate band [1:10]
+  --fraction <F>        fraction of APs hosting cloudlets [0.5]
+  --failure-trials <N>  Monte-Carlo availability check (0 = off) [0]
+
+TOPO OPTIONS:
+  --topology <T>        as above [abilene]
+  --seed <U64>          cloudlet placement seed [1]
+  --dot                 emit Graphviz DOT
+";
+
+/// Parses a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a message suitable for direct printing.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" => parse_simulate(rest),
+        "topo" => parse_topo(rest),
+        other => Err(ParseError(format!(
+            "unknown command `{other}` (try `vnfrel help`)"
+        ))),
+    }
+}
+
+fn parse_simulate(rest: &[String]) -> Result<Command, ParseError> {
+    let mut out = SimulateArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--topology" => out.topology = parse_topology(&value("--topology")?)?,
+            "--requests" => out.requests = parse_num(&value("--requests")?, "--requests")?,
+            "--scheme" => {
+                out.scheme = match value("--scheme")?.as_str() {
+                    "onsite" | "on-site" => vnfrel::Scheme::OnSite,
+                    "offsite" | "off-site" => vnfrel::Scheme::OffSite,
+                    s => return Err(ParseError(format!("unknown scheme `{s}`"))),
+                }
+            }
+            "--algorithm" => {
+                out.algorithm = match value("--algorithm")?.as_str() {
+                    "primal-dual" | "pd" => AlgorithmChoice::PrimalDual,
+                    "greedy" => AlgorithmChoice::Greedy,
+                    "random" => AlgorithmChoice::Random,
+                    "density" => AlgorithmChoice::Density,
+                    s => return Err(ParseError(format!("unknown algorithm `{s}`"))),
+                }
+            }
+            "--seed" => out.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--horizon" => out.horizon = parse_num(&value("--horizon")?, "--horizon")?,
+            "--capacity" => out.capacity = parse_range_u64(&value("--capacity")?)?,
+            "--cloudlet-rel" => {
+                out.cloudlet_reliability = parse_range_f64(&value("--cloudlet-rel")?)?
+            }
+            "--requirement" => out.requirement = parse_range_f64(&value("--requirement")?)?,
+            "--payment" => out.payment_rate = parse_range_f64(&value("--payment")?)?,
+            "--fraction" => {
+                out.cloudlet_fraction = value("--fraction")?
+                    .parse()
+                    .map_err(|_| ParseError("--fraction expects a float".into()))?
+            }
+            "--failure-trials" => {
+                out.failure_trials = parse_num(&value("--failure-trials")?, "--failure-trials")?
+            }
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    if out.algorithm == AlgorithmChoice::Density && out.scheme == vnfrel::Scheme::OffSite {
+        return Err(ParseError(
+            "--algorithm density is on-site only".into(),
+        ));
+    }
+    Ok(Command::Simulate(out))
+}
+
+fn parse_topo(rest: &[String]) -> Result<Command, ParseError> {
+    let mut topology = TopologyChoice::Zoo("abilene".into());
+    let mut dot = false;
+    let mut seed = 1u64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--topology" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--topology expects a value".into()))?;
+                topology = parse_topology(v)?;
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--seed expects a value".into()))?;
+                seed = parse_num(v, "--seed")?;
+            }
+            "--dot" => dot = true,
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(Command::Topo {
+        topology,
+        dot,
+        seed,
+    })
+}
+
+fn parse_topology(s: &str) -> Result<TopologyChoice, ParseError> {
+    let lower = s.to_ascii_lowercase();
+    match lower.as_str() {
+        "abilene" | "nsfnet" | "aarnet" | "att" | "att-na" | "geant" | "garr" | "cesnet" => {
+            Ok(TopologyChoice::Zoo(lower))
+        }
+        _ if lower.starts_with("er:") => {
+            let parts: Vec<&str> = lower.splitn(3, ':').collect();
+            if parts.len() != 3 {
+                return Err(ParseError("er topology needs er:N:P".into()));
+            }
+            Ok(TopologyChoice::ErdosRenyi {
+                n: parse_num(parts[1], "er node count")?,
+                p: parts[2]
+                    .parse()
+                    .map_err(|_| ParseError("er probability must be a float".into()))?,
+            })
+        }
+        _ if lower.starts_with("ba:") => {
+            let parts: Vec<&str> = lower.splitn(3, ':').collect();
+            if parts.len() != 3 {
+                return Err(ParseError("ba topology needs ba:N:M".into()));
+            }
+            Ok(TopologyChoice::BarabasiAlbert {
+                n: parse_num(parts[1], "ba node count")?,
+                m: parse_num(parts[2], "ba attachment count")?,
+            })
+        }
+        _ if lower.starts_with("grid:") => {
+            let parts: Vec<&str> = lower.splitn(3, ':').collect();
+            if parts.len() != 3 {
+                return Err(ParseError("grid topology needs grid:R:C".into()));
+            }
+            Ok(TopologyChoice::Grid {
+                rows: parse_num(parts[1], "grid rows")?,
+                cols: parse_num(parts[2], "grid cols")?,
+            })
+        }
+        other => Err(ParseError(format!("unknown topology `{other}`"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("{what}: `{s}` is not a valid number")))
+}
+
+fn parse_range_u64(s: &str) -> Result<(u64, u64), ParseError> {
+    let (a, b) = s
+        .split_once(':')
+        .ok_or_else(|| ParseError(format!("range `{s}` must look like LO:HI")))?;
+    Ok((parse_num(a, "range low")?, parse_num(b, "range high")?))
+}
+
+fn parse_range_f64(s: &str) -> Result<(f64, f64), ParseError> {
+    let (a, b) = s
+        .split_once(':')
+        .ok_or_else(|| ParseError(format!("range `{s}` must look like LO:HI")))?;
+    Ok((parse_num(a, "range low")?, parse_num(b, "range high")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&sv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_and_flags() {
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["simulate", "--bogus"])).is_err());
+        assert!(parse(&sv(&["simulate", "--requests"])).is_err()); // missing value
+        assert!(parse(&sv(&["topo", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let Command::Simulate(a) = parse(&sv(&["simulate"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, SimulateArgs::default());
+    }
+
+    #[test]
+    fn simulate_full_flags() {
+        let Command::Simulate(a) = parse(&sv(&[
+            "simulate",
+            "--topology",
+            "nsfnet",
+            "--requests",
+            "500",
+            "--scheme",
+            "offsite",
+            "--algorithm",
+            "greedy",
+            "--seed",
+            "9",
+            "--horizon",
+            "24",
+            "--capacity",
+            "10:20",
+            "--cloudlet-rel",
+            "0.95:0.999",
+            "--requirement",
+            "0.9:0.93",
+            "--payment",
+            "2:8",
+            "--fraction",
+            "0.7",
+            "--failure-trials",
+            "1000",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.topology, TopologyChoice::Zoo("nsfnet".into()));
+        assert_eq!(a.requests, 500);
+        assert_eq!(a.scheme, vnfrel::Scheme::OffSite);
+        assert_eq!(a.algorithm, AlgorithmChoice::Greedy);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.horizon, 24);
+        assert_eq!(a.capacity, (10, 20));
+        assert_eq!(a.cloudlet_reliability, (0.95, 0.999));
+        assert_eq!(a.requirement, (0.9, 0.93));
+        assert_eq!(a.payment_rate, (2.0, 8.0));
+        assert_eq!(a.cloudlet_fraction, 0.7);
+        assert_eq!(a.failure_trials, 1000);
+    }
+
+    #[test]
+    fn generated_topologies() {
+        assert_eq!(
+            parse_topology("er:30:0.1").unwrap(),
+            TopologyChoice::ErdosRenyi { n: 30, p: 0.1 }
+        );
+        assert_eq!(
+            parse_topology("ba:50:2").unwrap(),
+            TopologyChoice::BarabasiAlbert { n: 50, m: 2 }
+        );
+        assert_eq!(
+            parse_topology("grid:3:4").unwrap(),
+            TopologyChoice::Grid { rows: 3, cols: 4 }
+        );
+        assert!(parse_topology("er:30").is_err());
+        assert!(parse_topology("mystery").is_err());
+    }
+
+    #[test]
+    fn density_is_onsite_only() {
+        assert!(parse(&sv(&[
+            "simulate",
+            "--scheme",
+            "offsite",
+            "--algorithm",
+            "density"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn topo_flags() {
+        let Command::Topo {
+            topology,
+            dot,
+            seed,
+        } = parse(&sv(&["topo", "--topology", "geant", "--dot", "--seed", "4"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(topology, TopologyChoice::Zoo("geant".into()));
+        assert!(dot);
+        assert_eq!(seed, 4);
+    }
+
+    #[test]
+    fn bad_ranges() {
+        assert!(parse(&sv(&["simulate", "--capacity", "10-20"])).is_err());
+        assert!(parse(&sv(&["simulate", "--payment", "abc:2"])).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! `vnfrel` — command-line front end for the reliability-aware VNF
+//! scheduling library. Run `vnfrel help` for usage.
+
+mod args;
+mod runner;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout();
+    let result = match &command {
+        args::Command::Help => {
+            print!("{}", args::USAGE);
+            Ok(())
+        }
+        args::Command::Simulate(sim_args) => runner::simulate(sim_args, &mut stdout),
+        args::Command::Topo {
+            topology,
+            dot,
+            seed,
+        } => runner::topo(topology, *dot, *seed, &mut stdout),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

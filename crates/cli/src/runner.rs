@@ -1,0 +1,224 @@
+//! Executes parsed commands.
+
+use mec_sim::{failure, Simulation};
+use mec_topology::generators::{self, CloudletPlacement};
+use mec_topology::stats::{to_dot, NetworkStats};
+use mec_topology::{zoo, Network};
+use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::baselines::{DensityGreedy, RandomPlacement};
+use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
+use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
+use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
+
+use crate::args::{AlgorithmChoice, SimulateArgs, TopologyChoice};
+
+/// Builds a network from a topology choice.
+///
+/// # Errors
+///
+/// Returns a human-readable message for invalid parameter combinations.
+pub fn build_network(
+    choice: &TopologyChoice,
+    placement: &CloudletPlacement,
+    rng: &mut ChaCha8Rng,
+) -> Result<Network, String> {
+    let net = match choice {
+        TopologyChoice::Zoo(name) => {
+            let topo = match name.as_str() {
+                "abilene" => zoo::abilene(),
+                "nsfnet" => zoo::nsfnet(),
+                "aarnet" => zoo::aarnet(),
+                "att" | "att-na" => zoo::att_na(),
+                "geant" => zoo::geant(),
+                "garr" => zoo::garr(),
+                "cesnet" => zoo::cesnet(),
+                other => return Err(format!("unknown zoo topology `{other}`")),
+            };
+            topo.into_network(placement, rng)
+        }
+        TopologyChoice::ErdosRenyi { n, p } => generators::erdos_renyi(*n, *p, placement, rng),
+        TopologyChoice::BarabasiAlbert { n, m } => {
+            generators::barabasi_albert(*n, *m, placement, rng)
+        }
+        TopologyChoice::Grid { rows, cols } => generators::grid(*rows, *cols, placement, rng),
+    };
+    net.map_err(|e| format!("failed to build topology: {e}"))
+}
+
+/// Runs the `simulate` command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a printable message on invalid configurations.
+pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<(), String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let placement = CloudletPlacement {
+        fraction: args.cloudlet_fraction,
+        capacity: args.capacity,
+        reliability: args.cloudlet_reliability,
+    };
+    let network = build_network(&args.topology, &placement, &mut rng)?;
+    let instance = ProblemInstance::new(network, VnfCatalog::standard(), Horizon::new(args.horizon))
+        .map_err(|e| e.to_string())?;
+    let requests = RequestGenerator::new(instance.horizon())
+        .reliability_band(args.requirement.0, args.requirement.1)
+        .map_err(|e| e.to_string())?
+        .payment_rate_band(args.payment_rate.0, args.payment_rate.1)
+        .map_err(|e| e.to_string())?
+        .generate(args.requests, instance.catalog(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+
+    let mut scheduler: Box<dyn OnlineScheduler> = match (args.scheme, args.algorithm) {
+        (Scheme::OnSite, AlgorithmChoice::PrimalDual) => Box::new(
+            OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce)
+                .map_err(|e| e.to_string())?,
+        ),
+        (Scheme::OnSite, AlgorithmChoice::Greedy) => Box::new(OnsiteGreedy::new(&instance)),
+        (Scheme::OffSite, AlgorithmChoice::PrimalDual) => {
+            Box::new(OffsitePrimalDual::new(&instance))
+        }
+        (Scheme::OffSite, AlgorithmChoice::Greedy) => Box::new(OffsiteGreedy::new(&instance)),
+        (scheme, AlgorithmChoice::Random) => {
+            Box::new(RandomPlacement::new(&instance, scheme, args.seed))
+        }
+        (Scheme::OnSite, AlgorithmChoice::Density) => {
+            Box::new(DensityGreedy::new(&instance, 0.0).map_err(|e| e.to_string())?)
+        }
+        (Scheme::OffSite, AlgorithmChoice::Density) => {
+            return Err("density greedy is on-site only".into())
+        }
+    };
+
+    let report = sim.run(scheduler.as_mut()).map_err(|e| e.to_string())?;
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
+    w(format!("{}", instance))?;
+    w(format!("{}", report.metrics))?;
+    w(format!(
+        "feasible: {} ({} reliability / {} capacity violations)",
+        report.validation.is_feasible(),
+        report.validation.reliability_violations(),
+        report.validation.capacity_violations()
+    ))?;
+
+    if args.failure_trials > 0 {
+        let fr = failure::inject_failures(
+            &instance,
+            &requests,
+            &report.schedule,
+            args.failure_trials,
+            &mut rng,
+        )
+        .map_err(|e| e.to_string())?;
+        w(format!(
+            "failure injection: {} trials, worst margin {:+.4}, statistical violations {}",
+            fr.trials,
+            fr.worst_margin().unwrap_or(f64::NAN),
+            fr.statistical_violations(3.0).len()
+        ))?;
+    }
+    Ok(())
+}
+
+/// Runs the `topo` command.
+///
+/// # Errors
+///
+/// Returns a printable message on invalid configurations.
+pub fn topo(
+    choice: &TopologyChoice,
+    dot: bool,
+    seed: u64,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let placement = CloudletPlacement::balanced();
+    let network = build_network(choice, &placement, &mut rng)?;
+    if dot {
+        write!(out, "{}", to_dot(&network)).map_err(|e| e.to_string())?;
+    } else {
+        writeln!(out, "{}", NetworkStats::compute(&network)).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::SimulateArgs;
+
+    #[test]
+    fn simulate_runs_every_algorithm() {
+        for (scheme, algo) in [
+            (Scheme::OnSite, AlgorithmChoice::PrimalDual),
+            (Scheme::OnSite, AlgorithmChoice::Greedy),
+            (Scheme::OnSite, AlgorithmChoice::Random),
+            (Scheme::OnSite, AlgorithmChoice::Density),
+            (Scheme::OffSite, AlgorithmChoice::PrimalDual),
+            (Scheme::OffSite, AlgorithmChoice::Greedy),
+            (Scheme::OffSite, AlgorithmChoice::Random),
+        ] {
+            let args = SimulateArgs {
+                requests: 40,
+                scheme,
+                algorithm: algo,
+                failure_trials: 200,
+                ..SimulateArgs::default()
+            };
+            let mut buf = Vec::new();
+            simulate(&args, &mut buf).unwrap_or_else(|e| panic!("{scheme} {algo:?}: {e}"));
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("revenue"), "{text}");
+            assert!(text.contains("feasible: true"), "{text}");
+            assert!(text.contains("failure injection"), "{text}");
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_offsite_density() {
+        // The parser already blocks this; the runner must too.
+        let args = SimulateArgs {
+            scheme: Scheme::OffSite,
+            algorithm: AlgorithmChoice::Density,
+            ..SimulateArgs::default()
+        };
+        assert!(simulate(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn topo_stats_and_dot() {
+        let mut buf = Vec::new();
+        topo(&TopologyChoice::Zoo("nsfnet".into()), false, 1, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("14 nodes"), "{text}");
+
+        let mut buf = Vec::new();
+        topo(
+            &TopologyChoice::Grid { rows: 2, cols: 2 },
+            true,
+            1,
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("graph mec {"));
+    }
+
+    #[test]
+    fn build_network_variants() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = CloudletPlacement::balanced();
+        for choice in [
+            TopologyChoice::Zoo("geant".into()),
+            TopologyChoice::ErdosRenyi { n: 20, p: 0.2 },
+            TopologyChoice::BarabasiAlbert { n: 20, m: 2 },
+            TopologyChoice::Grid { rows: 3, cols: 3 },
+        ] {
+            let net = build_network(&choice, &p, &mut rng).unwrap();
+            assert!(net.is_connected());
+        }
+        assert!(build_network(&TopologyChoice::Zoo("nope".into()), &p, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimum-compute replica allocation for an on-site chain.
+//!
+//! Given chain stages `(r(f_k), c(f_k))`, a hosting cloudlet `r(c_j)`,
+//! and an end-to-end target `R`, find integers `n_k ≥ 1` minimizing total
+//! compute `Σ n_k·c(f_k)` subject to
+//! `r(c_j) · Π_k (1 − (1 − r(f_k))^{n_k}) ≥ R`.
+//!
+//! This generalizes the single-VNF closed form `N_ij` (Eq. 3) — for
+//! `K = 1` the two agree. The solver is an exact dynamic program over the
+//! (integral) compute budget: per-stage replica options contribute
+//! log-availability "gain", and `dp[cost]` tracks the best achievable
+//! total gain; the answer is the smallest cost whose gain meets
+//! `ln(R / r(c_j))`. Stage replica counts are capped at the point where a
+//! stage's availability already exceeds the whole-chain target (more can
+//! never help), keeping the DP small.
+
+use mec_topology::Reliability;
+
+/// An optimal replica vector for a chain at one cloudlet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainAllocation {
+    /// Replicas per stage, `n_k ≥ 1`, in stage order.
+    pub replicas: Vec<u32>,
+    /// Total computing units per active slot, `Σ n_k · c(f_k)`.
+    pub total_compute: u64,
+    /// Achieved end-to-end availability (including the cloudlet factor).
+    pub availability: f64,
+}
+
+/// Availability of one stage with `n` replicas: `1 − (1 − r)^n`.
+fn stage_availability(r: Reliability, n: u32) -> f64 {
+    1.0 - r.failure().powi(n as i32)
+}
+
+/// End-to-end availability of a replica vector at a cloudlet.
+pub fn chain_availability(
+    stages: &[(Reliability, u64)],
+    replicas: &[u32],
+    cloudlet: Reliability,
+) -> f64 {
+    let product: f64 = stages
+        .iter()
+        .zip(replicas)
+        .map(|(&(r, _), &n)| stage_availability(r, n))
+        .product();
+    cloudlet.value() * product
+}
+
+/// Finds the minimum-compute replica vector (see module docs).
+///
+/// Returns `None` when `r(c_j) ≤ R` (the cloudlet gates the chain, so no
+/// replica count suffices) or when `stages` is empty.
+pub fn allocate_replicas(
+    stages: &[(Reliability, u64)],
+    cloudlet: Reliability,
+    req: Reliability,
+) -> Option<ChainAllocation> {
+    if stages.is_empty() || cloudlet.value() <= req.value() {
+        return None;
+    }
+    // Per-stage target in log space: Σ ln(stage availability) ≥ ln(R/r_c).
+    let ln_target = (req.value() / cloudlet.value()).ln(); // < 0
+
+    // Enumerate per-stage options (n, cost, gain). Every stage must in
+    // fact reach at least the end-to-end target on its own (the other
+    // factors are < 1), and may need to go beyond it to compensate for
+    // weaker stages — so options run until the stage's availability
+    // saturates numerically (additional replicas cannot change the
+    // product any more).
+    let mut options: Vec<Vec<(u32, u64, f64)>> = Vec::with_capacity(stages.len());
+    for &(r, c) in stages {
+        let mut opts = Vec::new();
+        let mut n = 1u32;
+        loop {
+            let avail = stage_availability(r, n);
+            opts.push((n, u64::from(n) * c, avail.ln()));
+            if 1.0 - avail < 1e-13 || n >= 80 {
+                break;
+            }
+            n += 1;
+        }
+        options.push(opts);
+    }
+
+    // DP over integral compute cost.
+    let max_cost: u64 = options
+        .iter()
+        .map(|o| o.last().expect("at least one option").1)
+        .sum();
+    let width = max_cost as usize + 1;
+    const NEG: f64 = f64::NEG_INFINITY;
+    // dp[cost] = (best total gain, chosen option index per processed stage
+    // is reconstructed via parent tracking).
+    let mut dp = vec![NEG; width];
+    dp[0] = 0.0;
+    // choice[k][cost] = option index used at stage k to reach `cost`.
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(options.len());
+    for opts in &options {
+        let mut next = vec![NEG; width];
+        let mut pick = vec![u32::MAX; width];
+        for (cost, &gain) in dp.iter().enumerate() {
+            if gain == NEG {
+                continue;
+            }
+            for (oi, &(_, c, g)) in opts.iter().enumerate() {
+                let nc = cost + c as usize;
+                if nc < width && gain + g > next[nc] {
+                    next[nc] = gain + g;
+                    pick[nc] = oi as u32;
+                }
+            }
+        }
+        dp = next;
+        choice.push(pick);
+    }
+
+    // Smallest cost meeting the target (with a tolerance for the
+    // log-space arithmetic).
+    let best_cost = (0..width).find(|&c| dp[c] >= ln_target - 1e-12)?;
+
+    // Reconstruct replica counts.
+    let mut replicas = vec![0u32; stages.len()];
+    let mut cost = best_cost;
+    for k in (0..stages.len()).rev() {
+        let oi = choice[k][cost] as usize;
+        let (n, c, _) = options[k][oi];
+        replicas[k] = n;
+        cost -= c as usize;
+    }
+    debug_assert_eq!(cost, 0);
+
+    let availability = chain_availability(stages, &replicas, cloudlet);
+    // The log-space DP can land a hair short of the true product due to
+    // floating-point; nudge the cheapest stage if needed.
+    let mut replicas = replicas;
+    while chain_availability(stages, &replicas, cloudlet) < req.value() {
+        let k = (0..stages.len())
+            .min_by_key(|&k| stages[k].1)
+            .expect("non-empty");
+        replicas[k] += 1;
+        if replicas[k] > 128 {
+            return None; // defensive: cannot happen for valid inputs
+        }
+    }
+    let availability = availability.max(chain_availability(stages, &replicas, cloudlet));
+    let total_compute = stages
+        .iter()
+        .zip(&replicas)
+        .map(|(&(_, c), &n)| u64::from(n) * c)
+        .sum();
+    Some(ChainAllocation {
+        replicas,
+        total_compute,
+        availability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::onsite_instances;
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    #[test]
+    fn single_stage_matches_closed_form() {
+        for (rf, rc, rq) in [
+            (0.9, 0.999, 0.99),
+            (0.95, 0.9999, 0.995),
+            (0.99, 0.999, 0.9),
+            (0.9, 0.9999, 0.9995),
+        ] {
+            let stages = [(rel(rf), 2u64)];
+            let alloc = allocate_replicas(&stages, rel(rc), rel(rq)).unwrap();
+            let n = onsite_instances(rel(rf), rel(rc), rel(rq)).unwrap();
+            assert_eq!(alloc.replicas, vec![n], "rf={rf} rc={rc} rq={rq}");
+            assert_eq!(alloc.total_compute, u64::from(n) * 2);
+            assert!(alloc.availability >= rq);
+        }
+    }
+
+    #[test]
+    fn infeasible_when_cloudlet_gates() {
+        let stages = [(rel(0.9), 1u64), (rel(0.95), 2)];
+        assert!(allocate_replicas(&stages, rel(0.95), rel(0.95)).is_none());
+        assert!(allocate_replicas(&stages, rel(0.9), rel(0.95)).is_none());
+        assert!(allocate_replicas(&[], rel(0.999), rel(0.9)).is_none());
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_each_stage_has_at_least_one() {
+        let stages = [(rel(0.9), 3u64), (rel(0.99), 1), (rel(0.95), 2)];
+        let alloc = allocate_replicas(&stages, rel(0.9999), rel(0.99)).unwrap();
+        assert_eq!(alloc.replicas.len(), 3);
+        assert!(alloc.replicas.iter().all(|&n| n >= 1));
+        assert!(alloc.availability >= 0.99);
+        assert!(
+            chain_availability(&stages, &alloc.replicas, rel(0.9999)) >= 0.99,
+            "reported availability must be real"
+        );
+    }
+
+    #[test]
+    fn dp_is_exact_vs_brute_force() {
+        // Exhaustive search over n_k ∈ 1..=6 on small chains.
+        let cases = [
+            (vec![(rel(0.9), 1u64), (rel(0.92), 2)], rel(0.999), rel(0.97)),
+            (vec![(rel(0.95), 3u64), (rel(0.9), 1)], rel(0.9999), rel(0.99)),
+            (
+                vec![(rel(0.9), 2u64), (rel(0.9), 2), (rel(0.99), 1)],
+                rel(0.999),
+                rel(0.95),
+            ),
+        ];
+        for (stages, rc, rq) in cases {
+            let alloc = allocate_replicas(&stages, rc, rq).unwrap();
+            // Brute force.
+            let k = stages.len();
+            let mut best: Option<u64> = None;
+            let mut idx = vec![1u32; k];
+            'outer: loop {
+                let cost: u64 = stages
+                    .iter()
+                    .zip(&idx)
+                    .map(|(&(_, c), &n)| u64::from(n) * c)
+                    .sum();
+                if chain_availability(&stages, &idx, rc) >= rq.value() {
+                    best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+                }
+                // Increment the counter vector.
+                for d in 0..k {
+                    idx[d] += 1;
+                    if idx[d] <= 6 {
+                        continue 'outer;
+                    }
+                    idx[d] = 1;
+                }
+                break;
+            }
+            let brute = best.expect("feasible within bound");
+            assert_eq!(
+                alloc.total_compute, brute,
+                "dp {} vs brute {} for {:?}",
+                alloc.total_compute, brute, stages
+            );
+        }
+    }
+
+    #[test]
+    fn harder_requirements_cost_more() {
+        let stages = [(rel(0.9), 2u64), (rel(0.95), 1)];
+        let cheap = allocate_replicas(&stages, rel(0.9999), rel(0.9)).unwrap();
+        let pricey = allocate_replicas(&stages, rel(0.9999), rel(0.999)).unwrap();
+        assert!(pricey.total_compute > cheap.total_compute);
+    }
+
+    #[test]
+    fn longer_chains_cost_more() {
+        let short = [(rel(0.9), 2u64)];
+        let long = [(rel(0.9), 2u64), (rel(0.9), 2), (rel(0.9), 2)];
+        let a = allocate_replicas(&short, rel(0.999), rel(0.98)).unwrap();
+        let b = allocate_replicas(&long, rel(0.999), rel(0.98)).unwrap();
+        assert!(b.total_compute > a.total_compute);
+    }
+}

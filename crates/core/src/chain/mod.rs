@@ -1,0 +1,25 @@
+//! Service Function Chain (SFC) extension.
+//!
+//! The paper schedules single-VNF requests; its related work (Ding et
+//! al. \[7\], Hmaity et al. \[13\]) studies *chains* — an ordered sequence of
+//! VNFs that must all be operational for the service to work. This module
+//! extends the on-site scheme to chains:
+//!
+//! * a [`ChainRequest`] asks for a sequence of VNF types with one
+//!   end-to-end reliability requirement `R_i`,
+//! * under the on-site scheme every replica of every stage lives in one
+//!   cloudlet, so the chain availability is
+//!   `r(c_j) · Π_k (1 − (1 − r(f_k))^{n_k})` — the product of per-stage
+//!   survival probabilities, gated by the cloudlet,
+//! * [`alloc::allocate_replicas`] finds a minimum-compute replica vector
+//!   `(n_1, …, n_K)` meeting the target (greedy marginal-gain per
+//!   computing unit, exact on small instances — see its docs),
+//! * [`ChainPrimalDual`] and [`ChainGreedy`] port Algorithm 1 and the
+//!   greedy baseline to chain requests.
+
+pub mod alloc;
+mod request;
+mod scheduler;
+
+pub use request::{ChainRequest, ChainRequestId};
+pub use scheduler::{run_chain_online, ChainGreedy, ChainPrimalDual, ChainSchedule};

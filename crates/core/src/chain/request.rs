@@ -1,0 +1,202 @@
+use std::fmt;
+
+use mec_topology::Reliability;
+use mec_workload::{Horizon, TimeSlot, VnfTypeId, WorkloadError};
+
+/// Identifier of a chain request, dense in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChainRequestId(pub usize);
+
+impl ChainRequestId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ChainRequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{}", self.0)
+    }
+}
+
+/// A service-function-chain request: an ordered sequence of VNF types
+/// with one end-to-end reliability requirement.
+///
+/// The chain is up only when *every* stage has at least one live
+/// instance, so each stage's availability multiplies into the end-to-end
+/// figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainRequest {
+    id: ChainRequestId,
+    stages: Vec<VnfTypeId>,
+    reliability_req: Reliability,
+    arrival: TimeSlot,
+    duration: usize,
+    payment: f64,
+}
+
+impl ChainRequest {
+    /// Creates a chain request after validating every field.
+    ///
+    /// # Errors
+    ///
+    /// * [`WorkloadError::InvalidParameter`] for an empty chain.
+    /// * [`WorkloadError::ZeroDuration`] / [`WorkloadError::InvalidPayment`]
+    ///   / [`WorkloadError::WindowOutsideHorizon`] as for plain requests.
+    pub fn new(
+        id: ChainRequestId,
+        stages: Vec<VnfTypeId>,
+        reliability_req: Reliability,
+        arrival: TimeSlot,
+        duration: usize,
+        payment: f64,
+        horizon: Horizon,
+    ) -> Result<Self, WorkloadError> {
+        if stages.is_empty() {
+            return Err(WorkloadError::InvalidParameter("empty chain"));
+        }
+        if duration == 0 {
+            return Err(WorkloadError::ZeroDuration);
+        }
+        if !payment.is_finite() || payment <= 0.0 {
+            return Err(WorkloadError::InvalidPayment(payment));
+        }
+        if !horizon.contains_window(arrival, duration) {
+            return Err(WorkloadError::WindowOutsideHorizon {
+                arrival,
+                duration,
+                horizon: horizon.len(),
+            });
+        }
+        Ok(ChainRequest {
+            id,
+            stages,
+            reliability_req,
+            arrival,
+            duration,
+            payment,
+        })
+    }
+
+    /// Dense identifier (arrival order).
+    pub fn id(&self) -> ChainRequestId {
+        self.id
+    }
+
+    /// The VNF stages, in traversal order.
+    pub fn stages(&self) -> &[VnfTypeId] {
+        &self.stages
+    }
+
+    /// Chain length `K`.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Chains are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// End-to-end reliability requirement `R_i`.
+    pub fn reliability_requirement(&self) -> Reliability {
+        self.reliability_req
+    }
+
+    /// Arrival slot.
+    pub fn arrival(&self) -> TimeSlot {
+        self.arrival
+    }
+
+    /// Execution duration in slots.
+    pub fn duration(&self) -> usize {
+        self.duration
+    }
+
+    /// Last slot of the execution window.
+    pub fn end_slot(&self) -> TimeSlot {
+        self.arrival + self.duration - 1
+    }
+
+    /// The execution slots, in order.
+    pub fn slots(&self) -> std::ops::RangeInclusive<TimeSlot> {
+        self.arrival..=self.end_slot()
+    }
+
+    /// Payment collected if admitted.
+    pub fn payment(&self) -> f64 {
+        self.payment
+    }
+}
+
+impl fmt::Display for ChainRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.id)?;
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(
+            f,
+            "] R={} t=[{}..={}] pay={}",
+            self.reliability_req,
+            self.arrival,
+            self.end_slot(),
+            self.payment
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = ChainRequest::new(
+            ChainRequestId(0),
+            vec![VnfTypeId(0), VnfTypeId(3), VnfTypeId(1)],
+            rel(0.9),
+            2,
+            3,
+            12.0,
+            Horizon::new(10),
+        )
+        .unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.end_slot(), 4);
+        assert_eq!(c.slots().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(c.stages()[1], VnfTypeId(3));
+        let s = c.to_string();
+        assert!(s.contains("f0→f3→f1"), "{s}");
+    }
+
+    #[test]
+    fn validation() {
+        let h = Horizon::new(5);
+        assert!(matches!(
+            ChainRequest::new(ChainRequestId(0), vec![], rel(0.9), 0, 1, 1.0, h),
+            Err(WorkloadError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            ChainRequest::new(ChainRequestId(0), vec![VnfTypeId(0)], rel(0.9), 0, 0, 1.0, h),
+            Err(WorkloadError::ZeroDuration)
+        ));
+        assert!(matches!(
+            ChainRequest::new(ChainRequestId(0), vec![VnfTypeId(0)], rel(0.9), 0, 1, -1.0, h),
+            Err(WorkloadError::InvalidPayment(_))
+        ));
+        assert!(matches!(
+            ChainRequest::new(ChainRequestId(0), vec![VnfTypeId(0)], rel(0.9), 4, 3, 1.0, h),
+            Err(WorkloadError::WindowOutsideHorizon { .. })
+        ));
+    }
+}

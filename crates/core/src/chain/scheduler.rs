@@ -1,0 +1,402 @@
+use std::fmt;
+
+use mec_topology::CloudletId;
+
+use crate::chain::alloc::{allocate_replicas, ChainAllocation};
+use crate::chain::request::{ChainRequest, ChainRequestId};
+use crate::error::VnfrelError;
+use crate::instance::ProblemInstance;
+use crate::ledger::CapacityLedger;
+
+/// Where an admitted chain landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPlacement {
+    /// Hosting cloudlet (on-site: the whole chain shares it).
+    pub cloudlet: CloudletId,
+    /// Replicas per stage.
+    pub replicas: Vec<u32>,
+    /// Total computing units consumed per active slot.
+    pub total_compute: u64,
+}
+
+/// Decisions for a stream of chain requests, in arrival order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChainSchedule {
+    placements: Vec<Option<ChainPlacement>>,
+    revenue: f64,
+}
+
+impl ChainSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&mut self, request: &ChainRequest, placement: Option<ChainPlacement>) {
+        assert_eq!(
+            request.id().index(),
+            self.placements.len(),
+            "chain requests must be recorded densely in arrival order"
+        );
+        if placement.is_some() {
+            self.revenue += request.payment();
+        }
+        self.placements.push(placement);
+    }
+
+    /// Placement of a chain, `None` if rejected.
+    pub fn placement(&self, id: ChainRequestId) -> Option<&ChainPlacement> {
+        self.placements.get(id.index()).and_then(|p| p.as_ref())
+    }
+
+    /// Total revenue collected.
+    pub fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    /// Number of admitted chains.
+    pub fn admitted_count(&self) -> usize {
+        self.placements.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+}
+
+impl fmt::Display for ChainSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chain schedule: {}/{} admitted, revenue {:.2}",
+            self.admitted_count(),
+            self.len(),
+            self.revenue
+        )
+    }
+}
+
+/// An online scheduler for chain requests (on-site scheme).
+pub trait ChainScheduler {
+    /// Decides admission for the next chain request.
+    fn decide(&mut self, request: &ChainRequest) -> Option<ChainPlacement>;
+}
+
+/// Feeds chain requests through a scheduler.
+///
+/// # Errors
+///
+/// Returns [`VnfrelError::NonDenseRequestIds`] if ids are not dense in
+/// arrival order.
+pub fn run_chain_online<S: ChainScheduler + ?Sized>(
+    scheduler: &mut S,
+    requests: &[ChainRequest],
+) -> Result<ChainSchedule, VnfrelError> {
+    let mut schedule = ChainSchedule::new();
+    for (i, r) in requests.iter().enumerate() {
+        if r.id().index() != i {
+            return Err(VnfrelError::NonDenseRequestIds {
+                position: i,
+                found: r.id().index(),
+            });
+        }
+        let placement = scheduler.decide(r);
+        schedule.record(r, placement);
+    }
+    Ok(schedule)
+}
+
+/// Helper: resolve a chain's stage parameters against the catalog.
+fn stage_params(
+    instance: &ProblemInstance,
+    request: &ChainRequest,
+) -> Option<Vec<(mec_topology::Reliability, u64)>> {
+    request
+        .stages()
+        .iter()
+        .map(|&s| {
+            instance
+                .catalog()
+                .get(s)
+                .map(|v| (v.reliability(), v.compute()))
+        })
+        .collect()
+}
+
+/// Algorithm 1 generalized to chains: the per-cloudlet weight `a_ij`
+/// becomes the minimum total compute of a feasible replica allocation
+/// ([`allocate_replicas`]); admission and price updates are otherwise
+/// identical to [`OnsitePrimalDual`](crate::onsite::OnsitePrimalDual).
+#[derive(Debug)]
+pub struct ChainPrimalDual<'a> {
+    instance: &'a ProblemInstance,
+    /// λ[cloudlet][slot]
+    lambda: Vec<Vec<f64>>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> ChainPrimalDual<'a> {
+    /// Creates the scheduler with zero prices.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        ChainPrimalDual {
+            instance,
+            lambda: vec![
+                vec![0.0; instance.horizon().len()];
+                instance.cloudlet_count()
+            ],
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+
+    /// The scheduler's capacity ledger.
+    pub fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+}
+
+impl ChainScheduler for ChainPrimalDual<'_> {
+    fn decide(&mut self, request: &ChainRequest) -> Option<ChainPlacement> {
+        let stages = stage_params(self.instance, request)?;
+        let mut best: Option<(usize, ChainAllocation, f64)> = None;
+        for cloudlet in self.instance.network().cloudlets() {
+            let j = cloudlet.id().index();
+            let Some(alloc) = allocate_replicas(
+                &stages,
+                cloudlet.reliability(),
+                request.reliability_requirement(),
+            ) else {
+                continue;
+            };
+            let weight = alloc.total_compute as f64;
+            if !self.ledger.fits(cloudlet.id(), request.slots(), weight) {
+                continue;
+            }
+            let cost: f64 = request
+                .slots()
+                .map(|t| weight * self.lambda[j][t])
+                .sum();
+            match &best {
+                Some((_, _, c)) if *c <= cost => {}
+                _ => best = Some((j, alloc, cost)),
+            }
+        }
+        let (j, alloc, cost) = best?;
+        if request.payment() - cost <= 0.0 {
+            return None;
+        }
+        let weight = alloc.total_compute as f64;
+        self.ledger
+            .charge(CloudletId(j), request.slots(), weight);
+        let cap = self.ledger.capacity(CloudletId(j));
+        let d = request.duration() as f64;
+        for t in request.slots() {
+            let l = self.lambda[j][t];
+            self.lambda[j][t] = l * (1.0 + weight / cap) + weight * request.payment() / (d * cap);
+        }
+        Some(ChainPlacement {
+            cloudlet: CloudletId(j),
+            replicas: alloc.replicas,
+            total_compute: alloc.total_compute,
+        })
+    }
+}
+
+/// Greedy chain baseline: most reliable cloudlet first (lowest replica
+/// cost), ignoring payments.
+#[derive(Debug)]
+pub struct ChainGreedy<'a> {
+    instance: &'a ProblemInstance,
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> ChainGreedy<'a> {
+    /// Creates the greedy chain scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let mut order: Vec<CloudletId> =
+            instance.network().cloudlets().map(|c| c.id()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = instance.network().cloudlet(a).expect("valid id").reliability();
+            let rb = instance.network().cloudlet(b).expect("valid id").reliability();
+            rb.cmp(&ra).then(a.index().cmp(&b.index()))
+        });
+        ChainGreedy {
+            instance,
+            order,
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+
+    /// The scheduler's capacity ledger.
+    pub fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+}
+
+impl ChainScheduler for ChainGreedy<'_> {
+    fn decide(&mut self, request: &ChainRequest) -> Option<ChainPlacement> {
+        let stages = stage_params(self.instance, request)?;
+        for &cid in &self.order {
+            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
+            let Some(alloc) = allocate_replicas(
+                &stages,
+                cloudlet.reliability(),
+                request.reliability_requirement(),
+            ) else {
+                break; // sorted by reliability: later ones fail too
+            };
+            let weight = alloc.total_compute as f64;
+            if self.ledger.fits(cid, request.slots(), weight) {
+                self.ledger.charge(cid, request.slots(), weight);
+                return Some(ChainPlacement {
+                    cloudlet: cid,
+                    replicas: alloc.replicas,
+                    total_compute: alloc.total_compute,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::alloc::chain_availability;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance(cloudlets: &[(u64, f64)]) -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for (i, &(cap, r)) in cloudlets.iter().enumerate() {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, cap, rel(r)).unwrap();
+        }
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
+            .unwrap()
+    }
+
+    fn chain(id: usize, stages: Vec<usize>, req: f64, pay: f64) -> ChainRequest {
+        ChainRequest::new(
+            ChainRequestId(id),
+            stages.into_iter().map(VnfTypeId).collect(),
+            rel(req),
+            0,
+            2,
+            pay,
+            Horizon::new(10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn primal_dual_admits_and_meets_reliability() {
+        let inst = instance(&[(40, 0.9999), (40, 0.999)]);
+        let mut alg = ChainPrimalDual::new(&inst);
+        let c = chain(0, vec![0, 1, 3], 0.97, 25.0);
+        let p = alg.decide(&c).expect("admitted");
+        assert_eq!(p.replicas.len(), 3);
+        // Recompute availability independently.
+        let stages: Vec<_> = c
+            .stages()
+            .iter()
+            .map(|&s| {
+                let v = inst.catalog().get(s).unwrap();
+                (v.reliability(), v.compute())
+            })
+            .collect();
+        let rc = inst.network().cloudlet(p.cloudlet).unwrap().reliability();
+        assert!(chain_availability(&stages, &p.replicas, rc) >= 0.97);
+    }
+
+    #[test]
+    fn rejects_when_no_cloudlet_reliable_enough() {
+        let inst = instance(&[(40, 0.95)]);
+        let mut alg = ChainPrimalDual::new(&inst);
+        assert!(alg.decide(&chain(0, vec![0, 1], 0.96, 100.0)).is_none());
+    }
+
+    #[test]
+    fn prices_block_low_payers_eventually() {
+        let inst = instance(&[(12, 0.9999)]);
+        let mut alg = ChainPrimalDual::new(&inst);
+        let mut admitted = 0;
+        let mut rejected = 0;
+        for i in 0..40 {
+            match alg.decide(&chain(i, vec![1, 5], 0.9, 6.0)) {
+                Some(_) => admitted += 1,
+                None => rejected += 1,
+            }
+        }
+        assert!(admitted > 0 && rejected > 0, "{admitted}/{rejected}");
+        assert_eq!(alg.ledger().max_overflow(), 0.0);
+    }
+
+    #[test]
+    fn greedy_prefers_reliable_cloudlet_and_respects_capacity() {
+        let inst = instance(&[(20, 0.99), (20, 0.9999)]);
+        let mut g = ChainGreedy::new(&inst);
+        let p = g.decide(&chain(0, vec![1, 8], 0.9, 1.0)).unwrap();
+        assert_eq!(p.cloudlet, CloudletId(1));
+        // Saturate: capacity never violated.
+        for i in 1..60 {
+            g.decide(&chain(i, vec![1, 8], 0.9, 1.0));
+        }
+        assert_eq!(g.ledger().max_overflow(), 0.0);
+    }
+
+    #[test]
+    fn run_chain_online_collects_schedule() {
+        let inst = instance(&[(30, 0.9999)]);
+        let mut alg = ChainPrimalDual::new(&inst);
+        let reqs: Vec<ChainRequest> = (0..10)
+            .map(|i| chain(i, vec![i % 10, (i + 3) % 10], 0.9, 9.0))
+            .collect();
+        let s = run_chain_online(&mut alg, &reqs).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.admitted_count() > 0);
+        assert!(s.revenue() > 0.0);
+        assert!(!s.is_empty());
+        assert!(s.to_string().contains("admitted"));
+        // Non-dense ids rejected.
+        let bad = vec![chain(5, vec![0], 0.9, 1.0)];
+        assert!(run_chain_online(&mut ChainGreedy::new(&inst), &bad).is_err());
+    }
+
+    #[test]
+    fn chain_primal_dual_beats_chain_greedy_under_scarcity() {
+        let inst = instance(&[(10, 0.9999), (10, 0.999)]);
+        let mut alg = ChainPrimalDual::new(&inst);
+        let mut grd = ChainGreedy::new(&inst);
+        // Heterogeneous payments; scarcity after a handful of chains.
+        let reqs: Vec<ChainRequest> = (0..80)
+            .map(|i| {
+                let pay = if i % 4 == 0 { 40.0 } else { 2.0 };
+                chain(i, vec![1, 8], 0.9, pay)
+            })
+            .collect();
+        let sa = run_chain_online(&mut alg, &reqs).unwrap();
+        let sg = run_chain_online(&mut grd, &reqs).unwrap();
+        assert!(
+            sa.revenue() > sg.revenue(),
+            "primal-dual {} vs greedy {}",
+            sa.revenue(),
+            sg.revenue()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use lp_solver::SolverError;
+use mec_topology::TopologyError;
+use mec_workload::WorkloadError;
+
+/// Errors produced by the reliability-aware VNF scheduling library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VnfrelError {
+    /// The problem instance is unusable (no cloudlets, empty catalog, …).
+    InvalidInstance(&'static str),
+    /// A request referenced a VNF type missing from the catalog.
+    Workload(WorkloadError),
+    /// A network-model error.
+    Topology(TopologyError),
+    /// The offline ILP solver failed.
+    Solver(SolverError),
+    /// Request ids are not dense in arrival order (the online algorithms
+    /// index per-request state by id).
+    NonDenseRequestIds {
+        /// Position in the request stream.
+        position: usize,
+        /// The id found there.
+        found: usize,
+    },
+    /// A scheduling parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for VnfrelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VnfrelError::InvalidInstance(what) => write!(f, "invalid problem instance: {what}"),
+            VnfrelError::Workload(e) => write!(f, "workload error: {e}"),
+            VnfrelError::Topology(e) => write!(f, "topology error: {e}"),
+            VnfrelError::Solver(e) => write!(f, "solver error: {e}"),
+            VnfrelError::NonDenseRequestIds { position, found } => write!(
+                f,
+                "request ids must be dense in arrival order; position {position} holds id {found}"
+            ),
+            VnfrelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for VnfrelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VnfrelError::Workload(e) => Some(e),
+            VnfrelError::Topology(e) => Some(e),
+            VnfrelError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for VnfrelError {
+    fn from(e: WorkloadError) -> Self {
+        VnfrelError::Workload(e)
+    }
+}
+
+impl From<TopologyError> for VnfrelError {
+    fn from(e: TopologyError) -> Self {
+        VnfrelError::Topology(e)
+    }
+}
+
+impl From<SolverError> for VnfrelError {
+    fn from(e: SolverError) -> Self {
+        VnfrelError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = VnfrelError::from(WorkloadError::ZeroDuration);
+        assert!(e.to_string().contains("workload"));
+        assert!(e.source().is_some());
+        let e = VnfrelError::from(TopologyError::EmptyNetwork);
+        assert!(e.source().is_some());
+        let e = VnfrelError::from(SolverError::EmptyModel);
+        assert!(e.source().is_some());
+        let e = VnfrelError::InvalidInstance("no cloudlets");
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
+        let e = VnfrelError::NonDenseRequestIds {
+            position: 3,
+            found: 7,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,202 @@
+use std::fmt;
+
+use mec_topology::Network;
+use mec_workload::{Horizon, Request, VnfCatalog};
+
+use crate::error::VnfrelError;
+
+/// Which backup scheme a scheduler operates under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// All primary and backup instances of a request share one cloudlet.
+    OnSite,
+    /// At most one instance of a request per cloudlet.
+    OffSite,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::OnSite => write!(f, "on-site"),
+            Scheme::OffSite => write!(f, "off-site"),
+        }
+    }
+}
+
+/// A complete problem instance: the MEC network, the VNF catalog, and the
+/// slotted monitoring horizon.
+///
+/// Requests are kept separate because the online algorithms consume them
+/// as a stream; [`ProblemInstance::check_requests`] validates that a
+/// stream is compatible with this instance.
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    network: Network,
+    catalog: VnfCatalog,
+    horizon: Horizon,
+}
+
+impl ProblemInstance {
+    /// Bundles a network, catalog, and horizon into an instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnfrelError::InvalidInstance`] if the network has no
+    /// cloudlets or the catalog is empty.
+    pub fn new(
+        network: Network,
+        catalog: VnfCatalog,
+        horizon: Horizon,
+    ) -> Result<Self, VnfrelError> {
+        if network.cloudlet_count() == 0 {
+            return Err(VnfrelError::InvalidInstance("network has no cloudlets"));
+        }
+        if catalog.is_empty() {
+            return Err(VnfrelError::InvalidInstance("vnf catalog is empty"));
+        }
+        Ok(ProblemInstance {
+            network,
+            catalog,
+            horizon,
+        })
+    }
+
+    /// The MEC network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The VNF catalog.
+    pub fn catalog(&self) -> &VnfCatalog {
+        &self.catalog
+    }
+
+    /// The monitoring horizon.
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+
+    /// Number of cloudlets `m`.
+    pub fn cloudlet_count(&self) -> usize {
+        self.network.cloudlet_count()
+    }
+
+    /// Validates that a request stream can be scheduled against this
+    /// instance: ids dense in arrival order, windows inside the horizon,
+    /// VNF types present in the catalog.
+    ///
+    /// # Errors
+    ///
+    /// * [`VnfrelError::NonDenseRequestIds`] if ids do not equal positions.
+    /// * [`VnfrelError::Workload`] for unknown VNF types or out-of-horizon
+    ///   windows.
+    pub fn check_requests(&self, requests: &[Request]) -> Result<(), VnfrelError> {
+        for (i, r) in requests.iter().enumerate() {
+            if r.id().index() != i {
+                return Err(VnfrelError::NonDenseRequestIds {
+                    position: i,
+                    found: r.id().index(),
+                });
+            }
+            self.catalog.require(r.vnf())?;
+            if !self.horizon.contains_window(r.arrival(), r.duration()) {
+                return Err(VnfrelError::Workload(
+                    mec_workload::WorkloadError::WindowOutsideHorizon {
+                        arrival: r.arrival(),
+                        duration: r.duration(),
+                        horizon: self.horizon.len(),
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProblemInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} vnf types | {}",
+            self.network,
+            self.catalog.len(),
+            self.horizon
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Request, RequestId, VnfTypeId};
+
+    fn network(with_cloudlet: bool) -> Network {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        if with_cloudlet {
+            b.add_cloudlet(a, 10, Reliability::new(0.99).unwrap())
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_instances() {
+        let err = ProblemInstance::new(network(false), VnfCatalog::standard(), Horizon::new(5))
+            .unwrap_err();
+        assert!(matches!(err, VnfrelError::InvalidInstance(_)));
+        let empty = VnfCatalog::from_specs(Vec::<(&str, u64, f64)>::new()).unwrap();
+        let err = ProblemInstance::new(network(true), empty, Horizon::new(5)).unwrap_err();
+        assert!(matches!(err, VnfrelError::InvalidInstance(_)));
+    }
+
+    #[test]
+    fn accepts_and_exposes_parts() {
+        let inst =
+            ProblemInstance::new(network(true), VnfCatalog::standard(), Horizon::new(5)).unwrap();
+        assert_eq!(inst.cloudlet_count(), 1);
+        assert_eq!(inst.catalog().len(), 10);
+        assert_eq!(inst.horizon().len(), 5);
+        assert!(inst.to_string().contains("vnf types"));
+        assert_eq!(Scheme::OnSite.to_string(), "on-site");
+        assert_eq!(Scheme::OffSite.to_string(), "off-site");
+    }
+
+    #[test]
+    fn check_requests_catches_bad_streams() {
+        let inst =
+            ProblemInstance::new(network(true), VnfCatalog::standard(), Horizon::new(5)).unwrap();
+        let h = Horizon::new(5);
+        let r = |id: usize, vnf: usize| {
+            Request::new(
+                RequestId(id),
+                VnfTypeId(vnf),
+                Reliability::new(0.9).unwrap(),
+                0,
+                2,
+                1.0,
+                h,
+            )
+            .unwrap()
+        };
+        assert!(inst.check_requests(&[r(0, 0), r(1, 3)]).is_ok());
+        // Non-dense ids.
+        assert!(matches!(
+            inst.check_requests(&[r(1, 0)]),
+            Err(VnfrelError::NonDenseRequestIds { .. })
+        ));
+        // Unknown VNF type.
+        assert!(matches!(
+            inst.check_requests(&[r(0, 42)]),
+            Err(VnfrelError::Workload(_))
+        ));
+        // Window outside this instance's (shorter) horizon.
+        let short =
+            ProblemInstance::new(network(true), VnfCatalog::standard(), Horizon::new(1)).unwrap();
+        assert!(matches!(
+            short.check_requests(&[r(0, 0)]),
+            Err(VnfrelError::Workload(_))
+        ));
+    }
+}

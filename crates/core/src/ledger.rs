@@ -1,0 +1,191 @@
+use std::fmt;
+
+use mec_topology::Network;
+use mec_workload::{Horizon, TimeSlot};
+use mec_topology::CloudletId;
+
+/// Per-cloudlet, per-slot accounting of committed computing capacity.
+///
+/// Stored as `f64` so the scaling ablation (which inflates demands by a
+/// non-integer factor, after Fan & Ansari) can charge fractional amounts.
+/// The ledger supports deliberate over-commitment: the *raw* Algorithm 1
+/// may violate capacity by a bounded amount (Lemma 8), and
+/// [`CapacityLedger::max_overflow`] reports the worst violation observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityLedger {
+    caps: Vec<f64>,
+    /// used[cloudlet][slot]
+    used: Vec<Vec<f64>>,
+    horizon: Horizon,
+}
+
+impl CapacityLedger {
+    /// Creates a ledger covering every cloudlet of `network` over `horizon`.
+    pub fn new(network: &Network, horizon: Horizon) -> Self {
+        let caps: Vec<f64> = network.cloudlets().map(|c| c.capacity() as f64).collect();
+        let used = vec![vec![0.0; horizon.len()]; caps.len()];
+        CapacityLedger {
+            caps,
+            used,
+            horizon,
+        }
+    }
+
+    /// Capacity `cap_j` of a cloudlet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloudlet` is out of range.
+    pub fn capacity(&self, cloudlet: CloudletId) -> f64 {
+        self.caps[cloudlet.index()]
+    }
+
+    /// Committed usage of a cloudlet in a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cloudlet` or `slot` is out of range.
+    pub fn used(&self, cloudlet: CloudletId, slot: TimeSlot) -> f64 {
+        self.used[cloudlet.index()][slot]
+    }
+
+    /// Remaining capacity of a cloudlet in a slot (may be negative after
+    /// deliberate over-commitment).
+    pub fn residual(&self, cloudlet: CloudletId, slot: TimeSlot) -> f64 {
+        self.caps[cloudlet.index()] - self.used[cloudlet.index()][slot]
+    }
+
+    /// Whether `amount` units fit in every slot of `slots` without
+    /// exceeding capacity.
+    pub fn fits<I>(&self, cloudlet: CloudletId, slots: I, amount: f64) -> bool
+    where
+        I: IntoIterator<Item = TimeSlot>,
+    {
+        slots
+            .into_iter()
+            .all(|t| self.residual(cloudlet, t) + 1e-9 >= amount)
+    }
+
+    /// Commits `amount` units in every slot of `slots`, allowing
+    /// over-commitment (callers that must not overflow check
+    /// [`CapacityLedger::fits`] first).
+    pub fn charge<I>(&mut self, cloudlet: CloudletId, slots: I, amount: f64)
+    where
+        I: IntoIterator<Item = TimeSlot>,
+    {
+        for t in slots {
+            self.used[cloudlet.index()][t] += amount;
+        }
+    }
+
+    /// Largest relative violation `max(0, used/cap − 1)` over all
+    /// cloudlets and slots.
+    pub fn max_overflow(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (j, row) in self.used.iter().enumerate() {
+            for &u in row {
+                worst = worst.max(u / self.caps[j] - 1.0);
+            }
+        }
+        worst.max(0.0)
+    }
+
+    /// Mean utilization (used/cap averaged over cloudlets and slots),
+    /// counting over-committed slots at their real ratio.
+    pub fn mean_utilization(&self) -> f64 {
+        let mut total = 0.0;
+        let mut cells = 0usize;
+        for (j, row) in self.used.iter().enumerate() {
+            for &u in row {
+                total += u / self.caps[j];
+                cells += 1;
+            }
+        }
+        if cells == 0 {
+            0.0
+        } else {
+            total / cells as f64
+        }
+    }
+
+    /// Number of cloudlets tracked.
+    pub fn cloudlet_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// The horizon this ledger covers.
+    pub fn horizon(&self) -> Horizon {
+        self.horizon
+    }
+}
+
+impl fmt::Display for CapacityLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ledger: {} cloudlets × {} slots, mean util {:.3}, max overflow {:.3}",
+            self.caps.len(),
+            self.horizon.len(),
+            self.mean_utilization(),
+            self.max_overflow()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::{NetworkBuilder, Reliability};
+
+    fn ledger() -> CapacityLedger {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        let c = b.add_ap("b");
+        b.add_cloudlet(a, 10, Reliability::new(0.99).unwrap())
+            .unwrap();
+        b.add_cloudlet(c, 4, Reliability::new(0.95).unwrap())
+            .unwrap();
+        CapacityLedger::new(&b.build().unwrap(), Horizon::new(5))
+    }
+
+    #[test]
+    fn fits_and_charge() {
+        let mut l = ledger();
+        let c0 = CloudletId(0);
+        assert!(l.fits(c0, 0..=2, 10.0));
+        assert!(!l.fits(c0, 0..=2, 10.5));
+        l.charge(c0, 0..=2, 7.0);
+        assert!(l.fits(c0, 0..=2, 3.0));
+        assert!(!l.fits(c0, 0..=2, 3.5));
+        assert!(l.fits(c0, 3..=4, 10.0)); // other slots untouched
+        assert_eq!(l.used(c0, 1), 7.0);
+        assert_eq!(l.residual(c0, 1), 3.0);
+        assert_eq!(l.used(c0, 4), 0.0);
+    }
+
+    #[test]
+    fn overflow_tracking() {
+        let mut l = ledger();
+        let c1 = CloudletId(1); // cap 4
+        assert_eq!(l.max_overflow(), 0.0);
+        l.charge(c1, 0..=0, 6.0);
+        assert!((l.max_overflow() - 0.5).abs() < 1e-12);
+        assert!(l.residual(c1, 0) < 0.0);
+    }
+
+    #[test]
+    fn utilization_average() {
+        let mut l = ledger();
+        // Fill cloudlet 0 fully in all 5 slots: 5 cells at 1.0, 5 at 0.
+        l.charge(CloudletId(0), 0..5, 10.0);
+        assert!((l.mean_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let l = ledger();
+        assert!(l.to_string().contains("2 cloudlets"));
+        assert_eq!(l.cloudlet_count(), 2);
+        assert_eq!(l.horizon().len(), 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Reliability-aware VNF service scheduling for Mobile Edge Computing.
+//!
+//! A Rust reproduction of Li, Liang, Huang & Jia, *"Providing
+//! Reliability-Aware Virtualized Network Function Services for Mobile Edge
+//! Computing"* (ICDCS 2019). Mobile users request VNF services with
+//! individual reliability requirements; the provider places primary and
+//! backup VNF instances in capacity-constrained cloudlets to maximize the
+//! revenue of admitted requests.
+//!
+//! Two backup schemes are modeled:
+//!
+//! * **on-site** — all instances of a request share one cloudlet; the
+//!   cloudlet's own reliability caps what is achievable
+//!   ([`reliability::onsite_instances`]),
+//! * **off-site** — one instance per chosen cloudlet, independent
+//!   failures ([`reliability::offsite_availability`]).
+//!
+//! Schedulers (all implementing [`OnlineScheduler`]):
+//!
+//! | Scheduler | Paper artefact |
+//! |---|---|
+//! | [`onsite::OnsitePrimalDual`] | Algorithm 1, `(1 + a_max)`-competitive |
+//! | [`onsite::OnsiteGreedy`] | Section VI greedy baseline |
+//! | [`onsite::offline`] | ILP (6)–(8) via branch-and-bound (CPLEX substitute) |
+//! | [`offsite::OffsitePrimalDual`] | Algorithm 2 |
+//! | [`offsite::OffsiteGreedy`] | Section VI greedy baseline |
+//! | [`offsite::offline`] | ln-transformed ILP (48)–(53) |
+//!
+//! [`bounds::OnsiteBounds`] evaluates the proved competitive ratio and the
+//! violation bound `ξ` for a concrete workload, and
+//! [`validate_schedule`] independently re-checks any schedule.
+//!
+//! # Quick start
+//!
+//! ```
+//! use vnfrel::{ProblemInstance, run_online};
+//! use vnfrel::onsite::{OnsitePrimalDual, CapacityPolicy};
+//! use mec_topology::{NetworkBuilder, Reliability};
+//! use mec_workload::{VnfCatalog, RequestGenerator, Horizon};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetworkBuilder::new();
+//! let ap = b.add_ap("edge-1");
+//! b.add_cloudlet(ap, 100, Reliability::new(0.999)?)?;
+//! let instance = ProblemInstance::new(b.build()?, VnfCatalog::standard(), Horizon::new(24))?;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+//! let requests = RequestGenerator::new(instance.horizon())
+//!     .generate(40, instance.catalog(), &mut rng)?;
+//!
+//! let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce)?;
+//! let schedule = run_online(&mut alg1, &requests)?;
+//! println!("revenue: {:.2}", schedule.revenue());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+pub mod bounds;
+pub mod chain;
+mod error;
+mod instance;
+mod ledger;
+pub mod offsite;
+pub mod onsite;
+pub mod reliability;
+mod schedule;
+mod scheduler;
+mod validate;
+
+pub use error::VnfrelError;
+pub use instance::{ProblemInstance, Scheme};
+pub use ledger::CapacityLedger;
+pub use schedule::{Decision, Placement, Schedule};
+pub use scheduler::{run_online, OnlineScheduler};
+pub use validate::{validate_schedule, ValidationReport, Violation};

@@ -1,0 +1,182 @@
+use mec_topology::CloudletId;
+use mec_workload::Request;
+
+use crate::instance::{ProblemInstance, Scheme};
+use crate::ledger::CapacityLedger;
+use crate::reliability::offsite_ln_coefficient;
+use crate::schedule::{Decision, Placement};
+use crate::scheduler::OnlineScheduler;
+
+/// The evaluation's greedy baseline under the off-site scheme.
+///
+/// Scans cloudlets in decreasing reliability order, placing one instance
+/// in each cloudlet that still has residual capacity over the request's
+/// window, until the accumulated availability meets `R_i`; rejects if the
+/// target is unreachable. Payments are ignored. As Section VI-C observes,
+/// this baseline exhausts the reliable cloudlets first and then "fails to
+/// admit any incoming requests in spite of existing lots of failure-prone
+/// cloudlets" — the behaviour the Figure 2(b) sweep exposes.
+#[derive(Debug)]
+pub struct OffsiteGreedy<'a> {
+    instance: &'a ProblemInstance,
+    /// Cloudlet ids sorted by reliability, most reliable first.
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> OffsiteGreedy<'a> {
+    /// Creates the greedy scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let mut order: Vec<CloudletId> =
+            instance.network().cloudlets().map(|c| c.id()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = instance.network().cloudlet(a).expect("valid id").reliability();
+            let rb = instance.network().cloudlet(b).expect("valid id").reliability();
+            rb.cmp(&ra).then(a.index().cmp(&b.index()))
+        });
+        OffsiteGreedy {
+            instance,
+            order,
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+}
+
+impl OnlineScheduler for OffsiteGreedy<'_> {
+    fn name(&self) -> &'static str {
+        "greedy-offsite"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OffSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
+            return Decision::Reject;
+        };
+        let compute = vnf.compute() as f64;
+        let ln_target = request.reliability_requirement().failure().ln();
+
+        let mut selected = Vec::new();
+        let mut ln_sum = 0.0;
+        for &cid in &self.order {
+            if !self.ledger.fits(cid, request.slots(), compute) {
+                continue;
+            }
+            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
+            ln_sum += offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
+            selected.push(cid);
+            if ln_sum <= ln_target + 1e-12 {
+                break;
+            }
+        }
+        if ln_sum > ln_target + 1e-12 {
+            return Decision::Reject;
+        }
+        for &cid in &selected {
+            self.ledger.charge(cid, request.slots(), compute);
+        }
+        Decision::Admit(Placement::OffSite {
+            cloudlets: selected,
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::run_online;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestId, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance(cloudlets: &[(u64, f64)]) -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for (i, &(cap, r)) in cloudlets.iter().enumerate() {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, cap, rel(r)).unwrap();
+        }
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
+            .unwrap()
+    }
+
+    fn request(id: usize, req: f64, pay: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(8), // ProxyCache: compute 1, r = 0.9995
+            rel(req),
+            0,
+            2,
+            pay,
+            Horizon::new(10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uses_most_reliable_cloudlet_first() {
+        let inst = instance(&[(10, 0.95), (10, 0.999)]);
+        let mut g = OffsiteGreedy::new(&inst);
+        match g.decide(&request(0, 0.9, 1.0)) {
+            Decision::Admit(Placement::OffSite { cloudlets }) => {
+                assert_eq!(cloudlets, vec![CloudletId(1)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn accumulates_until_requirement_met() {
+        let inst = instance(&[(10, 0.9), (10, 0.9), (10, 0.9)]);
+        let mut g = OffsiteGreedy::new(&inst);
+        // Requirement 0.98 needs more than one 0.9-reliability site.
+        match g.decide(&request(0, 0.98, 1.0)) {
+            Decision::Admit(Placement::OffSite { cloudlets }) => {
+                assert!(cloudlets.len() >= 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unreachable_requirement() {
+        let inst = instance(&[(10, 0.5)]);
+        let mut g = OffsiteGreedy::new(&inst);
+        assert_eq!(g.decide(&request(0, 0.999, 100.0)), Decision::Reject);
+    }
+
+    #[test]
+    fn exhausts_reliable_cloudlets_then_struggles() {
+        // One highly reliable cloudlet, several poor ones. Greedy burns
+        // the reliable one first; once full, high requirements need many
+        // poor sites and admissions become harder.
+        let inst = instance(&[(4, 0.999), (10, 0.8), (10, 0.8)]);
+        let mut g = OffsiteGreedy::new(&inst);
+        let reqs: Vec<Request> = (0..20).map(|i| request(i, 0.97, 1.0)).collect();
+        let schedule = run_online(&mut g, &reqs).unwrap();
+        assert!(schedule.admitted_count() < 20);
+        assert_eq!(g.ledger().max_overflow(), 0.0);
+    }
+
+    #[test]
+    fn never_violates_capacity() {
+        let inst = instance(&[(3, 0.99), (3, 0.98)]);
+        let mut g = OffsiteGreedy::new(&inst);
+        let reqs: Vec<Request> = (0..30).map(|i| request(i, 0.9, 1.0)).collect();
+        run_online(&mut g, &reqs).unwrap();
+        assert_eq!(g.ledger().max_overflow(), 0.0);
+    }
+}

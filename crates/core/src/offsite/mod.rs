@@ -1,0 +1,17 @@
+//! Schedulers for the VNF service reliability problem under the
+//! **off-site** backup scheme (at most one instance of a request per
+//! cloudlet; failures across cloudlets are independent).
+//!
+//! * [`OffsitePrimalDual`] — the paper's Algorithm 2, an online
+//!   primal-dual heuristic over the ln-linearized reliability constraint,
+//! * [`OffsiteGreedy`] — the evaluation's baseline (accumulate the most
+//!   reliable cloudlets first),
+//! * [`offline`] — the transformed ILP (Eqs. 48–53) solved by
+//!   branch-and-bound or bounded by its LP relaxation.
+
+mod greedy;
+pub mod offline;
+mod primal_dual;
+
+pub use greedy::OffsiteGreedy;
+pub use primal_dual::{OffsitePrimalDual, RejectionCounters};

@@ -1,0 +1,270 @@
+//! Offline optimum for the off-site scheme — the ln-transformed ILP of
+//! Eqs. (48)–(53), solved by branch-and-bound (substituting for CPLEX).
+//!
+//! The INP reliability constraint (Eq. 10) is linearized exactly as in
+//! Section V: taking logarithms turns the failure product into the sum
+//! `Σ_j ln(1 − r(f_i)·r(c_j))·Y_ij`, giving the row pair (50)/(51). Row
+//! (50) is implemented in the equivalent ratio form
+//! `X_i ≤ Σ_j a_ij·Y_ij` with `a_ij = ln(1 − r_f·r_c)/ln(1 − R_i) > 0`
+//! (dividing by the negative `ln(1 − R_i)` flips the inequality); row
+//! (51) pins every `Y_ij` to zero when `X_i = 0`. `X_i ≤ 1` and
+//! `Y_ij ≤ 1` are variable bounds, not rows.
+
+use lp_solver::{solve_lp, solve_mip, Cmp, Model, Sense, VarId};
+use mec_topology::CloudletId;
+use mec_workload::Request;
+
+use crate::error::VnfrelError;
+use crate::instance::ProblemInstance;
+use crate::reliability::offsite_ln_coefficient;
+use crate::schedule::{Decision, Placement, Schedule};
+
+pub use crate::onsite::offline::{OfflineConfig, OfflineSolution};
+
+/// Builds and solves the offline off-site ILP.
+///
+/// # Errors
+///
+/// Propagates model validation and solver errors; an instance/request
+/// mismatch surfaces as [`VnfrelError::Workload`].
+pub fn solve(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    config: &OfflineConfig,
+) -> Result<OfflineSolution, VnfrelError> {
+    instance.check_requests(requests)?;
+    if requests.is_empty() {
+        return Ok(OfflineSolution {
+            upper_bound: 0.0,
+            incumbent: Some((0.0, Schedule::new())),
+            exact: true,
+        });
+    }
+
+    let m = instance.cloudlet_count();
+    let mut model = Model::new(Sense::Maximize);
+
+    // X_i (admission) and Y_ij (placement) variables.
+    let xs: Vec<VarId> = requests
+        .iter()
+        .map(|r| model.add_binary_var(r.payment()))
+        .collect::<Result<_, _>>()?;
+    let mut ys: Vec<Vec<VarId>> = Vec::with_capacity(requests.len());
+    for _ in requests {
+        let row: Vec<VarId> = (0..m)
+            .map(|_| model.add_binary_var(0.0))
+            .collect::<Result<_, _>>()?;
+        ys.push(row);
+    }
+
+    // Per-request reliability rows.
+    for (i, r) in requests.iter().enumerate() {
+        let vnf = instance.catalog().require(r.vnf())?;
+        let ln_req = r.reliability_requirement().failure().ln(); // < 0
+        // (50): X_i − Σ_j a_ij·Y_ij ≤ 0 with a_ij = ln_coef/ln_req > 0.
+        let mut terms = vec![(xs[i], 1.0)];
+        // (51): Σ_j ln_coef·Y_ij − L·X_i ≥ 0, pinning Y to 0 when X = 0.
+        let mut lower_terms = Vec::new();
+        let mut l_bound = 0.0;
+        for cloudlet in instance.network().cloudlets() {
+            let j = cloudlet.id().index();
+            let ln_coef = offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
+            terms.push((ys[i][j], -(ln_coef / ln_req)));
+            lower_terms.push((ys[i][j], ln_coef));
+            l_bound += ln_coef;
+        }
+        model.add_constraint(terms, Cmp::Le, 0.0)?;
+        lower_terms.push((xs[i], -l_bound));
+        model.add_constraint(lower_terms, Cmp::Ge, 0.0)?;
+    }
+
+    // Capacity per (slot, cloudlet): Σ_i V_i[t]·c(f_i)·Y_ij ≤ cap_j.
+    for cloudlet in instance.network().cloudlets() {
+        let j = cloudlet.id().index();
+        for t in instance.horizon().slots() {
+            let mut terms = Vec::new();
+            for (i, r) in requests.iter().enumerate() {
+                if r.active_at(t) {
+                    let c = instance.catalog().require(r.vnf())?.compute() as f64;
+                    terms.push((ys[i][j], c));
+                }
+            }
+            if !terms.is_empty() {
+                model.add_constraint(terms, Cmp::Le, cloudlet.capacity() as f64)?;
+            }
+        }
+    }
+
+    if config.lp_only {
+        let bound = match solve_lp(&model)? {
+            lp_solver::LpOutcome::Optimal(s) => s.objective,
+            _ => 0.0,
+        };
+        return Ok(OfflineSolution {
+            upper_bound: bound,
+            incumbent: None,
+            exact: false,
+        });
+    }
+
+    match solve_mip(&model, &config.bnb)? {
+        lp_solver::MipOutcome::Optimal(sol) | lp_solver::MipOutcome::Feasible(sol) => {
+            let exact = sol.gap() < 1e-9;
+            let schedule = extract_schedule(requests, m, &xs, &ys, &sol.values);
+            Ok(OfflineSolution {
+                upper_bound: sol.bound,
+                incumbent: Some((schedule.revenue(), schedule)),
+                exact,
+            })
+        }
+        lp_solver::MipOutcome::NoIncumbent { bound } => Ok(OfflineSolution {
+            upper_bound: bound,
+            incumbent: None,
+            exact: false,
+        }),
+        lp_solver::MipOutcome::Infeasible | lp_solver::MipOutcome::Unbounded => {
+            // All-zero is feasible, so this is unreachable; be defensive.
+            let mut s = Schedule::new();
+            for r in requests {
+                s.record(r, Decision::Reject);
+            }
+            Ok(OfflineSolution {
+                upper_bound: 0.0,
+                incumbent: Some((0.0, s)),
+                exact: false,
+            })
+        }
+    }
+}
+
+fn extract_schedule(
+    requests: &[Request],
+    m: usize,
+    xs: &[VarId],
+    ys: &[Vec<VarId>],
+    values: &[f64],
+) -> Schedule {
+    let mut s = Schedule::new();
+    for (i, r) in requests.iter().enumerate() {
+        if values[xs[i].index()] > 0.5 {
+            let cloudlets: Vec<CloudletId> = (0..m)
+                .filter(|&j| values[ys[i][j].index()] > 0.5)
+                .map(CloudletId)
+                .collect();
+            if cloudlets.is_empty() {
+                s.record(r, Decision::Reject);
+            } else {
+                s.record(r, Decision::Admit(Placement::OffSite { cloudlets }));
+            }
+        } else {
+            s.record(r, Decision::Reject);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::offsite_availability;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestId, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance(cloudlets: &[(u64, f64)]) -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for (i, &(cap, r)) in cloudlets.iter().enumerate() {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, cap, rel(r)).unwrap();
+        }
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(8))
+            .unwrap()
+    }
+
+    fn request(id: usize, req: f64, pay: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(8), // ProxyCache: compute 1, r = 0.9995
+            rel(req),
+            0,
+            2,
+            pay,
+            Horizon::new(8),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn admits_when_feasible_and_respects_reliability() {
+        let inst = instance(&[(10, 0.95), (10, 0.95), (10, 0.95)]);
+        let reqs = vec![request(0, 0.98, 5.0)];
+        let sol = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        assert!(sol.exact);
+        assert!((sol.revenue() - 5.0).abs() < 1e-6);
+        let (_, schedule) = sol.incumbent.unwrap();
+        let p = schedule.placement(RequestId(0)).unwrap();
+        let Placement::OffSite { cloudlets } = p else {
+            panic!("wrong scheme");
+        };
+        let vnf = inst.catalog().get(VnfTypeId(8)).unwrap();
+        let rels = cloudlets
+            .iter()
+            .map(|&c| inst.network().cloudlet(c).unwrap().reliability());
+        assert!(offsite_availability(vnf.reliability(), rels) >= 0.98);
+    }
+
+    #[test]
+    fn selects_high_payers_under_scarcity() {
+        // Capacity for only one instance per slot; two competing requests.
+        let inst = instance(&[(1, 0.99)]);
+        let reqs = vec![request(0, 0.9, 2.0), request(1, 0.9, 7.0)];
+        let sol = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        assert!((sol.revenue() - 7.0).abs() < 1e-6, "got {}", sol.revenue());
+        let (_, schedule) = sol.incumbent.unwrap();
+        assert!(!schedule.is_admitted(RequestId(0)));
+        assert!(schedule.is_admitted(RequestId(1)));
+    }
+
+    #[test]
+    fn unreachable_requirement_rejected() {
+        let inst = instance(&[(10, 0.5)]);
+        let reqs = vec![request(0, 0.999, 100.0)];
+        let sol = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        assert_eq!(sol.revenue(), 0.0);
+    }
+
+    #[test]
+    fn lp_bound_dominates_exact() {
+        let inst = instance(&[(2, 0.99), (2, 0.95)]);
+        let reqs: Vec<Request> = (0..5)
+            .map(|i| request(i, 0.9, 1.0 + i as f64))
+            .collect();
+        let exact = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        let lp = solve(
+            &inst,
+            &reqs,
+            &OfflineConfig {
+                lp_only: true,
+                ..OfflineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(lp.upper_bound + 1e-6 >= exact.revenue());
+    }
+
+    #[test]
+    fn empty_request_set() {
+        let inst = instance(&[(10, 0.99)]);
+        let sol = solve(&inst, &[], &OfflineConfig::default()).unwrap();
+        assert_eq!(sol.revenue(), 0.0);
+        assert!(sol.exact);
+    }
+}

@@ -1,0 +1,373 @@
+use mec_topology::CloudletId;
+use mec_workload::Request;
+
+use crate::instance::{ProblemInstance, Scheme};
+use crate::ledger::CapacityLedger;
+use crate::reliability::offsite_ln_coefficient;
+use crate::schedule::{Decision, Placement};
+use crate::scheduler::OnlineScheduler;
+
+/// Algorithm 2 — online primal-dual scheduling under the off-site scheme.
+///
+/// The reliability constraint is handled in log-space: placing one
+/// instance at cloudlet `c_j` contributes `ln(1 − r(f_i)·r(c_j)) < 0`
+/// toward the target `ln(1 − R_i)`. For an arriving request the algorithm:
+///
+/// 1. computes for each cloudlet the *price per unit of log-reliability*
+///    `Σ_{t ∈ T'_i} λ_{tj} / (−ln(1 − r(f_i)·r(c_j)))`,
+/// 2. discards cloudlets failing the payment test
+///    `pay_i + ln(1 − R_i)·c(f_i)·ratio_j ≤ 0` (the would-be dual `δ_i`
+///    going non-positive),
+/// 3. scans the survivors in non-decreasing ratio order, accumulating
+///    those with residual capacity in every active slot, until the
+///    accumulated log-reliability meets the target,
+/// 4. admits (one instance per selected cloudlet, Eq. 67 price update) or
+///    rejects if the target is unreachable.
+///
+/// Unlike the on-site Algorithm 1, capacity is checked before selection,
+/// so this scheduler never violates capacity (Theorem 2).
+#[derive(Debug)]
+pub struct OffsitePrimalDual<'a> {
+    instance: &'a ProblemInstance,
+    /// λ[cloudlet][slot]
+    lambda: Vec<Vec<f64>>,
+    ledger: CapacityLedger,
+    /// Σ δ_i accumulated over all processed requests.
+    sum_delta: f64,
+    rejections: RejectionCounters,
+}
+
+/// Why requests were rejected, tallied over a run — useful for diagnosing
+/// whether an instance is reliability-limited, price-limited, or
+/// capacity-limited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RejectionCounters {
+    /// The payment test pruned every cloudlet (prices too high for this
+    /// payment).
+    pub payment_test: usize,
+    /// Surviving cloudlets could not accumulate enough log-reliability
+    /// (capacity holes or an unreachable requirement).
+    pub reliability_unreachable: usize,
+}
+
+impl<'a> OffsitePrimalDual<'a> {
+    /// Creates the scheduler with all dual prices at zero.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let m = instance.cloudlet_count();
+        let t = instance.horizon().len();
+        OffsitePrimalDual {
+            instance,
+            lambda: vec![vec![0.0; t]; m],
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            sum_delta: 0.0,
+            rejections: RejectionCounters::default(),
+        }
+    }
+
+    /// Current dual price `λ_{tj}`.
+    pub fn lambda(&self, cloudlet: CloudletId, slot: usize) -> f64 {
+        self.lambda[cloudlet.index()][slot]
+    }
+
+    /// Rejection tallies by cause.
+    pub fn rejections(&self) -> RejectionCounters {
+        self.rejections
+    }
+
+    /// The accumulated dual objective `Σ cap_j·λ_{tj} + Σ δ_i` where
+    /// `δ_i = max(0, pay_i + ln(1 − R_i)·c(f_i)·min_j ratio_j)` (Eq. 66).
+    ///
+    /// Unlike the on-site case the paper proves no competitive ratio for
+    /// Algorithm 2, so this is a *diagnostic*, not a certified bound.
+    pub fn dual_objective(&self) -> f64 {
+        let lambda_part: f64 = self
+            .lambda
+            .iter()
+            .enumerate()
+            .map(|(j, row)| self.ledger.capacity(CloudletId(j)) * row.iter().sum::<f64>())
+            .sum();
+        lambda_part + self.sum_delta
+    }
+}
+
+impl OnlineScheduler for OffsitePrimalDual<'_> {
+    fn name(&self) -> &'static str {
+        "alg2-primal-dual"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OffSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
+            return Decision::Reject;
+        };
+        let compute = vnf.compute() as f64;
+        let ln_target = request.reliability_requirement().failure().ln(); // < 0
+
+        // Price each cloudlet and apply the payment test (Alg. 2, lines
+        // 3–8).
+        let mut candidates: Vec<(f64, usize, f64)> = Vec::new(); // (ratio, j, ln_coef)
+        let mut min_ratio = f64::INFINITY;
+        for cloudlet in self.instance.network().cloudlets() {
+            let j = cloudlet.id().index();
+            let ln_coef = offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
+            let lambda_sum: f64 = request.slots().map(|t| self.lambda[j][t]).sum();
+            let ratio = lambda_sum / (-ln_coef);
+            min_ratio = min_ratio.min(ratio);
+            // Payment test: pay + ln(1−R)·c·ratio must stay positive.
+            if request.payment() + ln_target * compute * ratio <= 0.0 {
+                continue;
+            }
+            candidates.push((ratio, j, ln_coef));
+        }
+        // Dual bookkeeping (Eq. 66): δ_i from the cheapest cloudlet,
+        // regardless of the later capacity-driven selection.
+        if min_ratio.is_finite() {
+            self.sum_delta +=
+                (request.payment() + ln_target * compute * min_ratio).max(0.0);
+        }
+        if candidates.is_empty() {
+            self.rejections.payment_test += 1;
+            return Decision::Reject;
+        }
+        // Sort by price per unit of log-reliability, cheapest first;
+        // ties broken by cloudlet id for determinism.
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+
+        // Accumulate cloudlets with enough residual capacity until the
+        // reliability target is met (lines 10–17).
+        let mut selected: Vec<(usize, f64)> = Vec::new();
+        let mut ln_sum = 0.0;
+        for &(_, j, ln_coef) in &candidates {
+            if !self
+                .ledger
+                .fits(CloudletId(j), request.slots(), compute)
+            {
+                continue;
+            }
+            selected.push((j, ln_coef));
+            ln_sum += ln_coef;
+            if ln_sum <= ln_target + 1e-12 {
+                break;
+            }
+        }
+        if ln_sum > ln_target + 1e-12 {
+            self.rejections.reliability_unreachable += 1;
+            return Decision::Reject;
+        }
+
+        // Admit: one instance per selected cloudlet; charge capacity and
+        // update prices (Eq. 67).
+        let d = request.duration() as f64;
+        for &(j, ln_coef) in &selected {
+            self.ledger.charge(CloudletId(j), request.slots(), compute);
+            let cap = self.ledger.capacity(CloudletId(j));
+            // ln(1−R)/ln(1−r_f·r_c) ≥ 0: both logs are negative.
+            let factor = ln_target * compute / (ln_coef * cap);
+            for t in request.slots() {
+                let l = self.lambda[j][t];
+                self.lambda[j][t] =
+                    l * (1.0 + factor) + factor * request.payment() / d;
+            }
+        }
+        Decision::Admit(Placement::OffSite {
+            cloudlets: selected.iter().map(|&(j, _)| CloudletId(j)).collect(),
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::offsite_availability;
+    use crate::scheduler::run_online;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestId, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance(cloudlets: &[(u64, f64)], horizon: usize) -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for (i, &(cap, r)) in cloudlets.iter().enumerate() {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, cap, rel(r)).unwrap();
+        }
+        ProblemInstance::new(
+            b.build().unwrap(),
+            VnfCatalog::standard(),
+            Horizon::new(horizon),
+        )
+        .unwrap()
+    }
+
+    fn request(id: usize, vnf: usize, req: f64, pay: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(vnf),
+            rel(req),
+            0,
+            2,
+            pay,
+            Horizon::new(10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn admits_with_enough_cloudlets_and_meets_reliability() {
+        let inst = instance(&[(10, 0.99), (10, 0.98), (10, 0.97)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        // LoadBalancer (vnf 3): r = 0.9999, c = 2. Requirement 0.995
+        // needs ≥ 2 cloudlets (one: ≤ 0.99).
+        let r = request(0, 3, 0.995, 20.0);
+        match alg.decide(&r) {
+            Decision::Admit(Placement::OffSite { cloudlets }) => {
+                assert!(cloudlets.len() >= 2, "needs multiple sites");
+                // Verify the achieved availability.
+                let vnf = inst.catalog().get(VnfTypeId(3)).unwrap();
+                let rels = cloudlets
+                    .iter()
+                    .map(|&c| inst.network().cloudlet(c).unwrap().reliability());
+                assert!(offsite_availability(vnf.reliability(), rels) >= 0.995);
+            }
+            other => panic!("expected admission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reliability_can_exceed_any_single_cloudlet() {
+        // Off-site's raison d'être: requirement above every cloudlet's
+        // reliability is satisfiable with enough sites.
+        let inst = instance(&[(10, 0.9), (10, 0.9), (10, 0.9), (10, 0.9)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        // ProxyCache (vnf 8): r = 0.9995, c = 1. Requirement 0.95 > 0.9.
+        let r = request(0, 8, 0.95, 10.0);
+        assert!(alg.decide(&r).is_admit());
+    }
+
+    #[test]
+    fn rejects_when_even_all_cloudlets_cannot_reach_target() {
+        let inst = instance(&[(10, 0.5)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        // One weak cloudlet, requirement 0.99: 1 − (1 − r_f·0.5) < 0.99.
+        let r = request(0, 8, 0.99, 100.0);
+        assert_eq!(alg.decide(&r), Decision::Reject);
+    }
+
+    #[test]
+    fn never_violates_capacity() {
+        let inst = instance(&[(4, 0.99), (4, 0.98)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        let reqs: Vec<Request> = (0..60)
+            .map(|i| request(i, 8, 0.95, 5.0))
+            .collect();
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+        assert_eq!(alg.ledger().max_overflow(), 0.0);
+        assert!(schedule.admitted_count() < 60);
+    }
+
+    #[test]
+    fn prices_rise_on_selected_cloudlets_only() {
+        let inst = instance(&[(10, 0.99), (10, 0.98), (10, 0.97)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        let r = request(0, 8, 0.9, 10.0); // single cheap site suffices
+        let d = alg.decide(&r);
+        let Decision::Admit(Placement::OffSite { cloudlets }) = d else {
+            panic!("expected admission");
+        };
+        assert_eq!(cloudlets.len(), 1);
+        let chosen = cloudlets[0];
+        assert!(alg.lambda(chosen, 0) > 0.0);
+        assert!(alg.lambda(chosen, 1) > 0.0);
+        assert_eq!(alg.lambda(chosen, 2), 0.0); // outside the window
+        for c in inst.network().cloudlets() {
+            if c.id() != chosen {
+                assert_eq!(alg.lambda(c.id(), 0), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn payment_test_prunes_expensive_cloudlets() {
+        let inst = instance(&[(10, 0.99)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        // Saturate the price by admitting many high-payers on slot 0-1.
+        for i in 0..20 {
+            alg.decide(&request(i, 8, 0.9, 50.0));
+        }
+        // Now a very low payer must be rejected by the payment test.
+        let d = alg.decide(&request(20, 8, 0.9, 1e-6));
+        assert_eq!(d, Decision::Reject);
+    }
+
+    #[test]
+    fn rejection_counters_distinguish_causes() {
+        // Unreachable requirement → reliability_unreachable.
+        let weak = instance(&[(10, 0.5)], 10);
+        let mut alg = OffsitePrimalDual::new(&weak);
+        alg.decide(&request(0, 8, 0.99, 100.0));
+        assert_eq!(alg.rejections().reliability_unreachable, 1);
+        assert_eq!(alg.rejections().payment_test, 0);
+
+        // Saturated prices + tiny payment → payment_test.
+        let strong = instance(&[(10, 0.99)], 10);
+        let mut alg = OffsitePrimalDual::new(&strong);
+        for i in 0..20 {
+            alg.decide(&request(i, 8, 0.9, 50.0));
+        }
+        let before = alg.rejections().payment_test;
+        alg.decide(&request(20, 8, 0.9, 1e-6));
+        assert_eq!(alg.rejections().payment_test, before + 1);
+    }
+
+    #[test]
+    fn dual_objective_upper_bounds_revenue_in_practice() {
+        let inst = instance(&[(8, 0.99), (8, 0.98)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| request(i, 8, 0.9, 2.0 + (i % 9) as f64))
+            .collect();
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+        // Diagnostic (no proved ratio for Algorithm 2), but the dual
+        // accumulation should still dominate collected revenue.
+        assert!(
+            schedule.revenue() <= alg.dual_objective() + 1e-6,
+            "revenue {} vs dual {}",
+            schedule.revenue(),
+            alg.dual_objective()
+        );
+        assert!(alg.dual_objective().is_finite());
+    }
+
+    #[test]
+    fn one_instance_per_cloudlet() {
+        let inst = instance(&[(10, 0.95), (10, 0.95), (10, 0.95)], 10);
+        let mut alg = OffsitePrimalDual::new(&inst);
+        let r = request(0, 8, 0.99, 30.0);
+        if let Decision::Admit(Placement::OffSite { cloudlets }) = alg.decide(&r) {
+            let mut unique = cloudlets.clone();
+            unique.sort();
+            unique.dedup();
+            assert_eq!(unique.len(), cloudlets.len(), "duplicate cloudlets");
+        } else {
+            panic!("expected admission");
+        }
+    }
+}

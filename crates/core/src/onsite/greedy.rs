@@ -1,0 +1,194 @@
+use mec_topology::CloudletId;
+use mec_workload::Request;
+
+use crate::instance::{ProblemInstance, Scheme};
+use crate::ledger::CapacityLedger;
+use crate::reliability::onsite_instances;
+use crate::schedule::{Decision, Placement};
+use crate::scheduler::OnlineScheduler;
+
+/// The evaluation's greedy baseline under the on-site scheme.
+///
+/// "Always tries to admit all coming requests by preferring to place VNF
+/// instances in cloudlets with high reliabilities" (Section VI-A): the
+/// cloudlets are scanned in decreasing reliability order and the request
+/// is placed in the first one that is reliable enough (`r(c_j) > R_i`) and
+/// has residual capacity for all `N_ij` instances across the request's
+/// window. Payments are ignored entirely — which is exactly why the
+/// baseline underperforms once resources become scarce.
+#[derive(Debug)]
+pub struct OnsiteGreedy<'a> {
+    instance: &'a ProblemInstance,
+    /// Cloudlet ids sorted by reliability, most reliable first.
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> OnsiteGreedy<'a> {
+    /// Creates the greedy scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let mut order: Vec<CloudletId> =
+            instance.network().cloudlets().map(|c| c.id()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = instance.network().cloudlet(a).expect("valid id").reliability();
+            let rb = instance.network().cloudlet(b).expect("valid id").reliability();
+            rb.cmp(&ra).then(a.index().cmp(&b.index()))
+        });
+        OnsiteGreedy {
+            instance,
+            order,
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+}
+
+impl OnlineScheduler for OnsiteGreedy<'_> {
+    fn name(&self) -> &'static str {
+        "greedy-onsite"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OnSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
+            return Decision::Reject;
+        };
+        for &cid in &self.order {
+            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
+            let Some(n) = onsite_instances(
+                vnf.reliability(),
+                cloudlet.reliability(),
+                request.reliability_requirement(),
+            ) else {
+                // Sorted descending: once one cloudlet is too unreliable,
+                // all later ones are as well.
+                break;
+            };
+            let weight = f64::from(n) * vnf.compute() as f64;
+            if self.ledger.fits(cid, request.slots(), weight) {
+                self.ledger.charge(cid, request.slots(), weight);
+                return Decision::Admit(Placement::OnSite {
+                    cloudlet: cid,
+                    instances: n,
+                });
+            }
+        }
+        Decision::Reject
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::run_online;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestId, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance(cloudlets: &[(u64, f64)]) -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for (i, &(cap, r)) in cloudlets.iter().enumerate() {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, cap, rel(r)).unwrap();
+        }
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
+            .unwrap()
+    }
+
+    fn request(id: usize, pay: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(1), // NAT, compute 1, r = 0.99
+            rel(0.9),
+            0,
+            2,
+            pay,
+            Horizon::new(10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prefers_most_reliable_cloudlet() {
+        // Cloudlet 1 is more reliable, so greedy goes there first.
+        let inst = instance(&[(100, 0.99), (100, 0.999)]);
+        let mut g = OnsiteGreedy::new(&inst);
+        match g.decide(&request(0, 1.0)) {
+            Decision::Admit(Placement::OnSite { cloudlet, .. }) => {
+                assert_eq!(cloudlet, CloudletId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn falls_back_when_reliable_cloudlet_full() {
+        let inst = instance(&[(100, 0.99), (2, 0.999)]);
+        let mut g = OnsiteGreedy::new(&inst);
+        // VNF NAT (c=1); vnf r=0.99, cloudlet 0.999, req 0.9 → N=1 or 2.
+        // Fill the small reliable cloudlet, then spill to the big one.
+        let mut seen_fallback = false;
+        for i in 0..6 {
+            if let Decision::Admit(Placement::OnSite { cloudlet, .. }) =
+                g.decide(&request(i, 1.0))
+            {
+                if cloudlet == CloudletId(0) {
+                    seen_fallback = true;
+                }
+            }
+        }
+        assert!(seen_fallback, "expected spill to the less reliable cloudlet");
+    }
+
+    #[test]
+    fn admits_regardless_of_payment() {
+        // Greedy ignores payments: a tiny payment is admitted as readily
+        // as a huge one.
+        let inst = instance(&[(100, 0.999)]);
+        let mut g = OnsiteGreedy::new(&inst);
+        assert!(g.decide(&request(0, 0.001)).is_admit());
+        assert!(g.decide(&request(1, 1e9)).is_admit());
+    }
+
+    #[test]
+    fn rejects_when_requirement_unreachable() {
+        let inst = instance(&[(100, 0.93)]);
+        let mut g = OnsiteGreedy::new(&inst);
+        let r = Request::new(
+            RequestId(0),
+            VnfTypeId(1),
+            rel(0.95),
+            0,
+            1,
+            5.0,
+            Horizon::new(10),
+        )
+        .unwrap();
+        assert_eq!(g.decide(&r), Decision::Reject);
+    }
+
+    #[test]
+    fn never_violates_capacity() {
+        let inst = instance(&[(3, 0.999), (3, 0.99)]);
+        let mut g = OnsiteGreedy::new(&inst);
+        let reqs: Vec<Request> = (0..40).map(|i| request(i, 2.0)).collect();
+        let schedule = run_online(&mut g, &reqs).unwrap();
+        assert_eq!(g.ledger().max_overflow(), 0.0);
+        assert!(schedule.admitted_count() < 40, "capacity must bind");
+        assert!(schedule.admitted_count() > 0);
+    }
+}

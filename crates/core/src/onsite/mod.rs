@@ -1,0 +1,17 @@
+//! Schedulers for the VNF service reliability problem under the
+//! **on-site** backup scheme (all instances of a request share one
+//! cloudlet).
+//!
+//! * [`OnsitePrimalDual`] — the paper's Algorithm 1, an online primal-dual
+//!   algorithm with a `(1 + a_max)` competitive ratio,
+//! * [`OnsiteGreedy`] — the evaluation's baseline (most reliable cloudlet
+//!   first),
+//! * [`offline`] — the offline ILP (Eqs. 6–8) solved exactly by
+//!   branch-and-bound, or bounded by its LP relaxation.
+
+mod greedy;
+pub mod offline;
+mod primal_dual;
+
+pub use greedy::OnsiteGreedy;
+pub use primal_dual::{CapacityPolicy, OnsitePrimalDual, RejectionCounters};

@@ -1,0 +1,444 @@
+//! Offline optimum for the on-site scheme — the ILP of Eqs. (6)–(8),
+//! solved by branch-and-bound (substituting for the paper's CPLEX).
+//!
+//! The model is built with `X_i` substituted out: since Eq. (5) ties
+//! `X_i = Σ_j Y_ij`, the ILP over `Y` alone with a per-request packing row
+//! `Σ_j Y_ij ≤ 1` and objective `Σ_i pay_i · Σ_j Y_ij` is equivalent and
+//! smaller. Upper bounds (`Y_ij ≤ 1`) are variable bounds, not rows.
+
+use std::collections::HashMap;
+
+use lp_solver::{solve_lp, solve_mip, BnbConfig, Cmp, Model, Sense, VarId};
+use mec_topology::CloudletId;
+use mec_workload::Request;
+
+use crate::error::VnfrelError;
+use crate::instance::ProblemInstance;
+use crate::reliability::onsite_instances;
+use crate::schedule::{Decision, Placement, Schedule};
+
+/// Configuration for the offline solve.
+#[derive(Debug, Clone)]
+pub struct OfflineConfig {
+    /// Branch-and-bound budget.
+    pub bnb: BnbConfig,
+    /// Skip branch-and-bound and return only the LP-relaxation bound
+    /// (much faster at large scale; the bound is exact enough for the
+    /// benchmark curves because the packing LP's integrality gap is small
+    /// when per-request demands are small relative to capacities).
+    pub lp_only: bool,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        OfflineConfig {
+            bnb: BnbConfig::default(),
+            lp_only: false,
+        }
+    }
+}
+
+/// Result of the offline optimization.
+#[derive(Debug, Clone)]
+pub struct OfflineSolution {
+    /// Valid upper bound on the offline optimum (LP or B&B bound).
+    pub upper_bound: f64,
+    /// Best integer-feasible schedule found, with its revenue.
+    pub incumbent: Option<(f64, Schedule)>,
+    /// Whether the incumbent is proven optimal.
+    pub exact: bool,
+}
+
+impl OfflineSolution {
+    /// Revenue of the incumbent, or the upper bound when only a bound is
+    /// available (LP-only mode) — the value plotted as "optimal" in the
+    /// benchmark figures.
+    pub fn revenue(&self) -> f64 {
+        self.incumbent
+            .as_ref()
+            .map(|(r, _)| *r)
+            .unwrap_or(self.upper_bound)
+    }
+}
+
+/// The assembled ILP plus the bookkeeping needed to interpret solutions.
+struct BuiltModel {
+    model: Model,
+    /// vars[(i, j)] = Y_ij with its replica count N_ij.
+    vars: HashMap<(usize, usize), (VarId, u32)>,
+    /// Row index of each capacity constraint, keyed by (cloudlet, slot).
+    capacity_rows: HashMap<(usize, usize), usize>,
+}
+
+fn build_model(
+    instance: &ProblemInstance,
+    requests: &[Request],
+) -> Result<BuiltModel, VnfrelError> {
+    let mut model = Model::new(Sense::Maximize);
+    let mut vars: HashMap<(usize, usize), (VarId, u32)> = HashMap::new();
+    for (i, r) in requests.iter().enumerate() {
+        let vnf = instance.catalog().require(r.vnf())?;
+        for cloudlet in instance.network().cloudlets() {
+            if let Some(n) = onsite_instances(
+                vnf.reliability(),
+                cloudlet.reliability(),
+                r.reliability_requirement(),
+            ) {
+                let v = model.add_binary_var(r.payment())?;
+                vars.insert((i, cloudlet.id().index()), (v, n));
+            }
+        }
+    }
+
+    // Σ_j Y_ij ≤ 1 per request (pick at most one cloudlet).
+    for i in 0..requests.len() {
+        let terms: Vec<(VarId, f64)> = instance
+            .network()
+            .cloudlets()
+            .filter_map(|c| vars.get(&(i, c.id().index())).map(|&(v, _)| (v, 1.0)))
+            .collect();
+        if !terms.is_empty() {
+            model.add_constraint(terms, Cmp::Le, 1.0)?;
+        }
+    }
+
+    // Capacity per (slot, cloudlet): Σ_i V_i[t]·N_ij·c(f_i)·Y_ij ≤ cap_j.
+    let mut capacity_rows = HashMap::new();
+    for cloudlet in instance.network().cloudlets() {
+        let j = cloudlet.id().index();
+        for t in instance.horizon().slots() {
+            let mut terms = Vec::new();
+            for (i, r) in requests.iter().enumerate() {
+                if !r.active_at(t) {
+                    continue;
+                }
+                if let Some(&(v, n)) = vars.get(&(i, j)) {
+                    let c = instance.catalog().require(r.vnf())?.compute() as f64;
+                    terms.push((v, f64::from(n) * c));
+                }
+            }
+            if !terms.is_empty() {
+                capacity_rows.insert((j, t), model.num_constraints());
+                model.add_constraint(terms, Cmp::Le, cloudlet.capacity() as f64)?;
+            }
+        }
+    }
+    Ok(BuiltModel {
+        model,
+        vars,
+        capacity_rows,
+    })
+}
+
+/// Shadow prices of the capacity constraints in the LP relaxation,
+/// indexed `[cloudlet][slot]` (zero where no request could ever use the
+/// pair).
+///
+/// These are the *offline* analogues of Algorithm 1's online prices
+/// `λ_{tj}`; the `ablation_duals` bench compares the two.
+///
+/// # Errors
+///
+/// Propagates model/solver errors.
+pub fn capacity_shadow_prices(
+    instance: &ProblemInstance,
+    requests: &[Request],
+) -> Result<Vec<Vec<f64>>, VnfrelError> {
+    instance.check_requests(requests)?;
+    let mut out = vec![vec![0.0; instance.horizon().len()]; instance.cloudlet_count()];
+    if requests.is_empty() {
+        return Ok(out);
+    }
+    let built = build_model(instance, requests)?;
+    if built.vars.is_empty() {
+        return Ok(out);
+    }
+    if let lp_solver::LpOutcome::Optimal(sol) = solve_lp(&built.model)? {
+        for (&(j, t), &row) in &built.capacity_rows {
+            out[j][t] = sol.duals[row];
+        }
+    }
+    Ok(out)
+}
+
+/// Builds and solves the offline on-site ILP.
+///
+/// # Errors
+///
+/// Propagates model validation and solver errors; an instance/request
+/// mismatch surfaces as [`VnfrelError::Workload`].
+pub fn solve(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    config: &OfflineConfig,
+) -> Result<OfflineSolution, VnfrelError> {
+    instance.check_requests(requests)?;
+    if requests.is_empty() {
+        return Ok(OfflineSolution {
+            upper_bound: 0.0,
+            incumbent: Some((0.0, Schedule::new())),
+            exact: true,
+        });
+    }
+
+    let BuiltModel { model, vars, .. } = build_model(instance, requests)?;
+
+    if vars.is_empty() {
+        // No request can be served anywhere: the optimum is zero.
+        return Ok(OfflineSolution {
+            upper_bound: 0.0,
+            incumbent: Some((0.0, reject_all(requests))),
+            exact: true,
+        });
+    }
+
+    if config.lp_only {
+        let lp = solve_lp(&model)?;
+        let bound = match lp {
+            lp_solver::LpOutcome::Optimal(s) => s.objective,
+            // The model is always feasible (all zeros) and bounded.
+            _ => 0.0,
+        };
+        return Ok(OfflineSolution {
+            upper_bound: bound,
+            incumbent: None,
+            exact: false,
+        });
+    }
+
+    let outcome = solve_mip(&model, &config.bnb)?;
+    match outcome {
+        lp_solver::MipOutcome::Optimal(sol) | lp_solver::MipOutcome::Feasible(sol) => {
+            let exact = sol.gap() < 1e-9;
+            let schedule = extract_schedule(requests, instance, &vars, &sol.values);
+            Ok(OfflineSolution {
+                upper_bound: sol.bound,
+                incumbent: Some((schedule.revenue(), schedule)),
+                exact,
+            })
+        }
+        lp_solver::MipOutcome::NoIncumbent { bound } => Ok(OfflineSolution {
+            upper_bound: bound,
+            incumbent: None,
+            exact: false,
+        }),
+        // All-zero is feasible and payments are finite, so these cannot
+        // occur; report a zero bound defensively.
+        lp_solver::MipOutcome::Infeasible | lp_solver::MipOutcome::Unbounded => {
+            Ok(OfflineSolution {
+                upper_bound: 0.0,
+                incumbent: Some((0.0, reject_all(requests))),
+                exact: false,
+            })
+        }
+    }
+}
+
+fn reject_all(requests: &[Request]) -> Schedule {
+    let mut s = Schedule::new();
+    for r in requests {
+        s.record(r, Decision::Reject);
+    }
+    s
+}
+
+fn extract_schedule(
+    requests: &[Request],
+    instance: &ProblemInstance,
+    vars: &HashMap<(usize, usize), (VarId, u32)>,
+    values: &[f64],
+) -> Schedule {
+    let mut s = Schedule::new();
+    for (i, r) in requests.iter().enumerate() {
+        let mut chosen = None;
+        for cloudlet in instance.network().cloudlets() {
+            let j = cloudlet.id().index();
+            if let Some(&(v, n)) = vars.get(&(i, j)) {
+                if values[v.index()] > 0.5 {
+                    chosen = Some(Placement::OnSite {
+                        cloudlet: CloudletId(j),
+                        instances: n,
+                    });
+                    break;
+                }
+            }
+        }
+        match chosen {
+            Some(p) => s.record(r, Decision::Admit(p)),
+            None => s.record(r, Decision::Reject),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestId, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance(cloudlets: &[(u64, f64)], horizon: usize) -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for (i, &(cap, r)) in cloudlets.iter().enumerate() {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, cap, rel(r)).unwrap();
+        }
+        ProblemInstance::new(
+            b.build().unwrap(),
+            VnfCatalog::standard(),
+            Horizon::new(horizon),
+        )
+        .unwrap()
+    }
+
+    fn request(id: usize, pay: f64, dur: usize) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(1), // NAT: compute 1, r 0.99
+            rel(0.9),
+            0,
+            dur,
+            pay,
+            Horizon::new(10),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_request_set() {
+        let inst = instance(&[(10, 0.999)], 10);
+        let sol = solve(&inst, &[], &OfflineConfig::default()).unwrap();
+        assert_eq!(sol.revenue(), 0.0);
+        assert!(sol.exact);
+    }
+
+    #[test]
+    fn picks_high_payers_under_scarcity() {
+        // Capacity 2, NAT needs N=1 instance of compute 1 at r_c = 0.999
+        // for req 0.9 (0.99·0.999 > 0.9). Four overlapping requests, only
+        // two fit; optimum takes the two big payments.
+        let inst = instance(&[(2, 0.999)], 10);
+        let reqs = vec![
+            request(0, 1.0, 2),
+            request(1, 9.0, 2),
+            request(2, 8.0, 2),
+            request(3, 2.0, 2),
+        ];
+        let sol = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        assert!(sol.exact);
+        assert!((sol.revenue() - 17.0).abs() < 1e-6, "got {}", sol.revenue());
+        let (_, schedule) = sol.incumbent.unwrap();
+        assert!(schedule.is_admitted(RequestId(1)));
+        assert!(schedule.is_admitted(RequestId(2)));
+        assert!(!schedule.is_admitted(RequestId(0)));
+    }
+
+    #[test]
+    fn impossible_requirements_yield_zero() {
+        let inst = instance(&[(10, 0.92)], 10);
+        let reqs: Vec<Request> = (0..3)
+            .map(|i| {
+                Request::new(
+                    RequestId(i),
+                    VnfTypeId(1),
+                    rel(0.95), // above every cloudlet's reliability
+                    0,
+                    1,
+                    5.0,
+                    Horizon::new(10),
+                )
+                .unwrap()
+            })
+            .collect();
+        let sol = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        assert_eq!(sol.revenue(), 0.0);
+        assert!(sol.exact);
+    }
+
+    #[test]
+    fn lp_only_upper_bounds_exact() {
+        let inst = instance(&[(3, 0.999), (3, 0.99)], 10);
+        let reqs: Vec<Request> = (0..6)
+            .map(|i| request(i, 2.0 + i as f64, 2))
+            .collect();
+        let exact = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        let lp = solve(
+            &inst,
+            &reqs,
+            &OfflineConfig {
+                lp_only: true,
+                ..OfflineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(lp.incumbent.is_none());
+        assert!(!lp.exact);
+        assert!(
+            lp.upper_bound + 1e-6 >= exact.revenue(),
+            "lp {} < exact {}",
+            lp.upper_bound,
+            exact.revenue()
+        );
+    }
+
+    #[test]
+    fn shadow_prices_positive_only_under_contention() {
+        // One cloudlet of capacity 2; three concurrent requests (NAT,
+        // N=1, c=1) competing for slots 0–1 → those capacity rows bind,
+        // later slots stay free.
+        let inst = instance(&[(2, 0.999)], 10);
+        let reqs: Vec<Request> = (0..3).map(|i| request(i, 5.0 + i as f64, 2)).collect();
+        let prices = capacity_shadow_prices(&inst, &reqs).unwrap();
+        assert_eq!(prices.len(), 1);
+        assert_eq!(prices[0].len(), 10);
+        assert!(prices[0][0] > 0.0, "binding slot must be priced: {prices:?}");
+        assert!(prices[0][5].abs() < 1e-9, "idle slot must be free");
+        for row in &prices {
+            for &p in row {
+                assert!(p >= -1e-9, "capacity duals must be non-negative");
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_prices_zero_without_contention() {
+        let inst = instance(&[(100, 0.999)], 10);
+        let reqs: Vec<Request> = (0..3).map(|i| request(i, 5.0, 2)).collect();
+        let prices = capacity_shadow_prices(&inst, &reqs).unwrap();
+        assert!(prices.iter().flatten().all(|&p| p.abs() < 1e-9));
+        // Empty stream: all zeros too.
+        let prices = capacity_shadow_prices(&inst, &[]).unwrap();
+        assert!(prices.iter().flatten().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn schedule_respects_capacity() {
+        let inst = instance(&[(4, 0.999)], 10);
+        let reqs: Vec<Request> = (0..10).map(|i| request(i, 3.0, 3)).collect();
+        let sol = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
+        let (_, schedule) = sol.incumbent.unwrap();
+        // Count per-slot usage manually.
+        for t in 0..3 {
+            let mut used = 0u64;
+            for (i, r) in reqs.iter().enumerate() {
+                if let Some(Placement::OnSite { instances, .. }) =
+                    schedule.placement(RequestId(i))
+                {
+                    if r.active_at(t) {
+                        used += u64::from(*instances);
+                    }
+                }
+            }
+            assert!(used <= 4, "slot {t} used {used}");
+        }
+    }
+}

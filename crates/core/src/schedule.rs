@@ -1,0 +1,268 @@
+use std::fmt;
+
+use mec_topology::CloudletId;
+use mec_workload::{Request, RequestId};
+
+/// Where an admitted request's VNF instances were placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// On-site: `instances` replicas (primary + backups) in one cloudlet.
+    OnSite {
+        /// The hosting cloudlet.
+        cloudlet: CloudletId,
+        /// Number of instances `N_ij ≥ 1`.
+        instances: u32,
+    },
+    /// Off-site: exactly one instance in each listed cloudlet.
+    OffSite {
+        /// Distinct hosting cloudlets (at least one).
+        cloudlets: Vec<CloudletId>,
+    },
+}
+
+impl Placement {
+    /// Total computing units consumed per active slot, given the per-
+    /// instance demand `c(f_i)`.
+    pub fn compute_per_slot(&self, per_instance: u64) -> u64 {
+        match self {
+            Placement::OnSite { instances, .. } => u64::from(*instances) * per_instance,
+            Placement::OffSite { cloudlets } => cloudlets.len() as u64 * per_instance,
+        }
+    }
+
+    /// Number of VNF instances in this placement.
+    pub fn instance_count(&self) -> u32 {
+        match self {
+            Placement::OnSite { instances, .. } => *instances,
+            Placement::OffSite { cloudlets } => cloudlets.len() as u32,
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::OnSite {
+                cloudlet,
+                instances,
+            } => write!(f, "on-site {instances}× at {cloudlet}"),
+            Placement::OffSite { cloudlets } => {
+                write!(f, "off-site at ")?;
+                for (i, c) in cloudlets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The verdict an online scheduler returns for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Admit with the given placement; the payment is collected.
+    Admit(Placement),
+    /// Reject; no resources are consumed, no payment collected.
+    Reject,
+}
+
+impl Decision {
+    /// Whether this decision admits the request.
+    pub fn is_admit(&self) -> bool {
+        matches!(self, Decision::Admit(_))
+    }
+
+    /// The placement, if admitted.
+    pub fn placement(&self) -> Option<&Placement> {
+        match self {
+            Decision::Admit(p) => Some(p),
+            Decision::Reject => None,
+        }
+    }
+}
+
+/// The accumulated outcome of an online run: one decision per request, in
+/// arrival order, plus revenue bookkeeping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    placements: Vec<Option<Placement>>,
+    revenue: f64,
+    admitted: usize,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the decision for the next request in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.id()` does not match the next dense position —
+    /// the online model processes requests exactly once, in order.
+    pub fn record(&mut self, request: &Request, decision: Decision) {
+        assert_eq!(
+            request.id().index(),
+            self.placements.len(),
+            "requests must be recorded densely in arrival order"
+        );
+        match decision {
+            Decision::Admit(p) => {
+                self.revenue += request.payment();
+                self.admitted += 1;
+                self.placements.push(Some(p));
+            }
+            Decision::Reject => self.placements.push(None),
+        }
+    }
+
+    /// Placement of a request, `None` if rejected or unknown.
+    pub fn placement(&self, id: RequestId) -> Option<&Placement> {
+        self.placements.get(id.index()).and_then(|p| p.as_ref())
+    }
+
+    /// Whether the request was admitted.
+    pub fn is_admitted(&self, id: RequestId) -> bool {
+        self.placement(id).is_some()
+    }
+
+    /// Total revenue collected (Σ pay over admitted requests).
+    pub fn revenue(&self) -> f64 {
+        self.revenue
+    }
+
+    /// Number of admitted requests.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Acceptance ratio (admitted / total), 0 for an empty schedule.
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.placements.is_empty() {
+            0.0
+        } else {
+            self.admitted as f64 / self.placements.len() as f64
+        }
+    }
+
+    /// Iterates over `(RequestId, Option<&Placement>)` in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (RequestId, Option<&Placement>)> + '_ {
+        self.placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (RequestId(i), p.as_ref()))
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {}/{} admitted, revenue {:.2}",
+            self.admitted,
+            self.placements.len(),
+            self.revenue
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::Reliability;
+    use mec_workload::{Horizon, VnfTypeId};
+
+    fn request(id: usize, pay: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(0),
+            Reliability::new(0.9).unwrap(),
+            0,
+            1,
+            pay,
+            Horizon::new(4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn placement_compute() {
+        let on = Placement::OnSite {
+            cloudlet: CloudletId(0),
+            instances: 3,
+        };
+        assert_eq!(on.compute_per_slot(2), 6);
+        assert_eq!(on.instance_count(), 3);
+        let off = Placement::OffSite {
+            cloudlets: vec![CloudletId(0), CloudletId(2)],
+        };
+        assert_eq!(off.compute_per_slot(2), 4);
+        assert_eq!(off.instance_count(), 2);
+        assert!(on.to_string().contains("on-site"));
+        assert!(off.to_string().contains("c0,c2"));
+    }
+
+    #[test]
+    fn schedule_accumulates_revenue() {
+        let mut s = Schedule::new();
+        s.record(
+            &request(0, 5.0),
+            Decision::Admit(Placement::OnSite {
+                cloudlet: CloudletId(0),
+                instances: 1,
+            }),
+        );
+        s.record(&request(1, 3.0), Decision::Reject);
+        s.record(
+            &request(2, 2.0),
+            Decision::Admit(Placement::OffSite {
+                cloudlets: vec![CloudletId(0)],
+            }),
+        );
+        assert_eq!(s.revenue(), 7.0);
+        assert_eq!(s.admitted_count(), 2);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!((s.acceptance_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.is_admitted(RequestId(0)));
+        assert!(!s.is_admitted(RequestId(1)));
+        assert!(s.placement(RequestId(2)).is_some());
+        assert!(s.placement(RequestId(9)).is_none());
+        assert_eq!(s.iter().count(), 3);
+        assert!(s.to_string().contains("2/3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "densely in arrival order")]
+    fn out_of_order_recording_panics() {
+        let mut s = Schedule::new();
+        s.record(&request(1, 1.0), Decision::Reject);
+    }
+
+    #[test]
+    fn decision_helpers() {
+        let d = Decision::Admit(Placement::OnSite {
+            cloudlet: CloudletId(1),
+            instances: 2,
+        });
+        assert!(d.is_admit());
+        assert!(d.placement().is_some());
+        assert!(!Decision::Reject.is_admit());
+        assert!(Decision::Reject.placement().is_none());
+    }
+}

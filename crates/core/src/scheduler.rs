@@ -1,0 +1,128 @@
+use mec_workload::Request;
+
+use crate::error::VnfrelError;
+use crate::instance::Scheme;
+use crate::ledger::CapacityLedger;
+use crate::schedule::{Decision, Schedule};
+
+/// An online request-admission algorithm.
+///
+/// Implementations hold a reference to the
+/// [`ProblemInstance`](crate::ProblemInstance) and mutable internal state
+/// (dual variables, capacity ledger); the driver feeds requests one at a
+/// time in arrival order, with no knowledge of future arrivals — the
+/// online model of Section III-B.
+pub trait OnlineScheduler {
+    /// Short algorithm name for reports (e.g. `"alg1-primal-dual"`).
+    fn name(&self) -> &'static str;
+
+    /// Which backup scheme this scheduler implements.
+    fn scheme(&self) -> Scheme;
+
+    /// Decides admission for the next request and commits any resources.
+    fn decide(&mut self, request: &Request) -> Decision;
+
+    /// The scheduler's capacity ledger (for utilization/violation stats).
+    fn ledger(&self) -> &CapacityLedger;
+}
+
+/// Feeds `requests` (already in arrival order) through a scheduler and
+/// collects the resulting [`Schedule`].
+///
+/// # Errors
+///
+/// Returns [`VnfrelError::NonDenseRequestIds`] if ids are not dense in
+/// arrival order.
+pub fn run_online<S: OnlineScheduler + ?Sized>(
+    scheduler: &mut S,
+    requests: &[Request],
+) -> Result<Schedule, VnfrelError> {
+    let mut schedule = Schedule::new();
+    for (i, r) in requests.iter().enumerate() {
+        if r.id().index() != i {
+            return Err(VnfrelError::NonDenseRequestIds {
+                position: i,
+                found: r.id().index(),
+            });
+        }
+        let decision = scheduler.decide(r);
+        schedule.record(r, decision);
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Placement;
+    use mec_topology::{CloudletId, NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestId, VnfTypeId};
+
+    /// Admits everything into cloudlet 0 — only for driver tests.
+    struct AdmitAll {
+        ledger: CapacityLedger,
+    }
+
+    impl OnlineScheduler for AdmitAll {
+        fn name(&self) -> &'static str {
+            "admit-all"
+        }
+        fn scheme(&self) -> Scheme {
+            Scheme::OnSite
+        }
+        fn decide(&mut self, _request: &Request) -> Decision {
+            Decision::Admit(Placement::OnSite {
+                cloudlet: CloudletId(0),
+                instances: 1,
+            })
+        }
+        fn ledger(&self) -> &CapacityLedger {
+            &self.ledger
+        }
+    }
+
+    fn make() -> AdmitAll {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        b.add_cloudlet(a, 10, Reliability::new(0.99).unwrap())
+            .unwrap();
+        AdmitAll {
+            ledger: CapacityLedger::new(&b.build().unwrap(), Horizon::new(4)),
+        }
+    }
+
+    fn request(id: usize) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(0),
+            Reliability::new(0.9).unwrap(),
+            0,
+            1,
+            2.0,
+            Horizon::new(4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_online_collects_schedule() {
+        let mut s = make();
+        let reqs = vec![request(0), request(1)];
+        let schedule = run_online(&mut s, &reqs).unwrap();
+        assert_eq!(schedule.admitted_count(), 2);
+        assert_eq!(schedule.revenue(), 4.0);
+        assert_eq!(s.name(), "admit-all");
+        assert_eq!(s.scheme(), Scheme::OnSite);
+        assert_eq!(s.ledger().cloudlet_count(), 1);
+    }
+
+    #[test]
+    fn run_online_rejects_non_dense_ids() {
+        let mut s = make();
+        let reqs = vec![request(5)];
+        assert!(matches!(
+            run_online(&mut s, &reqs),
+            Err(VnfrelError::NonDenseRequestIds { .. })
+        ));
+    }
+}

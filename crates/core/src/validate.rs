@@ -1,0 +1,401 @@
+//! Independent verification of a finished [`Schedule`] against the
+//! problem's constraints — defense in depth for every scheduler: the
+//! validator recomputes capacity usage and achieved reliability from
+//! scratch, sharing no code path with the schedulers' own ledgers.
+
+use std::fmt;
+
+use mec_workload::{Request, RequestId};
+
+use crate::error::VnfrelError;
+use crate::instance::{ProblemInstance, Scheme};
+use crate::ledger::CapacityLedger;
+use crate::reliability::{offsite_availability, onsite_availability};
+use crate::schedule::{Placement, Schedule};
+
+/// A single constraint violation found by the validator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// An admitted request's achieved availability is below `R_i`.
+    Reliability {
+        /// The offending request.
+        request: RequestId,
+        /// Availability achieved by the recorded placement.
+        achieved: f64,
+        /// The request's requirement `R_i`.
+        required: f64,
+    },
+    /// A (cloudlet, slot) pair is loaded beyond its capacity.
+    Capacity {
+        /// Cloudlet index.
+        cloudlet: usize,
+        /// Time slot.
+        slot: usize,
+        /// Committed load in computing units.
+        used: f64,
+        /// The cloudlet's capacity.
+        capacity: f64,
+    },
+    /// A placement's shape contradicts the scheme (e.g. duplicate
+    /// cloudlets in an off-site placement, or a placement kind that does
+    /// not match the scheme being validated).
+    Malformed {
+        /// The offending request.
+        request: RequestId,
+        /// What is wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Reliability {
+                request,
+                achieved,
+                required,
+            } => write!(
+                f,
+                "request {request}: achieved availability {achieved:.6} < required {required:.6}"
+            ),
+            Violation::Capacity {
+                cloudlet,
+                slot,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "cloudlet c{cloudlet} slot {slot}: load {used:.2} exceeds capacity {capacity:.2}"
+            ),
+            Violation::Malformed { request, reason } => {
+                write!(f, "request {request}: malformed placement ({reason})")
+            }
+        }
+    }
+}
+
+/// Validation report for a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// All violations found (empty = fully feasible).
+    pub violations: Vec<Violation>,
+    /// Revenue recomputed from the placements (cross-check against
+    /// [`Schedule::revenue`]).
+    pub recomputed_revenue: f64,
+    /// Worst relative capacity overflow, 0.0 when none.
+    pub max_overflow: f64,
+}
+
+impl ValidationReport {
+    /// Whether the schedule satisfies every constraint.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of a reliability requirement only.
+    pub fn reliability_violations(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Reliability { .. }))
+            .count()
+    }
+
+    /// Capacity violations only.
+    pub fn capacity_violations(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Capacity { .. }))
+            .count()
+    }
+}
+
+/// Validates `schedule` against the instance, workload, and scheme.
+///
+/// # Errors
+///
+/// Returns [`VnfrelError::InvalidParameter`] when the schedule does not
+/// cover exactly the given requests, and propagates catalog lookups.
+pub fn validate_schedule(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    scheme: Scheme,
+) -> Result<ValidationReport, VnfrelError> {
+    if schedule.len() != requests.len() {
+        return Err(VnfrelError::InvalidParameter(
+            "schedule length differs from request count",
+        ));
+    }
+    let mut violations = Vec::new();
+    let mut ledger = CapacityLedger::new(instance.network(), instance.horizon());
+    let mut revenue = 0.0;
+
+    for r in requests {
+        let Some(placement) = schedule.placement(r.id()) else {
+            continue;
+        };
+        revenue += r.payment();
+        let vnf = instance.catalog().require(r.vnf())?;
+        match (scheme, placement) {
+            (
+                Scheme::OnSite,
+                Placement::OnSite {
+                    cloudlet,
+                    instances,
+                },
+            ) => {
+                let Some(c) = instance.network().cloudlet(*cloudlet) else {
+                    violations.push(Violation::Malformed {
+                        request: r.id(),
+                        reason: "unknown cloudlet",
+                    });
+                    continue;
+                };
+                if *instances == 0 {
+                    violations.push(Violation::Malformed {
+                        request: r.id(),
+                        reason: "zero instances",
+                    });
+                    continue;
+                }
+                let achieved =
+                    onsite_availability(vnf.reliability(), c.reliability(), *instances);
+                if achieved + 1e-9 < r.reliability_requirement().value() {
+                    violations.push(Violation::Reliability {
+                        request: r.id(),
+                        achieved,
+                        required: r.reliability_requirement().value(),
+                    });
+                }
+                ledger.charge(
+                    c.id(),
+                    r.slots(),
+                    f64::from(*instances) * vnf.compute() as f64,
+                );
+            }
+            (Scheme::OffSite, Placement::OffSite { cloudlets }) => {
+                if cloudlets.is_empty() {
+                    violations.push(Violation::Malformed {
+                        request: r.id(),
+                        reason: "empty cloudlet set",
+                    });
+                    continue;
+                }
+                let mut sorted = cloudlets.clone();
+                sorted.sort();
+                sorted.dedup();
+                if sorted.len() != cloudlets.len() {
+                    violations.push(Violation::Malformed {
+                        request: r.id(),
+                        reason: "duplicate cloudlet (off-site allows one instance per cloudlet)",
+                    });
+                    continue;
+                }
+                let mut rels = Vec::with_capacity(cloudlets.len());
+                let mut ok = true;
+                for &cid in cloudlets {
+                    match instance.network().cloudlet(cid) {
+                        Some(c) => rels.push(c.reliability()),
+                        None => {
+                            violations.push(Violation::Malformed {
+                                request: r.id(),
+                                reason: "unknown cloudlet",
+                            });
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let achieved = offsite_availability(vnf.reliability(), rels);
+                if achieved + 1e-9 < r.reliability_requirement().value() {
+                    violations.push(Violation::Reliability {
+                        request: r.id(),
+                        achieved,
+                        required: r.reliability_requirement().value(),
+                    });
+                }
+                for &cid in cloudlets {
+                    ledger.charge(cid, r.slots(), vnf.compute() as f64);
+                }
+            }
+            _ => violations.push(Violation::Malformed {
+                request: r.id(),
+                reason: "placement kind does not match the scheme",
+            }),
+        }
+    }
+
+    // Capacity sweep.
+    for cloudlet in instance.network().cloudlets() {
+        for t in instance.horizon().slots() {
+            let used = ledger.used(cloudlet.id(), t);
+            let cap = cloudlet.capacity() as f64;
+            if used > cap + 1e-9 {
+                violations.push(Violation::Capacity {
+                    cloudlet: cloudlet.id().index(),
+                    slot: t,
+                    used,
+                    capacity: cap,
+                });
+            }
+        }
+    }
+
+    Ok(ValidationReport {
+        violations,
+        recomputed_revenue: revenue,
+        max_overflow: ledger.max_overflow(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Decision;
+    use mec_topology::{CloudletId, NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, VnfCatalog, VnfTypeId};
+
+    fn rel(v: f64) -> Reliability {
+        Reliability::new(v).unwrap()
+    }
+
+    fn instance() -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        let c = b.add_ap("b");
+        b.add_link(a, c, 1.0).unwrap();
+        b.add_cloudlet(a, 4, rel(0.999)).unwrap();
+        b.add_cloudlet(c, 4, rel(0.95)).unwrap();
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6))
+            .unwrap()
+    }
+
+    fn request(id: usize, req: f64) -> Request {
+        Request::new(
+            RequestId(id),
+            VnfTypeId(1), // NAT: compute 1, r = 0.99
+            rel(req),
+            0,
+            2,
+            3.0,
+            Horizon::new(6),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feasible_onsite_schedule_passes() {
+        let inst = instance();
+        let reqs = vec![request(0, 0.9)];
+        let mut s = Schedule::new();
+        s.record(
+            &reqs[0],
+            Decision::Admit(Placement::OnSite {
+                cloudlet: CloudletId(0),
+                instances: 2,
+            }),
+        );
+        let rep = validate_schedule(&inst, &reqs, &s, Scheme::OnSite).unwrap();
+        assert!(rep.is_feasible(), "{:?}", rep.violations);
+        assert_eq!(rep.recomputed_revenue, 3.0);
+        assert_eq!(rep.max_overflow, 0.0);
+    }
+
+    #[test]
+    fn detects_reliability_shortfall() {
+        let inst = instance();
+        // One NAT instance at cloudlet 1 (0.95): availability 0.9405 <
+        // 0.97.
+        let reqs = vec![request(0, 0.97)];
+        let mut s = Schedule::new();
+        s.record(
+            &reqs[0],
+            Decision::Admit(Placement::OnSite {
+                cloudlet: CloudletId(1),
+                instances: 1,
+            }),
+        );
+        let rep = validate_schedule(&inst, &reqs, &s, Scheme::OnSite).unwrap();
+        assert_eq!(rep.reliability_violations(), 1);
+    }
+
+    #[test]
+    fn detects_capacity_overflow() {
+        let inst = instance();
+        let reqs: Vec<Request> = (0..3).map(|i| request(i, 0.9)).collect();
+        let mut s = Schedule::new();
+        for r in &reqs {
+            // 3 requests × 2 instances × 1 unit = 6 > cap 4.
+            s.record(
+                r,
+                Decision::Admit(Placement::OnSite {
+                    cloudlet: CloudletId(0),
+                    instances: 2,
+                }),
+            );
+        }
+        let rep = validate_schedule(&inst, &reqs, &s, Scheme::OnSite).unwrap();
+        assert!(rep.capacity_violations() > 0);
+        assert!(rep.max_overflow > 0.0);
+    }
+
+    #[test]
+    fn detects_scheme_mismatch_and_duplicates() {
+        let inst = instance();
+        let reqs = vec![request(0, 0.9), request(1, 0.9)];
+        let mut s = Schedule::new();
+        s.record(
+            &reqs[0],
+            Decision::Admit(Placement::OnSite {
+                cloudlet: CloudletId(0),
+                instances: 1,
+            }),
+        );
+        s.record(
+            &reqs[1],
+            Decision::Admit(Placement::OffSite {
+                cloudlets: vec![CloudletId(0), CloudletId(0)],
+            }),
+        );
+        let rep = validate_schedule(&inst, &reqs, &s, Scheme::OffSite).unwrap();
+        // Request 0 has the wrong kind; request 1 has duplicates.
+        assert_eq!(rep.violations.len(), 2);
+        assert!(rep
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::Malformed { .. })));
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let inst = instance();
+        let reqs = vec![request(0, 0.9)];
+        let s = Schedule::new();
+        assert!(validate_schedule(&inst, &reqs, &s, Scheme::OnSite).is_err());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::Reliability {
+            request: RequestId(3),
+            achieved: 0.9,
+            required: 0.95,
+        };
+        assert!(v.to_string().contains("ρ3"));
+        let v = Violation::Capacity {
+            cloudlet: 1,
+            slot: 4,
+            used: 6.0,
+            capacity: 4.0,
+        };
+        assert!(v.to_string().contains("c1"));
+        let v = Violation::Malformed {
+            request: RequestId(0),
+            reason: "x",
+        };
+        assert!(!v.to_string().is_empty());
+    }
+}

@@ -1,0 +1,388 @@
+use mec_workload::Request;
+use vnfrel::{
+    validate_schedule, OnlineScheduler, ProblemInstance, Schedule, ValidationReport,
+};
+
+use crate::metrics::{RunMetrics, SlotStats};
+use crate::SimError;
+
+/// How requests arriving in the *same* slot are ordered before being
+/// offered to the scheduler.
+///
+/// The paper's model is strictly one-by-one ([`IntraSlotOrder::Arrival`]).
+/// A real hypervisor, however, sees a whole slot's batch at once and may
+/// sort it — a mild, realistic form of lookahead that the ordering
+/// ablation quantifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntraSlotOrder {
+    /// Arrival (id) order — the paper's online model.
+    #[default]
+    Arrival,
+    /// Largest payment first.
+    PaymentDescending,
+    /// Largest payment per unit-slot of demand first (`pay/(c·d)`).
+    DensityDescending,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-request decisions.
+    pub schedule: Schedule,
+    /// Aggregate statistics.
+    pub metrics: RunMetrics,
+    /// Independent feasibility check of the schedule.
+    pub validation: ValidationReport,
+    /// Per-slot arrival/admission/active counters.
+    pub timeline: Vec<SlotStats>,
+    /// Cumulative revenue after each slot's arrivals were processed —
+    /// the online revenue trajectory.
+    pub cumulative_revenue: Vec<f64>,
+}
+
+/// A slot-stepped simulation of the online admission process.
+///
+/// Requests are replayed in discrete time: at the beginning of each slot
+/// the requests arriving in that slot are offered to the scheduler one by
+/// one (the hypervisor model of Section III-B). The engine never peeks at
+/// future arrivals, so any [`OnlineScheduler`] run through it experiences
+/// a genuinely online stream.
+///
+/// # Example
+///
+/// ```
+/// # use mec_sim::Simulation;
+/// # use vnfrel::{ProblemInstance, onsite::{OnsitePrimalDual, CapacityPolicy}};
+/// # use mec_topology::{NetworkBuilder, Reliability};
+/// # use mec_workload::{VnfCatalog, RequestGenerator, Horizon};
+/// # use rand::SeedableRng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetworkBuilder::new();
+/// let ap = b.add_ap("edge");
+/// b.add_cloudlet(ap, 60, Reliability::new(0.999)?)?;
+/// let inst = ProblemInstance::new(b.build()?, VnfCatalog::standard(), Horizon::new(12))?;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let reqs = RequestGenerator::new(inst.horizon()).generate(30, inst.catalog(), &mut rng)?;
+/// let sim = Simulation::new(&inst, &reqs)?;
+/// let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce)?;
+/// let report = sim.run(&mut alg)?;
+/// assert!(report.validation.is_feasible());
+/// assert_eq!(report.metrics.total, 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation<'a> {
+    instance: &'a ProblemInstance,
+    requests: &'a [Request],
+    /// Request indices grouped by arrival slot.
+    by_slot: Vec<Vec<usize>>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Prepares a simulation over a request stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`vnfrel::VnfrelError`] when the requests do not
+    /// fit the instance (non-dense ids, unknown VNFs, bad windows).
+    pub fn new(
+        instance: &'a ProblemInstance,
+        requests: &'a [Request],
+    ) -> Result<Self, SimError> {
+        instance.check_requests(requests)?;
+        let mut by_slot = vec![Vec::new(); instance.horizon().len()];
+        for (i, r) in requests.iter().enumerate() {
+            by_slot[r.arrival()].push(i);
+        }
+        Ok(Simulation {
+            instance,
+            requests,
+            by_slot,
+        })
+    }
+
+    /// The instance being simulated.
+    pub fn instance(&self) -> &ProblemInstance {
+        self.instance
+    }
+
+    /// The request stream.
+    pub fn requests(&self) -> &[Request] {
+        self.requests
+    }
+
+    /// Replays the stream through `scheduler` and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors; scheduler decisions themselves are
+    /// infallible.
+    pub fn run<S: OnlineScheduler + ?Sized>(&self, scheduler: &mut S) -> Result<RunReport, SimError> {
+        self.run_ordered(scheduler, IntraSlotOrder::Arrival)
+    }
+
+    /// Like [`Simulation::run`], but each slot's batch of arrivals is
+    /// reordered by `order` before being offered to the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn run_ordered<S: OnlineScheduler + ?Sized>(
+        &self,
+        scheduler: &mut S,
+        order: IntraSlotOrder,
+    ) -> Result<RunReport, SimError> {
+        let mut schedule = Schedule::new();
+        let mut timeline = vec![SlotStats::default(); self.instance.horizon().len()];
+        let mut cumulative_revenue = Vec::with_capacity(self.instance.horizon().len());
+
+        // Requests carry dense ids in arrival order, so iterating slots
+        // and, within each slot, id order reproduces the arrival sequence.
+        for t in self.instance.horizon().slots() {
+            let mut batch: Vec<usize> = self.by_slot[t].clone();
+            match order {
+                IntraSlotOrder::Arrival => {}
+                IntraSlotOrder::PaymentDescending => {
+                    batch.sort_by(|&a, &b| {
+                        self.requests[b]
+                            .payment()
+                            .partial_cmp(&self.requests[a].payment())
+                            .expect("payments are finite")
+                            .then(a.cmp(&b))
+                    });
+                }
+                IntraSlotOrder::DensityDescending => {
+                    let density = |i: usize| {
+                        let r = &self.requests[i];
+                        let c = self
+                            .instance
+                            .catalog()
+                            .get(r.vnf())
+                            .map(|v| v.compute())
+                            .unwrap_or(1);
+                        r.payment() / (c as f64 * r.duration() as f64)
+                    };
+                    batch.sort_by(|&a, &b| {
+                        density(b)
+                            .partial_cmp(&density(a))
+                            .expect("densities are finite")
+                            .then(a.cmp(&b))
+                    });
+                }
+            }
+            // Decide in the chosen order, but record in id order (the
+            // Schedule requires dense recording).
+            let mut decisions: Vec<(usize, vnfrel::Decision)> = batch
+                .into_iter()
+                .map(|i| (i, scheduler.decide(&self.requests[i])))
+                .collect();
+            decisions.sort_by_key(|&(i, _)| i);
+            for (i, decision) in decisions {
+                let r = &self.requests[i];
+                timeline[t].arrivals += 1;
+                if decision.is_admit() {
+                    timeline[t].admitted += 1;
+                    for slot in r.slots() {
+                        timeline[slot].active += 1;
+                    }
+                }
+                schedule.record(r, decision);
+            }
+            cumulative_revenue.push(schedule.revenue());
+        }
+
+        let validation = validate_schedule(
+            self.instance,
+            self.requests,
+            &schedule,
+            scheduler.scheme(),
+        )?;
+        let metrics = RunMetrics {
+            algorithm: scheduler.name().to_string(),
+            revenue: schedule.revenue(),
+            admitted: schedule.admitted_count(),
+            total: self.requests.len(),
+            mean_utilization: scheduler.ledger().mean_utilization(),
+            max_overflow: scheduler.ledger().max_overflow(),
+            dual_bound: None,
+        };
+        Ok(RunReport {
+            schedule,
+            metrics,
+            validation,
+            timeline,
+            cumulative_revenue,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestGenerator, RequestId, VnfCatalog, VnfTypeId};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
+
+    fn instance() -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        let c = b.add_ap("b");
+        b.add_link(a, c, 1.0).unwrap();
+        b.add_cloudlet(a, 30, Reliability::new(0.999).unwrap())
+            .unwrap();
+        b.add_cloudlet(c, 30, Reliability::new(0.995).unwrap())
+            .unwrap();
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12))
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_and_validates() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .generate(50, inst.catalog(), &mut rng)
+            .unwrap();
+        let sim = Simulation::new(&inst, &reqs).unwrap();
+        let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+        let report = sim.run(&mut alg).unwrap();
+        assert!(report.validation.is_feasible());
+        assert_eq!(report.metrics.total, 50);
+        assert_eq!(report.schedule.len(), 50);
+        // Timeline arrivals sum to the request count.
+        let arrivals: usize = report.timeline.iter().map(|s| s.arrivals).sum();
+        assert_eq!(arrivals, 50);
+        // Active counts are consistent with admitted windows.
+        let active: usize = report.timeline.iter().map(|s| s.active).sum();
+        let expected: usize = reqs
+            .iter()
+            .filter(|r| report.schedule.is_admitted(r.id()))
+            .map(|r| r.duration())
+            .sum();
+        assert_eq!(active, expected);
+        // Revenue trajectory is non-decreasing and ends at the total.
+        assert_eq!(report.cumulative_revenue.len(), 12);
+        for w in report.cumulative_revenue.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(
+            (report.cumulative_revenue.last().unwrap() - report.metrics.revenue).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn slot_stepping_preserves_arrival_order() {
+        let inst = instance();
+        // Handcrafted requests across slots: ids dense in arrival order.
+        let h = inst.horizon();
+        let mk = |id: usize, arrival: usize| {
+            Request::new(
+                RequestId(id),
+                VnfTypeId(1),
+                Reliability::new(0.9).unwrap(),
+                arrival,
+                1,
+                2.0,
+                h,
+            )
+            .unwrap()
+        };
+        let reqs = vec![mk(0, 0), mk(1, 0), mk(2, 3), mk(3, 7)];
+        let sim = Simulation::new(&inst, &reqs).unwrap();
+        let mut g = OnsiteGreedy::new(&inst);
+        let report = sim.run(&mut g).unwrap();
+        assert_eq!(report.timeline[0].arrivals, 2);
+        assert_eq!(report.timeline[3].arrivals, 1);
+        assert_eq!(report.timeline[7].arrivals, 1);
+        assert_eq!(report.timeline[1].arrivals, 0);
+    }
+
+    #[test]
+    fn ordered_runs_cover_all_requests_and_stay_feasible() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .payment_rate_band(1.0, 10.0)
+            .unwrap()
+            .generate(80, inst.catalog(), &mut rng)
+            .unwrap();
+        let sim = Simulation::new(&inst, &reqs).unwrap();
+        for order in [
+            IntraSlotOrder::Arrival,
+            IntraSlotOrder::PaymentDescending,
+            IntraSlotOrder::DensityDescending,
+        ] {
+            let mut g = OnsiteGreedy::new(&inst);
+            let report = sim.run_ordered(&mut g, order).unwrap();
+            assert_eq!(report.schedule.len(), 80, "{order:?}");
+            assert!(report.validation.is_feasible(), "{order:?}");
+        }
+        // Arrival order through run_ordered equals plain run.
+        let mut a = OnsiteGreedy::new(&inst);
+        let ra = sim.run(&mut a).unwrap();
+        let mut b = OnsiteGreedy::new(&inst);
+        let rb = sim.run_ordered(&mut b, IntraSlotOrder::Arrival).unwrap();
+        assert_eq!(ra.schedule, rb.schedule);
+    }
+
+    #[test]
+    fn payment_ordering_reorders_same_slot_batch() {
+        // Two same-slot requests where only one fits: payment ordering
+        // must pick the big payer, arrival ordering the first.
+        let inst = {
+            let mut b = NetworkBuilder::new();
+            let a = b.add_ap("a");
+            b.add_cloudlet(a, 1, Reliability::new(0.999).unwrap())
+                .unwrap();
+            ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(4))
+                .unwrap()
+        };
+        let h = inst.horizon();
+        let mk = |id: usize, pay: f64| {
+            Request::new(
+                RequestId(id),
+                VnfTypeId(1), // NAT: compute 1, N=1 here
+                Reliability::new(0.9).unwrap(),
+                0,
+                2,
+                pay,
+                h,
+            )
+            .unwrap()
+        };
+        let reqs = vec![mk(0, 1.0), mk(1, 50.0)];
+        let sim = Simulation::new(&inst, &reqs).unwrap();
+
+        let mut g = OnsiteGreedy::new(&inst);
+        let arrival = sim.run(&mut g).unwrap();
+        assert!(arrival.schedule.is_admitted(RequestId(0)));
+        assert!(!arrival.schedule.is_admitted(RequestId(1)));
+
+        let mut g = OnsiteGreedy::new(&inst);
+        let paid = sim
+            .run_ordered(&mut g, IntraSlotOrder::PaymentDescending)
+            .unwrap();
+        assert!(!paid.schedule.is_admitted(RequestId(0)));
+        assert!(paid.schedule.is_admitted(RequestId(1)));
+        assert!(paid.metrics.revenue > arrival.metrics.revenue);
+    }
+
+    #[test]
+    fn rejects_mismatched_requests() {
+        let inst = instance();
+        let r = Request::new(
+            RequestId(3), // non-dense
+            VnfTypeId(0),
+            Reliability::new(0.9).unwrap(),
+            0,
+            1,
+            1.0,
+            inst.horizon(),
+        )
+        .unwrap();
+        assert!(Simulation::new(&inst, &[r]).is_err());
+    }
+}

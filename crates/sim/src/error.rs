@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use vnfrel::VnfrelError;
+
+/// Errors produced by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A scheduling-library error (bad instance, bad request stream, …).
+    Vnfrel(VnfrelError),
+    /// Inputs disagree with each other (schedule vs requests, …).
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Vnfrel(e) => write!(f, "scheduling error: {e}"),
+            SimError::Mismatch(what) => write!(f, "input mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Vnfrel(e) => Some(e),
+            SimError::Mismatch(_) => None,
+        }
+    }
+}
+
+impl From<VnfrelError> for SimError {
+    fn from(e: VnfrelError) -> Self {
+        SimError::Vnfrel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Mismatch("x");
+        assert!(e.to_string().contains("mismatch"));
+        assert!(e.source().is_none());
+        let e = SimError::from(VnfrelError::InvalidInstance("y"));
+        assert!(e.source().is_some());
+    }
+}

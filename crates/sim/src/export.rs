@@ -1,0 +1,88 @@
+//! Plain-text/CSV export of simulation artifacts, for plotting outside
+//! Rust (gnuplot, matplotlib, spreadsheets).
+
+use crate::engine::RunReport;
+use crate::experiment::SweepTable;
+
+/// Renders the per-slot timeline as CSV (`slot,arrivals,admitted,active`).
+pub fn timeline_csv(report: &RunReport) -> String {
+    let mut out = String::from("slot,arrivals,admitted,active\n");
+    for (t, s) in report.timeline.iter().enumerate() {
+        out.push_str(&format!("{t},{},{},{}\n", s.arrivals, s.admitted, s.active));
+    }
+    out
+}
+
+/// Renders a sweep table as CSV with the x-label as the first column.
+pub fn sweep_csv(table: &SweepTable) -> String {
+    let mut out = String::new();
+    out.push_str(&table.x_label);
+    for c in &table.columns {
+        out.push(',');
+        // Quote column names containing commas to keep the CSV parseable.
+        if c.contains(',') {
+            out.push('"');
+            out.push_str(&c.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(c);
+        }
+    }
+    out.push('\n');
+    for (x, vals) in &table.rows {
+        out.push_str(&format!("{x}"));
+        for v in vals {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vnfrel::onsite::OnsiteGreedy;
+    use vnfrel::ProblemInstance;
+
+    #[test]
+    fn timeline_csv_has_one_row_per_slot() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        b.add_cloudlet(a, 20, Reliability::new(0.99).unwrap())
+            .unwrap();
+        let inst = ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6))
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .generate(10, inst.catalog(), &mut rng)
+            .unwrap();
+        let sim = Simulation::new(&inst, &reqs).unwrap();
+        let mut g = OnsiteGreedy::new(&inst);
+        let report = sim.run(&mut g).unwrap();
+        let csv = timeline_csv(&report);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 7); // header + 6 slots
+        assert_eq!(lines[0], "slot,arrivals,admitted,active");
+        // Arrivals across rows sum to the request count.
+        let total: usize = lines[1..]
+            .iter()
+            .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn sweep_csv_quotes_commas() {
+        let mut t = SweepTable::new("x", "y", vec!["plain".into(), "with,comma".into()]);
+        t.push_row(1.0, vec![2.0, 3.0]);
+        let csv = sweep_csv(&t);
+        assert!(csv.starts_with("x,plain,\"with,comma\"\n"));
+        assert!(csv.contains("1,2,3\n"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Monte-Carlo failure injection.
+//!
+//! The paper's reliability guarantees are analytical; this module checks
+//! them *empirically*: each trial samples an up/down state for every
+//! cloudlet (probability `r(c_j)`) and for every placed VNF instance
+//! (probability `r(f_i)`), then asks whether each admitted request still
+//! has at least one live instance — an instance is live only if both its
+//! software and its hosting cloudlet are up. Over many trials the
+//! measured survival rate of each request should match the analytical
+//! availability of its placement and, in particular, meet `R_i`.
+
+use rand::Rng;
+
+use mec_workload::{Request, RequestId};
+use vnfrel::{Placement, ProblemInstance, Schedule};
+
+use crate::SimError;
+
+/// Measured availability of one admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestAvailability {
+    /// The request.
+    pub request: RequestId,
+    /// Required availability `R_i`.
+    pub required: f64,
+    /// Fraction of trials in which at least one instance survived.
+    pub measured: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl RequestAvailability {
+    /// Measured minus required; negative = empirical shortfall.
+    pub fn margin(&self) -> f64 {
+        self.measured - self.required
+    }
+
+    /// Approximate standard error of the measurement
+    /// (`√(p(1−p)/n)` with the measured `p`).
+    pub fn standard_error(&self) -> f64 {
+        (self.measured * (1.0 - self.measured) / self.trials as f64).sqrt()
+    }
+
+    /// Whether the measurement is consistent with meeting the requirement:
+    /// `measured ≥ required − z·SE`.
+    pub fn meets_requirement(&self, z: f64) -> bool {
+        self.measured + z * self.standard_error() >= self.required
+    }
+}
+
+/// Result of a failure-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureReport {
+    /// One entry per admitted request, in id order.
+    pub requests: Vec<RequestAvailability>,
+    /// Number of trials run.
+    pub trials: usize,
+}
+
+impl FailureReport {
+    /// Smallest margin across admitted requests (`None` if none admitted).
+    pub fn worst_margin(&self) -> Option<f64> {
+        self.requests
+            .iter()
+            .map(|r| r.margin())
+            .min_by(|a, b| a.partial_cmp(b).expect("margins are finite"))
+    }
+
+    /// Requests whose measurement is statistically below requirement at
+    /// the given z-score (3.0 ≈ 99.7% confidence).
+    pub fn statistical_violations(&self, z: f64) -> Vec<RequestId> {
+        self.requests
+            .iter()
+            .filter(|r| !r.meets_requirement(z))
+            .map(|r| r.request)
+            .collect()
+    }
+}
+
+/// Runs `trials` independent failure samples against an admitted
+/// schedule.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the schedule does not cover the requests or
+/// references unknown cloudlets/VNFs.
+pub fn inject_failures<R: Rng + ?Sized>(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    trials: usize,
+    rng: &mut R,
+) -> Result<FailureReport, SimError> {
+    if schedule.len() != requests.len() {
+        return Err(SimError::Mismatch(
+            "schedule length differs from request count",
+        ));
+    }
+    let m = instance.cloudlet_count();
+    // survivors[i] counts trials in which admitted request i survived.
+    let admitted: Vec<&Request> = requests
+        .iter()
+        .filter(|r| schedule.is_admitted(r.id()))
+        .collect();
+    let mut survived = vec![0usize; admitted.len()];
+    let mut cloudlet_up = vec![false; m];
+
+    let cloudlet_rel: Vec<f64> = instance
+        .network()
+        .cloudlets()
+        .map(|c| c.reliability().value())
+        .collect();
+
+    for _ in 0..trials {
+        for (j, up) in cloudlet_up.iter_mut().enumerate() {
+            *up = rng.gen_bool(cloudlet_rel[j]);
+        }
+        for (k, r) in admitted.iter().enumerate() {
+            let vnf = instance
+                .catalog()
+                .get(r.vnf())
+                .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
+            let r_f = vnf.reliability().value();
+            let placement = schedule.placement(r.id()).expect("admitted");
+            let alive = match placement {
+                Placement::OnSite {
+                    cloudlet,
+                    instances,
+                } => {
+                    let j = cloudlet.index();
+                    if j >= m {
+                        return Err(SimError::Mismatch("placement references unknown cloudlet"));
+                    }
+                    cloudlet_up[j]
+                        && (0..*instances).any(|_| rng.gen_bool(r_f))
+                }
+                Placement::OffSite { cloudlets } => cloudlets.iter().any(|c| {
+                    let j = c.index();
+                    j < m && cloudlet_up[j] && rng.gen_bool(r_f)
+                }),
+            };
+            if alive {
+                survived[k] += 1;
+            }
+        }
+    }
+
+    let requests = admitted
+        .iter()
+        .zip(&survived)
+        .map(|(r, &s)| RequestAvailability {
+            request: r.id(),
+            required: r.reliability_requirement().value(),
+            measured: s as f64 / trials.max(1) as f64,
+            trials,
+        })
+        .collect();
+    Ok(FailureReport { requests, trials })
+}
+
+/// Like [`inject_failures`], but samples component states *per slot* and
+/// counts a request as served only when at least one instance is alive in
+/// **every** slot of its execution window.
+///
+/// The paper's `R_i` is an instantaneous availability target, so
+/// [`inject_failures`] is the faithful check; window survival is strictly
+/// harder (roughly `availability^d`) and quantifies what a "whole-session
+/// uptime" SLA would additionally require.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for mismatched inputs, as [`inject_failures`].
+pub fn inject_failures_windowed<R: Rng + ?Sized>(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    trials: usize,
+    rng: &mut R,
+) -> Result<FailureReport, SimError> {
+    if schedule.len() != requests.len() {
+        return Err(SimError::Mismatch(
+            "schedule length differs from request count",
+        ));
+    }
+    let m = instance.cloudlet_count();
+    let admitted: Vec<&Request> = requests
+        .iter()
+        .filter(|r| schedule.is_admitted(r.id()))
+        .collect();
+    let mut survived = vec![0usize; admitted.len()];
+    let cloudlet_rel: Vec<f64> = instance
+        .network()
+        .cloudlets()
+        .map(|c| c.reliability().value())
+        .collect();
+
+    for _ in 0..trials {
+        for (k, r) in admitted.iter().enumerate() {
+            let vnf = instance
+                .catalog()
+                .get(r.vnf())
+                .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
+            let r_f = vnf.reliability().value();
+            let placement = schedule.placement(r.id()).expect("admitted");
+            // Independent component states per slot of the window.
+            let all_slots_alive = r.slots().all(|_t| match placement {
+                Placement::OnSite {
+                    cloudlet,
+                    instances,
+                } => {
+                    let j = cloudlet.index();
+                    j < m && rng.gen_bool(cloudlet_rel[j])
+                        && (0..*instances).any(|_| rng.gen_bool(r_f))
+                }
+                Placement::OffSite { cloudlets } => cloudlets.iter().any(|c| {
+                    let j = c.index();
+                    j < m && rng.gen_bool(cloudlet_rel[j]) && rng.gen_bool(r_f)
+                }),
+            });
+            if all_slots_alive {
+                survived[k] += 1;
+            }
+        }
+    }
+
+    let requests = admitted
+        .iter()
+        .zip(&survived)
+        .map(|(r, &s)| RequestAvailability {
+            request: r.id(),
+            // The window target is the per-slot target compounded over
+            // the duration.
+            required: r
+                .reliability_requirement()
+                .value()
+                .powi(r.duration() as i32),
+            measured: s as f64 / trials.max(1) as f64,
+            trials,
+        })
+        .collect();
+    Ok(FailureReport { requests, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_topology::{NetworkBuilder, Reliability};
+    use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vnfrel::offsite::OffsitePrimalDual;
+    use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+    use vnfrel::run_online;
+
+    fn instance() -> ProblemInstance {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        let c = b.add_ap("b");
+        let d = b.add_ap("c");
+        b.add_link(a, c, 1.0).unwrap();
+        b.add_link(c, d, 1.0).unwrap();
+        b.add_cloudlet(a, 40, Reliability::new(0.999).unwrap())
+            .unwrap();
+        b.add_cloudlet(c, 40, Reliability::new(0.995).unwrap())
+            .unwrap();
+        b.add_cloudlet(d, 40, Reliability::new(0.99).unwrap())
+            .unwrap();
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
+            .unwrap()
+    }
+
+    #[test]
+    fn onsite_placements_meet_requirements_empirically() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.97)
+            .unwrap()
+            .generate(30, inst.catalog(), &mut rng)
+            .unwrap();
+        let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+        let report = inject_failures(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
+        assert!(!report.requests.is_empty());
+        let violations = report.statistical_violations(4.0);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn offsite_placements_meet_requirements_empirically() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.97)
+            .unwrap()
+            .generate(30, inst.catalog(), &mut rng)
+            .unwrap();
+        let mut alg = OffsitePrimalDual::new(&inst);
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+        let report = inject_failures(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
+        let violations = report.statistical_violations(4.0);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert_eq!(report.trials, 20_000);
+    }
+
+    #[test]
+    fn measured_availability_tracks_analytical_value() {
+        // A single request with a known placement: measured availability
+        // should approximate r_c·(1 − (1 − r_f)^n).
+        use mec_topology::CloudletId;
+        use mec_workload::{RequestId, VnfTypeId};
+        use vnfrel::{Decision, Placement, Schedule};
+        let inst = instance();
+        let r = Request::new(
+            RequestId(0),
+            VnfTypeId(2), // IDS: r = 0.9
+            Reliability::new(0.9).unwrap(),
+            0,
+            1,
+            1.0,
+            inst.horizon(),
+        )
+        .unwrap();
+        let mut s = Schedule::new();
+        s.record(
+            &r,
+            Decision::Admit(Placement::OnSite {
+                cloudlet: CloudletId(0),
+                instances: 2,
+            }),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let report = inject_failures(&inst, &[r], &s, 200_000, &mut rng).unwrap();
+        let analytical = 0.999 * (1.0 - 0.1f64.powi(2));
+        let measured = report.requests[0].measured;
+        assert!(
+            (measured - analytical).abs() < 0.005,
+            "measured {measured} vs analytical {analytical}"
+        );
+    }
+
+    #[test]
+    fn windowed_survival_meets_compounded_target() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.95)
+            .unwrap()
+            .generate(25, inst.catalog(), &mut rng)
+            .unwrap();
+        let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+        let report =
+            inject_failures_windowed(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
+        // Per-slot availability ≥ R_i and independent slots ⇒ window
+        // survival ≥ R_i^d; no statistical violation expected.
+        let violations = report.statistical_violations(4.0);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        // Windowed survival is harder than instantaneous availability.
+        let plain = inject_failures(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
+        for (w, p) in report.requests.iter().zip(&plain.requests) {
+            assert_eq!(w.request, p.request);
+            assert!(w.measured <= p.measured + 0.02, "{}", w.request);
+            assert!(w.required <= p.required + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatched_schedule_is_an_error() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .generate(3, inst.catalog(), &mut rng)
+            .unwrap();
+        let s = Schedule::new(); // empty ≠ 3 requests
+        assert!(inject_failures(&inst, &reqs, &s, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn margin_and_standard_error() {
+        let a = RequestAvailability {
+            request: mec_workload::RequestId(0),
+            required: 0.95,
+            measured: 0.97,
+            trials: 10_000,
+        };
+        assert!((a.margin() - 0.02).abs() < 1e-12);
+        assert!(a.standard_error() > 0.0 && a.standard_error() < 0.01);
+        assert!(a.meets_requirement(3.0));
+    }
+}

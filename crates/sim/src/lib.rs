@@ -1,0 +1,31 @@
+//! Slot-stepped MEC simulator for reliability-aware VNF scheduling.
+//!
+//! Drives any [`vnfrel::OnlineScheduler`] through a discrete-time replay
+//! of a request stream, validates the outcome independently, measures
+//! revenue/utilization, and — beyond the paper's analytical evaluation —
+//! injects component failures Monte-Carlo style to verify that admitted
+//! requests actually receive their promised availability.
+//!
+//! * [`Simulation`] — the engine ([`Simulation::run`] produces a
+//!   [`RunReport`] with metrics, a feasibility report, and a per-slot
+//!   timeline),
+//! * [`failure::inject_failures`] — sampled cloudlet/VNF failures versus
+//!   each admitted request's requirement `R_i`,
+//! * [`experiment`] — sweep tables used by the figure-regeneration
+//!   binaries in `vnfrel-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compare;
+mod engine;
+mod error;
+pub mod experiment;
+pub mod failure;
+mod metrics;
+pub mod export;
+
+pub use compare::{compare, Comparison};
+pub use engine::{IntraSlotOrder, RunReport, Simulation};
+pub use error::SimError;
+pub use metrics::{RunMetrics, SlotStats};

@@ -1,0 +1,103 @@
+use std::fmt;
+
+/// Summary statistics of one online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Scheduler name (e.g. `"alg1-primal-dual"`).
+    pub algorithm: String,
+    /// Total revenue collected.
+    pub revenue: f64,
+    /// Number of admitted requests.
+    pub admitted: usize,
+    /// Number of requests processed.
+    pub total: usize,
+    /// Mean cloudlet utilization over all (cloudlet, slot) cells.
+    pub mean_utilization: f64,
+    /// Worst relative capacity overflow (0 unless the raw Algorithm 1 was
+    /// allowed to violate).
+    pub max_overflow: f64,
+    /// Final dual objective when the scheduler tracks one (Algorithm 1) —
+    /// an upper bound on the offline optimum.
+    pub dual_bound: Option<f64>,
+}
+
+impl RunMetrics {
+    /// Admitted / total, 0 when no request was processed.
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: revenue {:.2}, admitted {}/{} ({:.1}%), util {:.3}",
+            self.algorithm,
+            self.revenue,
+            self.admitted,
+            self.total,
+            self.acceptance_ratio() * 100.0,
+            self.mean_utilization
+        )?;
+        if self.max_overflow > 0.0 {
+            write!(f, ", overflow {:.3}", self.max_overflow)?;
+        }
+        if let Some(d) = self.dual_bound {
+            write!(f, ", dual bound {d:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-slot activity counters produced by the slot-stepped engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotStats {
+    /// Requests that arrived in this slot.
+    pub arrivals: usize,
+    /// Arrivals admitted in this slot.
+    pub admitted: usize,
+    /// Admitted requests whose execution window covers this slot.
+    pub active: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_ratio_handles_empty() {
+        let m = RunMetrics {
+            algorithm: "x".into(),
+            revenue: 0.0,
+            admitted: 0,
+            total: 0,
+            mean_utilization: 0.0,
+            max_overflow: 0.0,
+            dual_bound: None,
+        };
+        assert_eq!(m.acceptance_ratio(), 0.0);
+        assert!(m.to_string().contains("x:"));
+    }
+
+    #[test]
+    fn display_includes_optional_fields() {
+        let m = RunMetrics {
+            algorithm: "alg1".into(),
+            revenue: 12.5,
+            admitted: 3,
+            total: 4,
+            mean_utilization: 0.4,
+            max_overflow: 0.2,
+            dual_bound: Some(20.0),
+        };
+        let s = m.to_string();
+        assert!(s.contains("overflow"));
+        assert!(s.contains("dual bound"));
+        assert!((m.acceptance_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,483 @@
+//! Best-first branch-and-bound for mixed-integer linear programs.
+//!
+//! Each node re-solves the LP relaxation with tightened variable bounds
+//! (bounds are structural in the simplex, so branching adds no rows).
+//! Nodes are explored best-bound-first; a node and time budget turn the
+//! solver into an anytime algorithm that reports the best incumbent and
+//! the remaining optimality gap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::error::SolverError;
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{solve_lp, LpOutcome};
+
+/// Integrality tolerance: values within this of an integer count as
+/// integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Budget limits for branch-and-bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BnbConfig {
+    /// Maximum number of LP relaxations to solve.
+    pub max_nodes: usize,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            max_nodes: 200_000,
+            time_limit: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MipOutcome {
+    /// Proven optimal integer solution.
+    Optimal(MipSolution),
+    /// Budget exhausted with a feasible incumbent; `bound` brackets the
+    /// optimum (`bound ≥ objective` for maximization).
+    Feasible(MipSolution),
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// Budget exhausted before any incumbent was found; `bound` is still a
+    /// valid dual bound on the optimum.
+    NoIncumbent {
+        /// Dual bound on the unknown optimum.
+        bound: f64,
+    },
+}
+
+impl MipOutcome {
+    /// Unwraps a solution from `Optimal` or `Feasible`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the other variants.
+    pub fn expect_solution(self) -> MipSolution {
+        match self {
+            MipOutcome::Optimal(s) | MipOutcome::Feasible(s) => s,
+            other => panic!("expected a MIP solution, got {other:?}"),
+        }
+    }
+
+    /// Borrows the solution carried by `Optimal` or `Feasible`.
+    pub fn solution(&self) -> Option<&MipSolution> {
+        match self {
+            MipOutcome::Optimal(s) | MipOutcome::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// An integer-feasible solution plus the best dual bound proven so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MipSolution {
+    /// Objective value of the incumbent.
+    pub objective: f64,
+    /// Variable values (integer variables are integral within tolerance).
+    pub values: Vec<f64>,
+    /// Dual bound: the optimum cannot be better than this.
+    pub bound: f64,
+    /// Number of LP relaxations solved.
+    pub nodes: usize,
+}
+
+impl MipSolution {
+    /// Relative optimality gap `|bound − objective| / max(1, |objective|)`.
+    pub fn gap(&self) -> f64 {
+        (self.bound - self.objective).abs() / self.objective.abs().max(1.0)
+    }
+}
+
+struct Node {
+    /// LP bound of the parent (priority key).
+    bound: f64,
+    /// Bound overrides accumulated along the branching path.
+    overrides: Vec<(VarId, f64, f64)>,
+    /// Larger-is-better priority for maximization, flipped for min.
+    better: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.better == other.better
+    }
+}
+impl Eq for Node {}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.better
+            .partial_cmp(&other.better)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Solves a mixed-integer program by branch-and-bound.
+///
+/// # Errors
+///
+/// Propagates simplex errors ([`SolverError::EmptyModel`],
+/// [`SolverError::IterationLimit`]). Infeasibility/unboundedness are
+/// reported through [`MipOutcome`].
+pub fn solve_mip(model: &Model, config: &BnbConfig) -> Result<MipOutcome, SolverError> {
+    let start = Instant::now();
+    let maximize = model.sense() == Sense::Maximize;
+    let int_vars = model.integer_vars();
+
+    // Root relaxation.
+    let root = solve_lp(model)?;
+    let root_sol = match root {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => return Ok(MipOutcome::Infeasible),
+        LpOutcome::Unbounded => return Ok(MipOutcome::Unbounded),
+    };
+    let mut nodes_solved = 1usize;
+
+    // Fast path: relaxation already integral.
+    if fractional_var(&root_sol.values, &int_vars).is_none() {
+        return Ok(MipOutcome::Optimal(MipSolution {
+            objective: root_sol.objective,
+            values: root_sol.values,
+            bound: root_sol.objective,
+            nodes: nodes_solved,
+        }));
+    }
+
+    let better_key = |obj: f64| if maximize { obj } else { -obj };
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: root_sol.objective,
+        overrides: Vec::new(),
+        better: better_key(root_sol.objective),
+    });
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let is_better = |a: f64, b: f64| if maximize { a > b + 1e-9 } else { a < b - 1e-9 };
+    // The global dual bound is the best bound among open nodes.
+    let mut best_open_bound = root_sol.objective;
+
+    let mut scratch = model.clone();
+    while let Some(node) = heap.pop() {
+        best_open_bound = node.bound;
+        // Prune against the incumbent.
+        if let Some((inc_obj, _)) = &incumbent {
+            if !is_better(node.bound, *inc_obj) {
+                // Best-first order ⇒ every remaining node is no better.
+                best_open_bound = *inc_obj;
+                break;
+            }
+        }
+        if nodes_solved >= config.max_nodes || start.elapsed() >= config.time_limit {
+            break;
+        }
+
+        // Apply this node's bound overrides to the scratch model.
+        restore_bounds(&mut scratch, model);
+        let mut valid = true;
+        for &(v, lb, ub) in &node.overrides {
+            if lb > ub || scratch.set_bounds(v, lb, ub).is_err() {
+                valid = false;
+                break;
+            }
+        }
+        if !valid {
+            continue;
+        }
+
+        let outcome = solve_lp(&scratch)?;
+        nodes_solved += 1;
+        let sol = match outcome {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible => continue,
+            // Child LPs only tighten bounds; unboundedness cannot appear
+            // below a bounded root, but handle it defensively.
+            LpOutcome::Unbounded => return Ok(MipOutcome::Unbounded),
+        };
+        if let Some((inc_obj, _)) = &incumbent {
+            if !is_better(sol.objective, *inc_obj) {
+                continue; // dominated subtree
+            }
+        }
+
+        match fractional_var(&sol.values, &int_vars) {
+            None => {
+                // Integral: new incumbent.
+                let rounded = round_integral(&sol.values, &int_vars);
+                let obj = model.objective_value(&rounded);
+                match &incumbent {
+                    Some((best, _)) if !is_better(obj, *best) => {}
+                    _ => incumbent = Some((obj, rounded)),
+                }
+            }
+            Some((v, x)) => {
+                let floor = x.floor();
+                let (lb, ub) = model.bounds(v);
+                // Down child: v ≤ floor(x).
+                let mut down = node.overrides.clone();
+                down.push((v, lb_override(&node.overrides, v, lb), floor));
+                heap.push(Node {
+                    bound: sol.objective,
+                    overrides: down,
+                    better: better_key(sol.objective),
+                });
+                // Up child: v ≥ ceil(x).
+                let mut up = node.overrides.clone();
+                up.push((v, floor + 1.0, ub_override(&node.overrides, v, ub)));
+                heap.push(Node {
+                    bound: sol.objective,
+                    overrides: up,
+                    better: better_key(sol.objective),
+                });
+            }
+        }
+    }
+
+    let final_bound = match (&incumbent, heap.peek()) {
+        (_, Some(top)) => top.bound,
+        (Some((obj, _)), None) => *obj,
+        (None, None) => best_open_bound,
+    };
+
+    match incumbent {
+        Some((objective, values)) => {
+            let exhausted = heap
+                .peek()
+                .map_or(true, |top| !is_better(top.bound, objective));
+            let sol = MipSolution {
+                objective,
+                values,
+                bound: if exhausted { objective } else { final_bound },
+                nodes: nodes_solved,
+            };
+            if exhausted {
+                Ok(MipOutcome::Optimal(sol))
+            } else {
+                Ok(MipOutcome::Feasible(sol))
+            }
+        }
+        None => Ok(MipOutcome::NoIncumbent { bound: final_bound }),
+    }
+}
+
+/// Latest branching lower bound for `v`, else the model default.
+fn lb_override(overrides: &[(VarId, f64, f64)], v: VarId, default: f64) -> f64 {
+    overrides
+        .iter()
+        .rev()
+        .find(|(w, _, _)| *w == v)
+        .map(|&(_, lb, _)| lb)
+        .unwrap_or(default)
+}
+
+/// Latest branching upper bound for `v`, else the model default.
+fn ub_override(overrides: &[(VarId, f64, f64)], v: VarId, default: f64) -> f64 {
+    overrides
+        .iter()
+        .rev()
+        .find(|(w, _, _)| *w == v)
+        .map(|&(_, _, ub)| ub)
+        .unwrap_or(default)
+}
+
+fn restore_bounds(scratch: &mut Model, original: &Model) {
+    for i in 0..original.num_vars() {
+        let v = VarId(i);
+        let (lb, ub) = original.bounds(v);
+        scratch
+            .set_bounds(v, lb, ub)
+            .expect("original bounds are valid");
+    }
+}
+
+/// Most fractional integer variable, if any.
+fn fractional_var(values: &[f64], int_vars: &[VarId]) -> Option<(VarId, f64)> {
+    let mut best: Option<(VarId, f64, f64)> = None; // (var, value, dist to .5)
+    for &v in int_vars {
+        let x = values[v.index()];
+        let frac = x - x.floor();
+        if frac > INT_TOL && frac < 1.0 - INT_TOL {
+            let score = (frac - 0.5).abs();
+            match best {
+                Some((_, _, s)) if s <= score => {}
+                _ => best = Some((v, x, score)),
+            }
+        }
+    }
+    best.map(|(v, x, _)| (v, x))
+}
+
+fn round_integral(values: &[f64], int_vars: &[VarId]) -> Vec<f64> {
+    let mut out = values.to_vec();
+    for &v in int_vars {
+        out[v.index()] = out[v.index()].round();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn config() -> BnbConfig {
+        BnbConfig::default()
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c ≤ 6, binary → a+c (17) vs b+c (20).
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary_var(10.0).unwrap();
+        let b = m.add_binary_var(13.0).unwrap();
+        let c = m.add_binary_var(7.0).unwrap();
+        m.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0)
+            .unwrap();
+        let sol = solve_mip(&m, &config()).unwrap().expect_solution();
+        assert!((sol.objective - 20.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!((sol.values[1] - 1.0).abs() < 1e-6);
+        assert!((sol.values[2] - 1.0).abs() < 1e-6);
+        assert!(sol.gap() < 1e-9);
+    }
+
+    #[test]
+    fn integral_relaxation_short_circuits() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer_var(0.0, Some(5.0), 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0).unwrap();
+        let out = solve_mip(&m, &config()).unwrap();
+        let sol = match out {
+            MipOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        };
+        assert_eq!(sol.nodes, 1);
+        assert!((sol.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fractional_lp_integer_opt_differs() {
+        // max x + y, 2x + 2y ≤ 3, binary: LP opt 1.5, ILP opt 1.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var(1.0).unwrap();
+        let y = m.add_binary_var(1.0).unwrap();
+        m.add_constraint(vec![(x, 2.0), (y, 2.0)], Cmp::Le, 3.0)
+            .unwrap();
+        let sol = solve_mip(&m, &config()).unwrap().expect_solution();
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var(1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0).unwrap();
+        assert_eq!(solve_mip(&m, &config()).unwrap(), MipOutcome::Infeasible);
+    }
+
+    #[test]
+    fn integer_infeasible_but_lp_feasible() {
+        // 0.4 ≤ x ≤ 0.6 with x integer: LP feasible, no integer point.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer_var(0.0, Some(1.0), 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 0.4).unwrap();
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 0.6).unwrap();
+        let out = solve_mip(&m, &config()).unwrap();
+        match out {
+            MipOutcome::NoIncumbent { .. } | MipOutcome::Infeasible => {}
+            other => panic!("expected no integer solution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_mip() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_integer_var(0.0, None, 1.0).unwrap();
+        assert_eq!(solve_mip(&m, &config()).unwrap(), MipOutcome::Unbounded);
+    }
+
+    #[test]
+    fn minimization_mip() {
+        // min 3x + 2y s.t. x + y ≥ 1.5, binary → x=1,y=1 (5) vs ... y=1,x=1
+        // only combo ≥ 1.5 is both = 2 ≥ 1.5 → obj 5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary_var(3.0).unwrap();
+        let y = m.add_binary_var(2.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.5)
+            .unwrap();
+        let sol = solve_mip(&m, &config()).unwrap().expect_solution();
+        assert!((sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_budget_yields_feasible_or_bound() {
+        // A 12-item knapsack with a tiny node budget.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary_var(((i * 7) % 11 + 1) as f64).unwrap())
+            .collect();
+        let terms = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, ((i * 3) % 5 + 1) as f64))
+            .collect();
+        m.add_constraint(terms, Cmp::Le, 11.0).unwrap();
+        let tight = BnbConfig {
+            max_nodes: 3,
+            time_limit: Duration::from_secs(10),
+        };
+        match solve_mip(&m, &tight).unwrap() {
+            MipOutcome::Optimal(s) | MipOutcome::Feasible(s) => {
+                assert!(s.bound + 1e-6 >= s.objective);
+            }
+            MipOutcome::NoIncumbent { bound } => assert!(bound > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y with x binary, 0 ≤ y ≤ 10 continuous, x + y ≤ 3.5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var(2.0).unwrap();
+        let y = m.add_var(0.0, Some(10.0), 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 3.5)
+            .unwrap();
+        let sol = solve_mip(&m, &config()).unwrap().expect_solution();
+        // x=1, y=2.5 → 4.5.
+        assert!((sol.objective - 4.5).abs() < 1e-6);
+        assert!((sol.values[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constrained_assignment() {
+        // Assign each of 2 jobs to exactly one of 2 machines, machine 0
+        // fits only one job.
+        let mut m = Model::new(Sense::Maximize);
+        let y00 = m.add_binary_var(5.0).unwrap();
+        let y01 = m.add_binary_var(3.0).unwrap();
+        let y10 = m.add_binary_var(4.0).unwrap();
+        let y11 = m.add_binary_var(1.0).unwrap();
+        m.add_constraint(vec![(y00, 1.0), (y01, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        m.add_constraint(vec![(y10, 1.0), (y11, 1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        m.add_constraint(vec![(y00, 1.0), (y10, 1.0)], Cmp::Le, 1.0)
+            .unwrap();
+        let sol = solve_mip(&m, &config()).unwrap().expect_solution();
+        // Best: y00 + y11 = 6 or y01 + y10 = 7 → 7.
+        assert!((sol.objective - 7.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+}

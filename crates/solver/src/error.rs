@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+///
+/// Infeasibility and unboundedness are *outcomes*, not errors — they are
+/// reported through [`LpOutcome`](crate::LpOutcome) /
+/// [`MipOutcome`](crate::MipOutcome).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// A variable id referenced a variable that does not exist.
+    UnknownVariable(usize),
+    /// A coefficient, bound, or right-hand side was NaN or infinite where
+    /// a finite value is required.
+    NonFiniteValue(&'static str),
+    /// Lower bound exceeds upper bound for a variable.
+    InvertedBounds {
+        /// Index of the offending variable.
+        var: usize,
+        /// Its lower bound.
+        lb: f64,
+        /// Its upper bound.
+        ub: f64,
+    },
+    /// The model has no variables.
+    EmptyModel,
+    /// The simplex iteration limit was exhausted (likely numerical
+    /// trouble; the limit is generous).
+    IterationLimit(usize),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::UnknownVariable(i) => write!(f, "unknown variable index {i}"),
+            SolverError::NonFiniteValue(what) => write!(f, "non-finite value for {what}"),
+            SolverError::InvertedBounds { var, lb, ub } => {
+                write!(f, "variable {var} has inverted bounds [{lb}, {ub}]")
+            }
+            SolverError::EmptyModel => write!(f, "model has no variables"),
+            SolverError::IterationLimit(n) => {
+                write!(f, "simplex exceeded the iteration limit of {n}")
+            }
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SolverError::UnknownVariable(3),
+            SolverError::NonFiniteValue("rhs"),
+            SolverError::InvertedBounds {
+                var: 1,
+                lb: 2.0,
+                ub: 1.0,
+            },
+            SolverError::EmptyModel,
+            SolverError::IterationLimit(1000),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Export of models in the CPLEX LP text format.
+//!
+//! Useful for debugging the CPLEX-substitution: any model built here can
+//! be dumped and fed to an external solver (CPLEX, Gurobi, GLPK, HiGHS)
+//! to cross-check objective values.
+
+use std::fmt::Write as _;
+
+use crate::model::{Cmp, Model, Sense, VarId};
+
+/// Renders the model in CPLEX LP format.
+///
+/// Variables are named `x0, x1, …` in id order. Binary/integer variables
+/// are declared in `General`/`Binary` sections; bounds in `Bounds`.
+pub fn to_lp_format(model: &Model) -> String {
+    let mut out = String::new();
+    out.push_str(match model.sense() {
+        Sense::Maximize => "Maximize\n obj:",
+        Sense::Minimize => "Minimize\n obj:",
+    });
+    let mut first = true;
+    for i in 0..model.num_vars() {
+        let c = model.objective_coefficient(VarId(i));
+        if c != 0.0 {
+            push_term(&mut out, c, i, first);
+            first = false;
+        }
+    }
+    if first {
+        out.push_str(" 0 x0");
+    }
+    out.push_str("\nSubject To\n");
+    for (k, con) in model.constraints.iter().enumerate() {
+        let _ = write!(out, " c{k}:");
+        let mut first = true;
+        for &(v, coef) in &con.terms {
+            if coef != 0.0 {
+                push_term(&mut out, coef, v.index(), first);
+                first = false;
+            }
+        }
+        if first {
+            out.push_str(" 0 x0");
+        }
+        let op = match con.cmp {
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+        };
+        let _ = writeln!(out, " {op} {}", fmt_num(con.rhs));
+    }
+    out.push_str("Bounds\n");
+    for i in 0..model.num_vars() {
+        let (lb, ub) = model.bounds(VarId(i));
+        if ub.is_finite() {
+            let _ = writeln!(out, " {} <= x{} <= {}", fmt_num(lb), i, fmt_num(ub));
+        } else {
+            let _ = writeln!(out, " x{} >= {}", i, fmt_num(lb));
+        }
+    }
+    let binaries: Vec<usize> = model
+        .integer_vars()
+        .into_iter()
+        .filter(|&v| model.bounds(v) == (0.0, 1.0))
+        .map(|v| v.index())
+        .collect();
+    let generals: Vec<usize> = model
+        .integer_vars()
+        .into_iter()
+        .filter(|&v| model.bounds(v) != (0.0, 1.0))
+        .map(|v| v.index())
+        .collect();
+    if !binaries.is_empty() {
+        out.push_str("Binary\n");
+        for v in binaries {
+            let _ = writeln!(out, " x{v}");
+        }
+    }
+    if !generals.is_empty() {
+        out.push_str("General\n");
+        for v in generals {
+            let _ = writeln!(out, " x{v}");
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn push_term(out: &mut String, coef: f64, var: usize, first: bool) {
+    if first {
+        if coef < 0.0 {
+            let _ = write!(out, " -{} x{}", fmt_num(-coef), var);
+        } else {
+            let _ = write!(out, " {} x{}", fmt_num(coef), var);
+        }
+    } else if coef < 0.0 {
+        let _ = write!(out, " - {} x{}", fmt_num(-coef), var);
+    } else {
+        let _ = write!(out, " + {} x{}", fmt_num(coef), var);
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    #[test]
+    fn renders_a_small_mip() {
+        // max 3x − 2y s.t. x + y ≤ 4; x binary, 0 ≤ y ≤ 3.5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var(3.0).unwrap();
+        let y = m.add_var(0.0, Some(3.5), -2.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0)
+            .unwrap();
+        let lp = to_lp_format(&m);
+        assert!(lp.starts_with("Maximize"));
+        assert!(lp.contains("3 x0 - 2 x1"), "{lp}");
+        assert!(lp.contains("c0: 1 x0 + 1 x1 <= 4"), "{lp}");
+        assert!(lp.contains("0 <= x1 <= 3.5"), "{lp}");
+        assert!(lp.contains("Binary\n x0"), "{lp}");
+        assert!(lp.ends_with("End\n"));
+    }
+
+    #[test]
+    fn renders_all_comparison_ops_and_general_ints() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer_var(0.0, Some(9.0), 1.0).unwrap();
+        let y = m.add_var(0.0, None, 0.0).unwrap();
+        m.add_constraint(vec![(x, 2.0)], Cmp::Ge, 3.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 0.0)
+            .unwrap();
+        let lp = to_lp_format(&m);
+        assert!(lp.starts_with("Minimize"));
+        assert!(lp.contains(">= 3"));
+        assert!(lp.contains("= 0"));
+        assert!(lp.contains("General\n x0"));
+        assert!(lp.contains("x1 >= 0"));
+    }
+
+    #[test]
+    fn empty_objective_degrades_gracefully() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, Some(1.0), 0.0).unwrap();
+        m.add_constraint(vec![(x, 0.0)], Cmp::Le, 1.0).unwrap();
+        let lp = to_lp_format(&m);
+        assert!(lp.contains("obj: 0 x0"));
+        assert!(lp.contains("c0: 0 x0 <= 1"));
+    }
+}

@@ -1,0 +1,413 @@
+use std::fmt;
+
+use crate::error::SolverError;
+
+/// Identifier of a decision variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+/// Whether a variable is continuous or must take integer values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds (branch-and-bound enforces this).
+    Integer,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Variable {
+    pub(crate) lb: f64,
+    pub(crate) ub: f64, // may be +inf
+    pub(crate) objective: f64,
+    pub(crate) kind: VarKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Constraint {
+    /// Sparse row: (variable, coefficient) pairs with distinct variables.
+    pub(crate) terms: Vec<(VarId, f64)>,
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+}
+
+/// A linear (or mixed-integer linear) optimization model.
+///
+/// Variables carry finite lower bounds (default 0) and optional upper
+/// bounds, both enforced *structurally* by the bounded-variable simplex —
+/// an upper bound does not consume a constraint row, which keeps the
+/// VNF-placement ILPs compact (`X_i ≤ 1` and `Y_ij ≤ 1` are bounds, not
+/// rows).
+///
+/// # Example
+///
+/// ```
+/// # use lp_solver::{Model, Sense, Cmp};
+/// # fn main() -> Result<(), lp_solver::SolverError> {
+/// // maximize 3x + 2y  s.t.  x + y ≤ 4,  x ≤ 2,  y ≤ 3
+/// let mut m = Model::new(Sense::Maximize);
+/// let x = m.add_var(0.0, Some(2.0), 3.0)?;
+/// let y = m.add_var(0.0, Some(3.0), 2.0)?;
+/// m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0)?;
+/// let sol = lp_solver::solve_lp(&m)?.expect_optimal();
+/// assert!((sol.objective - 10.0).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Model {
+    sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]` (use `None` for
+    /// `ub = +∞`) and the given objective coefficient.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::NonFiniteValue`] if `lb` or the objective
+    ///   coefficient is not finite, or `ub` is NaN / `-∞`.
+    /// * [`SolverError::InvertedBounds`] if `lb > ub`.
+    pub fn add_var(&mut self, lb: f64, ub: Option<f64>, objective: f64) -> Result<VarId, SolverError> {
+        self.add_var_kind(lb, ub, objective, VarKind::Continuous)
+    }
+
+    /// Adds an integer variable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::add_var`].
+    pub fn add_integer_var(
+        &mut self,
+        lb: f64,
+        ub: Option<f64>,
+        objective: f64,
+    ) -> Result<VarId, SolverError> {
+        self.add_var_kind(lb, ub, objective, VarKind::Integer)
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::add_var`].
+    pub fn add_binary_var(&mut self, objective: f64) -> Result<VarId, SolverError> {
+        self.add_var_kind(0.0, Some(1.0), objective, VarKind::Integer)
+    }
+
+    fn add_var_kind(
+        &mut self,
+        lb: f64,
+        ub: Option<f64>,
+        objective: f64,
+        kind: VarKind,
+    ) -> Result<VarId, SolverError> {
+        if !lb.is_finite() {
+            return Err(SolverError::NonFiniteValue("lower bound"));
+        }
+        if !objective.is_finite() {
+            return Err(SolverError::NonFiniteValue("objective coefficient"));
+        }
+        let ub = match ub {
+            Some(u) if u.is_nan() || u == f64::NEG_INFINITY => {
+                return Err(SolverError::NonFiniteValue("upper bound"))
+            }
+            Some(u) => u,
+            None => f64::INFINITY,
+        };
+        if lb > ub {
+            return Err(SolverError::InvertedBounds {
+                var: self.vars.len(),
+                lb,
+                ub,
+            });
+        }
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            lb,
+            ub,
+            objective,
+            kind,
+        });
+        Ok(id)
+    }
+
+    /// Adds a linear constraint `Σ coefᵢ·xᵢ  cmp  rhs`.
+    ///
+    /// Repeated variables in `terms` are summed.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::UnknownVariable`] for an out-of-range variable.
+    /// * [`SolverError::NonFiniteValue`] for NaN/∞ coefficients or rhs.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> Result<(), SolverError> {
+        if !rhs.is_finite() {
+            return Err(SolverError::NonFiniteValue("rhs"));
+        }
+        // Merge duplicates while validating.
+        let mut merged: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            if v.index() >= self.vars.len() {
+                return Err(SolverError::UnknownVariable(v.index()));
+            }
+            if !c.is_finite() {
+                return Err(SolverError::NonFiniteValue("constraint coefficient"));
+            }
+            match merged.iter_mut().find(|(w, _)| *w == v) {
+                Some((_, acc)) => *acc += c,
+                None => merged.push((v, c)),
+            }
+        }
+        self.constraints.push(Constraint {
+            terms: merged,
+            cmp,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Lower and upper bound of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        let var = &self.vars[v.index()];
+        (var.lb, var.ub)
+    }
+
+    /// Objective coefficient of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn objective_coefficient(&self, v: VarId) -> f64 {
+        self.vars[v.index()].objective
+    }
+
+    /// Whether the variable is integer-constrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_integer(&self, v: VarId) -> bool {
+        self.vars[v.index()].kind == VarKind::Integer
+    }
+
+    /// Ids of all integer variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Overrides the bounds of a variable (used by branch-and-bound).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Model::add_var`].
+    pub fn set_bounds(&mut self, v: VarId, lb: f64, ub: f64) -> Result<(), SolverError> {
+        if v.index() >= self.vars.len() {
+            return Err(SolverError::UnknownVariable(v.index()));
+        }
+        if !lb.is_finite() {
+            return Err(SolverError::NonFiniteValue("lower bound"));
+        }
+        if ub.is_nan() || ub == f64::NEG_INFINITY {
+            return Err(SolverError::NonFiniteValue("upper bound"));
+        }
+        if lb > ub {
+            return Err(SolverError::InvertedBounds {
+                var: v.index(),
+                lb,
+                ub,
+            });
+        }
+        self.vars[v.index()].lb = lb;
+        self.vars[v.index()].ub = ub;
+        Ok(())
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Checks whether `x` satisfies all constraints and bounds within
+    /// tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lb - tol || xi > v.ub + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, coef)| coef * x[v.index()]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_validation() {
+        let mut m = Model::new(Sense::Maximize);
+        assert!(m.add_var(f64::NEG_INFINITY, None, 1.0).is_err());
+        assert!(m.add_var(0.0, Some(f64::NAN), 1.0).is_err());
+        assert!(m.add_var(0.0, None, f64::INFINITY).is_err());
+        assert!(matches!(
+            m.add_var(2.0, Some(1.0), 0.0),
+            Err(SolverError::InvertedBounds { .. })
+        ));
+        let v = m.add_var(1.0, Some(3.0), 2.0).unwrap();
+        assert_eq!(m.bounds(v), (1.0, 3.0));
+        assert_eq!(m.objective_coefficient(v), 2.0);
+        assert!(!m.is_integer(v));
+    }
+
+    #[test]
+    fn binary_and_integer_vars() {
+        let mut m = Model::new(Sense::Maximize);
+        let b = m.add_binary_var(1.0).unwrap();
+        let i = m.add_integer_var(0.0, Some(9.0), 1.0).unwrap();
+        let c = m.add_var(0.0, None, 1.0).unwrap();
+        assert!(m.is_integer(b));
+        assert!(m.is_integer(i));
+        assert!(!m.is_integer(c));
+        assert_eq!(m.bounds(b), (0.0, 1.0));
+        assert_eq!(m.integer_vars(), vec![b, i]);
+    }
+
+    #[test]
+    fn constraint_merges_duplicates() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, None, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (x, 2.0)], Cmp::Le, 5.0)
+            .unwrap();
+        assert_eq!(m.constraints[0].terms, vec![(x, 3.0)]);
+    }
+
+    #[test]
+    fn constraint_validation() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, None, 1.0).unwrap();
+        assert!(m
+            .add_constraint(vec![(VarId(5), 1.0)], Cmp::Le, 1.0)
+            .is_err());
+        assert!(m.add_constraint(vec![(x, f64::NAN)], Cmp::Le, 1.0).is_err());
+        assert!(m
+            .add_constraint(vec![(x, 1.0)], Cmp::Le, f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, Some(2.0), 1.0).unwrap();
+        let y = m.add_var(0.0, None, 1.0).unwrap();
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 3.0)
+            .unwrap();
+        m.add_constraint(vec![(y, 1.0)], Cmp::Ge, 1.0).unwrap();
+        assert!(m.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 2.5], 1e-9)); // violates Le
+        assert!(!m.is_feasible(&[2.5, 0.5], 1e-9)); // violates ub
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9)); // violates Ge
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // wrong arity
+        assert_eq!(m.objective_value(&[1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn set_bounds_for_branching() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_binary_var(1.0).unwrap();
+        m.set_bounds(x, 1.0, 1.0).unwrap();
+        assert_eq!(m.bounds(x), (1.0, 1.0));
+        assert!(m.set_bounds(x, 2.0, 1.0).is_err());
+        assert!(m.set_bounds(VarId(9), 0.0, 1.0).is_err());
+    }
+}

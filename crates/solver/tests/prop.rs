@@ -1,0 +1,253 @@
+//! Property-based validation of the simplex and branch-and-bound solvers
+//! against brute-force references on randomly generated models.
+
+use lp_solver::{solve_lp, solve_mip, BnbConfig, Cmp, LpOutcome, MipOutcome, Model, Sense};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random binary maximization model: n binary vars, k ≤-rows with
+/// non-negative coefficients (a packing problem, always feasible at 0).
+fn random_packing(seed: u64, n: usize, k: usize) -> Model {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|_| m.add_binary_var(rng.gen_range(1.0..20.0)).unwrap())
+        .collect();
+    for _ in 0..k {
+        let terms: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rng.gen_range(0.0..5.0)))
+            .collect();
+        let total: f64 = terms.iter().map(|(_, c)| c).sum();
+        // rhs between 20% and 80% of the total weight keeps it interesting.
+        let rhs = total * rng.gen_range(0.2..0.8);
+        m.add_constraint(terms, Cmp::Le, rhs).unwrap();
+    }
+    m
+}
+
+/// Exhaustive 2^n search for the optimal binary assignment.
+fn brute_force_binary(m: &Model) -> Option<(f64, Vec<f64>)> {
+    let n = m.num_vars();
+    assert!(n <= 20);
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for mask in 0u32..(1 << n) {
+        let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+        if m.is_feasible(&x, 1e-9) {
+            let obj = m.objective_value(&x);
+            let better = match (&best, m.sense()) {
+                (None, _) => true,
+                (Some((b, _)), Sense::Maximize) => obj > *b,
+                (Some((b, _)), Sense::Minimize) => obj < *b,
+            };
+            if better {
+                best = Some((obj, x));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mip_matches_brute_force_on_packing(seed in 0u64..5000, n in 1usize..11, k in 1usize..4) {
+        let m = random_packing(seed, n, k);
+        let brute = brute_force_binary(&m).expect("packing is feasible at 0");
+        let sol = solve_mip(&m, &BnbConfig::default()).unwrap().expect_solution();
+        prop_assert!(
+            (sol.objective - brute.0).abs() < 1e-5,
+            "bnb {} vs brute {}",
+            sol.objective,
+            brute.0
+        );
+        prop_assert!(m.is_feasible(&sol.values, 1e-6));
+        prop_assert!(sol.bound + 1e-6 >= sol.objective);
+    }
+
+    #[test]
+    fn lp_relaxation_upper_bounds_integer_optimum(seed in 0u64..5000, n in 1usize..10) {
+        let m = random_packing(seed, n, 2);
+        let lp = solve_lp(&m).unwrap().expect_optimal();
+        let brute = brute_force_binary(&m).unwrap();
+        prop_assert!(
+            lp.objective + 1e-6 >= brute.0,
+            "lp {} below ilp {}",
+            lp.objective,
+            brute.0
+        );
+        prop_assert!(m.is_feasible(&lp.values, 1e-6));
+    }
+
+    #[test]
+    fn lp_beats_random_feasible_points(seed in 0u64..5000) {
+        // Random LP with box bounds and ≤ rows; compare against sampled
+        // feasible points.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(2..7);
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|_| {
+                m.add_var(0.0, Some(rng.gen_range(0.5..5.0)), rng.gen_range(-3.0..8.0))
+                    .unwrap()
+            })
+            .collect();
+        for _ in 0..rng.gen_range(1..4) {
+            let terms: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(0.0..4.0)))
+                .collect();
+            let rhs = rng.gen_range(1.0..10.0);
+            m.add_constraint(terms, Cmp::Le, rhs).unwrap();
+        }
+        let lp = solve_lp(&m).unwrap().expect_optimal();
+        prop_assert!(m.is_feasible(&lp.values, 1e-6));
+        for _ in 0..200 {
+            let x: Vec<f64> = vars
+                .iter()
+                .map(|&v| {
+                    let (lb, ub) = m.bounds(v);
+                    rng.gen_range(lb..=ub)
+                })
+                .collect();
+            if m.is_feasible(&x, 1e-9) {
+                prop_assert!(
+                    lp.objective + 1e-6 >= m.objective_value(&x),
+                    "sampled point beats 'optimal' LP"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equality_models_solve_or_report_infeasible(seed in 0u64..2000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = Model::new(Sense::Minimize);
+        let n = rng.gen_range(2..6);
+        let vars: Vec<_> = (0..n)
+            .map(|_| m.add_var(0.0, Some(3.0), rng.gen_range(0.1..5.0)).unwrap())
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        let rhs = rng.gen_range(0.0..(3.0 * n as f64) + 2.0);
+        m.add_constraint(terms, Cmp::Eq, rhs).unwrap();
+        match solve_lp(&m).unwrap() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(m.is_feasible(&s.values, 1e-6));
+                let sum: f64 = s.values.iter().sum();
+                prop_assert!((sum - rhs).abs() < 1e-6);
+            }
+            LpOutcome::Infeasible => prop_assert!(rhs > 3.0 * n as f64 - 1e-9),
+            LpOutcome::Unbounded => prop_assert!(false, "bounded model reported unbounded"),
+        }
+    }
+
+    #[test]
+    fn minimization_mip_matches_brute_force(seed in 0u64..2000, n in 1usize..9) {
+        // Covering flavour: min cost subject to a ≥ row; may be infeasible
+        // only if all coefficients are ~0.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n)
+            .map(|_| m.add_binary_var(rng.gen_range(1.0..10.0)).unwrap())
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rng.gen_range(0.5..4.0)))
+            .collect();
+        let total: f64 = terms.iter().map(|(_, c)| c).sum();
+        let rhs = total * rng.gen_range(0.1..0.9);
+        m.add_constraint(terms, Cmp::Ge, rhs).unwrap();
+        let brute = brute_force_binary(&m);
+        match solve_mip(&m, &BnbConfig::default()).unwrap() {
+            MipOutcome::Optimal(sol) => {
+                let b = brute.expect("solver found a solution, brute force must too");
+                prop_assert!((sol.objective - b.0).abs() < 1e-5);
+            }
+            MipOutcome::Infeasible => prop_assert!(brute.is_none()),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn moderately_sized_lp_solves_quickly() {
+    // 120 vars, 40 rows — a smoke test that the dense tableau scales.
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..120)
+        .map(|_| m.add_var(0.0, Some(1.0), rng.gen_range(0.1..5.0)).unwrap())
+        .collect();
+    for _ in 0..40 {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.3) {
+                terms.push((v, rng.gen_range(0.1..2.0)));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs: f64 = terms.iter().map(|(_, c)| c).sum::<f64>() * 0.4;
+        m.add_constraint(terms, Cmp::Le, rhs).unwrap();
+    }
+    let sol = solve_lp(&m).unwrap().expect_optimal();
+    assert!(m.is_feasible(&sol.values, 1e-6));
+    assert!(sol.objective > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_duals_satisfy_strong_duality_on_packing(seed in 0u64..4000) {
+        // Random box-bounded packing LP with a known matrix; LP duality
+        // for bounded variables: opt = y·b + Σ_j max(0, c_j − y·A_j)·u_j.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(2..8);
+        let k = rng.gen_range(1..4);
+        let mut m = Model::new(Sense::Maximize);
+        let ubs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..3.0)).collect();
+        let objs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..9.0)).collect();
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_var(0.0, Some(ubs[j]), objs[j]).unwrap())
+            .collect();
+        let mut rows: Vec<(Vec<f64>, f64)> = Vec::new();
+        for _ in 0..k {
+            let coefs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..3.0)).collect();
+            let rhs = coefs.iter().sum::<f64>() * rng.gen_range(0.2..0.8) + 0.1;
+            let terms: Vec<_> = vars.iter().zip(&coefs).map(|(&v, &c)| (v, c)).collect();
+            m.add_constraint(terms, Cmp::Le, rhs).unwrap();
+            rows.push((coefs, rhs));
+        }
+        let sol = solve_lp(&m).unwrap().expect_optimal();
+        prop_assert_eq!(sol.duals.len(), k);
+        // Maximization ≤ rows: duals non-negative.
+        for &y in &sol.duals {
+            prop_assert!(y >= -1e-7, "negative dual {}", y);
+        }
+        // Strong duality with upper-bound terms.
+        let y_b: f64 = sol.duals.iter().zip(&rows).map(|(y, (_, b))| y * b).sum();
+        let bound_terms: f64 = (0..n)
+            .map(|j| {
+                let reduced = objs[j]
+                    - sol
+                        .duals
+                        .iter()
+                        .zip(&rows)
+                        .map(|(y, (coefs, _))| y * coefs[j])
+                        .sum::<f64>();
+                reduced.max(0.0) * ubs[j]
+            })
+            .sum();
+        let dual_obj = y_b + bound_terms;
+        prop_assert!(
+            (dual_obj - sol.objective).abs() < 1e-5 * (1.0 + sol.objective.abs()),
+            "dual {} vs primal {}",
+            dual_obj,
+            sol.objective
+        );
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Errors produced while constructing or querying an MEC network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A reliability value fell outside the open interval `(0, 1)`.
+    ReliabilityOutOfRange(f64),
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A link was added between a node and itself.
+    SelfLoop(NodeId),
+    /// A link between these two nodes already exists.
+    DuplicateLink(NodeId, NodeId),
+    /// A cloudlet was attached to a node that already hosts one.
+    DuplicateCloudlet(NodeId),
+    /// A link latency was not a finite, non-negative number.
+    InvalidLatency(f64),
+    /// A cloudlet capacity of zero was given.
+    ZeroCapacity,
+    /// The built network would be empty.
+    EmptyNetwork,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ReliabilityOutOfRange(v) => {
+                write!(f, "reliability {v} is outside the open interval (0, 1)")
+            }
+            TopologyError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
+            TopologyError::SelfLoop(id) => write!(f, "self-loop on node {id:?}"),
+            TopologyError::DuplicateLink(a, b) => {
+                write!(f, "link between {a:?} and {b:?} already exists")
+            }
+            TopologyError::DuplicateCloudlet(id) => {
+                write!(f, "node {id:?} already hosts a cloudlet")
+            }
+            TopologyError::InvalidLatency(v) => {
+                write!(f, "latency {v} is not a finite non-negative number")
+            }
+            TopologyError::ZeroCapacity => write!(f, "cloudlet capacity must be positive"),
+            TopologyError::EmptyNetwork => write!(f, "network has no nodes"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TopologyError::ReliabilityOutOfRange(1.5),
+            TopologyError::UnknownNode(NodeId(7)),
+            TopologyError::SelfLoop(NodeId(0)),
+            TopologyError::DuplicateLink(NodeId(1), NodeId(2)),
+            TopologyError::DuplicateCloudlet(NodeId(3)),
+            TopologyError::InvalidLatency(f64::NAN),
+            TopologyError::ZeroCapacity,
+            TopologyError::EmptyNetwork,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(TopologyError::ZeroCapacity);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Identifier of an access point (a vertex of the MEC graph).
+///
+/// Node ids are dense indices assigned in insertion order, so they can be
+/// used to index per-node arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifier of an undirected link between two access points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Identifier of a cloudlet.
+///
+/// Cloudlet ids are dense indices in insertion order; the set of cloudlets
+/// is usually much smaller than the set of APs, and scheduling code indexes
+/// per-cloudlet state (capacity ledgers, dual variables) by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CloudletId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl LinkId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl CloudletId {
+    /// Returns the underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for CloudletId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+impl From<LinkId> for usize {
+    fn from(id: LinkId) -> usize {
+        id.0
+    }
+}
+
+impl From<CloudletId> for usize {
+    fn from(id: CloudletId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(CloudletId(0) < CloudletId(9));
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(LinkId(3).to_string(), "l3");
+        assert_eq!(CloudletId(2).to_string(), "c2");
+    }
+
+    #[test]
+    fn ids_convert_to_usize() {
+        assert_eq!(usize::from(NodeId(5)), 5);
+        assert_eq!(usize::from(LinkId(6)), 6);
+        assert_eq!(usize::from(CloudletId(7)), 7);
+        assert_eq!(NodeId(5).index(), 5);
+    }
+}

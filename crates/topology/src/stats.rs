@@ -1,0 +1,224 @@
+//! Structural statistics and export helpers for MEC networks.
+
+use std::fmt;
+
+use crate::graph::Network;
+
+/// Summary of a network's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Number of APs.
+    pub nodes: usize,
+    /// Number of links.
+    pub links: usize,
+    /// Number of cloudlets.
+    pub cloudlets: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (transitivity): `3·triangles /
+    /// connected-triples`, 0 for degenerate graphs.
+    pub clustering: f64,
+    /// Diameter in hops (`None` when disconnected).
+    pub diameter: Option<usize>,
+    /// Total computing capacity across cloudlets.
+    pub total_capacity: u64,
+    /// Mean cloudlet reliability.
+    pub mean_cloudlet_reliability: f64,
+}
+
+impl NetworkStats {
+    /// Computes all statistics for a network.
+    pub fn compute(network: &Network) -> Self {
+        let nodes = network.ap_count();
+        let links = network.link_count();
+        let degrees: Vec<usize> = network.nodes().map(|v| network.degree(v)).collect();
+        let mean_degree = if nodes == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / nodes as f64
+        };
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+
+        // Triangles / triples for global clustering.
+        let mut triangles = 0usize;
+        let mut triples = 0usize;
+        for v in network.nodes() {
+            let neigh: Vec<_> = network.neighbors(v).iter().map(|&(u, _)| u).collect();
+            let d = neigh.len();
+            triples += d.saturating_sub(1) * d / 2;
+            for i in 0..neigh.len() {
+                for j in (i + 1)..neigh.len() {
+                    let a = neigh[i];
+                    let b = neigh[j];
+                    if network.neighbors(a).iter().any(|&(u, _)| u == b) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        // Each triangle is counted once per corner (3×).
+        let clustering = if triples == 0 {
+            0.0
+        } else {
+            triangles as f64 / triples as f64
+        };
+
+        let m = network.cloudlet_count();
+        let mean_cloudlet_reliability = if m == 0 {
+            0.0
+        } else {
+            network
+                .cloudlets()
+                .map(|c| c.reliability().value())
+                .sum::<f64>()
+                / m as f64
+        };
+        NetworkStats {
+            nodes,
+            links,
+            cloudlets: m,
+            mean_degree,
+            max_degree,
+            clustering,
+            diameter: network.diameter_hops(),
+            total_capacity: network.total_capacity(),
+            mean_cloudlet_reliability,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} links, {} cloudlets ({} units, mean r {:.4}), \
+             degree {:.2}/{} (mean/max), clustering {:.3}, diameter {}",
+            self.nodes,
+            self.links,
+            self.cloudlets,
+            self.total_capacity,
+            self.mean_cloudlet_reliability,
+            self.mean_degree,
+            self.max_degree,
+            self.clustering,
+            self.diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "∞".into())
+        )
+    }
+}
+
+/// Renders the network in Graphviz DOT format.
+///
+/// Cloudlet-hosting APs are drawn as boxes labelled with capacity and
+/// reliability; plain APs as circles. Link labels carry latencies.
+pub fn to_dot(network: &Network) -> String {
+    let mut out = String::from("graph mec {\n  layout=neato;\n");
+    for v in network.nodes() {
+        let name = network.node_name(v);
+        match network.cloudlet_at(v) {
+            Some(c) => out.push_str(&format!(
+                "  n{} [shape=box, label=\"{}\\ncap={} r={}\"];\n",
+                v.index(),
+                name,
+                c.capacity(),
+                c.reliability()
+            )),
+            None => out.push_str(&format!(
+                "  n{} [shape=circle, label=\"{name}\"];\n",
+                v.index()
+            )),
+        }
+    }
+    for l in network.links() {
+        let (a, b) = l.endpoints();
+        out.push_str(&format!(
+            "  n{} -- n{} [label=\"{}\"];\n",
+            a.index(),
+            b.index(),
+            l.latency()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::reliability::Reliability;
+
+    fn triangle() -> Network {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..4).map(|i| b.add_ap(format!("x{i}"))).collect();
+        b.add_link(n[0], n[1], 1.0).unwrap();
+        b.add_link(n[1], n[2], 1.0).unwrap();
+        b.add_link(n[2], n[0], 1.0).unwrap();
+        b.add_link(n[2], n[3], 2.0).unwrap();
+        b.add_cloudlet(n[0], 10, Reliability::new(0.99).unwrap())
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_of_triangle_plus_tail() {
+        let s = NetworkStats::compute(&triangle());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.links, 4);
+        assert_eq!(s.cloudlets, 1);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+        // Triangles: 1 (counted at 3 corners) → 3; triples: node2 has
+        // degree 3 → 3 triples; nodes 0,1 degree 2 → 1 each; total 5.
+        assert!((s.clustering - 3.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.diameter, Some(2));
+        assert_eq!(s.total_capacity, 10);
+        assert!((s.mean_cloudlet_reliability - 0.99).abs() < 1e-12);
+        let txt = s.to_string();
+        assert!(txt.contains("4 nodes"));
+    }
+
+    #[test]
+    fn clustering_of_tree_is_zero() {
+        let mut b = NetworkBuilder::new();
+        let n: Vec<_> = (0..5).map(|i| b.add_ap(format!("t{i}"))).collect();
+        for i in 1..5 {
+            b.add_link(n[0], n[i], 1.0).unwrap();
+        }
+        let s = NetworkStats::compute(&b.build().unwrap());
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.max_degree, 4);
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let dot = to_dot(&triangle());
+        assert!(dot.starts_with("graph mec {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("shape=box")); // the cloudlet node
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("n0 -- n1"));
+        // One node line per AP + one edge line per link.
+        assert_eq!(dot.matches("shape=").count(), 4);
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn stats_on_zoo_topologies_are_sane() {
+        use crate::generators::CloudletPlacement;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for t in crate::zoo::all() {
+            let net = t
+                .into_network(&CloudletPlacement::balanced(), &mut rng)
+                .unwrap();
+            let s = NetworkStats::compute(&net);
+            assert!(s.mean_degree >= 1.0, "{}: degree too low", t.name());
+            assert!(s.diameter.is_some(), "{}: disconnected", t.name());
+            assert!(s.clustering >= 0.0 && s.clustering <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! Real network topologies embedded from the Internet Topology Zoo.
+//!
+//! The paper's evaluation uses real topologies from Knight et al., *The
+//! Internet Topology Zoo* (JSAC 2011). This module embeds representative
+//! edge lists for five well-known research/carrier networks so experiments
+//! run fully offline. Link latencies default to 1.0 (the paper does not use
+//! latencies); cloudlet placement is randomized per experiment via
+//! [`CloudletPlacement`].
+//!
+//! # Example
+//!
+//! ```
+//! # use mec_topology::zoo;
+//! # use mec_topology::generators::CloudletPlacement;
+//! # use rand::SeedableRng;
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let net = zoo::abilene()
+//!     .into_network(&CloudletPlacement::balanced(), &mut rng)
+//!     .unwrap();
+//! assert!(net.is_connected());
+//! ```
+
+use rand::Rng;
+
+use crate::builder::NetworkBuilder;
+use crate::error::TopologyError;
+use crate::generators::CloudletPlacement;
+use crate::graph::Network;
+use crate::ids::NodeId;
+
+/// An embedded topology: node names plus an undirected edge list.
+#[derive(Debug, Clone)]
+pub struct ZooTopology {
+    name: &'static str,
+    nodes: &'static [&'static str],
+    edges: &'static [(usize, usize)],
+}
+
+impl ZooTopology {
+    /// Dataset name (as in the Topology Zoo).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node names in id order.
+    pub fn node_names(&self) -> &'static [&'static str] {
+        self.nodes
+    }
+
+    /// Edge list as pairs of node indices.
+    pub fn edges(&self) -> &'static [(usize, usize)] {
+        self.edges
+    }
+
+    /// Materializes the topology into a [`Network`], attaching cloudlets
+    /// according to `placement` using `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (none occur for the embedded data) and
+    /// placement validation errors.
+    pub fn into_network<R: Rng + ?Sized>(
+        &self,
+        placement: &CloudletPlacement,
+        rng: &mut R,
+    ) -> Result<Network, TopologyError> {
+        let mut b = NetworkBuilder::new();
+        for &n in self.nodes {
+            b.add_ap(n);
+        }
+        for &(u, v) in self.edges {
+            b.add_link(NodeId(u), NodeId(v), 1.0)?;
+        }
+        placement.apply(&mut b, rng)?;
+        b.build()
+    }
+}
+
+/// All embedded topologies, smallest first.
+pub fn all() -> Vec<ZooTopology> {
+    vec![
+        abilene(),
+        cesnet(),
+        nsfnet(),
+        aarnet(),
+        garr(),
+        att_na(),
+        geant(),
+    ]
+}
+
+/// CESNET — the Czech national research network (12 nodes, 13 links),
+/// an early-2000s snapshot from the Topology Zoo.
+pub fn cesnet() -> ZooTopology {
+    ZooTopology {
+        name: "CESNET",
+        nodes: &[
+            "Praha",
+            "Brno",
+            "Ostrava",
+            "Plzen",
+            "HradecKralove",
+            "CeskeBudejovice",
+            "Liberec",
+            "Olomouc",
+            "UstiNadLabem",
+            "Pardubice",
+            "Zlin",
+            "Karvina",
+        ],
+        edges: &[
+            (0, 1),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (0, 8),
+            (1, 2),
+            (1, 7),
+            (1, 10),
+            (2, 11),
+            (4, 9),
+            (4, 6),
+            (7, 2),
+        ],
+    }
+}
+
+/// GARR — the Italian research and education network (21 nodes,
+/// 25 links), following the Topology-Zoo "Garr199901"-era structure.
+pub fn garr() -> ZooTopology {
+    ZooTopology {
+        name: "GARR",
+        nodes: &[
+            "Milano",
+            "Torino",
+            "Genova",
+            "Padova",
+            "Venezia",
+            "Trieste",
+            "Bologna",
+            "Firenze",
+            "Pisa",
+            "Roma1",
+            "Roma2",
+            "Napoli",
+            "Bari",
+            "Salerno",
+            "Cosenza",
+            "Palermo",
+            "Catania",
+            "Cagliari",
+            "Perugia",
+            "Ancona",
+            "Pescara",
+        ],
+        edges: &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 6),
+            (1, 2),
+            (3, 4),
+            (4, 5),
+            (3, 6),
+            (6, 7),
+            (6, 19),
+            (7, 8),
+            (7, 9),
+            (8, 2),
+            (9, 10),
+            (9, 11),
+            (9, 17),
+            (9, 18),
+            (10, 12),
+            (11, 13),
+            (11, 15),
+            (12, 20),
+            (13, 14),
+            (14, 16),
+            (15, 16),
+            (19, 20),
+        ],
+    }
+}
+
+/// Abilene — the Internet2 backbone (11 PoPs, 14 links).
+pub fn abilene() -> ZooTopology {
+    ZooTopology {
+        name: "Abilene",
+        nodes: &[
+            "Seattle",
+            "Sunnyvale",
+            "LosAngeles",
+            "Denver",
+            "KansasCity",
+            "Houston",
+            "Chicago",
+            "Indianapolis",
+            "Atlanta",
+            "WashingtonDC",
+            "NewYork",
+        ],
+        edges: &[
+            (0, 1),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 5),
+            (3, 4),
+            (4, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (6, 10),
+            (9, 10),
+        ],
+    }
+}
+
+/// NSFNET T1 backbone (14 nodes, 21 links).
+pub fn nsfnet() -> ZooTopology {
+    ZooTopology {
+        name: "NSFNET",
+        nodes: &[
+            "Seattle",
+            "PaloAlto",
+            "SanDiego",
+            "SaltLakeCity",
+            "Boulder",
+            "Houston",
+            "Lincoln",
+            "Champaign",
+            "Pittsburgh",
+            "Atlanta",
+            "AnnArbor",
+            "Ithaca",
+            "Princeton",
+            "CollegePark",
+        ],
+        edges: &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 7),
+            (2, 5),
+            (3, 4),
+            (3, 10),
+            (4, 5),
+            (4, 6),
+            (5, 9),
+            (5, 13),
+            (6, 7),
+            (6, 10),
+            (7, 8),
+            (8, 9),
+            (8, 11),
+            (9, 13),
+            (10, 11),
+            (11, 12),
+            (12, 13),
+        ],
+    }
+}
+
+/// AARNet — Australia's research and education network (19 nodes, 24 links).
+pub fn aarnet() -> ZooTopology {
+    ZooTopology {
+        name: "AARNet",
+        nodes: &[
+            "Adelaide1",
+            "Adelaide2",
+            "AliceSprings",
+            "Armidale",
+            "Brisbane1",
+            "Brisbane2",
+            "Cairns",
+            "Canberra1",
+            "Canberra2",
+            "Darwin",
+            "Hobart",
+            "Mackay",
+            "Melbourne1",
+            "Melbourne2",
+            "Perth1",
+            "Perth2",
+            "Rockhampton",
+            "Sydney1",
+            "Sydney2",
+        ],
+        edges: &[
+            (0, 1),
+            (0, 2),
+            (0, 12),
+            (1, 13),
+            (1, 14),
+            (2, 9),
+            (3, 17),
+            (3, 4),
+            (4, 5),
+            (4, 16),
+            (5, 17),
+            (5, 9),
+            (6, 16),
+            (6, 11),
+            (7, 8),
+            (7, 17),
+            (8, 12),
+            (10, 12),
+            (10, 13),
+            (11, 16),
+            (12, 13),
+            (14, 15),
+            (15, 0),
+            (17, 18),
+            (18, 13),
+        ],
+    }
+}
+
+/// AT&T North America IP backbone (25 PoPs, 56 links), as catalogued in the
+/// Topology Zoo ("AttMpls").
+pub fn att_na() -> ZooTopology {
+    ZooTopology {
+        name: "ATT-NA",
+        nodes: &[
+            "Seattle",
+            "Portland",
+            "SanFrancisco",
+            "SanJose",
+            "LosAngeles",
+            "SanDiego",
+            "Phoenix",
+            "SaltLakeCity",
+            "Denver",
+            "Albuquerque",
+            "Dallas",
+            "Houston",
+            "SanAntonio",
+            "KansasCity",
+            "StLouis",
+            "Chicago",
+            "Detroit",
+            "Indianapolis",
+            "Nashville",
+            "Atlanta",
+            "Orlando",
+            "Miami",
+            "WashingtonDC",
+            "Philadelphia",
+            "NewYork",
+        ],
+        edges: &[
+            (0, 1),
+            (0, 2),
+            (0, 7),
+            (0, 15),
+            (1, 2),
+            (1, 7),
+            (2, 3),
+            (2, 4),
+            (2, 7),
+            (2, 8),
+            (2, 15),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (4, 6),
+            (4, 9),
+            (4, 10),
+            (4, 15),
+            (4, 24),
+            (5, 6),
+            (6, 9),
+            (6, 10),
+            (7, 8),
+            (8, 9),
+            (8, 13),
+            (8, 15),
+            (9, 10),
+            (10, 11),
+            (10, 12),
+            (10, 13),
+            (10, 14),
+            (10, 15),
+            (10, 19),
+            (10, 22),
+            (11, 12),
+            (11, 19),
+            (11, 21),
+            (13, 14),
+            (13, 15),
+            (14, 15),
+            (14, 17),
+            (14, 18),
+            (15, 16),
+            (15, 17),
+            (15, 22),
+            (15, 24),
+            (16, 17),
+            (16, 24),
+            (17, 18),
+            (18, 19),
+            (19, 20),
+            (19, 22),
+            (20, 21),
+            (22, 23),
+            (22, 24),
+            (23, 24),
+        ],
+    }
+}
+
+/// GÉANT — the pan-European research network (34 nodes, 52 links),
+/// following the 2009 snapshot in the Topology Zoo.
+pub fn geant() -> ZooTopology {
+    ZooTopology {
+        name: "GEANT",
+        nodes: &[
+            "Austria",
+            "Belgium",
+            "Bulgaria",
+            "Croatia",
+            "Cyprus",
+            "CzechRepublic",
+            "Denmark",
+            "Estonia",
+            "Finland",
+            "France",
+            "Germany",
+            "Greece",
+            "Hungary",
+            "Iceland",
+            "Ireland",
+            "Israel",
+            "Italy",
+            "Latvia",
+            "Lithuania",
+            "Luxembourg",
+            "Malta",
+            "Netherlands",
+            "Norway",
+            "Poland",
+            "Portugal",
+            "Romania",
+            "Russia",
+            "Slovakia",
+            "Slovenia",
+            "Spain",
+            "Sweden",
+            "Switzerland",
+            "Turkey",
+            "UnitedKingdom",
+        ],
+        edges: &[
+            (0, 5),
+            (0, 10),
+            (0, 12),
+            (0, 16),
+            (0, 28),
+            (0, 27),
+            (1, 9),
+            (1, 21),
+            (1, 19),
+            (2, 11),
+            (2, 25),
+            (2, 12),
+            (3, 12),
+            (3, 28),
+            (4, 11),
+            (4, 15),
+            (5, 10),
+            (5, 23),
+            (5, 27),
+            (6, 10),
+            (6, 22),
+            (6, 30),
+            (6, 13),
+            (7, 17),
+            (7, 8),
+            (8, 30),
+            (9, 10),
+            (9, 29),
+            (9, 31),
+            (9, 33),
+            (10, 21),
+            (10, 16),
+            (10, 26),
+            (10, 31),
+            (11, 16),
+            (12, 25),
+            (13, 33),
+            (14, 33),
+            (15, 16),
+            (16, 31),
+            (16, 20),
+            (17, 18),
+            (18, 23),
+            (19, 10),
+            (21, 33),
+            (21, 30),
+            (22, 30),
+            (23, 10),
+            (24, 29),
+            (24, 33),
+            (2, 32),
+            (26, 30),
+            (29, 31),
+            (32, 11),
+            (32, 25),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn materialize(t: &ZooTopology) -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        t.into_network(&CloudletPlacement::balanced(), &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn all_topologies_are_connected_and_self_consistent() {
+        for t in all() {
+            // Edge indices in range, no self loops, no duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for &(u, v) in t.edges() {
+                assert!(u < t.node_count(), "{}: edge ({u},{v}) out of range", t.name());
+                assert!(v < t.node_count(), "{}: edge ({u},{v}) out of range", t.name());
+                assert_ne!(u, v, "{}: self loop", t.name());
+                assert!(
+                    seen.insert((u.min(v), u.max(v))),
+                    "{}: duplicate edge ({u},{v})",
+                    t.name()
+                );
+            }
+            let net = materialize(&t);
+            assert!(net.is_connected(), "{} disconnected", t.name());
+            assert_eq!(net.ap_count(), t.node_count());
+            assert_eq!(net.link_count(), t.edge_count());
+            assert!(net.cloudlet_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn expected_sizes() {
+        assert_eq!(abilene().node_count(), 11);
+        assert_eq!(abilene().edge_count(), 14);
+        assert_eq!(cesnet().node_count(), 12);
+        assert_eq!(nsfnet().node_count(), 14);
+        assert_eq!(nsfnet().edge_count(), 21);
+        assert_eq!(aarnet().node_count(), 19);
+        assert_eq!(garr().node_count(), 21);
+        assert_eq!(att_na().node_count(), 25);
+        assert_eq!(geant().node_count(), 34);
+        assert_eq!(all().len(), 7);
+    }
+
+    #[test]
+    fn node_names_are_unique() {
+        for t in all() {
+            let set: std::collections::HashSet<_> = t.node_names().iter().collect();
+            assert_eq!(set.len(), t.node_count(), "{} has duplicate names", t.name());
+        }
+    }
+
+    #[test]
+    fn abilene_diameter_is_reasonable() {
+        let net = materialize(&abilene());
+        let d = net.diameter_hops().unwrap();
+        assert!(d >= 3 && d <= 6, "diameter {d}");
+    }
+}

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use mec_topology::TopologyError;
+
+/// Errors produced while constructing requests or workloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A request duration of zero slots was given.
+    ZeroDuration,
+    /// A payment was not a finite positive number.
+    InvalidPayment(f64),
+    /// A VNF compute demand of zero units was given.
+    ZeroCompute,
+    /// The request window `[a_i, a_i + d_i)` does not fit inside the horizon.
+    WindowOutsideHorizon {
+        /// Arrival slot of the offending request.
+        arrival: usize,
+        /// Duration of the offending request.
+        duration: usize,
+        /// Horizon length it failed to fit into.
+        horizon: usize,
+    },
+    /// A reliability value fell outside `(0, 1)`.
+    Reliability(TopologyError),
+    /// The VNF catalog is empty, or a referenced type is missing.
+    UnknownVnfType(usize),
+    /// A generator parameter was out of its documented range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ZeroDuration => write!(f, "request duration must be at least one slot"),
+            WorkloadError::InvalidPayment(p) => {
+                write!(f, "payment {p} is not a finite positive number")
+            }
+            WorkloadError::ZeroCompute => write!(f, "vnf compute demand must be positive"),
+            WorkloadError::WindowOutsideHorizon {
+                arrival,
+                duration,
+                horizon,
+            } => write!(
+                f,
+                "window [{arrival}, {arrival}+{duration}) does not fit in horizon of {horizon} slots"
+            ),
+            WorkloadError::Reliability(e) => write!(f, "invalid reliability: {e}"),
+            WorkloadError::UnknownVnfType(i) => write!(f, "unknown vnf type index {i}"),
+            WorkloadError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Reliability(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for WorkloadError {
+    fn from(e: TopologyError) -> Self {
+        WorkloadError::Reliability(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let errs: Vec<WorkloadError> = vec![
+            WorkloadError::ZeroDuration,
+            WorkloadError::InvalidPayment(-3.0),
+            WorkloadError::ZeroCompute,
+            WorkloadError::WindowOutsideHorizon {
+                arrival: 9,
+                duration: 3,
+                horizon: 10,
+            },
+            WorkloadError::UnknownVnfType(4),
+            WorkloadError::InvalidParameter("pr_min"),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn reliability_error_has_source() {
+        let e = WorkloadError::from(TopologyError::ReliabilityOutOfRange(2.0));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("invalid reliability"));
+    }
+}

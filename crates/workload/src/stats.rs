@@ -1,0 +1,152 @@
+//! Descriptive statistics for request streams.
+//!
+//! Used by reports and by the experiment harness to sanity-check that a
+//! generated workload has the intended shape (load profile, payment-rate
+//! spread `H`, demand volume vs. network capacity).
+
+use std::fmt;
+
+use crate::request::Request;
+use crate::time::Horizon;
+use crate::vnf::VnfCatalog;
+
+/// Aggregate statistics of a request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of requests.
+    pub count: usize,
+    /// Sum of payments (the revenue ceiling).
+    pub total_payment: f64,
+    /// Minimum payment rate observed.
+    pub min_rate: f64,
+    /// Maximum payment rate observed.
+    pub max_rate: f64,
+    /// Mean duration in slots.
+    pub mean_duration: f64,
+    /// Total demanded unit-slots assuming one instance per request
+    /// (`Σ c(f_i)·d_i`) — a lower bound, since backups multiply it.
+    pub unit_slots: u64,
+    /// Per-slot count of active requests (the offered-load profile).
+    pub load_profile: Vec<usize>,
+}
+
+impl WorkloadStats {
+    /// Computes statistics for a stream against a catalog and horizon.
+    ///
+    /// Requests referencing unknown VNF types are skipped (they can never
+    /// be admitted anyway).
+    pub fn compute(requests: &[Request], catalog: &VnfCatalog, horizon: Horizon) -> Self {
+        let mut total_payment = 0.0;
+        let mut min_rate = f64::INFINITY;
+        let mut max_rate: f64 = 0.0;
+        let mut dur_total = 0usize;
+        let mut unit_slots = 0u64;
+        let mut load_profile = vec![0usize; horizon.len()];
+        let mut count = 0usize;
+        for r in requests {
+            let Some(vnf) = catalog.get(r.vnf()) else {
+                continue;
+            };
+            count += 1;
+            total_payment += r.payment();
+            let rate = r.payment_rate(vnf);
+            min_rate = min_rate.min(rate);
+            max_rate = max_rate.max(rate);
+            dur_total += r.duration();
+            unit_slots += vnf.compute() * r.duration() as u64;
+            for t in r.slots() {
+                if t < load_profile.len() {
+                    load_profile[t] += 1;
+                }
+            }
+        }
+        WorkloadStats {
+            count,
+            total_payment,
+            min_rate: if count == 0 { 0.0 } else { min_rate },
+            max_rate,
+            mean_duration: if count == 0 {
+                0.0
+            } else {
+                dur_total as f64 / count as f64
+            },
+            unit_slots,
+            load_profile,
+        }
+    }
+
+    /// Observed payment-rate spread `H = max_rate / min_rate`.
+    pub fn rate_spread(&self) -> f64 {
+        if self.min_rate > 0.0 {
+            self.max_rate / self.min_rate
+        } else {
+            0.0
+        }
+    }
+
+    /// Peak concurrent requests across the horizon.
+    pub fn peak_load(&self) -> usize {
+        self.load_profile.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} requests, Σpay {:.1}, rates [{:.2}, {:.2}] (H {:.1}), \
+             mean duration {:.2}, {} unit-slots, peak load {}",
+            self.count,
+            self.total_payment,
+            self.min_rate,
+            self.max_rate,
+            self.rate_spread(),
+            self.mean_duration,
+            self.unit_slots,
+            self.peak_load()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::RequestGenerator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stats_reflect_generator_settings() {
+        let h = Horizon::new(30);
+        let catalog = VnfCatalog::standard();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let reqs = RequestGenerator::new(h)
+            .payment_rate_band(2.0, 8.0)
+            .unwrap()
+            .generate(400, &catalog, &mut rng)
+            .unwrap();
+        let s = WorkloadStats::compute(&reqs, &catalog, h);
+        assert_eq!(s.count, 400);
+        assert!(s.min_rate >= 2.0 - 1e-9);
+        assert!(s.max_rate <= 8.0 + 1e-9);
+        assert!(s.rate_spread() <= 4.0 + 1e-6);
+        assert!(s.mean_duration >= 1.0);
+        assert!(s.unit_slots > 0);
+        assert_eq!(s.load_profile.len(), 30);
+        // Load profile sums to Σ durations.
+        let total: usize = s.load_profile.iter().sum();
+        let dur: usize = reqs.iter().map(|r| r.duration()).sum();
+        assert_eq!(total, dur);
+        assert!(s.peak_load() >= total / 30);
+        assert!(s.to_string().contains("400 requests"));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = WorkloadStats::compute(&[], &VnfCatalog::standard(), Horizon::new(5));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.rate_spread(), 0.0);
+        assert_eq!(s.peak_load(), 0);
+        assert_eq!(s.mean_duration, 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// A discrete time slot. Slots are 0-indexed internally; the paper's
+/// `T = {1, …, T}` maps to `0..T`.
+pub type TimeSlot = usize;
+
+/// The slotted monitoring period `T`.
+///
+/// Requests are only considered when their whole execution window fits
+/// inside the horizon (`a_i + d_i − 1 ∈ T` in the paper's notation).
+///
+/// # Example
+///
+/// ```
+/// # use mec_workload::Horizon;
+/// let h = Horizon::new(10);
+/// assert_eq!(h.len(), 10);
+/// assert!(h.contains_window(8, 2));
+/// assert!(!h.contains_window(9, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Horizon {
+    slots: usize,
+}
+
+impl Horizon {
+    /// Creates a horizon of `slots` time slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`; a zero-length monitoring period admits no
+    /// requests and always indicates a configuration bug.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "horizon must have at least one slot");
+        Horizon { slots }
+    }
+
+    /// Number of slots `T`.
+    pub fn len(&self) -> usize {
+        self.slots
+    }
+
+    /// Always false; a horizon has at least one slot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all slots `0..T`.
+    pub fn slots(&self) -> std::ops::Range<TimeSlot> {
+        0..self.slots
+    }
+
+    /// Whether slot `t` lies inside the horizon.
+    pub fn contains(&self, t: TimeSlot) -> bool {
+        t < self.slots
+    }
+
+    /// Whether the window starting at `arrival` with `duration` slots fits.
+    pub fn contains_window(&self, arrival: TimeSlot, duration: usize) -> bool {
+        duration > 0
+            && arrival < self.slots
+            && arrival.checked_add(duration).is_some_and(|end| end <= self.slots)
+    }
+}
+
+impl fmt::Display for Horizon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "horizon[0..{})", self.slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_containment() {
+        let h = Horizon::new(5);
+        assert!(h.contains_window(0, 5));
+        assert!(h.contains_window(4, 1));
+        assert!(!h.contains_window(4, 2));
+        assert!(!h.contains_window(5, 1));
+        assert!(!h.contains_window(0, 0));
+        assert!(!h.contains_window(0, usize::MAX)); // overflow-safe
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_horizon_panics() {
+        Horizon::new(0);
+    }
+
+    #[test]
+    fn slots_iterate_all() {
+        let h = Horizon::new(3);
+        assert_eq!(h.slots().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(h.contains(2));
+        assert!(!h.contains(3));
+        assert!(!h.is_empty());
+        assert_eq!(h.to_string(), "horizon[0..3)");
+    }
+}

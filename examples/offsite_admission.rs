@@ -1,0 +1,89 @@
+//! Off-site scheme: geographic redundancy lets requests demand *more*
+//! reliability than any single cloudlet offers — the on-site scheme
+//! admits nothing here, while Algorithm 2 and the off-site greedy serve
+//! the same users by replicating across independent cloudlets.
+//!
+//! Run with: `cargo run --example offsite_admission`
+
+use mec_sim::Simulation;
+use mec_topology::{NetworkBuilder, Reliability};
+use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::offsite::offline::{self, OfflineConfig};
+use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
+use vnfrel::{Placement, ProblemInstance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six cloudlets, none more reliable than 0.97 — yet requests will ask
+    // for up to 0.99.
+    let mut b = NetworkBuilder::new();
+    let mut prev = None;
+    for (i, rel) in [0.97, 0.96, 0.95, 0.94, 0.93, 0.92].iter().enumerate() {
+        let ap = b.add_ap(format!("edge-{i}"));
+        if let Some(p) = prev {
+            b.add_link(p, ap, 1.0)?;
+        }
+        prev = Some(ap);
+        b.add_cloudlet(ap, 15, Reliability::new(*rel)?)?;
+    }
+    let instance = ProblemInstance::new(b.build()?, VnfCatalog::standard(), Horizon::new(24))?;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let requests = RequestGenerator::new(instance.horizon())
+        .reliability_band(0.975, 0.995)? // above every single cloudlet!
+        .payment_rate_band(1.0, 10.0)?
+        .generate(400, instance.catalog(), &mut rng)?;
+
+    let sim = Simulation::new(&instance, &requests)?;
+
+    // The on-site scheme is helpless here: every requirement exceeds
+    // every cloudlet's own reliability, so no replica count can help.
+    let mut alg1 = vnfrel::onsite::OnsitePrimalDual::new(
+        &instance,
+        vnfrel::onsite::CapacityPolicy::Enforce,
+    )?;
+    let r1 = sim.run(&mut alg1)?;
+    println!(
+        "on-site (any algorithm): admitted {}/{} — the cloudlet reliability ceiling bites",
+        r1.metrics.admitted,
+        requests.len()
+    );
+    assert_eq!(r1.metrics.admitted, 0);
+
+    let mut alg2 = OffsitePrimalDual::new(&instance);
+    let r2 = sim.run(&mut alg2)?;
+    println!("{}", r2.metrics);
+    assert!(r2.validation.is_feasible());
+
+    let mut greedy = OffsiteGreedy::new(&instance);
+    let rg = sim.run(&mut greedy)?;
+    println!("{}", rg.metrics);
+
+    // How many sites did admitted requests need?
+    let mut by_count = std::collections::BTreeMap::<usize, usize>::new();
+    for (_, p) in r2.schedule.iter() {
+        if let Some(Placement::OffSite { cloudlets }) = p {
+            *by_count.entry(cloudlets.len()).or_default() += 1;
+        }
+    }
+    println!("\ninstances per admitted request (algorithm 2):");
+    for (sites, count) in by_count {
+        println!("  {sites} site(s): {count} requests");
+    }
+
+    let off = offline::solve(
+        &instance,
+        &requests,
+        &OfflineConfig {
+            lp_only: true,
+            ..OfflineConfig::default()
+        },
+    )?;
+    println!(
+        "\nLP upper bound on the offline optimum: {:.2} (alg2 reaches {:.1}%)",
+        off.upper_bound,
+        100.0 * r2.metrics.revenue / off.upper_bound
+    );
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Cross-crate invariants: quantities computed independently in
+//! different crates must agree (ledger vs validator, schedule revenue vs
+//! validator revenue, analytical availability vs Monte-Carlo estimate,
+//! LP bound vs exact ILP).
+
+use mec_sim::{failure, Simulation};
+use mec_topology::generators::{self, CloudletPlacement};
+use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::onsite::offline::OfflineConfig;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+use vnfrel::reliability::{offsite_availability, onsite_availability, onsite_instances};
+use vnfrel::{OnlineScheduler, Placement, ProblemInstance};
+
+fn build(seed: u64, n: usize) -> (ProblemInstance, Vec<mec_workload::Request>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let placement = CloudletPlacement {
+        fraction: 0.7,
+        capacity: (20, 50),
+        reliability: (0.99, 0.9999),
+    };
+    let net = generators::grid(3, 4, &placement, &mut rng).unwrap();
+    let instance = ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(14)).unwrap();
+    let reqs = RequestGenerator::new(instance.horizon())
+        .generate(n, instance.catalog(), &mut rng)
+        .unwrap();
+    (instance, reqs)
+}
+
+#[test]
+fn scheduler_ledger_agrees_with_independent_validator() {
+    let (instance, reqs) = build(3, 150);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+    let mut alg = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let report = sim.run(&mut alg).unwrap();
+    // Validator recomputes revenue and overflow from scratch.
+    assert!((report.validation.recomputed_revenue - report.schedule.revenue()).abs() < 1e-9);
+    assert!((report.validation.max_overflow - alg.ledger().max_overflow()).abs() < 1e-9);
+}
+
+#[test]
+fn every_admitted_placement_is_minimal_or_better_onsite() {
+    // Algorithm 1 places exactly N_ij instances — never more than the
+    // formula requires.
+    let (instance, reqs) = build(5, 120);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+    let mut alg = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let report = sim.run(&mut alg).unwrap();
+    for r in &reqs {
+        if let Some(Placement::OnSite {
+            cloudlet,
+            instances,
+        }) = report.schedule.placement(r.id())
+        {
+            let vnf = instance.catalog().get(r.vnf()).unwrap();
+            let c = instance.network().cloudlet(*cloudlet).unwrap();
+            let needed = onsite_instances(
+                vnf.reliability(),
+                c.reliability(),
+                r.reliability_requirement(),
+            )
+            .expect("admitted ⇒ eligible");
+            assert_eq!(*instances, needed, "placement is not minimal for {}", r.id());
+            // Minimality cross-check with the availability formula.
+            assert!(
+                onsite_availability(vnf.reliability(), c.reliability(), needed)
+                    >= r.reliability_requirement().value()
+            );
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_matches_analytical_availability() {
+    let (instance, reqs) = build(7, 60);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+    let mut alg = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let schedule = sim.run(&mut alg).unwrap().schedule;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let report =
+        failure::inject_failures(&instance, &reqs, &schedule, 60_000, &mut rng).unwrap();
+    for ra in &report.requests {
+        let r = &reqs[ra.request.index()];
+        let vnf = instance.catalog().get(r.vnf()).unwrap();
+        let analytical = match schedule.placement(r.id()).unwrap() {
+            Placement::OnSite {
+                cloudlet,
+                instances,
+            } => {
+                let c = instance.network().cloudlet(*cloudlet).unwrap();
+                onsite_availability(vnf.reliability(), c.reliability(), *instances)
+            }
+            Placement::OffSite { cloudlets } => {
+                let rels = cloudlets
+                    .iter()
+                    .map(|&c| instance.network().cloudlet(c).unwrap().reliability());
+                offsite_availability(vnf.reliability(), rels)
+            }
+        };
+        assert!(
+            (ra.measured - analytical).abs() < 5.0 * ra.standard_error().max(1e-4),
+            "{}: measured {} vs analytical {}",
+            ra.request,
+            ra.measured,
+            analytical
+        );
+    }
+}
+
+#[test]
+fn lp_bound_brackets_exact_optimum() {
+    let (instance, reqs) = build(9, 25);
+    let exact =
+        vnfrel::onsite::offline::solve(&instance, &reqs, &OfflineConfig::default()).unwrap();
+    assert!(exact.exact);
+    let lp = vnfrel::onsite::offline::solve(
+        &instance,
+        &reqs,
+        &OfflineConfig {
+            lp_only: true,
+            ..OfflineConfig::default()
+        },
+    )
+    .unwrap();
+    let opt = exact.revenue();
+    assert!(lp.upper_bound + 1e-6 >= opt);
+    // The LP bound should not be wildly loose on packing instances.
+    assert!(
+        lp.upper_bound <= opt * 1.5 + 1e-6,
+        "LP bound {} vs OPT {} looks wrong",
+        lp.upper_bound,
+        opt
+    );
+}
+
+#[test]
+fn dual_objective_brackets_exact_optimum() {
+    // Weak duality chain (Theorem 1): alg1 revenue ≤ OPT ≤ dual objective.
+    let (instance, reqs) = build(13, 25);
+    let mut alg = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let schedule = vnfrel::run_online(&mut alg, &reqs).unwrap();
+    let exact =
+        vnfrel::onsite::offline::solve(&instance, &reqs, &OfflineConfig::default()).unwrap();
+    assert!(exact.exact);
+    assert!(schedule.revenue() <= exact.revenue() + 1e-6);
+    assert!(
+        exact.revenue() <= alg.dual_objective() + 1e-6,
+        "OPT {} exceeds dual bound {}",
+        exact.revenue(),
+        alg.dual_objective()
+    );
+}

@@ -1,0 +1,71 @@
+//! Reproducibility: identical seeds must give bit-identical topologies,
+//! workloads, schedules, and sweep tables — the property every
+//! experiment in EXPERIMENTS.md relies on.
+
+use mec_sim::Simulation;
+use mec_topology::generators::{self, CloudletPlacement};
+use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::offsite::OffsitePrimalDual;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+use vnfrel::ProblemInstance;
+use vnfrel_bench::{Scenario, ScenarioParams};
+
+#[test]
+fn identical_seeds_identical_schedules() {
+    let run = |seed: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let placement = CloudletPlacement {
+            fraction: 0.6,
+            capacity: (20, 40),
+            reliability: (0.99, 0.9999),
+        };
+        let net = generators::waxman(15, 0.5, 0.3, &placement, &mut rng).unwrap();
+        let instance =
+            ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(12)).unwrap();
+        let reqs = RequestGenerator::new(instance.horizon())
+            .generate(80, instance.catalog(), &mut rng)
+            .unwrap();
+        let sim = Simulation::new(&instance, &reqs).unwrap();
+        let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+        let r1 = sim.run(&mut alg1).unwrap();
+        let mut alg2 = OffsitePrimalDual::new(&instance);
+        let r2 = sim.run(&mut alg2).unwrap();
+        (r1.schedule, r2.schedule, r1.metrics.revenue, r2.metrics.revenue)
+    };
+    let a = run(5150);
+    let b = run(5150);
+    assert_eq!(a.0, b.0, "on-site schedules differ across identical runs");
+    assert_eq!(a.1, b.1, "off-site schedules differ across identical runs");
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+
+    let c = run(5151);
+    // Different seeds should (overwhelmingly) give different outcomes.
+    assert!(a.2 != c.2 || a.3 != c.3, "different seeds gave identical revenue");
+}
+
+#[test]
+fn scenario_harness_is_deterministic() {
+    let params = ScenarioParams {
+        requests: 120,
+        h_ratio: 3.0,
+        k_ratio: 1.05,
+        seed: 42,
+    };
+    let s1 = Scenario::build(&params);
+    let s2 = Scenario::build(&params);
+    assert_eq!(s1.requests, s2.requests);
+    assert_eq!(s1.alg1_revenue(), s2.alg1_revenue());
+    assert_eq!(s1.alg2_revenue(), s2.alg2_revenue());
+    assert_eq!(s1.greedy_onsite_revenue(), s2.greedy_onsite_revenue());
+    assert_eq!(s1.greedy_offsite_revenue(), s2.greedy_offsite_revenue());
+}
+
+#[test]
+fn sweep_tables_are_reproducible() {
+    let t1 = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 60, &[7, 8]);
+    let t2 = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 60, &[7, 8]);
+    assert_eq!(t1, t2);
+}

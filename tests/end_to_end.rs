@@ -1,0 +1,202 @@
+//! End-to-end integration tests spanning all crates: build a real
+//! topology, generate a workload, run every scheduler, validate every
+//! schedule, and check the paper's qualitative claims at small scale.
+
+use mec_sim::{failure, Simulation};
+use mec_topology::generators::CloudletPlacement;
+use mec_topology::zoo;
+use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
+use vnfrel::onsite::offline::OfflineConfig;
+use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
+use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
+
+/// NSFNET with deliberately small cloudlets: the scarcity regime where
+/// the paper's Figure 1 separation between the primal-dual algorithms
+/// and greedy shows up (see EXPERIMENTS.md on capacity calibration).
+fn build(seed: u64, requests: usize) -> (ProblemInstance, Vec<mec_workload::Request>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let placement = CloudletPlacement {
+        fraction: 0.5,
+        capacity: (8, 12),
+        reliability: (0.99, 0.9999),
+    };
+    let net = zoo::nsfnet().into_network(&placement, &mut rng).unwrap();
+    let instance =
+        ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(20)).unwrap();
+    let reqs = RequestGenerator::new(instance.horizon())
+        .reliability_band(0.9, 0.95)
+        .unwrap()
+        .payment_rate_band(1.0, 10.0)
+        .unwrap()
+        .generate(requests, instance.catalog(), &mut rng)
+        .unwrap();
+    (instance, reqs)
+}
+
+#[test]
+fn all_four_online_schedulers_run_feasibly_on_nsfnet() {
+    let (instance, reqs) = build(17, 200);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+
+    let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let mut g1 = OnsiteGreedy::new(&instance);
+    let mut alg2 = OffsitePrimalDual::new(&instance);
+    let mut g2 = OffsiteGreedy::new(&instance);
+
+    let schedulers: Vec<&mut dyn OnlineScheduler> =
+        vec![&mut alg1, &mut g1, &mut alg2, &mut g2];
+    for s in schedulers {
+        let report = sim.run(s).unwrap();
+        assert!(
+            report.validation.is_feasible(),
+            "{}: {:?}",
+            report.metrics.algorithm,
+            report.validation.violations
+        );
+        assert!(report.metrics.revenue > 0.0, "{} earned nothing", report.metrics.algorithm);
+        assert_eq!(report.metrics.max_overflow, 0.0);
+    }
+}
+
+#[test]
+fn primal_dual_beats_greedy_under_scarcity_onsite() {
+    // The paper's headline claim (Figure 1a): once resources are scarce,
+    // Algorithm 1 collects more revenue than greedy. Average over seeds
+    // to avoid flaky single-draw comparisons.
+    let mut alg_total = 0.0;
+    let mut greedy_total = 0.0;
+    for seed in [1, 2, 3, 4, 5] {
+        let (instance, reqs) = build(seed, 500);
+        let sim = Simulation::new(&instance, &reqs).unwrap();
+        let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+        alg_total += sim.run(&mut alg1).unwrap().metrics.revenue;
+        let mut g = OnsiteGreedy::new(&instance);
+        greedy_total += sim.run(&mut g).unwrap().metrics.revenue;
+    }
+    assert!(
+        alg_total > greedy_total,
+        "algorithm 1 ({alg_total:.1}) should beat greedy ({greedy_total:.1}) under scarcity"
+    );
+}
+
+#[test]
+fn primal_dual_beats_greedy_under_scarcity_offsite() {
+    let mut alg_total = 0.0;
+    let mut greedy_total = 0.0;
+    for seed in [1, 2, 3, 4, 5] {
+        let (instance, reqs) = build(seed, 500);
+        let sim = Simulation::new(&instance, &reqs).unwrap();
+        let mut alg2 = OffsitePrimalDual::new(&instance);
+        alg_total += sim.run(&mut alg2).unwrap().metrics.revenue;
+        let mut g = OffsiteGreedy::new(&instance);
+        greedy_total += sim.run(&mut g).unwrap().metrics.revenue;
+    }
+    assert!(
+        alg_total > greedy_total,
+        "algorithm 2 ({alg_total:.1}) should beat greedy ({greedy_total:.1}) under scarcity"
+    );
+}
+
+#[test]
+fn offline_optimum_dominates_and_alg1_within_competitive_ratio() {
+    let (instance, reqs) = build(23, 30);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+
+    let offline =
+        vnfrel::onsite::offline::solve(&instance, &reqs, &OfflineConfig::default()).unwrap();
+    assert!(offline.exact, "small instance must solve exactly");
+    let opt = offline.revenue();
+
+    let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let r1 = sim.run(&mut alg1).unwrap();
+    assert!(r1.metrics.revenue <= opt + 1e-6);
+
+    // Theorem 1: revenue ≥ OPT / (1 + a_max). (The theorem covers the raw
+    // algorithm; with the capacity gate the guarantee can only weaken, so
+    // check the raw variant.)
+    let bounds = vnfrel::bounds::OnsiteBounds::compute(&instance, &reqs).unwrap();
+    let mut raw = OnsitePrimalDual::new(&instance, CapacityPolicy::AllowViolations).unwrap();
+    let mut schedule = vnfrel::Schedule::new();
+    for r in &reqs {
+        let d = raw.decide(r);
+        schedule.record(r, d);
+    }
+    assert!(
+        schedule.revenue() + 1e-6 >= opt / bounds.competitive_ratio(),
+        "raw alg1 {} below OPT/{} = {}",
+        schedule.revenue(),
+        bounds.competitive_ratio(),
+        opt / bounds.competitive_ratio()
+    );
+}
+
+#[test]
+fn admitted_requests_survive_failure_injection() {
+    let (instance, reqs) = build(29, 150);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let s1 = sim.run(&mut alg1).unwrap().schedule;
+    let report = failure::inject_failures(&instance, &reqs, &s1, 20_000, &mut rng).unwrap();
+    assert!(report.statistical_violations(4.0).is_empty());
+
+    let mut alg2 = OffsitePrimalDual::new(&instance);
+    let s2 = sim.run(&mut alg2).unwrap().schedule;
+    let report = failure::inject_failures(&instance, &reqs, &s2, 20_000, &mut rng).unwrap();
+    assert!(report.statistical_violations(4.0).is_empty());
+}
+
+#[test]
+fn offsite_admits_requirements_above_single_cloudlet_reliability() {
+    // Build a network whose cloudlets are all mediocre and ask for more.
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let placement = CloudletPlacement {
+        fraction: 1.0,
+        capacity: (40, 60),
+        reliability: (0.93, 0.96),
+    };
+    let net = zoo::abilene().into_network(&placement, &mut rng).unwrap();
+    let instance = ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(16)).unwrap();
+    let reqs = RequestGenerator::new(instance.horizon())
+        .reliability_band(0.97, 0.99)
+        .unwrap()
+        .generate(60, instance.catalog(), &mut rng)
+        .unwrap();
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+
+    // On-site cannot serve anyone (r_c ≤ R_i everywhere)…
+    let mut alg1 = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+    let r1 = sim.run(&mut alg1).unwrap();
+    assert_eq!(r1.metrics.admitted, 0);
+
+    // …but off-site replication can.
+    let mut alg2 = OffsitePrimalDual::new(&instance);
+    let r2 = sim.run(&mut alg2).unwrap();
+    assert!(r2.metrics.admitted > 0);
+    assert!(r2.validation.is_feasible());
+}
+
+#[test]
+fn offsite_offline_dominates_alg2_at_small_scale() {
+    let (instance, reqs) = build(41, 15);
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+    let offline =
+        vnfrel::offsite::offline::solve(&instance, &reqs, &OfflineConfig::default()).unwrap();
+    let mut alg2 = OffsitePrimalDual::new(&instance);
+    let r2 = sim.run(&mut alg2).unwrap();
+    assert!(
+        r2.metrics.revenue <= offline.revenue() + 1e-6,
+        "alg2 {} beat 'optimal' {}",
+        r2.metrics.revenue,
+        offline.revenue()
+    );
+    if let Some((_, schedule)) = &offline.incumbent {
+        let rep =
+            vnfrel::validate_schedule(&instance, &reqs, schedule, Scheme::OffSite).unwrap();
+        assert!(rep.is_feasible(), "{:?}", rep.violations);
+    }
+}
