@@ -21,7 +21,13 @@ fn bench_reliability_math(c: &mut Criterion) {
     let cl = Reliability::new(0.9999).unwrap();
     let req = Reliability::new(0.995).unwrap();
     c.bench_function("reliability/onsite_instances", |b| {
-        b.iter(|| black_box(onsite_instances(black_box(vnf), black_box(cl), black_box(req))))
+        b.iter(|| {
+            black_box(onsite_instances(
+                black_box(vnf),
+                black_box(cl),
+                black_box(req),
+            ))
+        })
     });
     let sites: Vec<Reliability> = (0..8)
         .map(|i| Reliability::new(0.9 + 0.01 * i as f64).unwrap())
@@ -84,8 +90,8 @@ fn bench_workload(c: &mut Criterion) {
 
 fn bench_topology(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let net = generators::barabasi_albert(200, 3, &CloudletPlacement::balanced(), &mut rng)
-        .unwrap();
+    let net =
+        generators::barabasi_albert(200, 3, &CloudletPlacement::balanced(), &mut rng).unwrap();
     c.bench_function("topology/dijkstra_200_nodes", |b| {
         b.iter(|| black_box(net.shortest_path(NodeId(0), NodeId(199))))
     });
@@ -149,7 +155,11 @@ fn bench_lp_format(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let mut model = Model::new(Sense::Maximize);
     let vars: Vec<_> = (0..200)
-        .map(|_| model.add_binary_var(rand::Rng::gen_range(&mut rng, 1.0..9.0)).unwrap())
+        .map(|_| {
+            model
+                .add_binary_var(rand::Rng::gen_range(&mut rng, 1.0..9.0))
+                .unwrap()
+        })
         .collect();
     for _ in 0..50 {
         let terms: Vec<_> = vars

@@ -54,8 +54,8 @@ fn main() {
         let mut alg = OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce)
             .expect("valid policy");
         run_online(&mut alg, &scenario.requests).expect("run");
-        let offline = capacity_shadow_prices(&scenario.instance, &scenario.requests)
-            .expect("lp solve");
+        let offline =
+            capacity_shadow_prices(&scenario.instance, &scenario.requests).expect("lp solve");
 
         let mut online_flat = Vec::new();
         let mut offline_flat = Vec::new();

@@ -44,11 +44,7 @@ fn main() {
                 greedy += sim.run_ordered(&mut g, order).expect("run").metrics.revenue;
             }
             let k = seeds.len() as f64;
-            println!(
-                "{n:>9} {name:>10} {:>14.1} {:>14.1}",
-                alg1 / k,
-                greedy / k
-            );
+            println!("{n:>9} {name:>10} {:>14.1} {:>14.1}", alg1 / k, greedy / k);
         }
         println!();
     }

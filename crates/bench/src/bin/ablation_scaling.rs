@@ -24,7 +24,13 @@ fn main() {
     println!("Table A — Algorithm 1 capacity policies (on-site)\n");
     println!(
         "{:>9} {:>14} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "requests", "raw revenue", "enforce rev", "scaled1.5 rev", "scaled2.0 rev", "overflow", "ξ/cap_min-1"
+        "requests",
+        "raw revenue",
+        "enforce rev",
+        "scaled1.5 rev",
+        "scaled2.0 rev",
+        "overflow",
+        "ξ/cap_min-1"
     );
     for &n in &sizes {
         let scenario = Scenario::build(&ScenarioParams {

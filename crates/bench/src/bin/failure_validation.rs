@@ -25,7 +25,9 @@ fn main() {
     let sim = Simulation::new(&scenario.instance, &scenario.requests).expect("valid");
     let mut rng = ChaCha8Rng::seed_from_u64(12345);
 
-    println!("Table B — Monte-Carlo delivered availability ({trials} trials, {requests} requests)\n");
+    println!(
+        "Table B — Monte-Carlo delivered availability ({trials} trials, {requests} requests)\n"
+    );
     println!(
         "{:>10} {:>10} {:>14} {:>16} {:>12}",
         "scheme", "admitted", "worst margin", "mean margin", "violations"

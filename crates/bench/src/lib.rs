@@ -122,8 +122,8 @@ impl Scenario {
 
     /// Revenue of Algorithm 1 (on-site primal-dual, capacity enforced).
     pub fn alg1_revenue(&self) -> f64 {
-        let mut s = OnsitePrimalDual::new(&self.instance, CapacityPolicy::Enforce)
-            .expect("valid policy");
+        let mut s =
+            OnsitePrimalDual::new(&self.instance, CapacityPolicy::Enforce).expect("valid policy");
         self.revenue_of(&mut s)
     }
 

@@ -91,11 +91,46 @@ impl Default for SimulateArgs {
     }
 }
 
+/// Fully parsed `failures` options: a simulation plus an outage trace
+/// and a recovery policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailuresArgs {
+    /// The underlying simulation setup (same flags as `simulate`).
+    pub sim: SimulateArgs,
+    /// Cloudlet mean time to failure, in slots.
+    pub mttf: f64,
+    /// Cloudlet mean time to repair, in slots.
+    pub mttr: f64,
+    /// Per-slot single-instance kill probability.
+    pub kill_rate: f64,
+    /// Recovery policy applied to requests whose placement died.
+    pub policy: mec_sim::RecoveryPolicy,
+    /// Seed of the failure process (independent of the workload seed so
+    /// the same outage trace can be replayed against different setups).
+    pub failure_seed: u64,
+}
+
+impl Default for FailuresArgs {
+    fn default() -> Self {
+        FailuresArgs {
+            sim: SimulateArgs::default(),
+            mttf: 50.0,
+            mttr: 3.0,
+            kill_rate: 0.05,
+            policy: mec_sim::RecoveryPolicy::SchemeMatching,
+            failure_seed: 1000,
+        }
+    }
+}
+
 /// The parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run one simulation and print metrics.
     Simulate(SimulateArgs),
+    /// Run a fault-aware simulation with online recovery and SLA
+    /// accounting.
+    Failures(FailuresArgs),
     /// Print stats (and optionally DOT) for a topology.
     Topo {
         /// Network to describe.
@@ -127,6 +162,7 @@ vnfrel — reliability-aware VNF scheduling experiments
 
 USAGE:
   vnfrel simulate [OPTIONS]     run one online-scheduling simulation
+  vnfrel failures [OPTIONS]     simulate under dynamic outages with recovery
   vnfrel topo [OPTIONS]         describe a topology (--dot for Graphviz)
   vnfrel help                   show this text
 
@@ -143,6 +179,13 @@ SIMULATE OPTIONS (defaults in brackets):
   --payment <LO:HI>     payment-rate band [1:10]
   --fraction <F>        fraction of APs hosting cloudlets [0.5]
   --failure-trials <N>  Monte-Carlo availability check (0 = off) [0]
+
+FAILURES OPTIONS (all SIMULATE OPTIONS, plus):
+  --mttf <F>            cloudlet mean time to failure, slots [50]
+  --mttr <F>            cloudlet mean time to repair, slots [3]
+  --kill-rate <F>       per-slot single-instance kill probability [0.05]
+  --policy <P>          none|onsite|offsite|matching [matching]
+  --failure-seed <U64>  seed of the outage trace [1000]
 
 TOPO OPTIONS:
   --topology <T>        as above [abilene]
@@ -162,6 +205,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "simulate" => parse_simulate(rest),
+        "failures" => parse_failures(rest),
         "topo" => parse_topo(rest),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `vnfrel help`)"
@@ -169,8 +213,78 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
 }
 
+/// Tries to consume one `simulate`-family flag (shared between the
+/// `simulate` and `failures` commands). Returns `Ok(false)` when the
+/// flag is not a simulate flag, leaving `it` untouched.
+fn apply_sim_flag(
+    out: &mut SimulateArgs,
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, ParseError> {
+    let mut value = |name: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{name} expects a value")))
+    };
+    match flag {
+        "--topology" => out.topology = parse_topology(&value("--topology")?)?,
+        "--requests" => out.requests = parse_num(&value("--requests")?, "--requests")?,
+        "--scheme" => {
+            out.scheme = match value("--scheme")?.as_str() {
+                "onsite" | "on-site" => vnfrel::Scheme::OnSite,
+                "offsite" | "off-site" => vnfrel::Scheme::OffSite,
+                s => return Err(ParseError(format!("unknown scheme `{s}`"))),
+            }
+        }
+        "--algorithm" => {
+            out.algorithm = match value("--algorithm")?.as_str() {
+                "primal-dual" | "pd" => AlgorithmChoice::PrimalDual,
+                "greedy" => AlgorithmChoice::Greedy,
+                "random" => AlgorithmChoice::Random,
+                "density" => AlgorithmChoice::Density,
+                s => return Err(ParseError(format!("unknown algorithm `{s}`"))),
+            }
+        }
+        "--seed" => out.seed = parse_num(&value("--seed")?, "--seed")?,
+        "--horizon" => out.horizon = parse_num(&value("--horizon")?, "--horizon")?,
+        "--capacity" => out.capacity = parse_range_u64(&value("--capacity")?)?,
+        "--cloudlet-rel" => out.cloudlet_reliability = parse_range_f64(&value("--cloudlet-rel")?)?,
+        "--requirement" => out.requirement = parse_range_f64(&value("--requirement")?)?,
+        "--payment" => out.payment_rate = parse_range_f64(&value("--payment")?)?,
+        "--fraction" => {
+            out.cloudlet_fraction = value("--fraction")?
+                .parse()
+                .map_err(|_| ParseError("--fraction expects a float".into()))?
+        }
+        "--failure-trials" => {
+            out.failure_trials = parse_num(&value("--failure-trials")?, "--failure-trials")?
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn check_sim(out: &SimulateArgs) -> Result<(), ParseError> {
+    if out.algorithm == AlgorithmChoice::Density && out.scheme == vnfrel::Scheme::OffSite {
+        return Err(ParseError("--algorithm density is on-site only".into()));
+    }
+    Ok(())
+}
+
 fn parse_simulate(rest: &[String]) -> Result<Command, ParseError> {
     let mut out = SimulateArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if !apply_sim_flag(&mut out, flag, &mut it)? {
+            return Err(ParseError(format!("unknown option `{flag}`")));
+        }
+    }
+    check_sim(&out)?;
+    Ok(Command::Simulate(out))
+}
+
+fn parse_failures(rest: &[String]) -> Result<Command, ParseError> {
+    let mut out = FailuresArgs::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -179,49 +293,30 @@ fn parse_simulate(rest: &[String]) -> Result<Command, ParseError> {
                 .ok_or_else(|| ParseError(format!("{name} expects a value")))
         };
         match flag.as_str() {
-            "--topology" => out.topology = parse_topology(&value("--topology")?)?,
-            "--requests" => out.requests = parse_num(&value("--requests")?, "--requests")?,
-            "--scheme" => {
-                out.scheme = match value("--scheme")?.as_str() {
-                    "onsite" | "on-site" => vnfrel::Scheme::OnSite,
-                    "offsite" | "off-site" => vnfrel::Scheme::OffSite,
-                    s => return Err(ParseError(format!("unknown scheme `{s}`"))),
+            "--mttf" => out.mttf = parse_num(&value("--mttf")?, "--mttf")?,
+            "--mttr" => out.mttr = parse_num(&value("--mttr")?, "--mttr")?,
+            "--kill-rate" => out.kill_rate = parse_num(&value("--kill-rate")?, "--kill-rate")?,
+            "--policy" => {
+                out.policy = match value("--policy")?.as_str() {
+                    "none" => mec_sim::RecoveryPolicy::None,
+                    "onsite" | "on-site" => mec_sim::RecoveryPolicy::OnSite,
+                    "offsite" | "off-site" => mec_sim::RecoveryPolicy::OffSite,
+                    "matching" | "scheme-matching" => mec_sim::RecoveryPolicy::SchemeMatching,
+                    s => return Err(ParseError(format!("unknown recovery policy `{s}`"))),
                 }
             }
-            "--algorithm" => {
-                out.algorithm = match value("--algorithm")?.as_str() {
-                    "primal-dual" | "pd" => AlgorithmChoice::PrimalDual,
-                    "greedy" => AlgorithmChoice::Greedy,
-                    "random" => AlgorithmChoice::Random,
-                    "density" => AlgorithmChoice::Density,
-                    s => return Err(ParseError(format!("unknown algorithm `{s}`"))),
+            "--failure-seed" => {
+                out.failure_seed = parse_num(&value("--failure-seed")?, "--failure-seed")?
+            }
+            _ => {
+                if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
+                    return Err(ParseError(format!("unknown option `{flag}`")));
                 }
             }
-            "--seed" => out.seed = parse_num(&value("--seed")?, "--seed")?,
-            "--horizon" => out.horizon = parse_num(&value("--horizon")?, "--horizon")?,
-            "--capacity" => out.capacity = parse_range_u64(&value("--capacity")?)?,
-            "--cloudlet-rel" => {
-                out.cloudlet_reliability = parse_range_f64(&value("--cloudlet-rel")?)?
-            }
-            "--requirement" => out.requirement = parse_range_f64(&value("--requirement")?)?,
-            "--payment" => out.payment_rate = parse_range_f64(&value("--payment")?)?,
-            "--fraction" => {
-                out.cloudlet_fraction = value("--fraction")?
-                    .parse()
-                    .map_err(|_| ParseError("--fraction expects a float".into()))?
-            }
-            "--failure-trials" => {
-                out.failure_trials = parse_num(&value("--failure-trials")?, "--failure-trials")?
-            }
-            other => return Err(ParseError(format!("unknown option `{other}`"))),
         }
     }
-    if out.algorithm == AlgorithmChoice::Density && out.scheme == vnfrel::Scheme::OffSite {
-        return Err(ParseError(
-            "--algorithm density is on-site only".into(),
-        ));
-    }
-    Ok(Command::Simulate(out))
+    check_sim(&out.sim)?;
+    Ok(Command::Failures(out))
 }
 
 fn parse_topo(rest: &[String]) -> Result<Command, ParseError> {
@@ -411,6 +506,64 @@ mod tests {
     }
 
     #[test]
+    fn failures_defaults_and_flags() {
+        let Command::Failures(a) = parse(&sv(&["failures"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, FailuresArgs::default());
+
+        let Command::Failures(a) = parse(&sv(&[
+            "failures",
+            "--scheme",
+            "offsite",
+            "--requests",
+            "80",
+            "--mttf",
+            "20",
+            "--mttr",
+            "4",
+            "--kill-rate",
+            "0.1",
+            "--policy",
+            "none",
+            "--failure-seed",
+            "7",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.sim.scheme, vnfrel::Scheme::OffSite);
+        assert_eq!(a.sim.requests, 80);
+        assert_eq!(a.mttf, 20.0);
+        assert_eq!(a.mttr, 4.0);
+        assert_eq!(a.kill_rate, 0.1);
+        assert_eq!(a.policy, mec_sim::RecoveryPolicy::None);
+        assert_eq!(a.failure_seed, 7);
+
+        for (name, policy) in [
+            ("onsite", mec_sim::RecoveryPolicy::OnSite),
+            ("offsite", mec_sim::RecoveryPolicy::OffSite),
+            ("matching", mec_sim::RecoveryPolicy::SchemeMatching),
+        ] {
+            let Command::Failures(a) = parse(&sv(&["failures", "--policy", name])).unwrap() else {
+                panic!()
+            };
+            assert_eq!(a.policy, policy);
+        }
+        assert!(parse(&sv(&["failures", "--policy", "prayer"])).is_err());
+        assert!(parse(&sv(&["failures", "--mttf"])).is_err());
+        assert!(parse(&sv(&["failures", "--bogus"])).is_err());
+        assert!(parse(&sv(&[
+            "failures",
+            "--scheme",
+            "offsite",
+            "--algorithm",
+            "density"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn density_is_onsite_only() {
         assert!(parse(&sv(&[
             "simulate",
@@ -428,7 +581,15 @@ mod tests {
             topology,
             dot,
             seed,
-        } = parse(&sv(&["topo", "--topology", "geant", "--dot", "--seed", "4"])).unwrap()
+        } = parse(&sv(&[
+            "topo",
+            "--topology",
+            "geant",
+            "--dot",
+            "--seed",
+            "4",
+        ]))
+        .unwrap()
         else {
             panic!()
         };

@@ -22,6 +22,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         args::Command::Simulate(sim_args) => runner::simulate(sim_args, &mut stdout),
+        args::Command::Failures(failures_args) => runner::failures(failures_args, &mut stdout),
         args::Command::Topo {
             topology,
             dot,

@@ -1,10 +1,10 @@
 //! Executes parsed commands.
 
-use mec_sim::{failure, Simulation};
+use mec_sim::{failure, FailureConfig, FailureProcess, RecoveryPolicy, Simulation};
 use mec_topology::generators::{self, CloudletPlacement};
 use mec_topology::stats::{to_dot, NetworkStats};
 use mec_topology::{zoo, Network};
-use mec_workload::{Horizon, RequestGenerator, VnfCatalog};
+use mec_workload::{Horizon, Request, RequestGenerator, VnfCatalog};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vnfrel::baselines::{DensityGreedy, RandomPlacement};
@@ -12,7 +12,7 @@ use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
 use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
 use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
 
-use crate::args::{AlgorithmChoice, SimulateArgs, TopologyChoice};
+use crate::args::{AlgorithmChoice, FailuresArgs, SimulateArgs, TopologyChoice};
 
 /// Builds a network from a topology choice.
 ///
@@ -47,12 +47,10 @@ pub fn build_network(
     net.map_err(|e| format!("failed to build topology: {e}"))
 }
 
-/// Runs the `simulate` command, writing human-readable output to `out`.
-///
-/// # Errors
-///
-/// Returns a printable message on invalid configurations.
-pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<(), String> {
+/// Builds the instance and request stream a `simulate`-family command
+/// operates on. The returned RNG has consumed the topology and workload
+/// draws and may be reused for downstream sampling.
+fn build_setup(args: &SimulateArgs) -> Result<(ProblemInstance, Vec<Request>, ChaCha8Rng), String> {
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let placement = CloudletPlacement {
         fraction: args.cloudlet_fraction,
@@ -60,8 +58,9 @@ pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<()
         reliability: args.cloudlet_reliability,
     };
     let network = build_network(&args.topology, &placement, &mut rng)?;
-    let instance = ProblemInstance::new(network, VnfCatalog::standard(), Horizon::new(args.horizon))
-        .map_err(|e| e.to_string())?;
+    let instance =
+        ProblemInstance::new(network, VnfCatalog::standard(), Horizon::new(args.horizon))
+            .map_err(|e| e.to_string())?;
     let requests = RequestGenerator::new(instance.horizon())
         .reliability_band(args.requirement.0, args.requirement.1)
         .map_err(|e| e.to_string())?
@@ -69,29 +68,44 @@ pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<()
         .map_err(|e| e.to_string())?
         .generate(args.requests, instance.catalog(), &mut rng)
         .map_err(|e| e.to_string())?;
-    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    Ok((instance, requests, rng))
+}
 
-    let mut scheduler: Box<dyn OnlineScheduler> = match (args.scheme, args.algorithm) {
+/// Instantiates the scheduler selected by `args`, borrowing `instance`.
+fn make_scheduler<'a>(
+    instance: &'a ProblemInstance,
+    args: &SimulateArgs,
+) -> Result<Box<dyn OnlineScheduler + 'a>, String> {
+    Ok(match (args.scheme, args.algorithm) {
         (Scheme::OnSite, AlgorithmChoice::PrimalDual) => Box::new(
-            OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce)
-                .map_err(|e| e.to_string())?,
+            OnsitePrimalDual::new(instance, CapacityPolicy::Enforce).map_err(|e| e.to_string())?,
         ),
-        (Scheme::OnSite, AlgorithmChoice::Greedy) => Box::new(OnsiteGreedy::new(&instance)),
+        (Scheme::OnSite, AlgorithmChoice::Greedy) => Box::new(OnsiteGreedy::new(instance)),
         (Scheme::OffSite, AlgorithmChoice::PrimalDual) => {
-            Box::new(OffsitePrimalDual::new(&instance))
+            Box::new(OffsitePrimalDual::new(instance))
         }
-        (Scheme::OffSite, AlgorithmChoice::Greedy) => Box::new(OffsiteGreedy::new(&instance)),
+        (Scheme::OffSite, AlgorithmChoice::Greedy) => Box::new(OffsiteGreedy::new(instance)),
         (scheme, AlgorithmChoice::Random) => {
-            Box::new(RandomPlacement::new(&instance, scheme, args.seed))
+            Box::new(RandomPlacement::new(instance, scheme, args.seed))
         }
         (Scheme::OnSite, AlgorithmChoice::Density) => {
-            Box::new(DensityGreedy::new(&instance, 0.0).map_err(|e| e.to_string())?)
+            Box::new(DensityGreedy::new(instance, 0.0).map_err(|e| e.to_string())?)
         }
         (Scheme::OffSite, AlgorithmChoice::Density) => {
             return Err("density greedy is on-site only".into())
         }
-    };
+    })
+}
 
+/// Runs the `simulate` command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a printable message on invalid configurations.
+pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<(), String> {
+    let (instance, requests, mut rng) = build_setup(args)?;
+    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    let mut scheduler = make_scheduler(&instance, args)?;
     let report = sim.run(scheduler.as_mut()).map_err(|e| e.to_string())?;
     let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
     w(format!("{}", instance))?;
@@ -117,6 +131,69 @@ pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<()
             fr.trials,
             fr.worst_margin().unwrap_or(f64::NAN),
             fr.statistical_violations(3.0).len()
+        ))?;
+    }
+    Ok(())
+}
+
+/// Runs the `failures` command: a fault-aware simulation under a seeded
+/// outage trace, with SLA accounting and (unless the policy already is
+/// `none`) a same-trace no-recovery baseline for comparison.
+///
+/// # Errors
+///
+/// Returns a printable message on invalid configurations.
+pub fn failures(args: &FailuresArgs, out: &mut impl std::io::Write) -> Result<(), String> {
+    let (instance, requests, _) = build_setup(&args.sim)?;
+    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    let config = FailureConfig {
+        cloudlet_mttf: args.mttf,
+        cloudlet_mttr: args.mttr,
+        instance_kill_rate: args.kill_rate,
+    };
+    let trace = FailureProcess::generate(
+        instance.network(),
+        &config,
+        instance.horizon(),
+        &mut ChaCha8Rng::seed_from_u64(args.failure_seed),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut scheduler = make_scheduler(&instance, &args.sim)?;
+    let report = sim
+        .run_with_failures(scheduler.as_mut(), &trace, args.policy)
+        .map_err(|e| e.to_string())?;
+
+    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
+    w(format!("{}", instance))?;
+    w(format!("{}", report.metrics))?;
+    w(format!(
+        "failure process: mttf {} mttr {} kill-rate {} seed {} -> {} events",
+        args.mttf,
+        args.mttr,
+        args.kill_rate,
+        args.failure_seed,
+        trace.total_events()
+    ))?;
+    w(format!("policy {}: {}", report.policy, report.sla))?;
+    if let Some(latency) = report.sla.mean_repair_latency() {
+        w(format!("mean repair latency: {latency:.2} slots"))?;
+    }
+    w(format!(
+        "unrecovered requests: {}",
+        report.sla.unrecovered_requests()
+    ))?;
+
+    if args.policy != RecoveryPolicy::None {
+        let mut baseline = make_scheduler(&instance, &args.sim)?;
+        let base = sim
+            .run_with_failures(baseline.as_mut(), &trace, RecoveryPolicy::None)
+            .map_err(|e| e.to_string())?;
+        w(format!("baseline {}: {}", base.policy, base.sla))?;
+        w(format!(
+            "violated request-slots: {} -> {}",
+            base.sla.violated_request_slots(),
+            report.sla.violated_request_slots()
         ))?;
     }
     Ok(())
@@ -173,6 +250,39 @@ mod tests {
             assert!(text.contains("revenue"), "{text}");
             assert!(text.contains("feasible: true"), "{text}");
             assert!(text.contains("failure injection"), "{text}");
+        }
+    }
+
+    #[test]
+    fn failures_runs_every_policy_and_compares() {
+        for policy in [
+            RecoveryPolicy::None,
+            RecoveryPolicy::OnSite,
+            RecoveryPolicy::OffSite,
+            RecoveryPolicy::SchemeMatching,
+        ] {
+            let args = FailuresArgs {
+                sim: SimulateArgs {
+                    requests: 60,
+                    ..SimulateArgs::default()
+                },
+                mttf: 10.0,
+                mttr: 3.0,
+                kill_rate: 0.05,
+                policy,
+                failure_seed: 5,
+            };
+            let mut buf = Vec::new();
+            failures(&args, &mut buf).unwrap_or_else(|e| panic!("{policy}: {e}"));
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("failure process"), "{text}");
+            assert!(text.contains(&format!("policy {policy}")), "{text}");
+            if policy == RecoveryPolicy::None {
+                assert!(!text.contains("baseline"), "{text}");
+            } else {
+                assert!(text.contains("baseline none"), "{text}");
+                assert!(text.contains("violated request-slots"), "{text}");
+            }
         }
     }
 

@@ -39,10 +39,7 @@ impl OnsiteBounds {
     /// Returns [`VnfrelError::InvalidParameter`] when no (request,
     /// cloudlet) pair is eligible — the bounds are undefined for a
     /// workload that can never be served.
-    pub fn compute(
-        instance: &ProblemInstance,
-        requests: &[Request],
-    ) -> Result<Self, VnfrelError> {
+    pub fn compute(instance: &ProblemInstance, requests: &[Request]) -> Result<Self, VnfrelError> {
         let mut a_max = f64::MIN;
         let mut a_min = f64::MAX;
         let mut pay_max = f64::MIN;
@@ -136,8 +133,7 @@ mod tests {
         b.add_link(a, c, 1.0).unwrap();
         b.add_cloudlet(a, 50, rel(0.999)).unwrap();
         b.add_cloudlet(c, 100, rel(0.995)).unwrap();
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10)).unwrap()
     }
 
     fn request(id: usize, vnf: usize, pay: f64, dur: usize) -> Request {
@@ -213,10 +209,10 @@ mod tests {
     #[test]
     fn xi_grows_with_payment_spread() {
         let inst = instance();
-        let tight = OnsiteBounds::compute(&inst, &[request(0, 1, 5.0, 2), request(1, 1, 5.0, 2)])
-            .unwrap();
-        let wide = OnsiteBounds::compute(&inst, &[request(0, 1, 50.0, 2), request(1, 1, 0.5, 2)])
-            .unwrap();
+        let tight =
+            OnsiteBounds::compute(&inst, &[request(0, 1, 5.0, 2), request(1, 1, 5.0, 2)]).unwrap();
+        let wide =
+            OnsiteBounds::compute(&inst, &[request(0, 1, 50.0, 2), request(1, 1, 0.5, 2)]).unwrap();
         assert!(wide.xi() > tight.xi());
     }
 }

@@ -118,7 +118,9 @@ pub fn allocate_replicas(
     // log-space arithmetic).
     let best_cost = (0..width).find(|&c| dp[c] >= ln_target - 1e-12)?;
 
-    // Reconstruct replica counts.
+    // Reconstruct replica counts; mutable because the log-space DP can
+    // land a hair short of the true product due to floating-point, in
+    // which case the cheapest stage is nudged below.
     let mut replicas = vec![0u32; stages.len()];
     let mut cost = best_cost;
     for k in (0..stages.len()).rev() {
@@ -130,9 +132,6 @@ pub fn allocate_replicas(
     debug_assert_eq!(cost, 0);
 
     let availability = chain_availability(stages, &replicas, cloudlet);
-    // The log-space DP can land a hair short of the true product due to
-    // floating-point; nudge the cheapest stage if needed.
-    let mut replicas = replicas;
     while chain_availability(stages, &replicas, cloudlet) < req.value() {
         let k = (0..stages.len())
             .min_by_key(|&k| stages[k].1)
@@ -206,8 +205,16 @@ mod tests {
     fn dp_is_exact_vs_brute_force() {
         // Exhaustive search over n_k ∈ 1..=6 on small chains.
         let cases = [
-            (vec![(rel(0.9), 1u64), (rel(0.92), 2)], rel(0.999), rel(0.97)),
-            (vec![(rel(0.95), 3u64), (rel(0.9), 1)], rel(0.9999), rel(0.99)),
+            (
+                vec![(rel(0.9), 1u64), (rel(0.92), 2)],
+                rel(0.999),
+                rel(0.97),
+            ),
+            (
+                vec![(rel(0.95), 3u64), (rel(0.9), 1)],
+                rel(0.9999),
+                rel(0.99),
+            ),
             (
                 vec![(rel(0.9), 2u64), (rel(0.9), 2), (rel(0.99), 1)],
                 rel(0.999),
@@ -230,12 +237,12 @@ mod tests {
                     best = Some(best.map_or(cost, |b: u64| b.min(cost)));
                 }
                 // Increment the counter vector.
-                for d in 0..k {
-                    idx[d] += 1;
-                    if idx[d] <= 6 {
+                for digit in idx.iter_mut() {
+                    *digit += 1;
+                    if *digit <= 6 {
                         continue 'outer;
                     }
-                    idx[d] = 1;
+                    *digit = 1;
                 }
                 break;
             }

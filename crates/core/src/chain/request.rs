@@ -187,15 +187,39 @@ mod tests {
             Err(WorkloadError::InvalidParameter(_))
         ));
         assert!(matches!(
-            ChainRequest::new(ChainRequestId(0), vec![VnfTypeId(0)], rel(0.9), 0, 0, 1.0, h),
+            ChainRequest::new(
+                ChainRequestId(0),
+                vec![VnfTypeId(0)],
+                rel(0.9),
+                0,
+                0,
+                1.0,
+                h
+            ),
             Err(WorkloadError::ZeroDuration)
         ));
         assert!(matches!(
-            ChainRequest::new(ChainRequestId(0), vec![VnfTypeId(0)], rel(0.9), 0, 1, -1.0, h),
+            ChainRequest::new(
+                ChainRequestId(0),
+                vec![VnfTypeId(0)],
+                rel(0.9),
+                0,
+                1,
+                -1.0,
+                h
+            ),
             Err(WorkloadError::InvalidPayment(_))
         ));
         assert!(matches!(
-            ChainRequest::new(ChainRequestId(0), vec![VnfTypeId(0)], rel(0.9), 4, 3, 1.0, h),
+            ChainRequest::new(
+                ChainRequestId(0),
+                vec![VnfTypeId(0)],
+                rel(0.9),
+                4,
+                3,
+                1.0,
+                h
+            ),
             Err(WorkloadError::WindowOutsideHorizon { .. })
         ));
     }

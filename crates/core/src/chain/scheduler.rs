@@ -146,10 +146,7 @@ impl<'a> ChainPrimalDual<'a> {
     pub fn new(instance: &'a ProblemInstance) -> Self {
         ChainPrimalDual {
             instance,
-            lambda: vec![
-                vec![0.0; instance.horizon().len()];
-                instance.cloudlet_count()
-            ],
+            lambda: vec![vec![0.0; instance.horizon().len()]; instance.cloudlet_count()],
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
         }
     }
@@ -177,10 +174,7 @@ impl ChainScheduler for ChainPrimalDual<'_> {
             if !self.ledger.fits(cloudlet.id(), request.slots(), weight) {
                 continue;
             }
-            let cost: f64 = request
-                .slots()
-                .map(|t| weight * self.lambda[j][t])
-                .sum();
+            let cost: f64 = request.slots().map(|t| weight * self.lambda[j][t]).sum();
             match &best {
                 Some((_, _, c)) if *c <= cost => {}
                 _ => best = Some((j, alloc, cost)),
@@ -191,8 +185,7 @@ impl ChainScheduler for ChainPrimalDual<'_> {
             return None;
         }
         let weight = alloc.total_compute as f64;
-        self.ledger
-            .charge(CloudletId(j), request.slots(), weight);
+        self.ledger.charge(CloudletId(j), request.slots(), weight);
         let cap = self.ledger.capacity(CloudletId(j));
         let d = request.duration() as f64;
         for t in request.slots() {
@@ -219,11 +212,18 @@ pub struct ChainGreedy<'a> {
 impl<'a> ChainGreedy<'a> {
     /// Creates the greedy chain scheduler.
     pub fn new(instance: &'a ProblemInstance) -> Self {
-        let mut order: Vec<CloudletId> =
-            instance.network().cloudlets().map(|c| c.id()).collect();
+        let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
         order.sort_by(|&a, &b| {
-            let ra = instance.network().cloudlet(a).expect("valid id").reliability();
-            let rb = instance.network().cloudlet(b).expect("valid id").reliability();
+            let ra = instance
+                .network()
+                .cloudlet(a)
+                .expect("valid id")
+                .reliability();
+            let rb = instance
+                .network()
+                .cloudlet(b)
+                .expect("valid id")
+                .reliability();
             rb.cmp(&ra).then(a.index().cmp(&b.index()))
         });
         ChainGreedy {
@@ -287,8 +287,7 @@ mod tests {
             prev = Some(ap);
             b.add_cloudlet(ap, cap, rel(r)).unwrap();
         }
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10)).unwrap()
     }
 
     fn chain(id: usize, stages: Vec<usize>, req: f64, pay: f64) -> ChainRequest {

@@ -27,6 +27,18 @@ pub enum VnfrelError {
     },
     /// A scheduling parameter was out of range.
     InvalidParameter(&'static str),
+    /// A capacity release would drive a ledger cell below zero — the
+    /// amount was never charged (or was already released).
+    ReleaseUnderflow {
+        /// The cloudlet whose ledger cell would underflow.
+        cloudlet: usize,
+        /// The slot of the underflowing cell.
+        slot: usize,
+        /// Usage committed in that cell before the release.
+        used: f64,
+        /// The amount the caller tried to release.
+        amount: f64,
+    },
 }
 
 impl fmt::Display for VnfrelError {
@@ -41,6 +53,16 @@ impl fmt::Display for VnfrelError {
                 "request ids must be dense in arrival order; position {position} holds id {found}"
             ),
             VnfrelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            VnfrelError::ReleaseUnderflow {
+                cloudlet,
+                slot,
+                used,
+                amount,
+            } => write!(
+                f,
+                "cannot release {amount} units from cloudlet {cloudlet} at slot {slot}: \
+                 only {used} committed"
+            ),
         }
     }
 }

@@ -1,8 +1,8 @@
 use std::fmt;
 
+use mec_topology::CloudletId;
 use mec_topology::Network;
 use mec_workload::{Horizon, TimeSlot};
-use mec_topology::CloudletId;
 
 /// Per-cloudlet, per-slot accounting of committed computing capacity.
 ///
@@ -76,6 +76,46 @@ impl CapacityLedger {
         for t in slots {
             self.used[cloudlet.index()][t] += amount;
         }
+    }
+
+    /// Returns `amount` units in every slot of `slots` — the inverse of
+    /// [`CapacityLedger::charge`], used when a placement dies (cloudlet
+    /// outage, instance kill) or is torn down for re-placement.
+    ///
+    /// The whole release is validated before any cell is mutated: on
+    /// error the ledger is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnfrelError::ReleaseUnderflow`] when any touched cell
+    /// holds less than `amount` (within a `1e-9` tolerance) — i.e. the
+    /// caller is releasing capacity that was never charged.
+    pub fn release<I>(
+        &mut self,
+        cloudlet: CloudletId,
+        slots: I,
+        amount: f64,
+    ) -> Result<(), crate::VnfrelError>
+    where
+        I: IntoIterator<Item = TimeSlot> + Clone,
+    {
+        let row = &mut self.used[cloudlet.index()];
+        for t in slots.clone() {
+            if row[t] + 1e-9 < amount {
+                return Err(crate::VnfrelError::ReleaseUnderflow {
+                    cloudlet: cloudlet.index(),
+                    slot: t,
+                    used: row[t],
+                    amount,
+                });
+            }
+        }
+        for t in slots {
+            // Clamp at zero so a full release of the last charge cannot
+            // leave a −1e-16 residue from float rounding.
+            row[t] = (row[t] - amount).max(0.0);
+        }
+        Ok(())
     }
 
     /// Largest relative violation `max(0, used/cap − 1)` over all
@@ -179,6 +219,39 @@ mod tests {
         // Fill cloudlet 0 fully in all 5 slots: 5 cells at 1.0, 5 at 0.
         l.charge(CloudletId(0), 0..5, 10.0);
         assert!((l.mean_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_inverts_charge() {
+        let mut l = ledger();
+        let c0 = CloudletId(0);
+        l.charge(c0, 0..=2, 7.0);
+        l.charge(c0, 1..=3, 2.0);
+        l.release(c0, 0..=2, 7.0).unwrap();
+        assert_eq!(l.used(c0, 0), 0.0);
+        assert_eq!(l.used(c0, 1), 2.0);
+        assert_eq!(l.used(c0, 3), 2.0);
+        l.release(c0, 1..=3, 2.0).unwrap();
+        for t in 0..5 {
+            assert_eq!(l.used(c0, t), 0.0);
+        }
+    }
+
+    #[test]
+    fn release_of_uncharged_capacity_is_rejected_atomically() {
+        let mut l = ledger();
+        let c0 = CloudletId(0);
+        l.charge(c0, 0..=1, 5.0);
+        // Slot 2 was never charged: the whole release must fail and
+        // leave slots 0–1 untouched.
+        let err = l.release(c0, 0..=2, 5.0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::VnfrelError::ReleaseUnderflow { slot: 2, .. }
+        ));
+        assert_eq!(l.used(c0, 0), 5.0);
+        assert_eq!(l.used(c0, 1), 5.0);
+        assert_eq!(l.used(c0, 2), 0.0);
     }
 
     #[test]

@@ -27,11 +27,18 @@ pub struct OffsiteGreedy<'a> {
 impl<'a> OffsiteGreedy<'a> {
     /// Creates the greedy scheduler.
     pub fn new(instance: &'a ProblemInstance) -> Self {
-        let mut order: Vec<CloudletId> =
-            instance.network().cloudlets().map(|c| c.id()).collect();
+        let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
         order.sort_by(|&a, &b| {
-            let ra = instance.network().cloudlet(a).expect("valid id").reliability();
-            let rb = instance.network().cloudlet(b).expect("valid id").reliability();
+            let ra = instance
+                .network()
+                .cloudlet(a)
+                .expect("valid id")
+                .reliability();
+            let rb = instance
+                .network()
+                .cloudlet(b)
+                .expect("valid id")
+                .reliability();
             rb.cmp(&ra).then(a.index().cmp(&b.index()))
         });
         OffsiteGreedy {
@@ -85,6 +92,10 @@ impl OnlineScheduler for OffsiteGreedy<'_> {
     fn ledger(&self) -> &CapacityLedger {
         &self.ledger
     }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +120,7 @@ mod tests {
             prev = Some(ap);
             b.add_cloudlet(ap, cap, rel(r)).unwrap();
         }
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10)).unwrap()
     }
 
     fn request(id: usize, req: f64, pay: f64) -> Request {

@@ -61,7 +61,7 @@ pub fn solve(
     for (i, r) in requests.iter().enumerate() {
         let vnf = instance.catalog().require(r.vnf())?;
         let ln_req = r.reliability_requirement().failure().ln(); // < 0
-        // (50): X_i − Σ_j a_ij·Y_ij ≤ 0 with a_ij = ln_coef/ln_req > 0.
+                                                                 // (50): X_i − Σ_j a_ij·Y_ij ≤ 0 with a_ij = ln_coef/ln_req > 0.
         let mut terms = vec![(xs[i], 1.0)];
         // (51): Σ_j ln_coef·Y_ij − L·X_i ≥ 0, pinning Y to 0 when X = 0.
         let mut lower_terms = Vec::new();
@@ -185,8 +185,7 @@ mod tests {
             prev = Some(ap);
             b.add_cloudlet(ap, cap, rel(r)).unwrap();
         }
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(8))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(8)).unwrap()
     }
 
     fn request(id: usize, req: f64, pay: f64) -> Request {
@@ -244,9 +243,7 @@ mod tests {
     #[test]
     fn lp_bound_dominates_exact() {
         let inst = instance(&[(2, 0.99), (2, 0.95)]);
-        let reqs: Vec<Request> = (0..5)
-            .map(|i| request(i, 0.9, 1.0 + i as f64))
-            .collect();
+        let reqs: Vec<Request> = (0..5).map(|i| request(i, 0.9, 1.0 + i as f64)).collect();
         let exact = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
         let lp = solve(
             &inst,

@@ -125,8 +125,7 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
         // Dual bookkeeping (Eq. 66): δ_i from the cheapest cloudlet,
         // regardless of the later capacity-driven selection.
         if min_ratio.is_finite() {
-            self.sum_delta +=
-                (request.payment() + ln_target * compute * min_ratio).max(0.0);
+            self.sum_delta += (request.payment() + ln_target * compute * min_ratio).max(0.0);
         }
         if candidates.is_empty() {
             self.rejections.payment_test += 1;
@@ -145,10 +144,7 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
         let mut selected: Vec<(usize, f64)> = Vec::new();
         let mut ln_sum = 0.0;
         for &(_, j, ln_coef) in &candidates {
-            if !self
-                .ledger
-                .fits(CloudletId(j), request.slots(), compute)
-            {
+            if !self.ledger.fits(CloudletId(j), request.slots(), compute) {
                 continue;
             }
             selected.push((j, ln_coef));
@@ -172,8 +168,7 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
             let factor = ln_target * compute / (ln_coef * cap);
             for t in request.slots() {
                 let l = self.lambda[j][t];
-                self.lambda[j][t] =
-                    l * (1.0 + factor) + factor * request.payment() / d;
+                self.lambda[j][t] = l * (1.0 + factor) + factor * request.payment() / d;
             }
         }
         Decision::Admit(Placement::OffSite {
@@ -183,6 +178,10 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
 
     fn ledger(&self) -> &CapacityLedger {
         &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
     }
 }
 
@@ -275,9 +274,7 @@ mod tests {
     fn never_violates_capacity() {
         let inst = instance(&[(4, 0.99), (4, 0.98)], 10);
         let mut alg = OffsitePrimalDual::new(&inst);
-        let reqs: Vec<Request> = (0..60)
-            .map(|i| request(i, 8, 0.95, 5.0))
-            .collect();
+        let reqs: Vec<Request> = (0..60).map(|i| request(i, 8, 0.95, 5.0)).collect();
         let schedule = run_online(&mut alg, &reqs).unwrap();
         assert_eq!(alg.ledger().max_overflow(), 0.0);
         assert!(schedule.admitted_count() < 60);

@@ -27,11 +27,18 @@ pub struct OnsiteGreedy<'a> {
 impl<'a> OnsiteGreedy<'a> {
     /// Creates the greedy scheduler.
     pub fn new(instance: &'a ProblemInstance) -> Self {
-        let mut order: Vec<CloudletId> =
-            instance.network().cloudlets().map(|c| c.id()).collect();
+        let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
         order.sort_by(|&a, &b| {
-            let ra = instance.network().cloudlet(a).expect("valid id").reliability();
-            let rb = instance.network().cloudlet(b).expect("valid id").reliability();
+            let ra = instance
+                .network()
+                .cloudlet(a)
+                .expect("valid id")
+                .reliability();
+            let rb = instance
+                .network()
+                .cloudlet(b)
+                .expect("valid id")
+                .reliability();
             rb.cmp(&ra).then(a.index().cmp(&b.index()))
         });
         OnsiteGreedy {
@@ -81,6 +88,10 @@ impl OnlineScheduler for OnsiteGreedy<'_> {
     fn ledger(&self) -> &CapacityLedger {
         &self.ledger
     }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
 }
 
 #[cfg(test)]
@@ -105,8 +116,7 @@ mod tests {
             prev = Some(ap);
             b.add_cloudlet(ap, cap, rel(r)).unwrap();
         }
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10)).unwrap()
     }
 
     fn request(id: usize, pay: f64) -> Request {
@@ -143,15 +153,17 @@ mod tests {
         // Fill the small reliable cloudlet, then spill to the big one.
         let mut seen_fallback = false;
         for i in 0..6 {
-            if let Decision::Admit(Placement::OnSite { cloudlet, .. }) =
-                g.decide(&request(i, 1.0))
+            if let Decision::Admit(Placement::OnSite { cloudlet, .. }) = g.decide(&request(i, 1.0))
             {
                 if cloudlet == CloudletId(0) {
                     seen_fallback = true;
                 }
             }
         }
-        assert!(seen_fallback, "expected spill to the less reliable cloudlet");
+        assert!(
+            seen_fallback,
+            "expected spill to the less reliable cloudlet"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::reliability::onsite_instances;
 use crate::schedule::{Decision, Placement, Schedule};
 
 /// Configuration for the offline solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct OfflineConfig {
     /// Branch-and-bound budget.
     pub bnb: BnbConfig,
@@ -27,15 +27,6 @@ pub struct OfflineConfig {
     /// benchmark curves because the packing LP's integrality gap is small
     /// when per-request demands are small relative to capacities).
     pub lp_only: bool,
-}
-
-impl Default for OfflineConfig {
-    fn default() -> Self {
-        OfflineConfig {
-            bnb: BnbConfig::default(),
-            lp_only: false,
-        }
-    }
 }
 
 /// Result of the offline optimization.
@@ -367,9 +358,7 @@ mod tests {
     #[test]
     fn lp_only_upper_bounds_exact() {
         let inst = instance(&[(3, 0.999), (3, 0.99)], 10);
-        let reqs: Vec<Request> = (0..6)
-            .map(|i| request(i, 2.0 + i as f64, 2))
-            .collect();
+        let reqs: Vec<Request> = (0..6).map(|i| request(i, 2.0 + i as f64, 2)).collect();
         let exact = solve(&inst, &reqs, &OfflineConfig::default()).unwrap();
         let lp = solve(
             &inst,
@@ -400,7 +389,10 @@ mod tests {
         let prices = capacity_shadow_prices(&inst, &reqs).unwrap();
         assert_eq!(prices.len(), 1);
         assert_eq!(prices[0].len(), 10);
-        assert!(prices[0][0] > 0.0, "binding slot must be priced: {prices:?}");
+        assert!(
+            prices[0][0] > 0.0,
+            "binding slot must be priced: {prices:?}"
+        );
         assert!(prices[0][5].abs() < 1e-9, "idle slot must be free");
         for row in &prices {
             for &p in row {
@@ -430,8 +422,7 @@ mod tests {
         for t in 0..3 {
             let mut used = 0u64;
             for (i, r) in reqs.iter().enumerate() {
-                if let Some(Placement::OnSite { instances, .. }) =
-                    schedule.placement(RequestId(i))
+                if let Some(Placement::OnSite { instances, .. }) = schedule.placement(RequestId(i))
                 {
                     if r.active_at(t) {
                         used += u64::from(*instances);

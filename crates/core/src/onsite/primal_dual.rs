@@ -99,7 +99,8 @@ impl<'a> OnsitePrimalDual<'a> {
         policy: CapacityPolicy,
     ) -> Result<Self, crate::VnfrelError> {
         if let CapacityPolicy::Scaled(s) = policy {
-            if !(s >= 1.0) || !s.is_finite() {
+            let valid = s.is_finite() && s >= 1.0;
+            if !valid {
                 return Err(crate::VnfrelError::InvalidParameter(
                     "scaling factor must be ≥ 1",
                 ));
@@ -181,7 +182,7 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
             };
             let weight = f64::from(n) * compute; // a_ij = N_ij · c(f_i)
             let cost = self.dual_cost(request, j, weight);
-            if best_unrestricted.map_or(true, |c| cost < c) {
+            if best_unrestricted.is_none_or(|c| cost < c) {
                 best_unrestricted = Some(cost);
             }
             // Capacity gate depends on the policy.
@@ -221,15 +222,13 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
         }
 
         // Primal update: place all N_ij instances at cloudlet j.
-        self.ledger
-            .charge(CloudletId(j), request.slots(), weight);
+        self.ledger.charge(CloudletId(j), request.slots(), weight);
         // Dual update (Eq. 34) on the chosen cloudlet over active slots.
         let cap = self.ledger.capacity(CloudletId(j));
         let d = request.duration() as f64;
         for t in request.slots() {
             let l = self.lambda[j][t];
-            self.lambda[j][t] =
-                l * (1.0 + weight / cap) + weight * request.payment() / (d * cap);
+            self.lambda[j][t] = l * (1.0 + weight / cap) + weight * request.payment() / (d * cap);
         }
         Decision::Admit(Placement::OnSite {
             cloudlet: CloudletId(j),
@@ -239,6 +238,10 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
 
     fn ledger(&self) -> &CapacityLedger {
         &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
     }
 }
 
@@ -265,8 +268,12 @@ mod tests {
             prev = Some(ap);
             b.add_cloudlet(ap, cap, rel(r)).unwrap();
         }
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(horizon))
-            .unwrap()
+        ProblemInstance::new(
+            b.build().unwrap(),
+            VnfCatalog::standard(),
+            Horizon::new(horizon),
+        )
+        .unwrap()
     }
 
     fn request(id: usize, vnf: usize, req: f64, arrival: usize, dur: usize, pay: f64) -> Request {
@@ -328,7 +335,16 @@ mod tests {
         let inst = instance(&[(6, 0.999), (6, 0.995)], 20);
         let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
         let reqs: Vec<Request> = (0..80)
-            .map(|i| request(i, i % 10, 0.9 + (i % 5) as f64 * 0.015, (i / 10) % 18, 2, 9.0))
+            .map(|i| {
+                request(
+                    i,
+                    i % 10,
+                    0.9 + (i % 5) as f64 * 0.015,
+                    (i / 10) % 18,
+                    2,
+                    9.0,
+                )
+            })
             .collect();
         run_online(&mut alg, &reqs).unwrap();
         assert_eq!(alg.ledger().max_overflow(), 0.0);
@@ -339,9 +355,7 @@ mod tests {
         let inst = instance(&[(10, 0.999)], 20);
         let mut strict = OnsitePrimalDual::new(&inst, CapacityPolicy::Scaled(2.0)).unwrap();
         let mut loose = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
-        let reqs: Vec<Request> = (0..40)
-            .map(|i| request(i, 1, 0.9, 0, 1, 8.0))
-            .collect();
+        let reqs: Vec<Request> = (0..40).map(|i| request(i, 1, 0.9, 0, 1, 8.0)).collect();
         let s = run_online(&mut strict, &reqs).unwrap();
         let l = run_online(&mut loose, &reqs).unwrap();
         // Doubling the gate demand can only reduce admissions.
@@ -440,6 +454,9 @@ mod tests {
             })
             .collect();
         run_online(&mut alg, &reqs).unwrap();
-        assert!(alg.ledger().max_overflow() > 0.0, "expected over-commitment");
+        assert!(
+            alg.ledger().max_overflow() > 0.0,
+            "expected over-commitment"
+        );
     }
 }

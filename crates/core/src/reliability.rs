@@ -124,7 +124,10 @@ mod tests {
         for req in [0.9, 0.95, 0.99, 0.995, 0.998] {
             let req = rel(req);
             let n = onsite_instances(vnf, c, req).unwrap();
-            assert!(onsite_availability(vnf, c, n) >= req.value(), "n={n} too small");
+            assert!(
+                onsite_availability(vnf, c, n) >= req.value(),
+                "n={n} too small"
+            );
             if n > 1 {
                 assert!(
                     onsite_availability(vnf, c, n - 1) < req.value(),
@@ -171,7 +174,7 @@ mod tests {
     #[test]
     fn offsite_log_space_check_agrees_with_direct() {
         let vnf = rel(0.92);
-        let sites = vec![rel(0.99), rel(0.97), rel(0.95)];
+        let sites = [rel(0.99), rel(0.97), rel(0.95)];
         for req in [0.9, 0.99, 0.999, 0.9999, 0.99999] {
             let req = rel(req);
             let direct = offsite_availability(vnf, sites.iter().copied()) >= req.value();

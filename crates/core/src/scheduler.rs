@@ -24,6 +24,11 @@ pub trait OnlineScheduler {
 
     /// The scheduler's capacity ledger (for utilization/violation stats).
     fn ledger(&self) -> &CapacityLedger;
+
+    /// Mutable access to the ledger, so a fault-aware driver can
+    /// [`release`](CapacityLedger::release) capacity killed by outages
+    /// and charge replacement placements during recovery.
+    fn ledger_mut(&mut self) -> &mut CapacityLedger;
 }
 
 /// Feeds `requests` (already in arrival order) through a scheduler and
@@ -78,6 +83,9 @@ mod tests {
         }
         fn ledger(&self) -> &CapacityLedger {
             &self.ledger
+        }
+        fn ledger_mut(&mut self) -> &mut CapacityLedger {
+            &mut self.ledger
         }
     }
 

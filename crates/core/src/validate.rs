@@ -158,8 +158,7 @@ pub fn validate_schedule(
                     });
                     continue;
                 }
-                let achieved =
-                    onsite_availability(vnf.reliability(), c.reliability(), *instances);
+                let achieved = onsite_availability(vnf.reliability(), c.reliability(), *instances);
                 if achieved + 1e-9 < r.reliability_requirement().value() {
                     violations.push(Violation::Reliability {
                         request: r.id(),
@@ -269,8 +268,7 @@ mod tests {
         b.add_link(a, c, 1.0).unwrap();
         b.add_cloudlet(a, 4, rel(0.999)).unwrap();
         b.add_cloudlet(c, 4, rel(0.95)).unwrap();
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6)).unwrap()
     }
 
     fn request(id: usize, req: f64) -> Request {

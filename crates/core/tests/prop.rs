@@ -205,10 +205,12 @@ proptest! {
 
 mod chain_props {
     use super::*;
+    use mec_topology::Reliability;
     use mec_workload::VnfTypeId;
     use vnfrel::chain::alloc::{allocate_replicas, chain_availability};
-    use vnfrel::chain::{run_chain_online, ChainGreedy, ChainPrimalDual, ChainRequest, ChainRequestId};
-    use mec_topology::Reliability;
+    use vnfrel::chain::{
+        run_chain_online, ChainGreedy, ChainPrimalDual, ChainRequest, ChainRequestId,
+    };
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]

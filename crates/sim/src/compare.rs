@@ -73,7 +73,9 @@ pub fn compare(
     for s in schedulers.iter_mut() {
         let report = sim.run(*s)?;
         if !report.validation.is_feasible() {
-            return Err(SimError::Mismatch("a scheduler produced an infeasible schedule"));
+            return Err(SimError::Mismatch(
+                "a scheduler produced an infeasible schedule",
+            ));
         }
         rows.push(report.metrics);
     }
@@ -98,8 +100,9 @@ mod tests {
         let a = b.add_ap("a");
         b.add_cloudlet(a, 10, Reliability::new(0.999).unwrap())
             .unwrap();
-        let inst = ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12))
-            .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12))
+                .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let reqs = RequestGenerator::new(inst.horizon())
             .payment_rate_band(1.0, 10.0)
@@ -116,7 +119,10 @@ mod tests {
             assert!(r.revenue <= best + 1e-9);
             assert!(r.revenue <= cmp.total_payment + 1e-9);
         }
-        assert_eq!(cmp.relative(&cmp.best().unwrap().algorithm.clone()), Some(1.0));
+        assert_eq!(
+            cmp.relative(&cmp.best().unwrap().algorithm.clone()),
+            Some(1.0)
+        );
         assert!(cmp.relative("nope").is_none());
         let table = cmp.to_string();
         assert!(table.contains("alg1-primal-dual"));

@@ -1,9 +1,11 @@
-use mec_workload::Request;
-use vnfrel::{
-    validate_schedule, OnlineScheduler, ProblemInstance, Schedule, ValidationReport,
-};
+use mec_topology::{CloudletId, Reliability};
+use mec_workload::{Request, TimeSlot};
+use vnfrel::reliability::onsite_availability;
+use vnfrel::{validate_schedule, OnlineScheduler, ProblemInstance, Schedule, ValidationReport};
 
-use crate::metrics::{RunMetrics, SlotStats};
+use crate::fault::{FailureEvent, FailureProcess};
+use crate::metrics::{FaultSlotStats, RunMetrics, SlaRecord, SlaReport, SlotStats};
+use crate::recovery::{self, RecoveryPolicy};
 use crate::SimError;
 
 /// How requests arriving in the *same* slot are ordered before being
@@ -38,6 +40,81 @@ pub struct RunReport {
     /// Cumulative revenue after each slot's arrivals were processed —
     /// the online revenue trajectory.
     pub cumulative_revenue: Vec<f64>,
+}
+
+/// Result of one fault-aware run ([`Simulation::run_with_failures`]).
+///
+/// There is no [`ValidationReport`] here: the static feasibility checker
+/// assumes placements persist over their full window, which dynamic
+/// faults deliberately break. Capacity consistency is instead maintained
+/// online through [`CapacityLedger::release`](vnfrel::CapacityLedger::release).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRunReport {
+    /// Admission-time decisions (recovery never rewrites these).
+    pub schedule: Schedule,
+    /// Aggregate statistics of the admission run.
+    pub metrics: RunMetrics,
+    /// Per-request SLA accounting: downtime, repair latency, refunds.
+    pub sla: SlaReport,
+    /// Per-slot counters including fault/recovery activity.
+    pub timeline: Vec<FaultSlotStats>,
+    /// The recovery policy the run used.
+    pub policy: RecoveryPolicy,
+}
+
+/// Live placement state of one admitted request during a fault-aware run.
+struct LiveReq {
+    /// Surviving instances per hosting cloudlet index.
+    sites: Vec<(usize, u32)>,
+    /// Computing units one instance consumes per slot.
+    per_instance: f64,
+    /// Reliability of the request's VNF type.
+    vnf_rel: Reliability,
+    /// Slot of the unrecovered failure, `None` while the placement holds.
+    down_since: Option<TimeSlot>,
+    downtime_slots: usize,
+    failures: usize,
+    recovery_attempts: usize,
+    recoveries: usize,
+    repair_latency_slots: usize,
+}
+
+impl LiveReq {
+    fn sites_of(placement: &vnfrel::Placement) -> Vec<(usize, u32)> {
+        match placement {
+            vnfrel::Placement::OnSite {
+                cloudlet,
+                instances,
+            } => vec![(cloudlet.index(), *instances)],
+            vnfrel::Placement::OffSite { cloudlets } => {
+                cloudlets.iter().map(|c| (c.index(), 1)).collect()
+            }
+        }
+    }
+}
+
+/// Availability of whatever instances survive, generalizing Eq. 3 and
+/// Eq. 10: each hosting cloudlet `j` with `n_j` instances contributes an
+/// independent branch `A_j = r(c_j)·(1 − (1 − r_f)^{n_j})`, and the
+/// request is served while any branch is (`1 − Π (1 − A_j)`). A pure
+/// on-site placement reduces to Eq. 3, a pure off-site one to Eq. 10,
+/// and mixed states (partially killed placements, recoveries under a
+/// different scheme) interpolate between them.
+fn surviving_availability(
+    instance: &ProblemInstance,
+    vnf_rel: Reliability,
+    sites: &[(usize, u32)],
+) -> f64 {
+    let mut fail = 1.0;
+    for &(j, n) in sites {
+        let rel = instance
+            .network()
+            .cloudlet(CloudletId(j))
+            .expect("live site references a known cloudlet")
+            .reliability();
+        fail *= 1.0 - onsite_availability(vnf_rel, rel, n);
+    }
+    1.0 - fail
 }
 
 /// A slot-stepped simulation of the online admission process.
@@ -86,10 +163,7 @@ impl<'a> Simulation<'a> {
     ///
     /// Returns a wrapped [`vnfrel::VnfrelError`] when the requests do not
     /// fit the instance (non-dense ids, unknown VNFs, bad windows).
-    pub fn new(
-        instance: &'a ProblemInstance,
-        requests: &'a [Request],
-    ) -> Result<Self, SimError> {
+    pub fn new(instance: &'a ProblemInstance, requests: &'a [Request]) -> Result<Self, SimError> {
         instance.check_requests(requests)?;
         let mut by_slot = vec![Vec::new(); instance.horizon().len()];
         for (i, r) in requests.iter().enumerate() {
@@ -118,7 +192,10 @@ impl<'a> Simulation<'a> {
     ///
     /// Propagates validation errors; scheduler decisions themselves are
     /// infallible.
-    pub fn run<S: OnlineScheduler + ?Sized>(&self, scheduler: &mut S) -> Result<RunReport, SimError> {
+    pub fn run<S: OnlineScheduler + ?Sized>(
+        &self,
+        scheduler: &mut S,
+    ) -> Result<RunReport, SimError> {
         self.run_ordered(scheduler, IntraSlotOrder::Arrival)
     }
 
@@ -192,12 +269,8 @@ impl<'a> Simulation<'a> {
             cumulative_revenue.push(schedule.revenue());
         }
 
-        let validation = validate_schedule(
-            self.instance,
-            self.requests,
-            &schedule,
-            scheduler.scheme(),
-        )?;
+        let validation =
+            validate_schedule(self.instance, self.requests, &schedule, scheduler.scheme())?;
         let metrics = RunMetrics {
             algorithm: scheduler.name().to_string(),
             revenue: schedule.revenue(),
@@ -213,6 +286,293 @@ impl<'a> Simulation<'a> {
             validation,
             timeline,
             cumulative_revenue,
+        })
+    }
+
+    /// Replays the stream through `scheduler` while the outage trace in
+    /// `failures` unfolds, reacting online with `policy`.
+    ///
+    /// Each slot proceeds in five steps:
+    ///
+    /// 1. **Events** — this slot's [`FailureEvent`]s are applied. A
+    ///    crashed cloudlet takes every instance hosted there down with
+    ///    it; the dead placement's remaining capacity is
+    ///    [released](vnfrel::CapacityLedger::release) so survivors and
+    ///    future arrivals can reuse it. An [`FailureEvent::InstanceKill`]
+    ///    resolves its selector against the instances actually hosted on
+    ///    that cloudlet (in request-id order) and kills exactly one.
+    /// 2. **Arrivals** — the slot's requests are offered to the
+    ///    (outage-blind) scheduler one by one, exactly as in
+    ///    [`Simulation::run`]; sites that an admission places on a
+    ///    currently-down cloudlet are stripped and refunded immediately.
+    /// 3. **Violation detection** — every active request's surviving
+    ///    placement is re-checked against its requirement `R_i`. A
+    ///    placement that fell below `R_i` is torn down entirely (its
+    ///    remaining charges released) and the request is marked down.
+    /// 4. **Recovery** — each down request is handed to `policy`, which
+    ///    may re-place it on the up cloudlets for the *rest* of its
+    ///    window, charging the ledger like a fresh admission. Recovery
+    ///    within the failure slot itself counts as zero downtime.
+    /// 5. **Accounting** — every active request still down after
+    ///    recovery accrues one SLA-violated request-slot.
+    ///
+    /// The admission-time [`Schedule`] (and thus gross revenue) is
+    /// unaffected by faults; the SLA ledger tracks what part of that
+    /// revenue survives downtime refunds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Mismatch`] when the failure stream was
+    /// generated for a different horizon or topology, and propagates
+    /// ledger release failures (which would indicate double-release
+    /// bookkeeping bugs).
+    pub fn run_with_failures<S: OnlineScheduler + ?Sized>(
+        &self,
+        scheduler: &mut S,
+        failures: &FailureProcess,
+        policy: RecoveryPolicy,
+    ) -> Result<FaultRunReport, SimError> {
+        let m = self.instance.network().cloudlets().count();
+        if failures.horizon_len() != self.instance.horizon().len() {
+            return Err(SimError::Mismatch(
+                "failure stream horizon does not match the instance",
+            ));
+        }
+        if failures.iter().any(|e| e.cloudlet() >= m) {
+            return Err(SimError::Mismatch(
+                "failure stream references unknown cloudlet",
+            ));
+        }
+        let recovery_scheme = policy.scheme_for(scheduler.scheme());
+        let mut schedule = Schedule::new();
+        let mut timeline = vec![FaultSlotStats::default(); self.instance.horizon().len()];
+        let mut up = vec![true; m];
+        let mut live: Vec<Option<LiveReq>> = (0..self.requests.len()).map(|_| None).collect();
+
+        for t in self.instance.horizon().slots() {
+            let stats = &mut timeline[t];
+
+            // 1. Apply this slot's outage events.
+            for e in failures.events_at(t) {
+                stats.events += 1;
+                match *e {
+                    FailureEvent::CloudletDown { cloudlet: j, .. } => {
+                        up[j] = false;
+                        for (i, entry) in live.iter_mut().enumerate() {
+                            let Some(lr) = entry else { continue };
+                            let r = &self.requests[i];
+                            if t > r.end_slot() {
+                                continue;
+                            }
+                            if let Some(pos) = lr.sites.iter().position(|&(c, _)| c == j) {
+                                let (_, n) = lr.sites.remove(pos);
+                                scheduler.ledger_mut().release(
+                                    CloudletId(j),
+                                    t..=r.end_slot(),
+                                    f64::from(n) * lr.per_instance,
+                                )?;
+                            }
+                        }
+                    }
+                    FailureEvent::CloudletUp { cloudlet: j, .. } => up[j] = true,
+                    FailureEvent::InstanceKill {
+                        cloudlet: j,
+                        selector,
+                        ..
+                    } => {
+                        if !up[j] {
+                            continue;
+                        }
+                        let total: u64 = live
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, entry)| {
+                                let lr = entry.as_ref()?;
+                                if t > self.requests[i].end_slot() {
+                                    return None;
+                                }
+                                lr.sites
+                                    .iter()
+                                    .find(|&&(c, _)| c == j)
+                                    .map(|&(_, n)| u64::from(n))
+                            })
+                            .sum();
+                        if total == 0 {
+                            continue;
+                        }
+                        let mut victim = selector % total;
+                        for (i, entry) in live.iter_mut().enumerate() {
+                            let Some(lr) = entry else { continue };
+                            let r = &self.requests[i];
+                            if t > r.end_slot() {
+                                continue;
+                            }
+                            let Some(pos) = lr.sites.iter().position(|&(c, _)| c == j) else {
+                                continue;
+                            };
+                            let n = u64::from(lr.sites[pos].1);
+                            if victim < n {
+                                lr.sites[pos].1 -= 1;
+                                if lr.sites[pos].1 == 0 {
+                                    lr.sites.remove(pos);
+                                }
+                                scheduler.ledger_mut().release(
+                                    CloudletId(j),
+                                    t..=r.end_slot(),
+                                    lr.per_instance,
+                                )?;
+                                break;
+                            }
+                            victim -= n;
+                        }
+                    }
+                }
+            }
+
+            // 2. Offer this slot's arrivals to the scheduler.
+            for &i in &self.by_slot[t] {
+                let r = &self.requests[i];
+                let decision = scheduler.decide(r);
+                stats.arrivals += 1;
+                let placement = decision.placement().cloned();
+                schedule.record(r, decision);
+                let Some(p) = placement else { continue };
+                stats.admitted += 1;
+                let vnf = self
+                    .instance
+                    .catalog()
+                    .get(r.vnf())
+                    .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
+                let mut lr = LiveReq {
+                    sites: LiveReq::sites_of(&p),
+                    per_instance: vnf.compute() as f64,
+                    vnf_rel: vnf.reliability(),
+                    down_since: None,
+                    downtime_slots: 0,
+                    failures: 0,
+                    recovery_attempts: 0,
+                    recoveries: 0,
+                    repair_latency_slots: 0,
+                };
+                // The scheduler is outage-blind: strip (and refund) any
+                // site it placed on a cloudlet that is currently down.
+                let mut k = 0;
+                while k < lr.sites.len() {
+                    let (j, n) = lr.sites[k];
+                    if up[j] {
+                        k += 1;
+                    } else {
+                        scheduler.ledger_mut().release(
+                            CloudletId(j),
+                            t..=r.end_slot(),
+                            f64::from(n) * lr.per_instance,
+                        )?;
+                        lr.sites.remove(k);
+                    }
+                }
+                live[i] = Some(lr);
+            }
+
+            // 3. Re-check every active placement against R_i.
+            for (i, entry) in live.iter_mut().enumerate() {
+                let Some(lr) = entry else { continue };
+                let r = &self.requests[i];
+                if t > r.end_slot() {
+                    continue;
+                }
+                stats.active += 1;
+                if lr.down_since.is_some() {
+                    continue;
+                }
+                let avail = surviving_availability(self.instance, lr.vnf_rel, &lr.sites);
+                if avail + 1e-12 < r.reliability_requirement().value() {
+                    for &(j, n) in &lr.sites {
+                        scheduler.ledger_mut().release(
+                            CloudletId(j),
+                            t..=r.end_slot(),
+                            f64::from(n) * lr.per_instance,
+                        )?;
+                    }
+                    lr.sites.clear();
+                    lr.down_since = Some(t);
+                    lr.failures += 1;
+                    stats.newly_failed += 1;
+                }
+            }
+
+            // 4. Attempt recovery for every down request, id order.
+            if let Some(scheme) = recovery_scheme {
+                for (i, entry) in live.iter_mut().enumerate() {
+                    let Some(lr) = entry else { continue };
+                    let r = &self.requests[i];
+                    if t > r.end_slot() {
+                        continue;
+                    }
+                    let Some(fail_slot) = lr.down_since else {
+                        continue;
+                    };
+                    lr.recovery_attempts += 1;
+                    if let Some(p) = recovery::try_replace(
+                        self.instance,
+                        scheduler.ledger_mut(),
+                        r,
+                        t,
+                        &up,
+                        scheme,
+                    ) {
+                        lr.sites = LiveReq::sites_of(&p);
+                        lr.recoveries += 1;
+                        lr.repair_latency_slots += t - fail_slot;
+                        lr.down_since = None;
+                        stats.recovered += 1;
+                    }
+                }
+            }
+
+            // 5. SLA accounting: a slot spent down is a violated slot.
+            for (i, entry) in live.iter_mut().enumerate() {
+                let Some(lr) = entry else { continue };
+                if t > self.requests[i].end_slot() {
+                    continue;
+                }
+                if lr.down_since.is_some() {
+                    lr.downtime_slots += 1;
+                    stats.violated += 1;
+                }
+            }
+        }
+
+        let mut records = Vec::new();
+        for (i, entry) in live.iter().enumerate() {
+            let Some(lr) = entry else { continue };
+            let r = &self.requests[i];
+            records.push(SlaRecord {
+                request: r.id(),
+                payment: r.payment(),
+                duration: r.duration(),
+                downtime_slots: lr.downtime_slots,
+                failures: lr.failures,
+                recovery_attempts: lr.recovery_attempts,
+                recoveries: lr.recoveries,
+                repair_latency_slots: lr.repair_latency_slots,
+                unrecovered: lr.down_since.is_some(),
+            });
+        }
+        let metrics = RunMetrics {
+            algorithm: scheduler.name().to_string(),
+            revenue: schedule.revenue(),
+            admitted: schedule.admitted_count(),
+            total: self.requests.len(),
+            mean_utilization: scheduler.ledger().mean_utilization(),
+            max_overflow: scheduler.ledger().max_overflow(),
+            dual_bound: None,
+        };
+        Ok(FaultRunReport {
+            schedule,
+            metrics,
+            sla: SlaReport { records },
+            timeline,
+            policy,
         })
     }
 }
@@ -235,8 +595,7 @@ mod tests {
             .unwrap();
         b.add_cloudlet(c, 30, Reliability::new(0.995).unwrap())
             .unwrap();
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12)).unwrap()
     }
 
     #[test]
@@ -268,9 +627,7 @@ mod tests {
         for w in report.cumulative_revenue.windows(2) {
             assert!(w[1] >= w[0]);
         }
-        assert!(
-            (report.cumulative_revenue.last().unwrap() - report.metrics.revenue).abs() < 1e-9
-        );
+        assert!((report.cumulative_revenue.last().unwrap() - report.metrics.revenue).abs() < 1e-9);
     }
 
     #[test]
@@ -368,6 +725,220 @@ mod tests {
         assert!(!paid.schedule.is_admitted(RequestId(0)));
         assert!(paid.schedule.is_admitted(RequestId(1)));
         assert!(paid.metrics.revenue > arrival.metrics.revenue);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FailureConfig, FailureEvent, FailureProcess};
+        use crate::recovery::RecoveryPolicy;
+
+        /// One request, slots 0..=5: both cloudlets crash in slot 2, and
+        /// cloudlet 1 is repaired in slot 3. Schedule-independent — the
+        /// request is wiped out wherever it was placed.
+        fn outage_trace(h: Horizon) -> FailureProcess {
+            FailureProcess::from_events(
+                h,
+                vec![
+                    FailureEvent::CloudletDown {
+                        slot: 2,
+                        cloudlet: 0,
+                    },
+                    FailureEvent::CloudletDown {
+                        slot: 2,
+                        cloudlet: 1,
+                    },
+                    FailureEvent::CloudletUp {
+                        slot: 3,
+                        cloudlet: 1,
+                    },
+                ],
+                FailureConfig::default(),
+            )
+            .unwrap()
+        }
+
+        fn one_request(h: Horizon) -> Vec<Request> {
+            vec![Request::new(
+                RequestId(0),
+                VnfTypeId(1),
+                Reliability::new(0.9).unwrap(),
+                0,
+                6,
+                10.0,
+                h,
+            )
+            .unwrap()]
+        }
+
+        #[test]
+        fn fault_free_run_matches_plain_run() {
+            let inst = instance();
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let reqs = RequestGenerator::new(inst.horizon())
+                .generate(50, inst.catalog(), &mut rng)
+                .unwrap();
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let empty =
+                FailureProcess::from_events(inst.horizon(), [], FailureConfig::default()).unwrap();
+            let mut a = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+            let plain = sim.run(&mut a).unwrap();
+            let mut b = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+            let faulty = sim
+                .run_with_failures(&mut b, &empty, RecoveryPolicy::SchemeMatching)
+                .unwrap();
+            assert_eq!(plain.schedule, faulty.schedule);
+            assert_eq!(plain.metrics, faulty.metrics);
+            assert_eq!(faulty.sla.violated_request_slots(), 0);
+            assert_eq!(faulty.sla.total_failures(), 0);
+            assert_eq!(faulty.sla.records.len(), faulty.schedule.admitted_count());
+            assert!((faulty.sla.revenue_refunded()).abs() < 1e-12);
+            assert!((faulty.sla.revenue_retained() - plain.metrics.revenue).abs() < 1e-9);
+            for (p, f) in plain.timeline.iter().zip(&faulty.timeline) {
+                assert_eq!(
+                    (p.arrivals, p.admitted, p.active),
+                    (f.arrivals, f.admitted, f.active)
+                );
+                assert_eq!(f.events + f.newly_failed + f.recovered + f.violated, 0);
+            }
+        }
+
+        #[test]
+        fn outage_without_recovery_accrues_downtime() {
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = outage_trace(inst.horizon());
+            let mut g = OnsiteGreedy::new(&inst);
+            let report = sim
+                .run_with_failures(&mut g, &trace, RecoveryPolicy::None)
+                .unwrap();
+            assert!(report.schedule.is_admitted(RequestId(0)));
+            let rec = &report.sla.records[0];
+            assert_eq!(rec.failures, 1);
+            assert_eq!(rec.recovery_attempts, 0);
+            assert_eq!(rec.recoveries, 0);
+            // Down from slot 2 through the window end (slot 5).
+            assert_eq!(rec.downtime_slots, 4);
+            assert!(rec.unrecovered);
+            assert!((rec.refund() - 10.0 * 4.0 / 6.0).abs() < 1e-12);
+            assert_eq!(report.sla.violated_request_slots(), 4);
+            assert_eq!(report.timeline[2].newly_failed, 1);
+            // The dead placement's remaining capacity was refunded.
+            for j in 0..2 {
+                for t in 2..6 {
+                    assert_eq!(g.ledger().used(mec_topology::CloudletId(j), t), 0.0);
+                }
+            }
+        }
+
+        #[test]
+        fn recovery_restores_service_after_repair() {
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = outage_trace(inst.horizon());
+            let mut g = OnsiteGreedy::new(&inst);
+            let report = sim
+                .run_with_failures(&mut g, &trace, RecoveryPolicy::SchemeMatching)
+                .unwrap();
+            let rec = &report.sla.records[0];
+            assert_eq!(rec.failures, 1);
+            // Slot 2: everything down, attempt fails. Slot 3: cloudlet 1
+            // is back, re-placement succeeds.
+            assert_eq!(rec.recovery_attempts, 2);
+            assert_eq!(rec.recoveries, 1);
+            assert_eq!(rec.downtime_slots, 1);
+            assert_eq!(rec.repair_latency_slots, 1);
+            assert!(!rec.unrecovered);
+            assert_eq!(report.sla.violated_request_slots(), 1);
+            assert_eq!(report.timeline[3].recovered, 1);
+            // Strictly better than no recovery on the same trace.
+            let mut g2 = OnsiteGreedy::new(&inst);
+            let none = sim
+                .run_with_failures(&mut g2, &trace, RecoveryPolicy::None)
+                .unwrap();
+            assert!(report.sla.violated_request_slots() < none.sla.violated_request_slots());
+            // The replacement landed on the repaired cloudlet 1 for the
+            // remaining window (slots 3..=5).
+            assert!(g.ledger().used(mec_topology::CloudletId(1), 4) > 0.0);
+            assert_eq!(g.ledger().used(mec_topology::CloudletId(0), 4), 0.0);
+        }
+
+        #[test]
+        fn mismatched_traces_are_rejected() {
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            // Wrong horizon.
+            let short =
+                FailureProcess::from_events(Horizon::new(5), [], FailureConfig::default()).unwrap();
+            let mut g = OnsiteGreedy::new(&inst);
+            assert!(sim
+                .run_with_failures(&mut g, &short, RecoveryPolicy::None)
+                .is_err());
+            // Unknown cloudlet index.
+            let alien = FailureProcess::from_events(
+                inst.horizon(),
+                [FailureEvent::CloudletDown {
+                    slot: 0,
+                    cloudlet: 7,
+                }],
+                FailureConfig::default(),
+            )
+            .unwrap();
+            let mut g = OnsiteGreedy::new(&inst);
+            assert!(sim
+                .run_with_failures(&mut g, &alien, RecoveryPolicy::None)
+                .is_err());
+        }
+
+        #[test]
+        fn instance_kill_degrades_offsite_placements() {
+            // Off-site placement across several cloudlets: killing one
+            // instance releases exactly that instance's share and the
+            // availability re-check decides survival.
+            let mut b = NetworkBuilder::new();
+            let mut prev = None;
+            for i in 0..4 {
+                let ap = b.add_ap(format!("ap{i}"));
+                if let Some(p) = prev {
+                    b.add_link(p, ap, 1.0).unwrap();
+                }
+                prev = Some(ap);
+                b.add_cloudlet(ap, 30, Reliability::new(0.95).unwrap())
+                    .unwrap();
+            }
+            let inst =
+                ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12))
+                    .unwrap();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = FailureProcess::from_events(
+                inst.horizon(),
+                [FailureEvent::InstanceKill {
+                    slot: 2,
+                    cloudlet: 0,
+                    selector: 11,
+                }],
+                FailureConfig::default(),
+            )
+            .unwrap();
+            let mut g = vnfrel::offsite::OffsiteGreedy::new(&inst);
+            let report = sim
+                .run_with_failures(&mut g, &trace, RecoveryPolicy::SchemeMatching)
+                .unwrap();
+            assert!(report.schedule.is_admitted(RequestId(0)));
+            let rec = &report.sla.records[0];
+            // Whether the surviving subset still meets R_i depends on the
+            // original fan-out; either way the books must stay
+            // consistent: no downtime without a failure, and a recovery
+            // implies a preceding failure.
+            assert!(rec.failures <= 1);
+            assert!(rec.recoveries <= rec.failures);
+            assert!(rec.downtime_slots <= 4);
+            let events: usize = report.timeline.iter().map(|s| s.events).sum();
+            assert_eq!(events, 1);
+        }
     }
 
     #[test]

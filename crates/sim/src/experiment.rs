@@ -133,11 +133,7 @@ mod tests {
     use super::*;
 
     fn table() -> SweepTable {
-        let mut t = SweepTable::new(
-            "requests",
-            "revenue",
-            vec!["alg1".into(), "greedy".into()],
-        );
+        let mut t = SweepTable::new("requests", "revenue", vec!["alg1".into(), "greedy".into()]);
         t.push_row(100.0, vec![50.0, 40.0]);
         t.push_row(200.0, vec![90.0, 60.0]);
         t

@@ -1,7 +1,7 @@
 //! Plain-text/CSV export of simulation artifacts, for plotting outside
 //! Rust (gnuplot, matplotlib, spreadsheets).
 
-use crate::engine::RunReport;
+use crate::engine::{FaultRunReport, RunReport};
 use crate::experiment::SweepTable;
 
 /// Renders the per-slot timeline as CSV (`slot,arrivals,admitted,active`).
@@ -9,6 +9,46 @@ pub fn timeline_csv(report: &RunReport) -> String {
     let mut out = String::from("slot,arrivals,admitted,active\n");
     for (t, s) in report.timeline.iter().enumerate() {
         out.push_str(&format!("{t},{},{},{}\n", s.arrivals, s.admitted, s.active));
+    }
+    out
+}
+
+/// Renders a fault-aware run's per-slot timeline as CSV
+/// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated`).
+pub fn fault_timeline_csv(report: &FaultRunReport) -> String {
+    let mut out =
+        String::from("slot,arrivals,admitted,active,events,newly_failed,recovered,violated\n");
+    for (t, s) in report.timeline.iter().enumerate() {
+        out.push_str(&format!(
+            "{t},{},{},{},{},{},{},{}\n",
+            s.arrivals, s.admitted, s.active, s.events, s.newly_failed, s.recovered, s.violated
+        ));
+    }
+    out
+}
+
+/// Renders the SLA ledger as CSV, one row per admitted request
+/// (`request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,repair_latency_slots,unrecovered,refund,retained`).
+pub fn sla_csv(report: &FaultRunReport) -> String {
+    let mut out = String::from(
+        "request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,\
+         repair_latency_slots,unrecovered,refund,retained\n",
+    );
+    for r in &report.sla.records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.request.index(),
+            r.payment,
+            r.duration,
+            r.downtime_slots,
+            r.failures,
+            r.recovery_attempts,
+            r.recoveries,
+            r.repair_latency_slots,
+            r.unrecovered,
+            r.refund(),
+            r.retained()
+        ));
     }
     out
 }
@@ -56,8 +96,9 @@ mod tests {
         let a = b.add_ap("a");
         b.add_cloudlet(a, 20, Reliability::new(0.99).unwrap())
             .unwrap();
-        let inst = ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6))
-            .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6))
+                .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let reqs = RequestGenerator::new(inst.horizon())
             .generate(10, inst.catalog(), &mut rng)
@@ -75,6 +116,60 @@ mod tests {
             .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
             .sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn fault_csvs_cover_every_slot_and_admitted_request() {
+        use crate::fault::{FailureConfig, FailureEvent, FailureProcess};
+        use crate::recovery::RecoveryPolicy;
+
+        let mut b = NetworkBuilder::new();
+        let a = b.add_ap("a");
+        let a2 = b.add_ap("a2");
+        b.add_link(a, a2, 1.0).unwrap();
+        b.add_cloudlet(a, 20, Reliability::new(0.99).unwrap())
+            .unwrap();
+        b.add_cloudlet(a2, 20, Reliability::new(0.99).unwrap())
+            .unwrap();
+        let inst =
+            ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(6))
+                .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .generate(12, inst.catalog(), &mut rng)
+            .unwrap();
+        let sim = Simulation::new(&inst, &reqs).unwrap();
+        let mut g = OnsiteGreedy::new(&inst);
+        let trace = FailureProcess::from_events(
+            inst.horizon(),
+            [FailureEvent::CloudletDown {
+                slot: 2,
+                cloudlet: 0,
+            }],
+            FailureConfig::default(),
+        )
+        .unwrap();
+        let report = sim
+            .run_with_failures(&mut g, &trace, RecoveryPolicy::SchemeMatching)
+            .unwrap();
+
+        let timeline = fault_timeline_csv(&report);
+        let lines: Vec<&str> = timeline.trim_end().lines().collect();
+        assert_eq!(lines.len(), 7); // header + 6 slots
+        assert_eq!(
+            lines[0],
+            "slot,arrivals,admitted,active,events,newly_failed,recovered,violated"
+        );
+        // The injected event shows up in slot 2's events column.
+        assert_eq!(lines[3].split(',').nth(4).unwrap(), "1");
+
+        let sla = sla_csv(&report);
+        let rows: Vec<&str> = sla.trim_end().lines().collect();
+        assert_eq!(rows.len() - 1, report.metrics.admitted);
+        assert!(rows[0].starts_with("request,payment,duration,downtime_slots"));
+        for row in &rows[1..] {
+            assert_eq!(row.split(',').count(), 11);
+        }
     }
 
     #[test]

@@ -111,28 +111,36 @@ pub fn inject_failures<R: Rng + ?Sized>(
         .map(|c| c.reliability().value())
         .collect();
 
+    // Resolve the VNF reliability and placement of every admitted request
+    // once, outside the hot trial loop (previously an O(trials × requests)
+    // stream of redundant catalog lookups).
+    let mut placed: Vec<(f64, &Placement)> = Vec::with_capacity(admitted.len());
+    for r in &admitted {
+        let vnf = instance
+            .catalog()
+            .get(r.vnf())
+            .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
+        let placement = schedule.placement(r.id()).expect("admitted");
+        if let Placement::OnSite { cloudlet, .. } = placement {
+            if cloudlet.index() >= m {
+                return Err(SimError::Mismatch("placement references unknown cloudlet"));
+            }
+        }
+        placed.push((vnf.reliability().value(), placement));
+    }
+
     for _ in 0..trials {
         for (j, up) in cloudlet_up.iter_mut().enumerate() {
             *up = rng.gen_bool(cloudlet_rel[j]);
         }
-        for (k, r) in admitted.iter().enumerate() {
-            let vnf = instance
-                .catalog()
-                .get(r.vnf())
-                .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
-            let r_f = vnf.reliability().value();
-            let placement = schedule.placement(r.id()).expect("admitted");
+        for (k, &(r_f, placement)) in placed.iter().enumerate() {
             let alive = match placement {
                 Placement::OnSite {
                     cloudlet,
                     instances,
                 } => {
                     let j = cloudlet.index();
-                    if j >= m {
-                        return Err(SimError::Mismatch("placement references unknown cloudlet"));
-                    }
-                    cloudlet_up[j]
-                        && (0..*instances).any(|_| rng.gen_bool(r_f))
+                    cloudlet_up[j] && (0..*instances).any(|_| rng.gen_bool(r_f))
                 }
                 Placement::OffSite { cloudlets } => cloudlets.iter().any(|c| {
                     let j = c.index();
@@ -194,14 +202,23 @@ pub fn inject_failures_windowed<R: Rng + ?Sized>(
         .map(|c| c.reliability().value())
         .collect();
 
+    // As in `inject_failures`: one catalog lookup per admitted request,
+    // not one per (trial, request).
+    let mut placed: Vec<(f64, &Placement)> = Vec::with_capacity(admitted.len());
+    for r in &admitted {
+        let vnf = instance
+            .catalog()
+            .get(r.vnf())
+            .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
+        placed.push((
+            vnf.reliability().value(),
+            schedule.placement(r.id()).expect("admitted"),
+        ));
+    }
+
     for _ in 0..trials {
         for (k, r) in admitted.iter().enumerate() {
-            let vnf = instance
-                .catalog()
-                .get(r.vnf())
-                .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
-            let r_f = vnf.reliability().value();
-            let placement = schedule.placement(r.id()).expect("admitted");
+            let (r_f, placement) = placed[k];
             // Independent component states per slot of the window.
             let all_slots_alive = r.slots().all(|_t| match placement {
                 Placement::OnSite {
@@ -209,7 +226,8 @@ pub fn inject_failures_windowed<R: Rng + ?Sized>(
                     instances,
                 } => {
                     let j = cloudlet.index();
-                    j < m && rng.gen_bool(cloudlet_rel[j])
+                    j < m
+                        && rng.gen_bool(cloudlet_rel[j])
                         && (0..*instances).any(|_| rng.gen_bool(r_f))
                 }
                 Placement::OffSite { cloudlets } => cloudlets.iter().any(|c| {
@@ -265,8 +283,7 @@ mod tests {
             .unwrap();
         b.add_cloudlet(d, 40, Reliability::new(0.99).unwrap())
             .unwrap();
-        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10))
-            .unwrap()
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(10)).unwrap()
     }
 
     #[test]
@@ -350,8 +367,7 @@ mod tests {
             .unwrap();
         let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
         let schedule = run_online(&mut alg, &reqs).unwrap();
-        let report =
-            inject_failures_windowed(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
+        let report = inject_failures_windowed(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
         // Per-slot availability ≥ R_i and independent slots ⇒ window
         // survival ≥ R_i^d; no statistical violation expected.
         let violations = report.statistical_violations(4.0);

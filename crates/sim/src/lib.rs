@@ -11,6 +11,11 @@
 //!   timeline),
 //! * [`failure::inject_failures`] — sampled cloudlet/VNF failures versus
 //!   each admitted request's requirement `R_i`,
+//! * [`fault`] + [`recovery`] — *dynamic* fault injection: a seeded
+//!   per-slot outage trace ([`FailureProcess`]) replayed through
+//!   [`Simulation::run_with_failures`], which releases dead capacity,
+//!   re-places affected requests under a [`RecoveryPolicy`], and keeps
+//!   an SLA ledger ([`SlaReport`]) of downtime and refunds,
 //! * [`experiment`] — sweep tables used by the figure-regeneration
 //!   binaries in `vnfrel-bench`.
 
@@ -21,11 +26,15 @@ mod compare;
 mod engine;
 mod error;
 pub mod experiment;
-pub mod failure;
-mod metrics;
 pub mod export;
+pub mod failure;
+pub mod fault;
+mod metrics;
+pub mod recovery;
 
 pub use compare::{compare, Comparison};
-pub use engine::{IntraSlotOrder, RunReport, Simulation};
+pub use engine::{FaultRunReport, IntraSlotOrder, RunReport, Simulation};
 pub use error::SimError;
-pub use metrics::{RunMetrics, SlotStats};
+pub use fault::{FailureConfig, FailureEvent, FailureProcess};
+pub use metrics::{FaultSlotStats, RunMetrics, SlaRecord, SlaReport, SlotStats};
+pub use recovery::RecoveryPolicy;

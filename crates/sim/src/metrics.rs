@@ -1,5 +1,7 @@
 use std::fmt;
 
+use mec_workload::RequestId;
+
 /// Summary statistics of one online run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
@@ -63,6 +65,150 @@ pub struct SlotStats {
     pub admitted: usize,
     /// Admitted requests whose execution window covers this slot.
     pub active: usize,
+}
+
+/// Per-slot counters of a fault-aware run
+/// ([`Simulation::run_with_failures`](crate::Simulation::run_with_failures)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSlotStats {
+    /// Requests that arrived in this slot.
+    pub arrivals: usize,
+    /// Arrivals admitted in this slot.
+    pub admitted: usize,
+    /// Admitted requests whose execution window covers this slot.
+    pub active: usize,
+    /// Failure events applied in this slot.
+    pub events: usize,
+    /// Requests whose placement dropped below `R_i` in this slot.
+    pub newly_failed: usize,
+    /// Requests successfully re-placed in this slot.
+    pub recovered: usize,
+    /// Active requests still without a valid placement at the end of the
+    /// slot — each one is an SLA-violated request-slot.
+    pub violated: usize,
+}
+
+/// Per-request SLA outcome of a fault-aware run.
+///
+/// Only admitted requests get a record; a request that was never hit by
+/// a fault has all failure counters at zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaRecord {
+    /// The admitted request.
+    pub request: RequestId,
+    /// Payment agreed at admission.
+    pub payment: f64,
+    /// Requested duration in slots.
+    pub duration: usize,
+    /// Slots of the window spent without a valid placement.
+    pub downtime_slots: usize,
+    /// Times the placement dropped below `R_i` and was torn down.
+    pub failures: usize,
+    /// Recovery attempts made on behalf of this request.
+    pub recovery_attempts: usize,
+    /// Successful re-placements.
+    pub recoveries: usize,
+    /// Total slots between each failure and its recovery (0 when
+    /// recovery lands in the failure slot itself).
+    pub repair_latency_slots: usize,
+    /// Whether the request was still down when its window (or the
+    /// horizon) ended.
+    pub unrecovered: bool,
+}
+
+impl SlaRecord {
+    /// Revenue refunded for downtime, prorated per violated slot:
+    /// `payment · downtime/duration`.
+    pub fn refund(&self) -> f64 {
+        if self.duration == 0 {
+            0.0
+        } else {
+            self.payment * (self.downtime_slots.min(self.duration) as f64 / self.duration as f64)
+        }
+    }
+
+    /// Revenue retained after the downtime refund.
+    pub fn retained(&self) -> f64 {
+        self.payment - self.refund()
+    }
+}
+
+/// SLA ledger of one fault-aware run: one record per admitted request,
+/// in id order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlaReport {
+    /// Per-request records (admitted requests only, id order).
+    pub records: Vec<SlaRecord>,
+}
+
+impl SlaReport {
+    /// Total SLA-violated request-slots (Σ downtime over requests).
+    pub fn violated_request_slots(&self) -> usize {
+        self.records.iter().map(|r| r.downtime_slots).sum()
+    }
+
+    /// Revenue kept after downtime refunds.
+    pub fn revenue_retained(&self) -> f64 {
+        self.records.iter().map(SlaRecord::retained).sum()
+    }
+
+    /// Revenue refunded for downtime.
+    pub fn revenue_refunded(&self) -> f64 {
+        self.records.iter().map(SlaRecord::refund).sum()
+    }
+
+    /// Placement failures across all requests.
+    pub fn total_failures(&self) -> usize {
+        self.records.iter().map(|r| r.failures).sum()
+    }
+
+    /// Successful re-placements across all requests.
+    pub fn total_recoveries(&self) -> usize {
+        self.records.iter().map(|r| r.recoveries).sum()
+    }
+
+    /// Recoveries / failures; 1.0 when nothing ever failed.
+    pub fn recovery_success_rate(&self) -> f64 {
+        let failures = self.total_failures();
+        if failures == 0 {
+            1.0
+        } else {
+            self.total_recoveries() as f64 / failures as f64
+        }
+    }
+
+    /// Mean slots from failure to recovery, over successful recoveries
+    /// (`None` when nothing recovered).
+    pub fn mean_repair_latency(&self) -> Option<f64> {
+        let recoveries = self.total_recoveries();
+        if recoveries == 0 {
+            return None;
+        }
+        let latency: usize = self.records.iter().map(|r| r.repair_latency_slots).sum();
+        Some(latency as f64 / recoveries as f64)
+    }
+
+    /// Requests that ended their window without a valid placement.
+    pub fn unrecovered_requests(&self) -> usize {
+        self.records.iter().filter(|r| r.unrecovered).count()
+    }
+}
+
+impl fmt::Display for SlaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sla: {} requests, {} violated slots, {} failures, {} recovered ({:.0}%), \
+             retained {:.2}, refunded {:.2}",
+            self.records.len(),
+            self.violated_request_slots(),
+            self.total_failures(),
+            self.total_recoveries(),
+            self.recovery_success_rate() * 100.0,
+            self.revenue_retained(),
+            self.revenue_refunded(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -256,7 +256,7 @@ pub fn solve_mip(model: &Model, config: &BnbConfig) -> Result<MipOutcome, Solver
         Some((objective, values)) => {
             let exhausted = heap
                 .peek()
-                .map_or(true, |top| !is_better(top.bound, objective));
+                .is_none_or(|top| !is_better(top.bound, objective));
             let sol = MipSolution {
                 objective,
                 values,

@@ -33,13 +33,13 @@
 #![warn(missing_debug_implementations)]
 
 mod branch_bound;
-mod lp_format;
 mod error;
+mod lp_format;
 mod model;
 mod simplex;
 
 pub use branch_bound::{solve_mip, BnbConfig, MipOutcome, MipSolution};
 pub use error::SolverError;
-pub use model::{Cmp, Model, Sense, VarId, VarKind};
 pub use lp_format::to_lp_format;
+pub use model::{Cmp, Model, Sense, VarId, VarKind};
 pub use simplex::{solve_lp, LpOutcome, LpSolution};

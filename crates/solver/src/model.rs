@@ -117,7 +117,12 @@ impl Model {
     /// * [`SolverError::NonFiniteValue`] if `lb` or the objective
     ///   coefficient is not finite, or `ub` is NaN / `-∞`.
     /// * [`SolverError::InvertedBounds`] if `lb > ub`.
-    pub fn add_var(&mut self, lb: f64, ub: Option<f64>, objective: f64) -> Result<VarId, SolverError> {
+    pub fn add_var(
+        &mut self,
+        lb: f64,
+        ub: Option<f64>,
+        objective: f64,
+    ) -> Result<VarId, SolverError> {
         self.add_var_kind(lb, ub, objective, VarKind::Continuous)
     }
 

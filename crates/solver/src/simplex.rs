@@ -259,7 +259,6 @@ impl Tableau {
             }
         }
     }
-
 }
 
 /// Solves a linear program, relaxing any integrality markers.
@@ -281,7 +280,9 @@ pub fn solve_lp(model: &Model) -> Result<LpOutcome, SolverError> {
 
     // Shift variables so lb = 0 and pre-compute adjusted rhs.
     let lbs: Vec<f64> = (0..n).map(|j| model.vars[j].lb).collect();
-    let mut ubs: Vec<f64> = (0..n).map(|j| model.vars[j].ub - model.vars[j].lb).collect();
+    let mut ubs: Vec<f64> = (0..n)
+        .map(|j| model.vars[j].ub - model.vars[j].lb)
+        .collect();
 
     // Count slacks/artificials per row after rhs normalization.
     #[derive(Clone, Copy)]
@@ -359,7 +360,7 @@ pub fn solve_lp(model: &Model) -> Result<LpOutcome, SolverError> {
             }
         }
     }
-    ubs.extend(std::iter::repeat(f64::INFINITY).take(ncols - n));
+    ubs.extend(std::iter::repeat_n(f64::INFINITY, ncols - n));
     for (i, &b) in basis.iter().enumerate() {
         status[b] = Status::Basic(i);
     }
@@ -427,7 +428,11 @@ pub fn solve_lp(model: &Model) -> Result<LpOutcome, SolverError> {
         .map(|i| {
             let (aux, sign) = row_aux[i];
             let y_internal = -t.d[aux] / sign;
-            let y_row = if plans[i].flip { -y_internal } else { y_internal };
+            let y_row = if plans[i].flip {
+                -y_internal
+            } else {
+                y_internal
+            };
             sense_mul * y_row
         })
         .collect();
@@ -670,7 +675,10 @@ mod tests {
     fn solution_is_always_feasible() {
         let mut m = Model::new(Sense::Maximize);
         let vars: Vec<VarId> = (0..6)
-            .map(|i| m.add_var(0.0, Some(1.0 + i as f64), (i + 1) as f64).unwrap())
+            .map(|i| {
+                m.add_var(0.0, Some(1.0 + i as f64), (i + 1) as f64)
+                    .unwrap()
+            })
             .collect();
         for k in 0..4 {
             let terms = vars

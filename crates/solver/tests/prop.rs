@@ -16,10 +16,7 @@ fn random_packing(seed: u64, n: usize, k: usize) -> Model {
         .map(|_| m.add_binary_var(rng.gen_range(1.0..20.0)).unwrap())
         .collect();
     for _ in 0..k {
-        let terms: Vec<_> = vars
-            .iter()
-            .map(|&v| (v, rng.gen_range(0.0..5.0)))
-            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.0..5.0))).collect();
         let total: f64 = terms.iter().map(|(_, c)| c).sum();
         // rhs between 20% and 80% of the total weight keeps it interesting.
         let rhs = total * rng.gen_range(0.2..0.8);

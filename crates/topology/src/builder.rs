@@ -66,7 +66,12 @@ impl NetworkBuilder {
     /// * [`TopologyError::DuplicateLink`] if the link already exists.
     /// * [`TopologyError::InvalidLatency`] if `latency` is negative or not
     ///   finite.
-    pub fn add_link(&mut self, a: NodeId, b: NodeId, latency: f64) -> Result<LinkId, TopologyError> {
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        latency: f64,
+    ) -> Result<LinkId, TopologyError> {
         self.check_node(a)?;
         self.check_node(b)?;
         if a == b {
@@ -182,7 +187,10 @@ mod tests {
         assert_eq!(b.add_link(a, a, 1.0), Err(TopologyError::SelfLoop(a)));
         b.add_link(a, c, 1.0).unwrap();
         // Duplicate in either orientation is rejected.
-        assert_eq!(b.add_link(c, a, 2.0), Err(TopologyError::DuplicateLink(c, a)));
+        assert_eq!(
+            b.add_link(c, a, 2.0),
+            Err(TopologyError::DuplicateLink(c, a))
+        );
         assert!(b.has_link(a, c));
         assert!(b.has_link(c, a));
     }

@@ -96,7 +96,7 @@ impl CloudletPlacement {
 /// already-reached node.
 fn connect_components<R: Rng + ?Sized>(
     builder: &mut NetworkBuilder,
-    adjacency: &mut Vec<Vec<usize>>,
+    adjacency: &mut [Vec<usize>],
     rng: &mut R,
 ) -> Result<(), TopologyError> {
     let n = adjacency.len();
@@ -497,7 +497,11 @@ mod tests {
             assert!(net.is_connected(), "seed {seed}");
             assert_eq!(net.ap_count(), 40);
             // The lattice base gives ~2 links per node.
-            assert!(net.link_count() >= 40, "too few links: {}", net.link_count());
+            assert!(
+                net.link_count() >= 40,
+                "too few links: {}",
+                net.link_count()
+            );
         }
         // beta = 0 is a pure lattice with high clustering.
         let lattice = watts_strogatz(30, 4, 0.0, &place(), &mut rng(1)).unwrap();

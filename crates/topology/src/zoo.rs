@@ -142,27 +142,9 @@ pub fn garr() -> ZooTopology {
     ZooTopology {
         name: "GARR",
         nodes: &[
-            "Milano",
-            "Torino",
-            "Genova",
-            "Padova",
-            "Venezia",
-            "Trieste",
-            "Bologna",
-            "Firenze",
-            "Pisa",
-            "Roma1",
-            "Roma2",
-            "Napoli",
-            "Bari",
-            "Salerno",
-            "Cosenza",
-            "Palermo",
-            "Catania",
-            "Cagliari",
-            "Perugia",
-            "Ancona",
-            "Pescara",
+            "Milano", "Torino", "Genova", "Padova", "Venezia", "Trieste", "Bologna", "Firenze",
+            "Pisa", "Roma1", "Roma2", "Napoli", "Bari", "Salerno", "Cosenza", "Palermo", "Catania",
+            "Cagliari", "Perugia", "Ancona", "Pescara",
         ],
         edges: &[
             (0, 1),
@@ -543,8 +525,16 @@ mod tests {
             // Edge indices in range, no self loops, no duplicates.
             let mut seen = std::collections::HashSet::new();
             for &(u, v) in t.edges() {
-                assert!(u < t.node_count(), "{}: edge ({u},{v}) out of range", t.name());
-                assert!(v < t.node_count(), "{}: edge ({u},{v}) out of range", t.name());
+                assert!(
+                    u < t.node_count(),
+                    "{}: edge ({u},{v}) out of range",
+                    t.name()
+                );
+                assert!(
+                    v < t.node_count(),
+                    "{}: edge ({u},{v}) out of range",
+                    t.name()
+                );
                 assert_ne!(u, v, "{}: self loop", t.name());
                 assert!(
                     seen.insert((u.min(v), u.max(v))),
@@ -578,7 +568,12 @@ mod tests {
     fn node_names_are_unique() {
         for t in all() {
             let set: std::collections::HashSet<_> = t.node_names().iter().collect();
-            assert_eq!(set.len(), t.node_count(), "{} has duplicate names", t.name());
+            assert_eq!(
+                set.len(),
+                t.node_count(),
+                "{} has duplicate names",
+                t.name()
+            );
         }
     }
 
@@ -586,6 +581,6 @@ mod tests {
     fn abilene_diameter_is_reasonable() {
         let net = materialize(&abilene());
         let d = net.diameter_hops().unwrap();
-        assert!(d >= 3 && d <= 6, "diameter {d}");
+        assert!((3..=6).contains(&d), "diameter {d}");
     }
 }

@@ -29,12 +29,16 @@ impl BoundedPareto {
     /// Returns [`WorkloadError::InvalidParameter`] unless
     /// `0 < lo < hi` and `alpha > 0`.
     pub fn new(lo: f64, hi: f64, alpha: f64) -> Result<Self, WorkloadError> {
-        if !(lo > 0.0 && hi > lo && alpha > 0.0)
-            || !lo.is_finite()
-            || !hi.is_finite()
-            || !alpha.is_finite()
-        {
-            return Err(WorkloadError::InvalidParameter("bounded pareto (lo, hi, alpha)"));
+        let valid = lo.is_finite()
+            && hi.is_finite()
+            && alpha.is_finite()
+            && lo > 0.0
+            && hi > lo
+            && alpha > 0.0;
+        if !valid {
+            return Err(WorkloadError::InvalidParameter(
+                "bounded pareto (lo, hi, alpha)",
+            ));
         }
         Ok(BoundedPareto { lo, hi, alpha })
     }

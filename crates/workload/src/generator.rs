@@ -150,7 +150,8 @@ impl RequestGenerator {
     /// Returns [`WorkloadError::InvalidParameter`] unless
     /// `0 < pr_min ≤ pr_max` and both are finite.
     pub fn payment_rate_band(mut self, lo: f64, hi: f64) -> Result<Self, WorkloadError> {
-        if !(lo > 0.0 && lo <= hi) || !lo.is_finite() || !hi.is_finite() {
+        let valid = lo.is_finite() && hi.is_finite() && lo > 0.0 && lo <= hi;
+        if !valid {
             return Err(WorkloadError::InvalidParameter("payment rate band"));
         }
         self.payment_rate_band = (lo, hi);
@@ -164,7 +165,8 @@ impl RequestGenerator {
     ///
     /// Returns [`WorkloadError::InvalidParameter`] unless `h ≥ 1`.
     pub fn payment_ratio(self, h: f64) -> Result<Self, WorkloadError> {
-        if !(h >= 1.0) || !h.is_finite() {
+        let valid = h.is_finite() && h >= 1.0;
+        if !valid {
             return Err(WorkloadError::InvalidParameter("payment ratio H"));
         }
         let hi = self.payment_rate_band.1;
@@ -318,7 +320,10 @@ mod tests {
     }
 
     fn standard() -> (RequestGenerator, VnfCatalog) {
-        (RequestGenerator::new(Horizon::new(60)), VnfCatalog::standard())
+        (
+            RequestGenerator::new(Horizon::new(60)),
+            VnfCatalog::standard(),
+        )
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod distributions;
 mod error;
 mod generator;
 mod request;
-mod time;
 pub mod stats;
+mod time;
 pub mod trace;
 mod vnf;
 

@@ -144,9 +144,12 @@ impl Request {
     /// differs from [`Request::vnf`] is a logic error (checked in debug
     /// builds).
     pub fn payment_rate(&self, vnf: &VnfType) -> f64 {
-        debug_assert_eq!(vnf.id(), self.vnf, "payment_rate called with wrong vnf type");
-        self.payment
-            / (self.duration as f64 * vnf.compute() as f64 * self.reliability_req.value())
+        debug_assert_eq!(
+            vnf.id(),
+            self.vnf,
+            "payment_rate called with wrong vnf type"
+        );
+        self.payment / (self.duration as f64 * vnf.compute() as f64 * self.reliability_req.value())
     }
 
     /// Whether two requests overlap in time.

@@ -59,7 +59,9 @@ impl Horizon {
     pub fn contains_window(&self, arrival: TimeSlot, duration: usize) -> bool {
         duration > 0
             && arrival < self.slots
-            && arrival.checked_add(duration).is_some_and(|end| end <= self.slots)
+            && arrival
+                .checked_add(duration)
+                .is_some_and(|end| end <= self.slots)
     }
 }
 

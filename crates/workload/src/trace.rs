@@ -57,7 +57,7 @@ impl ClusterTrace {
             horizon,
             base_rate,
             diurnal_swing: 3.0,
-            period: horizon.len().max(24).min(288),
+            period: horizon.len().clamp(24, 288),
             duration_alpha: 1.3,
             max_duration: (horizon.len() / 4).max(1),
             reliability_band: (0.9, 0.98),
@@ -71,7 +71,8 @@ impl ClusterTrace {
     ///
     /// Returns [`WorkloadError::InvalidParameter`] if `swing < 1`.
     pub fn diurnal_swing(mut self, swing: f64) -> Result<Self, WorkloadError> {
-        if !(swing >= 1.0) || !swing.is_finite() {
+        let valid = swing.is_finite() && swing >= 1.0;
+        if !valid {
             return Err(WorkloadError::InvalidParameter("diurnal swing"));
         }
         self.diurnal_swing = swing;
@@ -84,7 +85,8 @@ impl ClusterTrace {
     ///
     /// Returns [`WorkloadError::InvalidParameter`] if `alpha ≤ 0`.
     pub fn duration_alpha(mut self, alpha: f64) -> Result<Self, WorkloadError> {
-        if !(alpha > 0.0) || !alpha.is_finite() {
+        let valid = alpha.is_finite() && alpha > 0.0;
+        if !valid {
             return Err(WorkloadError::InvalidParameter("duration alpha"));
         }
         self.duration_alpha = alpha;
@@ -220,7 +222,11 @@ mod tests {
             assert!(r.payment() > 0.0);
         }
         // Expected total ≈ Σ rate ≈ 120 · (between 4/3 and 4).
-        assert!(reqs.len() > 100 && reqs.len() < 500, "{} requests", reqs.len());
+        assert!(
+            reqs.len() > 100 && reqs.len() < 500,
+            "{} requests",
+            reqs.len()
+        );
     }
 
     #[test]

@@ -167,7 +167,8 @@ impl VnfCatalog {
     ///
     /// Returns [`WorkloadError::UnknownVnfType`] for an out-of-range id.
     pub fn require(&self, id: VnfTypeId) -> Result<&VnfType, WorkloadError> {
-        self.get(id).ok_or(WorkloadError::UnknownVnfType(id.index()))
+        self.get(id)
+            .ok_or(WorkloadError::UnknownVnfType(id.index()))
     }
 
     /// Iterates over all types in id order.

@@ -1,11 +1,11 @@
 //! Property-based tests for requests and workload generation.
 
+use mec_topology::Reliability;
 use mec_workload::trace::ClusterTrace;
 use mec_workload::{
     ArrivalProcess, DurationModel, Horizon, Request, RequestGenerator, RequestId, VnfCatalog,
     VnfSelection, VnfTypeId,
 };
-use mec_topology::Reliability;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -37,13 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (v.reliability(), v.compute())
         })
         .collect();
-    let cloudlet = instance.network().cloudlet(mec_topology::CloudletId(0)).unwrap();
-    let alloc = allocate_replicas(
-        &stages,
-        cloudlet.reliability(),
-        Reliability::new(0.98)?,
-    )
-    .expect("feasible");
+    let cloudlet = instance
+        .network()
+        .cloudlet(mec_topology::CloudletId(0))
+        .unwrap();
+    let alloc = allocate_replicas(&stages, cloudlet.reliability(), Reliability::new(0.98)?)
+        .expect("feasible");
     println!(
         "Firewall→IDS→LB at r_c={} for R=0.98: replicas {:?}, {} units/slot, availability {:.5}",
         cloudlet.reliability(),
@@ -68,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             let arrival = rng.gen_range(0..horizon.len() - 4);
             let duration = rng.gen_range(1..=4);
-            let rate: f64 = if i % 4 == 0 { rng.gen_range(8.0..10.0) } else { rng.gen_range(1.0..3.0) };
+            let rate: f64 = if i % 4 == 0 {
+                rng.gen_range(8.0..10.0)
+            } else {
+                rng.gen_range(1.0..3.0)
+            };
             ChainRequest::new(
                 ChainRequestId(i),
                 stages,

@@ -39,10 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The on-site scheme is helpless here: every requirement exceeds
     // every cloudlet's own reliability, so no replica count can help.
-    let mut alg1 = vnfrel::onsite::OnsitePrimalDual::new(
-        &instance,
-        vnfrel::onsite::CapacityPolicy::Enforce,
-    )?;
+    let mut alg1 =
+        vnfrel::onsite::OnsitePrimalDual::new(&instance, vnfrel::onsite::CapacityPolicy::Enforce)?;
     let r1 = sim.run(&mut alg1)?;
     println!(
         "on-site (any algorithm): admitted {}/{} — the cloudlet reliability ceiling bites",

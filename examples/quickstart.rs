@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .reliability_band(0.9, 0.95)?
         .payment_rate_band(1.0, 10.0)?
         .generate(300, instance.catalog(), &mut rng)?;
-    println!("generated {} requests over {}", requests.len(), instance.horizon());
+    println!(
+        "generated {} requests over {}",
+        requests.len(),
+        instance.horizon()
+    );
 
     let sim = Simulation::new(&instance, &requests)?;
 

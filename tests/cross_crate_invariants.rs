@@ -61,7 +61,12 @@ fn every_admitted_placement_is_minimal_or_better_onsite() {
                 r.reliability_requirement(),
             )
             .expect("admitted ⇒ eligible");
-            assert_eq!(*instances, needed, "placement is not minimal for {}", r.id());
+            assert_eq!(
+                *instances,
+                needed,
+                "placement is not minimal for {}",
+                r.id()
+            );
             // Minimality cross-check with the availability formula.
             assert!(
                 onsite_availability(vnf.reliability(), c.reliability(), needed)
@@ -78,8 +83,7 @@ fn monte_carlo_matches_analytical_availability() {
     let mut alg = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
     let schedule = sim.run(&mut alg).unwrap().schedule;
     let mut rng = ChaCha8Rng::seed_from_u64(11);
-    let report =
-        failure::inject_failures(&instance, &reqs, &schedule, 60_000, &mut rng).unwrap();
+    let report = failure::inject_failures(&instance, &reqs, &schedule, 60_000, &mut rng).unwrap();
     for ra in &report.requests {
         let r = &reqs[ra.request.index()];
         let vnf = instance.catalog().get(r.vnf()).unwrap();
@@ -105,6 +109,143 @@ fn monte_carlo_matches_analytical_availability() {
             ra.measured,
             analytical
         );
+    }
+}
+
+mod release_properties {
+    //! Property tests for [`CapacityLedger::release`], the inverse of
+    //! `charge` that the fault-aware engine leans on: round-trips must
+    //! restore the ledger, residuals must never drift negative, and
+    //! releasing capacity that was never charged must be rejected
+    //! without mutating anything.
+
+    use super::*;
+    use mec_topology::CloudletId;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use vnfrel::CapacityLedger;
+
+    /// A deterministic batch of random (cloudlet, window, amount)
+    /// charges derived from one seed.
+    fn random_charges(
+        ledger: &CapacityLedger,
+        count: usize,
+        seed: u64,
+    ) -> Vec<(CloudletId, usize, usize, f64)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = ledger.cloudlet_count();
+        let h = ledger.horizon().len();
+        (0..count)
+            .map(|_| {
+                let c = CloudletId(rng.gen_range(0..m));
+                let start = rng.gen_range(0..h);
+                let end = rng.gen_range(start..h);
+                let amount = rng.gen_range(0.1..4.0);
+                (c, start, end, amount)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn charge_release_round_trips_restore_used(seed in 0u64..300, count in 1usize..24) {
+            let (instance, _) = build(1, 1);
+            let mut ledger = CapacityLedger::new(instance.network(), instance.horizon());
+            let charges = random_charges(&ledger, count, seed);
+            for &(c, s, e, amount) in &charges {
+                ledger.charge(c, s..=e, amount);
+            }
+            // Release everything back, LIFO order.
+            for &(c, s, e, amount) in charges.iter().rev() {
+                prop_assert!(ledger.release(c, s..=e, amount).is_ok());
+            }
+            for c in instance.network().cloudlets() {
+                for t in instance.horizon().slots() {
+                    let used = ledger.used(c.id(), t);
+                    prop_assert!(used.abs() < 1e-9, "residue {used} at {}/{t}", c.id());
+                    prop_assert!(used >= 0.0, "negative used at {}/{t}", c.id());
+                }
+            }
+        }
+
+        #[test]
+        fn single_charge_release_is_exact(seed in 0u64..300) {
+            // With one outstanding charge the round-trip is exact, not
+            // just within tolerance: (0 + a) - a == 0 in IEEE arithmetic.
+            let (instance, _) = build(1, 1);
+            let mut ledger = CapacityLedger::new(instance.network(), instance.horizon());
+            let charges = random_charges(&ledger, 1, seed);
+            let (c, s, e, amount) = charges[0];
+            ledger.charge(c, s..=e, amount);
+            ledger.release(c, s..=e, amount).unwrap();
+            for t in instance.horizon().slots() {
+                prop_assert_eq!(ledger.used(c, t), 0.0);
+            }
+        }
+
+        #[test]
+        fn partial_release_never_drifts_residuals(seed in 0u64..300, count in 2usize..20) {
+            // Interleave charges and releases of previously charged
+            // windows; `used` must stay within [0, sum-of-live-charges]
+            // and residual capacity must never exceed the static cap.
+            let (instance, _) = build(1, 1);
+            let mut ledger = CapacityLedger::new(instance.network(), instance.horizon());
+            let charges = random_charges(&ledger, count, seed);
+            let mut live: Vec<(CloudletId, usize, usize, f64)> = Vec::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEAD);
+            for &chg in &charges {
+                ledger.charge(chg.0, chg.1..=chg.2, chg.3);
+                live.push(chg);
+                if rng.gen_bool(0.5) && !live.is_empty() {
+                    let (c, s, e, amount) = live.remove(rng.gen_range(0..live.len()));
+                    prop_assert!(ledger.release(c, s..=e, amount).is_ok());
+                }
+            }
+            for c in instance.network().cloudlets() {
+                for t in instance.horizon().slots() {
+                    let expected: f64 = live
+                        .iter()
+                        .filter(|&&(lc, s, e, _)| lc == c.id() && (s..=e).contains(&t))
+                        .map(|&(_, _, _, a)| a)
+                        .sum();
+                    let used = ledger.used(c.id(), t);
+                    prop_assert!(used >= 0.0);
+                    prop_assert!(
+                        (used - expected).abs() < 1e-9,
+                        "{}/{t}: used {used} vs live charges {expected}",
+                        c.id()
+                    );
+                    prop_assert!(ledger.residual(c.id(), t) <= ledger.capacity(c.id()) + 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn releasing_uncharged_capacity_is_rejected_atomically(seed in 0u64..300) {
+            let (instance, _) = build(1, 1);
+            let mut ledger = CapacityLedger::new(instance.network(), instance.horizon());
+            let charges = random_charges(&ledger, 1, seed);
+            let (c, s, e, amount) = charges[0];
+            // Nothing charged yet: any positive release must fail.
+            prop_assert!(ledger.release(c, s..=e, amount).is_err());
+            // Charge a window, then over-release on a longer window that
+            // includes an uncharged slot: the whole call must fail and
+            // leave every slot untouched.
+            ledger.charge(c, s..=e, amount);
+            let h = ledger.horizon().len();
+            if e + 1 < h {
+                prop_assert!(ledger.release(c, s..=e + 1, amount).is_err());
+                for t in s..=e {
+                    prop_assert_eq!(ledger.used(c, t), amount);
+                }
+                prop_assert_eq!(ledger.used(c, e + 1), 0.0);
+            }
+            // Over-amount on the charged window must also fail whole.
+            prop_assert!(ledger.release(c, s..=e, amount + 1.0).is_err());
+            for t in s..=e {
+                prop_assert_eq!(ledger.used(c, t), amount);
+            }
+        }
     }
 }
 

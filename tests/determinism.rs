@@ -22,8 +22,7 @@ fn identical_seeds_identical_schedules() {
             reliability: (0.99, 0.9999),
         };
         let net = generators::waxman(15, 0.5, 0.3, &placement, &mut rng).unwrap();
-        let instance =
-            ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(12)).unwrap();
+        let instance = ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(12)).unwrap();
         let reqs = RequestGenerator::new(instance.horizon())
             .generate(80, instance.catalog(), &mut rng)
             .unwrap();
@@ -32,7 +31,12 @@ fn identical_seeds_identical_schedules() {
         let r1 = sim.run(&mut alg1).unwrap();
         let mut alg2 = OffsitePrimalDual::new(&instance);
         let r2 = sim.run(&mut alg2).unwrap();
-        (r1.schedule, r2.schedule, r1.metrics.revenue, r2.metrics.revenue)
+        (
+            r1.schedule,
+            r2.schedule,
+            r1.metrics.revenue,
+            r2.metrics.revenue,
+        )
     };
     let a = run(5150);
     let b = run(5150);
@@ -43,7 +47,10 @@ fn identical_seeds_identical_schedules() {
 
     let c = run(5151);
     // Different seeds should (overwhelmingly) give different outcomes.
-    assert!(a.2 != c.2 || a.3 != c.3, "different seeds gave identical revenue");
+    assert!(
+        a.2 != c.2 || a.3 != c.3,
+        "different seeds gave identical revenue"
+    );
 }
 
 #[test]
@@ -61,6 +68,64 @@ fn scenario_harness_is_deterministic() {
     assert_eq!(s1.alg2_revenue(), s2.alg2_revenue());
     assert_eq!(s1.greedy_onsite_revenue(), s2.greedy_onsite_revenue());
     assert_eq!(s1.greedy_offsite_revenue(), s2.greedy_offsite_revenue());
+}
+
+#[test]
+fn identical_seeds_identical_failure_streams_and_recovery() {
+    use mec_sim::{FailureConfig, FailureProcess, RecoveryPolicy};
+
+    let config = FailureConfig {
+        cloudlet_mttf: 5.0,
+        cloudlet_mttr: 2.0,
+        instance_kill_rate: 0.1,
+    };
+    let run = |trace_seed: u64| {
+        let scenario = Scenario::build(&ScenarioParams {
+            requests: 100,
+            seed: 21,
+            ..ScenarioParams::default()
+        });
+        let trace = FailureProcess::generate(
+            scenario.instance.network(),
+            &config,
+            scenario.instance.horizon(),
+            &mut ChaCha8Rng::seed_from_u64(trace_seed),
+        )
+        .unwrap();
+        // The event stream is schedule-independent: collect it before
+        // any scheduler sees it.
+        let events: Vec<_> = trace.iter().cloned().collect();
+        let sim = Simulation::new(&scenario.instance, &scenario.requests).unwrap();
+        let mut on = OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap();
+        let r_on = sim
+            .run_with_failures(&mut on, &trace, RecoveryPolicy::SchemeMatching)
+            .unwrap();
+        let mut off = OffsitePrimalDual::new(&scenario.instance);
+        let r_off = sim
+            .run_with_failures(&mut off, &trace, RecoveryPolicy::SchemeMatching)
+            .unwrap();
+        (events, r_on, r_off)
+    };
+    let a = run(77);
+    let b = run(77);
+    assert_eq!(
+        a.0, b.0,
+        "failure event streams differ across identical seeds"
+    );
+    assert_eq!(
+        a.1, b.1,
+        "on-site recovery outcomes differ across identical seeds"
+    );
+    assert_eq!(
+        a.2, b.2,
+        "off-site recovery outcomes differ across identical seeds"
+    );
+
+    let c = run(78);
+    assert!(
+        a.0 != c.0 || a.0.is_empty(),
+        "different trace seeds gave identical event streams"
+    );
 }
 
 #[test]

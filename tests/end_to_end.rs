@@ -24,8 +24,7 @@ fn build(seed: u64, requests: usize) -> (ProblemInstance, Vec<mec_workload::Requ
         reliability: (0.99, 0.9999),
     };
     let net = zoo::nsfnet().into_network(&placement, &mut rng).unwrap();
-    let instance =
-        ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(20)).unwrap();
+    let instance = ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(20)).unwrap();
     let reqs = RequestGenerator::new(instance.horizon())
         .reliability_band(0.9, 0.95)
         .unwrap()
@@ -46,8 +45,7 @@ fn all_four_online_schedulers_run_feasibly_on_nsfnet() {
     let mut alg2 = OffsitePrimalDual::new(&instance);
     let mut g2 = OffsiteGreedy::new(&instance);
 
-    let schedulers: Vec<&mut dyn OnlineScheduler> =
-        vec![&mut alg1, &mut g1, &mut alg2, &mut g2];
+    let schedulers: Vec<&mut dyn OnlineScheduler> = vec![&mut alg1, &mut g1, &mut alg2, &mut g2];
     for s in schedulers {
         let report = sim.run(s).unwrap();
         assert!(
@@ -56,7 +54,11 @@ fn all_four_online_schedulers_run_feasibly_on_nsfnet() {
             report.metrics.algorithm,
             report.validation.violations
         );
-        assert!(report.metrics.revenue > 0.0, "{} earned nothing", report.metrics.algorithm);
+        assert!(
+            report.metrics.revenue > 0.0,
+            "{} earned nothing",
+            report.metrics.algorithm
+        );
         assert_eq!(report.metrics.max_overflow, 0.0);
     }
 }
@@ -195,8 +197,7 @@ fn offsite_offline_dominates_alg2_at_small_scale() {
         offline.revenue()
     );
     if let Some((_, schedule)) = &offline.incumbent {
-        let rep =
-            vnfrel::validate_schedule(&instance, &reqs, schedule, Scheme::OffSite).unwrap();
+        let rep = vnfrel::validate_schedule(&instance, &reqs, schedule, Scheme::OffSite).unwrap();
         assert!(rep.is_feasible(), "{:?}", rep.violations);
     }
 }

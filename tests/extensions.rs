@@ -185,5 +185,8 @@ fn shadow_prices_concentrate_where_lambda_does() {
             }
         }
     }
-    assert!(any_positive, "140 requests on small cloudlets must bind capacity");
+    assert!(
+        any_positive,
+        "140 requests on small cloudlets must bind capacity"
+    );
 }

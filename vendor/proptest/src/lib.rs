@@ -1,0 +1,222 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Supports the forms this workspace actually uses:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!
+//!     #[test]
+//!     fn my_property(x in 0u64..100, y in 0.0f64..1.0) {
+//!         prop_assert!(x < 100);
+//!         prop_assert_eq!(y.floor(), 0.0);
+//!     }
+//! }
+//! ```
+//!
+//! Each test runs `cases` deterministic iterations. Inputs are sampled
+//! from the range strategies with an internal SplitMix64 generator
+//! seeded from the test's name, so runs are reproducible; there is no
+//! shrinking — a failing case reports its sampled inputs instead.
+
+// The macro-generated test shims intentionally use patterns clippy
+// dislikes (negated `$cond`, `#[test]` items nested in functions).
+#![allow(unnameable_test_items)]
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs in scope.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The property-test entry macro. Expands each `fn name(arg in strategy, ..)`
+/// item into a plain `#[test]` function that loops over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: config captured, expand each test fn.
+    (@expand ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::name_seed(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&::std::format!("{:?}", $arg));
+                            s.push_str(", ");
+                        )+
+                        s.truncate(s.len().saturating_sub(2));
+                        s
+                    };
+                    let outcome = (move || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{} with inputs [{}]: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            inputs,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    // Entry with an inner config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    // Entry with the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @expand ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when `cond` does not hold (upstream proptest
+/// resamples; here the case simply counts as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..10, y in -4i64..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn trailing_comma_accepted(
+            a in 0u64..5,
+            b in 0u64..5,
+        ) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert_eq!(a.min(4), a);
+            prop_assert_ne!(a + 10, b);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(v in 0.0f64..1.0) {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "message: {msg}");
+        assert!(msg.contains("x ="), "message: {msg}");
+    }
+
+    #[test]
+    fn same_name_same_samples() {
+        let seed = crate::test_runner::name_seed("stable");
+        let mut a = crate::test_runner::TestRng::new(seed);
+        let mut b = crate::test_runner::TestRng::new(seed);
+        for _ in 0..100 {
+            let x: u64 = Strategy::sample(&(0u64..1000), &mut a);
+            let y: u64 = Strategy::sample(&(0u64..1000), &mut b);
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Input strategies: ranges of primitive numeric types.
+
+use rand::{Rng, RngCore};
+
+/// A source of sampled values for one `proptest!` argument.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
