@@ -173,6 +173,89 @@ fn bench_lp_format(c: &mut Criterion) {
     });
 }
 
+/// decide() on the realistic Abilene scenario and on synthetic chains
+/// that isolate the two hot-path scaling axes: the number of cloudlets
+/// (candidate pricing is O(m) per request) and the request window length
+/// (price updates rebuild a prefix row suffix, capacity checks scan the
+/// window).
+fn bench_decide(c: &mut Criterion) {
+    use mec_topology::NetworkBuilder;
+    use mec_workload::DurationModel;
+    use vnfrel::offsite::OffsitePrimalDual;
+    use vnfrel::{run_online, ProblemInstance};
+    use vnfrel_bench::ScenarioBase;
+
+    // Deep-scarcity Abilene point of the Figure 1 sweep.
+    let s = ScenarioBase::new(1.01, 1).scenario(800, 10.0);
+    c.bench_function("decide/onsite_abilene_800req", |b| {
+        b.iter(|| {
+            let mut alg = OnsitePrimalDual::new(&s.instance, CapacityPolicy::Enforce).unwrap();
+            black_box(run_online(&mut alg, &s.requests).unwrap())
+        })
+    });
+    c.bench_function("decide/offsite_abilene_800req", |b| {
+        b.iter(|| {
+            let mut alg = OffsitePrimalDual::new(&s.instance);
+            black_box(run_online(&mut alg, &s.requests).unwrap())
+        })
+    });
+
+    // Chain of `m` APs, one cloudlet each: candidate-set scaling.
+    let chain = |m: usize| {
+        let mut b = NetworkBuilder::new();
+        let mut prev = None;
+        for i in 0..m {
+            let ap = b.add_ap(format!("ap{i}"));
+            if let Some(p) = prev {
+                b.add_link(p, ap, 1.0).unwrap();
+            }
+            prev = Some(ap);
+            b.add_cloudlet(ap, 10, Reliability::new(0.999 - 1e-5 * i as f64).unwrap())
+                .unwrap();
+        }
+        ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(16)).unwrap()
+    };
+    for m in [4usize, 16, 64] {
+        let inst = chain(m);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.95)
+            .unwrap()
+            .generate(400, inst.catalog(), &mut rng)
+            .unwrap();
+        c.bench_function(&format!("decide/onsite_{m}_cloudlets_400req"), |b| {
+            b.iter(|| {
+                let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+                black_box(run_online(&mut alg, &reqs).unwrap())
+            })
+        });
+        c.bench_function(&format!("decide/offsite_{m}_cloudlets_400req"), |b| {
+            b.iter(|| {
+                let mut alg = OffsitePrimalDual::new(&inst);
+                black_box(run_online(&mut alg, &reqs).unwrap())
+            })
+        });
+    }
+
+    // Fixed-duration streams: window-length scaling on one instance.
+    let inst = chain(8);
+    for d in [1usize, 4, 8] {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.95)
+            .unwrap()
+            .durations(DurationModel::Fixed(d))
+            .generate(400, inst.catalog(), &mut rng)
+            .unwrap();
+        c.bench_function(&format!("decide/onsite_window_{d}_400req"), |b| {
+            b.iter(|| {
+                let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+                black_box(run_online(&mut alg, &reqs).unwrap())
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_reliability_math,
@@ -181,6 +264,7 @@ criterion_group!(
     bench_topology,
     bench_failure_injection,
     bench_chain_alloc,
-    bench_lp_format
+    bench_lp_format,
+    bench_decide
 );
 criterion_main!(benches);

@@ -1,0 +1,391 @@
+//! Machine-readable performance baseline: races the optimized hot path
+//! and harness against the faithful pre-optimization copies in
+//! `vnfrel_bench::legacy` and emits `results/BENCH_schedule.json`.
+//!
+//! Run with:
+//! `cargo run --release -p vnfrel-bench --bin bench_report [--quick]
+//!  [--threads N] [--out PATH] [--check PATH]`
+//!
+//! Measurements:
+//!
+//! * **decide() throughput** (requests/sec) for the four online
+//!   algorithms, optimized vs legacy, on one scarce scenario;
+//! * **end-to-end Figure 1 sweep** wall time: the legacy serial harness
+//!   (one scenario build per algorithm per seed, `Simulation`-based
+//!   revenue) vs the optimized harness at `--threads 1` and
+//!   `--threads N`;
+//! * **Monte-Carlo failure injection** trial throughput, serial vs the
+//!   chunked deterministic parallel injector.
+//!
+//! `--check PATH` additionally compares the optimized decide()
+//! requests/sec against a previously emitted JSON and exits non-zero if
+//! any algorithm regressed by more than 30% — the CI perf smoke.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mec_sim::failure::{inject_failures, inject_failures_parallel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
+use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
+use vnfrel::{run_online, OnlineScheduler};
+use vnfrel_bench::legacy::{
+    legacy_fig1_both, LegacyOffsiteGreedy, LegacyOffsitePrimalDual, LegacyOnsiteGreedy,
+    LegacyOnsitePrimalDual,
+};
+use vnfrel_bench::{fig1_both_sweep, threads_from_args, Scenario, ScenarioParams};
+
+/// Maximum tolerated decide() throughput regression vs the baseline.
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Wall time of the best of `reps` runs of `f`, in seconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Optimized-vs-legacy decide() throughput for one algorithm pair.
+struct DecidePair {
+    name: &'static str,
+    optimized_rps: f64,
+    legacy_rps: f64,
+}
+
+fn decide_throughput(scenario: &Scenario, reps: usize) -> Vec<DecidePair> {
+    let n = scenario.requests.len() as f64;
+    let run = |alg: &mut dyn OnlineScheduler| {
+        run_online(alg, &scenario.requests).expect("valid stream");
+    };
+    let mut out = Vec::new();
+    let secs = best_of(reps, || {
+        let mut a = OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap();
+        run(&mut a);
+    });
+    let legacy_secs = best_of(reps, || {
+        let mut a =
+            LegacyOnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap();
+        run(&mut a);
+    });
+    out.push(DecidePair {
+        name: "alg1",
+        optimized_rps: n / secs,
+        legacy_rps: n / legacy_secs,
+    });
+    let secs = best_of(reps, || {
+        let mut a = OnsiteGreedy::new(&scenario.instance);
+        run(&mut a);
+    });
+    let legacy_secs = best_of(reps, || {
+        let mut a = LegacyOnsiteGreedy::new(&scenario.instance);
+        run(&mut a);
+    });
+    out.push(DecidePair {
+        name: "greedy_onsite",
+        optimized_rps: n / secs,
+        legacy_rps: n / legacy_secs,
+    });
+    let secs = best_of(reps, || {
+        let mut a = OffsitePrimalDual::new(&scenario.instance);
+        run(&mut a);
+    });
+    let legacy_secs = best_of(reps, || {
+        let mut a = LegacyOffsitePrimalDual::new(&scenario.instance);
+        run(&mut a);
+    });
+    out.push(DecidePair {
+        name: "alg2",
+        optimized_rps: n / secs,
+        legacy_rps: n / legacy_secs,
+    });
+    let secs = best_of(reps, || {
+        let mut a = OffsiteGreedy::new(&scenario.instance);
+        run(&mut a);
+    });
+    let legacy_secs = best_of(reps, || {
+        let mut a = LegacyOffsiteGreedy::new(&scenario.instance);
+        run(&mut a);
+    });
+    out.push(DecidePair {
+        name: "greedy_offsite",
+        optimized_rps: n / secs,
+        legacy_rps: n / legacy_secs,
+    });
+    out
+}
+
+/// Pulls `"<name>": { "optimized_rps": <number>` out of a previously
+/// emitted report without a JSON dependency.
+fn baseline_rps(json: &str, name: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{name}\""))?;
+    let tail = &json[start..];
+    let field = tail.find("\"optimized_rps\":")?;
+    let tail = &tail[field + "\"optimized_rps\":".len()..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = threads_from_args().max(4);
+    let arg_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "results/BENCH_schedule.json".to_string());
+    let check_path = arg_value("--check");
+
+    let (sizes, seeds, decide_requests, sweep_reps, decide_reps, trials): (
+        Vec<usize>,
+        Vec<u64>,
+        usize,
+        usize,
+        usize,
+        usize,
+    ) = if quick {
+        // decide_requests stays at the full-mode value so the --check
+        // regression gate compares like-for-like scenarios.
+        ((1..=4).map(|i| i * 50).collect(), vec![1], 800, 3, 5, 4_000)
+    } else {
+        (
+            (1..=8).map(|i| i * 100).collect(),
+            vec![1, 2, 3],
+            800,
+            5,
+            9,
+            20_000,
+        )
+    };
+
+    // --- decide() throughput, optimized vs legacy -----------------------
+    let scenario = Scenario::build(&ScenarioParams {
+        requests: decide_requests,
+        ..ScenarioParams::default()
+    });
+    let decide = decide_throughput(&scenario, decide_reps);
+    println!("decide() throughput ({decide_requests} requests):");
+    for p in &decide {
+        println!(
+            "  {:<14} optimized {:>12.0} req/s   legacy {:>12.0} req/s   speedup {:.2}x",
+            p.name,
+            p.optimized_rps,
+            p.legacy_rps,
+            p.optimized_rps / p.legacy_rps
+        );
+    }
+
+    // --- end-to-end Figure 1 sweep --------------------------------------
+    // Correctness first: the two harness generations must produce the
+    // same tables, else the race is meaningless.
+    let (on_old, off_old) = legacy_fig1_both(&sizes, &seeds);
+    let (on_new, off_new) = fig1_both_sweep(&sizes, &seeds, 1);
+    assert_eq!(on_old, on_new, "legacy and optimized fig1 tables differ");
+    assert_eq!(off_old, off_new, "legacy and optimized fig1 tables differ");
+
+    let legacy_secs = best_of(sweep_reps, || {
+        let _ = legacy_fig1_both(&sizes, &seeds);
+    });
+    let serial_secs = best_of(sweep_reps, || {
+        let _ = fig1_both_sweep(&sizes, &seeds, 1);
+    });
+    let threaded_secs = best_of(sweep_reps, || {
+        let _ = fig1_both_sweep(&sizes, &seeds, threads);
+    });
+    let points = (sizes.len() * seeds.len()) as f64;
+    println!(
+        "\nFigure 1 sweep ({} sizes x {} seeds):",
+        sizes.len(),
+        seeds.len()
+    );
+    println!(
+        "  legacy serial       {:>9.1} ms   ({:.2} ms/point)",
+        legacy_secs * 1e3,
+        legacy_secs * 1e3 / points
+    );
+    println!(
+        "  optimized threads=1 {:>9.1} ms   speedup {:.2}x",
+        serial_secs * 1e3,
+        legacy_secs / serial_secs
+    );
+    println!(
+        "  optimized threads={threads} {:>9.1} ms   speedup {:.2}x",
+        threaded_secs * 1e3,
+        legacy_secs / threaded_secs
+    );
+
+    // --- Monte-Carlo failure injection ----------------------------------
+    let mut alg1 = OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap();
+    let schedule = run_online(&mut alg1, &scenario.requests).unwrap();
+    let mc_serial_secs = best_of(3, || {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let _ = inject_failures(
+            &scenario.instance,
+            &scenario.requests,
+            &schedule,
+            trials,
+            &mut rng,
+        )
+        .unwrap();
+    });
+    let mc_parallel_secs = best_of(3, || {
+        let _ = inject_failures_parallel(
+            &scenario.instance,
+            &scenario.requests,
+            &schedule,
+            trials,
+            11,
+            threads,
+        )
+        .unwrap();
+    });
+    println!("\nMonte-Carlo injection ({trials} trials):");
+    println!(
+        "  serial   {:>9.0} trials/s",
+        trials as f64 / mc_serial_secs
+    );
+    println!(
+        "  threads={threads} {:>9.0} trials/s   speedup {:.2}x",
+        trials as f64 / mc_parallel_secs,
+        mc_serial_secs / mc_parallel_secs
+    );
+
+    // --- JSON report ----------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bench_schedule/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(
+        json,
+        "  \"scenario\": {{ \"requests\": {decide_requests}, \"h_ratio\": 10.0, \"k_ratio\": 1.01, \"seed\": 1 }},"
+    );
+    json.push_str("  \"decide_throughput\": {\n");
+    for (i, p) in decide.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"optimized_rps\": {:.1}, \"legacy_rps\": {:.1}, \"speedup\": {:.3} }}{}",
+            p.name,
+            p.optimized_rps,
+            p.legacy_rps,
+            p.optimized_rps / p.legacy_rps,
+            if i + 1 < decide.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"fig1_sweep\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"sizes\": [{}],",
+        sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"seeds\": [{}],",
+        seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "    \"legacy_serial_ms\": {:.3},", legacy_secs * 1e3);
+    let _ = writeln!(
+        json,
+        "    \"optimized_serial_ms\": {:.3},",
+        serial_secs * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_threaded_ms\": {:.3},",
+        threaded_secs * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "    \"legacy_ms_per_point\": {:.3},",
+        legacy_secs * 1e3 / points
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized_threaded_ms_per_point\": {:.3},",
+        threaded_secs * 1e3 / points
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_serial_vs_legacy\": {:.3},",
+        legacy_secs / serial_secs
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup_threaded_vs_legacy\": {:.3}",
+        legacy_secs / threaded_secs
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"mc_injection\": {\n");
+    let _ = writeln!(json, "    \"trials\": {trials},");
+    let _ = writeln!(
+        json,
+        "    \"serial_trials_per_sec\": {:.1},",
+        trials as f64 / mc_serial_secs
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_trials_per_sec\": {:.1},",
+        trials as f64 / mc_parallel_secs
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.3}",
+        mc_serial_secs / mc_parallel_secs
+    );
+    json.push_str("  }\n}\n");
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("\nreport written to {out_path}");
+
+    // --- regression gate -------------------------------------------------
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut failed = false;
+        for p in &decide {
+            let Some(base) = baseline_rps(&baseline, p.name) else {
+                panic!("baseline {path} lacks optimized_rps for {}", p.name);
+            };
+            let floor = base * (1.0 - MAX_REGRESSION);
+            let ok = p.optimized_rps >= floor;
+            println!(
+                "check {:<14} {:>12.0} req/s vs baseline {:>12.0} (floor {:>12.0}) {}",
+                p.name,
+                p.optimized_rps,
+                base,
+                floor,
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("perf check failed: decide() throughput regressed more than 30%");
+            std::process::exit(1);
+        }
+        println!("perf check passed");
+    }
+}

@@ -1,23 +1,25 @@
 //! Regenerates **Figure 1(a)**: revenue vs number of requests under the
 //! on-site scheme — Algorithm 1 vs greedy vs offline optimum.
 //!
-//! Run with: `cargo run --release -p vnfrel-bench --bin fig1a [--quick]`
+//! Run with:
+//! `cargo run --release -p vnfrel-bench --bin fig1a [--quick] [--threads N]`
 //!
 //! Paper shape to reproduce: both algorithms near-optimal when resources
 //! are abundant; Algorithm 1 pulls ahead of greedy as requests grow
 //! (+31.8% at 800 in the paper), and the optimum dominates both.
 
 use vnfrel::Scheme;
-use vnfrel_bench::fig1_sweep;
+use vnfrel_bench::{fig1_sweep, threads_from_args};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_from_args();
     let (sizes, seeds, exact_below): (Vec<usize>, Vec<u64>, usize) = if quick {
         ((1..=4).map(|i| i * 50).collect(), vec![1], 80)
     } else {
         ((1..=8).map(|i| i * 100).collect(), vec![1, 2, 3], 150)
     };
-    let table = fig1_sweep(Scheme::OnSite, &sizes, &seeds, true, exact_below);
+    let table = fig1_sweep(Scheme::OnSite, &sizes, &seeds, true, exact_below, threads);
     println!("Figure 1(a) — on-site scheme: revenue vs number of requests\n");
     println!("{table}");
     if let Some(ratio) = table.final_ratio("Algorithm 1", "Greedy") {

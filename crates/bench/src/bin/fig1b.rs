@@ -1,22 +1,24 @@
 //! Regenerates **Figure 1(b)**: revenue vs number of requests under the
 //! off-site scheme — Algorithm 2 vs greedy vs offline optimum.
 //!
-//! Run with: `cargo run --release -p vnfrel-bench --bin fig1b [--quick]`
+//! Run with:
+//! `cargo run --release -p vnfrel-bench --bin fig1b [--quick] [--threads N]`
 //!
 //! Paper shape to reproduce: Algorithm 2 outperforms greedy (+15.4% at
 //! 800 requests in the paper), with the optimum dominating both.
 
 use vnfrel::Scheme;
-use vnfrel_bench::fig1_sweep;
+use vnfrel_bench::{fig1_sweep, threads_from_args};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_from_args();
     let (sizes, seeds, exact_below): (Vec<usize>, Vec<u64>, usize) = if quick {
         ((1..=4).map(|i| i * 50).collect(), vec![1], 60)
     } else {
         ((1..=8).map(|i| i * 100).collect(), vec![1, 2, 3], 120)
     };
-    let table = fig1_sweep(Scheme::OffSite, &sizes, &seeds, true, exact_below);
+    let table = fig1_sweep(Scheme::OffSite, &sizes, &seeds, true, exact_below, threads);
     println!("Figure 1(b) — off-site scheme: revenue vs number of requests\n");
     println!("{table}");
     if let Some(ratio) = table.final_ratio("Algorithm 2", "Greedy") {

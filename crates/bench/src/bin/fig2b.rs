@@ -1,17 +1,19 @@
 //! Regenerates **Figure 2(b)**: revenue vs the cloudlet-reliability
 //! variation `K = rc_max / rc_min` (`rc_max` fixed, `rc_min` lowered).
 //!
-//! Run with: `cargo run --release -p vnfrel-bench --bin fig2b [--quick]`
+//! Run with:
+//! `cargo run --release -p vnfrel-bench --bin fig2b [--quick] [--threads N]`
 //!
 //! Paper shape to reproduce: revenue decreases as K grows (cloudlets get
 //! less reliable, more backups are needed), and the greedy baseline
 //! degrades much faster than Algorithm 2 because it exhausts the reliable
 //! cloudlets first.
 
-use vnfrel_bench::fig2b_sweep;
+use vnfrel_bench::{fig2b_sweep, threads_from_args};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_from_args();
     let (k_values, requests, seeds): (Vec<f64>, usize, Vec<u64>) = if quick {
         (vec![1.0, 1.05, 1.1], 150, vec![1])
     } else {
@@ -21,7 +23,7 @@ fn main() {
             vec![1, 2, 3],
         )
     };
-    let table = fig2b_sweep(&k_values, requests, &seeds);
+    let table = fig2b_sweep(&k_values, requests, &seeds, threads);
     println!("Figure 2(b) — revenue vs cloudlet-reliability variation K ({requests} requests)\n");
     println!("{table}");
     if let Some(r_first) = table.rows.first() {

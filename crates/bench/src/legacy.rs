@@ -1,0 +1,575 @@
+//! Faithful copies of the pre-optimization schedulers and harness.
+//!
+//! `bench_report` measures the speedup the flat-buffer / prefix-sum /
+//! precomputed-table hot path delivers, so it needs the *old* code to
+//! race against. This module preserves it verbatim (modulo visibility):
+//!
+//! * [`LegacyOnsitePrimalDual`] / [`LegacyOffsitePrimalDual`] — the
+//!   nested `Vec<Vec<f64>>` dual grid, per-slot dual-cost loops,
+//!   per-request closed-form `N_ij` / `ln(1 − r_f·r_c)` recomputation,
+//!   and the off-site full sort;
+//! * [`LegacyOnsiteGreedy`] / [`LegacyOffsiteGreedy`] — per-request
+//!   closed-form recomputation in the greedy baselines;
+//! * [`legacy_fig1_both`] — the pre-optimization Figure 1 harness shape:
+//!   serial, one scenario build *per algorithm per seed* (four builds per
+//!   point-seed across the two panels), revenue measured through the full
+//!   [`Simulation`] engine.
+//!
+//! The equivalence suite (`tests/equivalence.rs`) holds both generations
+//! to the same golden decision streams, so the race is between two
+//! implementations of the *same* function.
+
+use mec_sim::experiment::SweepTable;
+use mec_sim::Simulation;
+use mec_topology::CloudletId;
+use mec_workload::Request;
+use vnfrel::onsite::CapacityPolicy;
+use vnfrel::reliability::{offsite_ln_coefficient, onsite_instances};
+use vnfrel::{
+    CapacityLedger, Decision, OnlineScheduler, Placement, ProblemInstance, Scheme, VnfrelError,
+};
+
+use crate::{Scenario, ScenarioParams};
+
+/// Pre-optimization Algorithm 1: nested dual grid, per-slot cost sums,
+/// closed-form `N_ij` per request.
+#[derive(Debug)]
+pub struct LegacyOnsitePrimalDual<'a> {
+    instance: &'a ProblemInstance,
+    policy: CapacityPolicy,
+    /// λ[cloudlet][slot]
+    lambda: Vec<Vec<f64>>,
+    ledger: CapacityLedger,
+    sum_delta: f64,
+}
+
+impl<'a> LegacyOnsitePrimalDual<'a> {
+    /// Creates the scheduler with all dual prices at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a scaling factor below 1 is given.
+    pub fn new(instance: &'a ProblemInstance, policy: CapacityPolicy) -> Result<Self, VnfrelError> {
+        if let CapacityPolicy::Scaled(s) = policy {
+            let valid = s.is_finite() && s >= 1.0;
+            if !valid {
+                return Err(VnfrelError::InvalidParameter("scaling factor must be ≥ 1"));
+            }
+        }
+        let m = instance.cloudlet_count();
+        let t = instance.horizon().len();
+        Ok(LegacyOnsitePrimalDual {
+            instance,
+            policy,
+            lambda: vec![vec![0.0; t]; m],
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            sum_delta: 0.0,
+        })
+    }
+
+    /// The dual objective `Σ_{t,j} cap_j·λ_{tj} + Σ_i δ_i`.
+    pub fn dual_objective(&self) -> f64 {
+        let lambda_part: f64 = self
+            .lambda
+            .iter()
+            .enumerate()
+            .map(|(j, row)| self.ledger.capacity(CloudletId(j)) * row.iter().sum::<f64>())
+            .sum();
+        lambda_part + self.sum_delta
+    }
+
+    fn dual_cost(&self, request: &Request, j: usize, weight: f64) -> f64 {
+        request
+            .slots()
+            .map(|t| weight * self.lambda[j][t])
+            .sum::<f64>()
+    }
+}
+
+impl OnlineScheduler for LegacyOnsitePrimalDual<'_> {
+    fn name(&self) -> &'static str {
+        "alg1-primal-dual-legacy"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OnSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let vnf = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v,
+            None => return Decision::Reject,
+        };
+        let req_rel = request.reliability_requirement();
+        let compute = vnf.compute() as f64;
+
+        let mut best: Option<(usize, u32, f64, f64)> = None; // (j, n, weight, cost)
+        let mut best_unrestricted: Option<f64> = None;
+        for cloudlet in self.instance.network().cloudlets() {
+            let j = cloudlet.id().index();
+            let Some(n) = onsite_instances(vnf.reliability(), cloudlet.reliability(), req_rel)
+            else {
+                continue;
+            };
+            let weight = f64::from(n) * compute;
+            let cost = self.dual_cost(request, j, weight);
+            if best_unrestricted.is_none_or(|c| cost < c) {
+                best_unrestricted = Some(cost);
+            }
+            let gate = match self.policy {
+                CapacityPolicy::Enforce => weight,
+                CapacityPolicy::AllowViolations => 0.0,
+                CapacityPolicy::Scaled(s) => weight * s,
+            };
+            if gate > 0.0 && !self.ledger.fits(cloudlet.id(), request.slots(), gate) {
+                continue;
+            }
+            match best {
+                Some((_, _, _, c)) if c <= cost => {}
+                _ => best = Some((j, n, weight, cost)),
+            }
+        }
+
+        if let Some(min_cost) = best_unrestricted {
+            self.sum_delta += (request.payment() - min_cost).max(0.0);
+        }
+
+        let Some((j, n, weight, cost)) = best else {
+            return Decision::Reject;
+        };
+        if request.payment() - cost <= 0.0 {
+            return Decision::Reject;
+        }
+
+        self.ledger.charge(CloudletId(j), request.slots(), weight);
+        let cap = self.ledger.capacity(CloudletId(j));
+        let d = request.duration() as f64;
+        for t in request.slots() {
+            let l = self.lambda[j][t];
+            self.lambda[j][t] = l * (1.0 + weight / cap) + weight * request.payment() / (d * cap);
+        }
+        Decision::Admit(Placement::OnSite {
+            cloudlet: CloudletId(j),
+            instances: n,
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+/// Pre-optimization Algorithm 2: nested dual grid, per-slot λ sums,
+/// per-request `ln(1 − r_f·r_c)` recomputation, full candidate sort.
+#[derive(Debug)]
+pub struct LegacyOffsitePrimalDual<'a> {
+    instance: &'a ProblemInstance,
+    /// λ[cloudlet][slot]
+    lambda: Vec<Vec<f64>>,
+    ledger: CapacityLedger,
+    sum_delta: f64,
+}
+
+impl<'a> LegacyOffsitePrimalDual<'a> {
+    /// Creates the scheduler with all dual prices at zero.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let m = instance.cloudlet_count();
+        let t = instance.horizon().len();
+        LegacyOffsitePrimalDual {
+            instance,
+            lambda: vec![vec![0.0; t]; m],
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            sum_delta: 0.0,
+        }
+    }
+
+    /// The accumulated dual objective `Σ cap_j·λ_{tj} + Σ δ_i`.
+    pub fn dual_objective(&self) -> f64 {
+        let lambda_part: f64 = self
+            .lambda
+            .iter()
+            .enumerate()
+            .map(|(j, row)| self.ledger.capacity(CloudletId(j)) * row.iter().sum::<f64>())
+            .sum();
+        lambda_part + self.sum_delta
+    }
+}
+
+impl OnlineScheduler for LegacyOffsitePrimalDual<'_> {
+    fn name(&self) -> &'static str {
+        "alg2-primal-dual-legacy"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OffSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
+            return Decision::Reject;
+        };
+        let compute = vnf.compute() as f64;
+        let ln_target = request.reliability_requirement().failure().ln();
+
+        let mut candidates: Vec<(f64, usize, f64)> = Vec::new(); // (ratio, j, ln_coef)
+        let mut min_ratio = f64::INFINITY;
+        for cloudlet in self.instance.network().cloudlets() {
+            let j = cloudlet.id().index();
+            let ln_coef = offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
+            let lambda_sum: f64 = request.slots().map(|t| self.lambda[j][t]).sum();
+            let ratio = lambda_sum / (-ln_coef);
+            min_ratio = min_ratio.min(ratio);
+            if request.payment() + ln_target * compute * ratio <= 0.0 {
+                continue;
+            }
+            candidates.push((ratio, j, ln_coef));
+        }
+        if min_ratio.is_finite() {
+            self.sum_delta += (request.payment() + ln_target * compute * min_ratio).max(0.0);
+        }
+        if candidates.is_empty() {
+            return Decision::Reject;
+        }
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+
+        let mut selected: Vec<(usize, f64)> = Vec::new();
+        let mut ln_sum = 0.0;
+        for &(_, j, ln_coef) in &candidates {
+            if !self.ledger.fits(CloudletId(j), request.slots(), compute) {
+                continue;
+            }
+            selected.push((j, ln_coef));
+            ln_sum += ln_coef;
+            if ln_sum <= ln_target + 1e-12 {
+                break;
+            }
+        }
+        if ln_sum > ln_target + 1e-12 {
+            return Decision::Reject;
+        }
+
+        let d = request.duration() as f64;
+        for &(j, ln_coef) in &selected {
+            self.ledger.charge(CloudletId(j), request.slots(), compute);
+            let cap = self.ledger.capacity(CloudletId(j));
+            let factor = ln_target * compute / (ln_coef * cap);
+            for t in request.slots() {
+                let l = self.lambda[j][t];
+                self.lambda[j][t] = l * (1.0 + factor) + factor * request.payment() / d;
+            }
+        }
+        Decision::Admit(Placement::OffSite {
+            cloudlets: selected.iter().map(|&(j, _)| CloudletId(j)).collect(),
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+fn reliability_order(instance: &ProblemInstance) -> Vec<CloudletId> {
+    let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = instance
+            .network()
+            .cloudlet(a)
+            .expect("valid id")
+            .reliability();
+        let rb = instance
+            .network()
+            .cloudlet(b)
+            .expect("valid id")
+            .reliability();
+        rb.cmp(&ra).then(a.index().cmp(&b.index()))
+    });
+    order
+}
+
+/// Pre-optimization on-site greedy: closed-form `N_ij` per request.
+#[derive(Debug)]
+pub struct LegacyOnsiteGreedy<'a> {
+    instance: &'a ProblemInstance,
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> LegacyOnsiteGreedy<'a> {
+    /// Creates the greedy scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        LegacyOnsiteGreedy {
+            instance,
+            order: reliability_order(instance),
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+}
+
+impl OnlineScheduler for LegacyOnsiteGreedy<'_> {
+    fn name(&self) -> &'static str {
+        "greedy-onsite-legacy"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OnSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
+            return Decision::Reject;
+        };
+        for &cid in &self.order {
+            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
+            let Some(n) = onsite_instances(
+                vnf.reliability(),
+                cloudlet.reliability(),
+                request.reliability_requirement(),
+            ) else {
+                break;
+            };
+            let weight = f64::from(n) * vnf.compute() as f64;
+            if self.ledger.fits(cid, request.slots(), weight) {
+                self.ledger.charge(cid, request.slots(), weight);
+                return Decision::Admit(Placement::OnSite {
+                    cloudlet: cid,
+                    instances: n,
+                });
+            }
+        }
+        Decision::Reject
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+/// Pre-optimization off-site greedy: per-request log-coefficient
+/// recomputation.
+#[derive(Debug)]
+pub struct LegacyOffsiteGreedy<'a> {
+    instance: &'a ProblemInstance,
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> LegacyOffsiteGreedy<'a> {
+    /// Creates the greedy scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        LegacyOffsiteGreedy {
+            instance,
+            order: reliability_order(instance),
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+}
+
+impl OnlineScheduler for LegacyOffsiteGreedy<'_> {
+    fn name(&self) -> &'static str {
+        "greedy-offsite-legacy"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OffSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
+            return Decision::Reject;
+        };
+        let compute = vnf.compute() as f64;
+        let ln_target = request.reliability_requirement().failure().ln();
+
+        let mut selected = Vec::new();
+        let mut ln_sum = 0.0;
+        for &cid in &self.order {
+            if !self.ledger.fits(cid, request.slots(), compute) {
+                continue;
+            }
+            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
+            ln_sum += offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
+            selected.push(cid);
+            if ln_sum <= ln_target + 1e-12 {
+                break;
+            }
+        }
+        if ln_sum > ln_target + 1e-12 {
+            return Decision::Reject;
+        }
+        for &cid in &selected {
+            self.ledger.charge(cid, request.slots(), compute);
+        }
+        Decision::Admit(Placement::OffSite {
+            cloudlets: selected,
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+/// Pre-optimization revenue measurement: the full [`Simulation`] engine
+/// (slot-stepped replay, per-slot stats, validation) rather than the
+/// direct `run_online` + `validate_schedule` path.
+pub fn legacy_revenue_of<S: OnlineScheduler>(scenario: &Scenario, scheduler: &mut S) -> f64 {
+    let sim = Simulation::new(&scenario.instance, &scenario.requests).expect("valid scenario");
+    let report = sim.run(scheduler).expect("run succeeds");
+    assert!(
+        report.validation.is_feasible(),
+        "{} produced an infeasible schedule: {:?}",
+        scheduler.name(),
+        report.validation.violations
+    );
+    report.metrics.revenue
+}
+
+/// The pre-optimization Figure 1 harness, both panels, serial: for every
+/// `(size, seed)` each of the four algorithm columns rebuilds the
+/// scenario from scratch (as the old per-panel `fig1_sweep` +
+/// `mean_revenue` composition did) and measures revenue through the
+/// simulation engine. This is the end-to-end baseline `bench_report`
+/// races the optimized harness against.
+pub fn legacy_fig1_both(sizes: &[usize], seeds: &[u64]) -> (SweepTable, SweepTable) {
+    let mut onsite = SweepTable::new(
+        "requests",
+        "revenue",
+        vec!["Algorithm 1".into(), "Greedy".into()],
+    );
+    let mut offsite = SweepTable::new(
+        "requests",
+        "revenue",
+        vec!["Algorithm 2".into(), "Greedy".into()],
+    );
+    let w = seeds.len().max(1) as f64;
+    for &n in sizes {
+        let params = ScenarioParams {
+            requests: n,
+            ..ScenarioParams::default()
+        };
+        let mut cols = [0.0f64; 4];
+        // One scenario build per algorithm per seed, exactly like the
+        // old `mean_revenue` calls.
+        for (c, col) in cols.iter_mut().enumerate() {
+            for &seed in seeds {
+                let s = build_fresh(&ScenarioParams { seed, ..params });
+                *col += match c {
+                    0 => legacy_revenue_of(
+                        &s,
+                        &mut LegacyOnsitePrimalDual::new(&s.instance, CapacityPolicy::Enforce)
+                            .expect("valid policy"),
+                    ),
+                    1 => legacy_revenue_of(&s, &mut LegacyOnsiteGreedy::new(&s.instance)),
+                    2 => legacy_revenue_of(&s, &mut LegacyOffsitePrimalDual::new(&s.instance)),
+                    _ => legacy_revenue_of(&s, &mut LegacyOffsiteGreedy::new(&s.instance)),
+                };
+            }
+        }
+        onsite.push_row(n as f64, vec![cols[0] / w, cols[1] / w]);
+        offsite.push_row(n as f64, vec![cols[2] / w, cols[3] / w]);
+    }
+    (onsite, offsite)
+}
+
+/// The pre-optimization scenario build: topology + instance + workload
+/// from scratch, no base caching.
+fn build_fresh(params: &ScenarioParams) -> Scenario {
+    crate::ScenarioBase::new(params.k_ratio, params.seed).scenario(params.requests, params.h_ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnfrel::run_online;
+
+    #[test]
+    fn legacy_schedulers_match_optimized_revenues() {
+        let s = Scenario::build(&ScenarioParams {
+            requests: 120,
+            ..ScenarioParams::default()
+        });
+        assert_eq!(s.alg1_revenue(), {
+            let mut l = LegacyOnsitePrimalDual::new(&s.instance, CapacityPolicy::Enforce).unwrap();
+            legacy_revenue_of(&s, &mut l)
+        });
+        assert_eq!(s.greedy_onsite_revenue(), {
+            let mut l = LegacyOnsiteGreedy::new(&s.instance);
+            legacy_revenue_of(&s, &mut l)
+        });
+        assert_eq!(s.alg2_revenue(), {
+            let mut l = LegacyOffsitePrimalDual::new(&s.instance);
+            legacy_revenue_of(&s, &mut l)
+        });
+        assert_eq!(s.greedy_offsite_revenue(), {
+            let mut l = LegacyOffsiteGreedy::new(&s.instance);
+            legacy_revenue_of(&s, &mut l)
+        });
+    }
+
+    #[test]
+    fn legacy_dual_objectives_match_optimized() {
+        // Decisions are bit-identical (tests/equivalence.rs); the dual
+        // *objective* additionally flows `δ_i` through the prefix-sum
+        // window query, whose float re-association may differ from the
+        // per-slot loop by ulps — so compare to a tight relative bound.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+        let s = Scenario::build(&ScenarioParams {
+            requests: 100,
+            ..ScenarioParams::default()
+        });
+        let mut new1 =
+            vnfrel::onsite::OnsitePrimalDual::new(&s.instance, CapacityPolicy::Enforce).unwrap();
+        let mut old1 = LegacyOnsitePrimalDual::new(&s.instance, CapacityPolicy::Enforce).unwrap();
+        run_online(&mut new1, &s.requests).unwrap();
+        run_online(&mut old1, &s.requests).unwrap();
+        assert!(
+            close(new1.dual_objective(), old1.dual_objective()),
+            "{} vs {}",
+            new1.dual_objective(),
+            old1.dual_objective()
+        );
+
+        let mut new2 = vnfrel::offsite::OffsitePrimalDual::new(&s.instance);
+        let mut old2 = LegacyOffsitePrimalDual::new(&s.instance);
+        run_online(&mut new2, &s.requests).unwrap();
+        run_online(&mut old2, &s.requests).unwrap();
+        assert!(
+            close(new2.dual_objective(), old2.dual_objective()),
+            "{} vs {}",
+            new2.dual_objective(),
+            old2.dual_objective()
+        );
+    }
+
+    #[test]
+    fn legacy_harness_matches_optimized_harness() {
+        let sizes = [25, 50];
+        let seeds = [1, 2];
+        let (on_old, off_old) = legacy_fig1_both(&sizes, &seeds);
+        let (on_new, off_new) = crate::fig1_both_sweep(&sizes, &seeds, 1);
+        for r in 0..sizes.len() {
+            assert_eq!(on_old.rows[r], on_new.rows[r]);
+            assert_eq!(off_old.rows[r], off_new.rows[r]);
+        }
+    }
+}

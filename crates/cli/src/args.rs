@@ -70,6 +70,8 @@ pub struct SimulateArgs {
     pub cloudlet_fraction: f64,
     /// Monte-Carlo failure trials (0 = skip).
     pub failure_trials: usize,
+    /// Worker threads for the Monte-Carlo check (0 = all cores).
+    pub threads: usize,
 }
 
 impl Default for SimulateArgs {
@@ -87,6 +89,7 @@ impl Default for SimulateArgs {
             payment_rate: (1.0, 10.0),
             cloudlet_fraction: 0.5,
             failure_trials: 0,
+            threads: 0,
         }
     }
 }
@@ -179,6 +182,7 @@ SIMULATE OPTIONS (defaults in brackets):
   --payment <LO:HI>     payment-rate band [1:10]
   --fraction <F>        fraction of APs hosting cloudlets [0.5]
   --failure-trials <N>  Monte-Carlo availability check (0 = off) [0]
+  --threads <N>         worker threads for the Monte-Carlo check (0 = all cores) [0]
 
 FAILURES OPTIONS (all SIMULATE OPTIONS, plus):
   --mttf <F>            cloudlet mean time to failure, slots [50]
@@ -259,6 +263,7 @@ fn apply_sim_flag(
         "--failure-trials" => {
             out.failure_trials = parse_num(&value("--failure-trials")?, "--failure-trials")?
         }
+        "--threads" => out.threads = parse_num(&value("--threads")?, "--threads")?,
         _ => return Ok(false),
     }
     Ok(true)
@@ -469,6 +474,8 @@ mod tests {
             "0.7",
             "--failure-trials",
             "1000",
+            "--threads",
+            "4",
         ]))
         .unwrap() else {
             panic!()
@@ -485,6 +492,7 @@ mod tests {
         assert_eq!(a.payment_rate, (2.0, 8.0));
         assert_eq!(a.cloudlet_fraction, 0.7);
         assert_eq!(a.failure_trials, 1000);
+        assert_eq!(a.threads, 4);
     }
 
     #[test]

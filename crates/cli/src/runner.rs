@@ -103,7 +103,7 @@ fn make_scheduler<'a>(
 ///
 /// Returns a printable message on invalid configurations.
 pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<(), String> {
-    let (instance, requests, mut rng) = build_setup(args)?;
+    let (instance, requests, _rng) = build_setup(args)?;
     let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
     let mut scheduler = make_scheduler(&instance, args)?;
     let report = sim.run(scheduler.as_mut()).map_err(|e| e.to_string())?;
@@ -118,12 +118,15 @@ pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<()
     ))?;
 
     if args.failure_trials > 0 {
-        let fr = failure::inject_failures(
+        // Trials are chunk-seeded from the workload seed, so the report
+        // is identical for any --threads value.
+        let fr = failure::inject_failures_parallel(
             &instance,
             &requests,
             &report.schedule,
             args.failure_trials,
-            &mut rng,
+            args.seed,
+            args.threads,
         )
         .map_err(|e| e.to_string())?;
         w(format!(

@@ -14,8 +14,11 @@ use mec_workload::{Horizon, TimeSlot};
 #[derive(Debug, Clone, PartialEq)]
 pub struct CapacityLedger {
     caps: Vec<f64>,
-    /// used[cloudlet][slot]
-    used: Vec<Vec<f64>>,
+    /// Row-major residual grid: `used[cloudlet * slots + slot]`. One
+    /// contiguous buffer keeps the per-request window scans of the hot
+    /// scheduling path on a single cache line per cloudlet.
+    used: Vec<f64>,
+    slots: usize,
     horizon: Horizon,
 }
 
@@ -23,10 +26,12 @@ impl CapacityLedger {
     /// Creates a ledger covering every cloudlet of `network` over `horizon`.
     pub fn new(network: &Network, horizon: Horizon) -> Self {
         let caps: Vec<f64> = network.cloudlets().map(|c| c.capacity() as f64).collect();
-        let used = vec![vec![0.0; horizon.len()]; caps.len()];
+        let slots = horizon.len();
+        let used = vec![0.0; slots * caps.len()];
         CapacityLedger {
             caps,
             used,
+            slots,
             horizon,
         }
     }
@@ -36,6 +41,7 @@ impl CapacityLedger {
     /// # Panics
     ///
     /// Panics if `cloudlet` is out of range.
+    #[inline]
     pub fn capacity(&self, cloudlet: CloudletId) -> f64 {
         self.caps[cloudlet.index()]
     }
@@ -45,18 +51,21 @@ impl CapacityLedger {
     /// # Panics
     ///
     /// Panics if `cloudlet` or `slot` is out of range.
+    #[inline]
     pub fn used(&self, cloudlet: CloudletId, slot: TimeSlot) -> f64 {
-        self.used[cloudlet.index()][slot]
+        self.used[cloudlet.index() * self.slots + slot]
     }
 
     /// Remaining capacity of a cloudlet in a slot (may be negative after
     /// deliberate over-commitment).
+    #[inline]
     pub fn residual(&self, cloudlet: CloudletId, slot: TimeSlot) -> f64 {
-        self.caps[cloudlet.index()] - self.used[cloudlet.index()][slot]
+        self.caps[cloudlet.index()] - self.used[cloudlet.index() * self.slots + slot]
     }
 
     /// Whether `amount` units fit in every slot of `slots` without
     /// exceeding capacity.
+    #[inline]
     pub fn fits<I>(&self, cloudlet: CloudletId, slots: I, amount: f64) -> bool
     where
         I: IntoIterator<Item = TimeSlot>,
@@ -66,15 +75,51 @@ impl CapacityLedger {
             .all(|t| self.residual(cloudlet, t) + 1e-9 >= amount)
     }
 
+    /// [`CapacityLedger::fits`] over the inclusive window
+    /// `[first, last]`, as a branch-light scan of the contiguous row —
+    /// the form the schedulers use on every (request, cloudlet) pair.
+    #[inline]
+    pub fn fits_window(
+        &self,
+        cloudlet: CloudletId,
+        first: TimeSlot,
+        last: TimeSlot,
+        amount: f64,
+    ) -> bool {
+        let cap = self.caps[cloudlet.index()];
+        let base = cloudlet.index() * self.slots;
+        self.used[base + first..=base + last]
+            .iter()
+            .all(|&u| cap - u + 1e-9 >= amount)
+    }
+
     /// Commits `amount` units in every slot of `slots`, allowing
     /// over-commitment (callers that must not overflow check
     /// [`CapacityLedger::fits`] first).
+    #[inline]
     pub fn charge<I>(&mut self, cloudlet: CloudletId, slots: I, amount: f64)
     where
         I: IntoIterator<Item = TimeSlot>,
     {
+        let base = cloudlet.index() * self.slots;
         for t in slots {
-            self.used[cloudlet.index()][t] += amount;
+            self.used[base + t] += amount;
+        }
+    }
+
+    /// [`CapacityLedger::charge`] over the inclusive window
+    /// `[first, last]` on the contiguous row.
+    #[inline]
+    pub fn charge_window(
+        &mut self,
+        cloudlet: CloudletId,
+        first: TimeSlot,
+        last: TimeSlot,
+        amount: f64,
+    ) {
+        let base = cloudlet.index() * self.slots;
+        for u in &mut self.used[base + first..=base + last] {
+            *u += amount;
         }
     }
 
@@ -99,7 +144,8 @@ impl CapacityLedger {
     where
         I: IntoIterator<Item = TimeSlot> + Clone,
     {
-        let row = &mut self.used[cloudlet.index()];
+        let row =
+            &mut self.used[cloudlet.index() * self.slots..(cloudlet.index() + 1) * self.slots];
         for t in slots.clone() {
             if row[t] + 1e-9 < amount {
                 return Err(crate::VnfrelError::ReleaseUnderflow {
@@ -122,7 +168,7 @@ impl CapacityLedger {
     /// cloudlets and slots.
     pub fn max_overflow(&self) -> f64 {
         let mut worst: f64 = 0.0;
-        for (j, row) in self.used.iter().enumerate() {
+        for (j, row) in self.used.chunks_exact(self.slots.max(1)).enumerate() {
             for &u in row {
                 worst = worst.max(u / self.caps[j] - 1.0);
             }
@@ -135,7 +181,7 @@ impl CapacityLedger {
     pub fn mean_utilization(&self) -> f64 {
         let mut total = 0.0;
         let mut cells = 0usize;
-        for (j, row) in self.used.iter().enumerate() {
+        for (j, row) in self.used.chunks_exact(self.slots.max(1)).enumerate() {
             for &u in row {
                 total += u / self.caps[j];
                 cells += 1;
@@ -201,6 +247,25 @@ mod tests {
         assert_eq!(l.used(c0, 1), 7.0);
         assert_eq!(l.residual(c0, 1), 3.0);
         assert_eq!(l.used(c0, 4), 0.0);
+    }
+
+    #[test]
+    fn window_forms_agree_with_iterator_forms() {
+        let mut l = ledger();
+        let c0 = CloudletId(0);
+        l.charge_window(c0, 1, 3, 4.0);
+        let mut l2 = ledger();
+        l2.charge(c0, 1..=3, 4.0);
+        assert_eq!(l, l2, "charge_window must equal charge over the window");
+        for amount in [3.0, 6.0, 6.0 + 1e-10, 6.5, 10.0] {
+            for (first, last) in [(0, 4), (1, 3), (2, 2), (0, 0), (4, 4)] {
+                assert_eq!(
+                    l.fits_window(c0, first, last, amount),
+                    l.fits(c0, first..=last, amount),
+                    "fits_window([{first},{last}], {amount})"
+                );
+            }
+        }
     }
 
     #[test]

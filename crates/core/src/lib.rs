@@ -67,6 +67,7 @@ mod instance;
 mod ledger;
 pub mod offsite;
 pub mod onsite;
+pub mod pricing;
 pub mod reliability;
 mod schedule;
 mod scheduler;
@@ -75,6 +76,7 @@ mod validate;
 pub use error::VnfrelError;
 pub use instance::{ProblemInstance, Scheme};
 pub use ledger::CapacityLedger;
+pub use pricing::DualPrices;
 pub use schedule::{Decision, Placement, Schedule};
 pub use scheduler::{run_online, OnlineScheduler};
 pub use validate::{validate_schedule, ValidationReport, Violation};

@@ -3,7 +3,6 @@ use mec_workload::Request;
 
 use crate::instance::{ProblemInstance, Scheme};
 use crate::ledger::CapacityLedger;
-use crate::reliability::offsite_ln_coefficient;
 use crate::schedule::{Decision, Placement};
 use crate::scheduler::OnlineScheduler;
 
@@ -22,6 +21,9 @@ pub struct OffsiteGreedy<'a> {
     /// Cloudlet ids sorted by reliability, most reliable first.
     order: Vec<CloudletId>,
     ledger: CapacityLedger,
+    /// Scratch: cloudlets accumulated for the current request, so the
+    /// (common) reject path never allocates.
+    selected: Vec<CloudletId>,
 }
 
 impl<'a> OffsiteGreedy<'a> {
@@ -45,6 +47,7 @@ impl<'a> OffsiteGreedy<'a> {
             instance,
             order,
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            selected: Vec::new(),
         }
     }
 }
@@ -59,21 +62,22 @@ impl OnlineScheduler for OffsiteGreedy<'_> {
     }
 
     fn decide(&mut self, request: &Request) -> Decision {
-        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
-            return Decision::Reject;
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
         };
-        let compute = vnf.compute() as f64;
         let ln_target = request.reliability_requirement().failure().ln();
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
 
-        let mut selected = Vec::new();
+        self.selected.clear();
         let mut ln_sum = 0.0;
         for &cid in &self.order {
-            if !self.ledger.fits(cid, request.slots(), compute) {
+            if !self.ledger.fits_window(cid, first, last, compute) {
                 continue;
             }
-            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
-            ln_sum += offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
-            selected.push(cid);
+            ln_sum += self.instance.offsite_ln_coef(request.vnf(), cid);
+            self.selected.push(cid);
             if ln_sum <= ln_target + 1e-12 {
                 break;
             }
@@ -81,11 +85,11 @@ impl OnlineScheduler for OffsiteGreedy<'_> {
         if ln_sum > ln_target + 1e-12 {
             return Decision::Reject;
         }
-        for &cid in &selected {
-            self.ledger.charge(cid, request.slots(), compute);
+        for &cid in &self.selected {
+            self.ledger.charge_window(cid, first, last, compute);
         }
         Decision::Admit(Placement::OffSite {
-            cloudlets: selected,
+            cloudlets: self.selected.clone(),
         })
     }
 

@@ -3,7 +3,7 @@ use mec_workload::Request;
 
 use crate::instance::{ProblemInstance, Scheme};
 use crate::ledger::CapacityLedger;
-use crate::reliability::offsite_ln_coefficient;
+use crate::pricing::{CheapestFirst, DualPrices};
 use crate::schedule::{Decision, Placement};
 use crate::scheduler::OnlineScheduler;
 
@@ -29,12 +29,15 @@ use crate::scheduler::OnlineScheduler;
 #[derive(Debug)]
 pub struct OffsitePrimalDual<'a> {
     instance: &'a ProblemInstance,
-    /// λ[cloudlet][slot]
-    lambda: Vec<Vec<f64>>,
+    prices: DualPrices,
     ledger: CapacityLedger,
     /// Σ δ_i accumulated over all processed requests.
     sum_delta: f64,
     rejections: RejectionCounters,
+    /// Scratch: `(ratio, cloudlet)` keys for the current request.
+    keys: Vec<(f64, u32)>,
+    /// Scratch: `(cloudlet, ln_coef)` selection for the current request.
+    selected: Vec<(usize, f64)>,
 }
 
 /// Why requests were rejected, tallied over a run — useful for diagnosing
@@ -57,16 +60,18 @@ impl<'a> OffsitePrimalDual<'a> {
         let t = instance.horizon().len();
         OffsitePrimalDual {
             instance,
-            lambda: vec![vec![0.0; t]; m],
+            prices: DualPrices::new(m, t),
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
             sum_delta: 0.0,
             rejections: RejectionCounters::default(),
+            keys: Vec::with_capacity(m),
+            selected: Vec::with_capacity(m),
         }
     }
 
     /// Current dual price `λ_{tj}`.
     pub fn lambda(&self, cloudlet: CloudletId, slot: usize) -> f64 {
-        self.lambda[cloudlet.index()][slot]
+        self.prices.get(cloudlet.index(), slot)
     }
 
     /// Rejection tallies by cause.
@@ -80,11 +85,8 @@ impl<'a> OffsitePrimalDual<'a> {
     /// Unlike the on-site case the paper proves no competitive ratio for
     /// Algorithm 2, so this is a *diagnostic*, not a certified bound.
     pub fn dual_objective(&self) -> f64 {
-        let lambda_part: f64 = self
-            .lambda
-            .iter()
-            .enumerate()
-            .map(|(j, row)| self.ledger.capacity(CloudletId(j)) * row.iter().sum::<f64>())
+        let lambda_part: f64 = (0..self.prices.cloudlet_count())
+            .map(|j| self.ledger.capacity(CloudletId(j)) * self.prices.row_total(j))
             .sum();
         lambda_part + self.sum_delta
     }
@@ -100,57 +102,65 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
     }
 
     fn decide(&mut self, request: &Request) -> Decision {
-        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
-            return Decision::Reject;
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
         };
-        let compute = vnf.compute() as f64;
         let ln_target = request.reliability_requirement().failure().ln(); // < 0
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
 
         // Price each cloudlet and apply the payment test (Alg. 2, lines
-        // 3–8).
-        let mut candidates: Vec<(f64, usize, f64)> = Vec::new(); // (ratio, j, ln_coef)
+        // 3–8). `ln(1 − r_f·r_c)` comes from the instance's precomputed
+        // table; the window sum of λ is O(1) from the prefix rows.
+        self.keys.clear();
         let mut min_ratio = f64::INFINITY;
-        for cloudlet in self.instance.network().cloudlets() {
-            let j = cloudlet.id().index();
-            let ln_coef = offsite_ln_coefficient(vnf.reliability(), cloudlet.reliability());
-            let lambda_sum: f64 = request.slots().map(|t| self.lambda[j][t]).sum();
+        for j in 0..self.prices.cloudlet_count() {
+            let ln_coef = self.instance.offsite_ln_coef(request.vnf(), CloudletId(j));
+            let lambda_sum = self.prices.window_sum(j, first, last);
             let ratio = lambda_sum / (-ln_coef);
             min_ratio = min_ratio.min(ratio);
             // Payment test: pay + ln(1−R)·c·ratio must stay positive.
             if request.payment() + ln_target * compute * ratio <= 0.0 {
                 continue;
             }
-            candidates.push((ratio, j, ln_coef));
+            self.keys.push((ratio, j as u32));
         }
         // Dual bookkeeping (Eq. 66): δ_i from the cheapest cloudlet,
         // regardless of the later capacity-driven selection.
         if min_ratio.is_finite() {
             self.sum_delta += (request.payment() + ln_target * compute * min_ratio).max(0.0);
         }
-        if candidates.is_empty() {
+        if self.keys.is_empty() {
             self.rejections.payment_test += 1;
             return Decision::Reject;
         }
-        // Sort by price per unit of log-reliability, cheapest first;
-        // ties broken by cloudlet id for determinism.
-        candidates.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
 
         // Accumulate cloudlets with enough residual capacity until the
-        // reliability target is met (lines 10–17).
-        let mut selected: Vec<(usize, f64)> = Vec::new();
+        // reliability target is met (lines 10–17). Candidates are drawn
+        // lazily in ascending (price per unit of log-reliability, id)
+        // order — the same order the old full sort produced, but a
+        // request that admits on the first few sites never pays for
+        // ordering the rest.
+        self.selected.clear();
         let mut ln_sum = 0.0;
-        for &(_, j, ln_coef) in &candidates {
-            if !self.ledger.fits(CloudletId(j), request.slots(), compute) {
-                continue;
-            }
-            selected.push((j, ln_coef));
-            ln_sum += ln_coef;
-            if ln_sum <= ln_target + 1e-12 {
-                break;
+        {
+            let instance = self.instance;
+            let vnf_id = request.vnf();
+            let ledger = &self.ledger;
+            let selected = &mut self.selected;
+            let mut it = CheapestFirst::new(&mut self.keys);
+            while let Some(j32) = it.next() {
+                let j = j32 as usize;
+                if !ledger.fits_window(CloudletId(j), first, last, compute) {
+                    continue;
+                }
+                let ln_coef = instance.offsite_ln_coef(vnf_id, CloudletId(j));
+                selected.push((j, ln_coef));
+                ln_sum += ln_coef;
+                if ln_sum <= ln_target + 1e-12 {
+                    break;
+                }
             }
         }
         if ln_sum > ln_target + 1e-12 {
@@ -159,20 +169,22 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
         }
 
         // Admit: one instance per selected cloudlet; charge capacity and
-        // update prices (Eq. 67).
+        // update prices (Eq. 67); each touched prefix row rebuilds in
+        // O(T).
         let d = request.duration() as f64;
-        for &(j, ln_coef) in &selected {
-            self.ledger.charge(CloudletId(j), request.slots(), compute);
+        let pay = request.payment();
+        for i in 0..self.selected.len() {
+            let (j, ln_coef) = self.selected[i];
+            self.ledger
+                .charge_window(CloudletId(j), first, last, compute);
             let cap = self.ledger.capacity(CloudletId(j));
             // ln(1−R)/ln(1−r_f·r_c) ≥ 0: both logs are negative.
             let factor = ln_target * compute / (ln_coef * cap);
-            for t in request.slots() {
-                let l = self.lambda[j][t];
-                self.lambda[j][t] = l * (1.0 + factor) + factor * request.payment() / d;
-            }
+            self.prices
+                .update_window(j, first, last, |l| l * (1.0 + factor) + factor * pay / d);
         }
         Decision::Admit(Placement::OffSite {
-            cloudlets: selected.iter().map(|&(j, _)| CloudletId(j)).collect(),
+            cloudlets: self.selected.iter().map(|&(j, _)| CloudletId(j)).collect(),
         })
     }
 

@@ -3,7 +3,6 @@ use mec_workload::Request;
 
 use crate::instance::{ProblemInstance, Scheme};
 use crate::ledger::CapacityLedger;
-use crate::reliability::onsite_instances;
 use crate::schedule::{Decision, Placement};
 use crate::scheduler::OnlineScheduler;
 
@@ -59,23 +58,25 @@ impl OnlineScheduler for OnsiteGreedy<'_> {
     }
 
     fn decide(&mut self, request: &Request) -> Decision {
-        let Some(vnf) = self.instance.catalog().get(request.vnf()) else {
-            return Decision::Reject;
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
         };
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
         for &cid in &self.order {
-            let cloudlet = self.instance.network().cloudlet(cid).expect("valid id");
-            let Some(n) = onsite_instances(
-                vnf.reliability(),
-                cloudlet.reliability(),
+            let Some(n) = self.instance.onsite_instances_for(
+                request.vnf(),
+                cid,
                 request.reliability_requirement(),
             ) else {
                 // Sorted descending: once one cloudlet is too unreliable,
                 // all later ones are as well.
                 break;
             };
-            let weight = f64::from(n) * vnf.compute() as f64;
-            if self.ledger.fits(cid, request.slots(), weight) {
-                self.ledger.charge(cid, request.slots(), weight);
+            let weight = f64::from(n) * compute;
+            if self.ledger.fits_window(cid, first, last, weight) {
+                self.ledger.charge_window(cid, first, last, weight);
                 return Decision::Admit(Placement::OnSite {
                     cloudlet: cid,
                     instances: n,

@@ -77,34 +77,31 @@ impl FailureReport {
     }
 }
 
-/// Runs `trials` independent failure samples against an admitted
-/// schedule.
-///
-/// # Errors
-///
-/// Returns [`SimError`] when the schedule does not cover the requests or
-/// references unknown cloudlets/VNFs.
-pub fn inject_failures<R: Rng + ?Sized>(
+/// Admitted requests with placements and reliabilities resolved once,
+/// shared by the serial and chunk-parallel trial loops.
+struct Campaign<'a> {
+    m: usize,
+    cloudlet_rel: Vec<f64>,
+    admitted: Vec<&'a Request>,
+    /// `(r(f_i), placement)` per admitted request, in id order.
+    placed: Vec<(f64, &'a Placement)>,
+}
+
+fn prepare<'a>(
     instance: &ProblemInstance,
-    requests: &[Request],
-    schedule: &Schedule,
-    trials: usize,
-    rng: &mut R,
-) -> Result<FailureReport, SimError> {
+    requests: &'a [Request],
+    schedule: &'a Schedule,
+) -> Result<Campaign<'a>, SimError> {
     if schedule.len() != requests.len() {
         return Err(SimError::Mismatch(
             "schedule length differs from request count",
         ));
     }
     let m = instance.cloudlet_count();
-    // survivors[i] counts trials in which admitted request i survived.
     let admitted: Vec<&Request> = requests
         .iter()
         .filter(|r| schedule.is_admitted(r.id()))
         .collect();
-    let mut survived = vec![0usize; admitted.len()];
-    let mut cloudlet_up = vec![false; m];
-
     let cloudlet_rel: Vec<f64> = instance
         .network()
         .cloudlets()
@@ -128,12 +125,30 @@ pub fn inject_failures<R: Rng + ?Sized>(
         }
         placed.push((vnf.reliability().value(), placement));
     }
+    Ok(Campaign {
+        m,
+        cloudlet_rel,
+        admitted,
+        placed,
+    })
+}
 
+/// Runs `trials` samples, adding survivals into `survived` (one counter
+/// per admitted request). The per-trial draw order — all cloudlet states,
+/// then each placed request in id order — is the module's RNG contract:
+/// both entry points produce identical counts from identical streams.
+fn run_trials<R: Rng + ?Sized>(
+    c: &Campaign<'_>,
+    trials: usize,
+    rng: &mut R,
+    survived: &mut [usize],
+) {
+    let mut cloudlet_up = vec![false; c.m];
     for _ in 0..trials {
         for (j, up) in cloudlet_up.iter_mut().enumerate() {
-            *up = rng.gen_bool(cloudlet_rel[j]);
+            *up = rng.gen_bool(c.cloudlet_rel[j]);
         }
-        for (k, &(r_f, placement)) in placed.iter().enumerate() {
+        for (k, &(r_f, placement)) in c.placed.iter().enumerate() {
             let alive = match placement {
                 Placement::OnSite {
                     cloudlet,
@@ -142,9 +157,9 @@ pub fn inject_failures<R: Rng + ?Sized>(
                     let j = cloudlet.index();
                     cloudlet_up[j] && (0..*instances).any(|_| rng.gen_bool(r_f))
                 }
-                Placement::OffSite { cloudlets } => cloudlets.iter().any(|c| {
-                    let j = c.index();
-                    j < m && cloudlet_up[j] && rng.gen_bool(r_f)
+                Placement::OffSite { cloudlets } => cloudlets.iter().any(|c2| {
+                    let j = c2.index();
+                    j < c.m && cloudlet_up[j] && rng.gen_bool(r_f)
                 }),
             };
             if alive {
@@ -152,10 +167,13 @@ pub fn inject_failures<R: Rng + ?Sized>(
             }
         }
     }
+}
 
-    let requests = admitted
+fn assemble(c: &Campaign<'_>, survived: &[usize], trials: usize) -> FailureReport {
+    let requests = c
+        .admitted
         .iter()
-        .zip(&survived)
+        .zip(survived)
         .map(|(r, &s)| RequestAvailability {
             request: r.id(),
             required: r.reliability_requirement().value(),
@@ -163,7 +181,76 @@ pub fn inject_failures<R: Rng + ?Sized>(
             trials,
         })
         .collect();
-    Ok(FailureReport { requests, trials })
+    FailureReport { requests, trials }
+}
+
+/// Runs `trials` independent failure samples against an admitted
+/// schedule.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the schedule does not cover the requests or
+/// references unknown cloudlets/VNFs.
+pub fn inject_failures<R: Rng + ?Sized>(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    trials: usize,
+    rng: &mut R,
+) -> Result<FailureReport, SimError> {
+    let campaign = prepare(instance, requests, schedule)?;
+    let mut survived = vec![0usize; campaign.placed.len()];
+    run_trials(&campaign, trials, rng, &mut survived);
+    Ok(assemble(&campaign, &survived, trials))
+}
+
+/// Trials per task in [`inject_failures_parallel`]. Fixed (not derived
+/// from the thread count) so the chunk grid — and therefore every RNG
+/// stream and the exact survival counts — is identical at any `threads`.
+const TRIAL_CHUNK: usize = 512;
+
+/// [`inject_failures`] fanned out over `threads` scoped worker threads.
+///
+/// The campaign is split into fixed [`TRIAL_CHUNK`]-sized chunks; chunk
+/// `c` draws from `ChaCha8Rng::seed_from_u64(seed)` on stream `c + 1`,
+/// and per-request survival counts are summed over chunks in chunk
+/// order. Results are a pure function of `(inputs, seed)` — **not** of
+/// `threads` — which the determinism suite asserts. The trade-off versus
+/// the serial entry point is a different (chunked) stream layout, so
+/// counts match `inject_failures` statistically but not sample-by-sample.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for the same mismatches as [`inject_failures`].
+pub fn inject_failures_parallel(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<FailureReport, SimError> {
+    use rand::SeedableRng;
+
+    let campaign = prepare(instance, requests, schedule)?;
+    let n_chunks = trials.div_ceil(TRIAL_CHUNK);
+    let chunks: Vec<usize> = (0..n_chunks).collect();
+    let counts = crate::parallel::parallel_map(&chunks, threads, |&c| {
+        let lo = c * TRIAL_CHUNK;
+        let hi = trials.min(lo + TRIAL_CHUNK);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(c as u64 + 1);
+        let mut survived = vec![0usize; campaign.placed.len()];
+        run_trials(&campaign, hi - lo, &mut rng, &mut survived);
+        survived
+    });
+    let mut survived = vec![0usize; campaign.placed.len()];
+    for chunk in counts {
+        for (total, s) in survived.iter_mut().zip(chunk) {
+            *total += s;
+        }
+    }
+    Ok(assemble(&campaign, &survived, trials))
 }
 
 /// Like [`inject_failures`], but samples component states *per slot* and
@@ -379,6 +466,40 @@ mod tests {
             assert!(w.measured <= p.measured + 0.02, "{}", w.request);
             assert!(w.required <= p.required + 1e-12);
         }
+    }
+
+    #[test]
+    fn parallel_injection_is_thread_count_invariant() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.97)
+            .unwrap()
+            .generate(25, inst.catalog(), &mut rng)
+            .unwrap();
+        let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+        // 2500 trials → 5 chunks: results must not depend on threads.
+        let t1 = inject_failures_parallel(&inst, &reqs, &schedule, 2500, 99, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let tn = inject_failures_parallel(&inst, &reqs, &schedule, 2500, 99, threads).unwrap();
+            assert_eq!(t1, tn, "threads={threads}");
+        }
+        // And it agrees statistically with the serial injector.
+        let serial = inject_failures(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
+        assert!(t1.statistical_violations(4.0).is_empty());
+        assert!(serial.statistical_violations(4.0).is_empty());
+    }
+
+    #[test]
+    fn parallel_injection_validates_inputs() {
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .generate(3, inst.catalog(), &mut rng)
+            .unwrap();
+        let s = Schedule::new();
+        assert!(inject_failures_parallel(&inst, &reqs, &s, 10, 0, 4).is_err());
     }
 
     #[test]

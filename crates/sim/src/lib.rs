@@ -30,6 +30,7 @@ pub mod export;
 pub mod failure;
 pub mod fault;
 mod metrics;
+pub mod parallel;
 pub mod recovery;
 
 pub use compare::{compare, Comparison};

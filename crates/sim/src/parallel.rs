@@ -1,0 +1,124 @@
+//! Deterministic scoped-thread fan-out for experiment harnesses.
+//!
+//! The figure sweeps and Monte-Carlo validators are embarrassingly
+//! parallel over (sweep point, seed) or trial-chunk tasks. This module
+//! provides one primitive, [`parallel_map`], built on
+//! [`std::thread::scope`] (no external thread-pool dependency):
+//!
+//! * work-stealing by atomic index — threads pull the next unclaimed
+//!   item, so uneven task costs do not serialize the tail;
+//! * **deterministic ordered merge** — every result is tagged with its
+//!   input index and the output is sorted back into input order, so the
+//!   result vector is independent of thread scheduling;
+//! * `threads <= 1` (or a single item) runs inline on the caller's
+//!   thread with no synchronization at all, making the serial path the
+//!   trivially-correct reference the determinism tests compare against.
+//!
+//! Determinism of the *values* (not just their order) is the task
+//! closure's responsibility: closures must derive any randomness from
+//! the item itself (e.g. per-task ChaCha seeding), never from shared
+//! mutable state or thread identity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `Some(n >= 1)` is taken verbatim,
+/// `None` (or `Some(0)`) means [`std::thread::available_parallelism`].
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Applies `f` to every item on up to `threads` scoped worker threads
+/// and returns the results **in input order**, regardless of which
+/// thread computed what and when.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure after all threads join.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let workers = threads.min(items.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // Buffer locally; merge once per worker to keep the mutex
+                // off the per-item path.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                collected.lock().expect("no poisoned worker").extend(local);
+            });
+        }
+    });
+    let mut tagged = collected.into_inner().expect("all workers joined");
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_map(&items, threads, |&i| i * 3);
+            let expect: Vec<usize> = items.iter().map(|&i| i * 3).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_seeded_tasks() {
+        use rand::{Rng, SeedableRng};
+        let seeds: Vec<u64> = (0..16).collect();
+        let task = |&seed: &u64| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            (0..100).map(|_| rng.gen_range(0u64..1000)).sum::<u64>()
+        };
+        let serial = parallel_map(&seeds, 1, task);
+        let parallel = parallel_map(&seeds, 4, task);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(&[1u32, 2, 3], 64, |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+        assert!(resolve_threads(Some(0)) >= 1);
+    }
+}

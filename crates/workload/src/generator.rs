@@ -224,23 +224,12 @@ impl RequestGenerator {
             )?);
         }
         requests.sort_by_key(|r| (r.arrival(), r.id()));
-        // Re-number so ids follow arrival order, matching online processing.
-        let horizon = self.horizon;
-        let requests = requests
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| {
-                Request::new(
-                    RequestId(i),
-                    r.vnf(),
-                    r.reliability_requirement(),
-                    r.arrival(),
-                    r.duration(),
-                    r.payment(),
-                    horizon,
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        // Re-number so ids follow arrival order, matching online
+        // processing; ids don't participate in any validated invariant,
+        // so the sorted stream is renumbered in place.
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.set_id(RequestId(i));
+        }
         Ok(requests)
     }
 

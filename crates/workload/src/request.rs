@@ -89,26 +89,37 @@ impl Request {
     }
 
     /// Dense identifier (arrival order).
+    #[inline]
     pub fn id(&self) -> RequestId {
         self.id
     }
 
+    /// Re-numbers the request; every validated invariant is independent
+    /// of the id, so the generator renumbers sorted streams in place.
+    pub(crate) fn set_id(&mut self, id: RequestId) {
+        self.id = id;
+    }
+
     /// Requested VNF type `f_i`.
+    #[inline]
     pub fn vnf(&self) -> VnfTypeId {
         self.vnf
     }
 
     /// Reliability requirement `R_i`.
+    #[inline]
     pub fn reliability_requirement(&self) -> Reliability {
         self.reliability_req
     }
 
     /// Arrival slot `a_i` (0-indexed).
+    #[inline]
     pub fn arrival(&self) -> TimeSlot {
         self.arrival
     }
 
     /// Execution duration `d_i` in slots.
+    #[inline]
     pub fn duration(&self) -> usize {
         self.duration
     }
@@ -119,6 +130,7 @@ impl Request {
     }
 
     /// Payment `pay_i` collected if the request is admitted.
+    #[inline]
     pub fn payment(&self) -> f64 {
         self.payment
     }
@@ -129,6 +141,7 @@ impl Request {
     }
 
     /// The execution slots `T'_i`, in order.
+    #[inline]
     pub fn slots(&self) -> std::ops::RangeInclusive<TimeSlot> {
         self.arrival..=self.end_slot()
     }

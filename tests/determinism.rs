@@ -130,7 +130,64 @@ fn identical_seeds_identical_failure_streams_and_recovery() {
 
 #[test]
 fn sweep_tables_are_reproducible() {
-    let t1 = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 60, &[7, 8]);
-    let t2 = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 60, &[7, 8]);
+    let t1 = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 60, &[7, 8], 1);
+    let t2 = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 60, &[7, 8], 1);
     assert_eq!(t1, t2);
+}
+
+#[test]
+fn sweep_tables_are_thread_count_invariant() {
+    // The parallel fan-out must not change any figure table: the serial
+    // path is the reference, and 4 workers with the ordered merge must
+    // reproduce it bit for bit.
+    let serial = vnfrel_bench::fig1_sweep(vnfrel::Scheme::OnSite, &[20, 40], &[3, 4], false, 1, 1);
+    let threaded =
+        vnfrel_bench::fig1_sweep(vnfrel::Scheme::OnSite, &[20, 40], &[3, 4], false, 1, 4);
+    assert_eq!(serial, threaded, "fig1 table depends on thread count");
+
+    let serial = vnfrel_bench::fig2a_sweep(&[1.0, 6.0], 40, &[3, 4], 1);
+    let threaded = vnfrel_bench::fig2a_sweep(&[1.0, 6.0], 40, &[3, 4], 4);
+    assert_eq!(serial, threaded, "fig2a table depends on thread count");
+
+    let serial = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 40, &[3, 4], 1);
+    let threaded = vnfrel_bench::fig2b_sweep(&[1.0, 1.08], 40, &[3, 4], 4);
+    assert_eq!(serial, threaded, "fig2b table depends on thread count");
+
+    let (on1, off1) = vnfrel_bench::fig1_both_sweep(&[20, 40], &[3, 4], 1);
+    let (on4, off4) = vnfrel_bench::fig1_both_sweep(&[20, 40], &[3, 4], 4);
+    assert_eq!(on1, on4);
+    assert_eq!(off1, off4);
+}
+
+#[test]
+fn monte_carlo_injection_is_thread_count_invariant() {
+    use mec_sim::failure::{inject_failures_parallel, FailureReport};
+    use vnfrel::run_online;
+
+    let scenario = Scenario::build(&ScenarioParams {
+        requests: 80,
+        seed: 9,
+        ..ScenarioParams::default()
+    });
+    let mut alg1 = OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap();
+    let schedule = run_online(&mut alg1, &scenario.requests).unwrap();
+    let run = |threads: usize| -> FailureReport {
+        inject_failures_parallel(
+            &scenario.instance,
+            &scenario.requests,
+            &schedule,
+            2_000,
+            123,
+            threads,
+        )
+        .unwrap()
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "MC failure report depends on thread count ({threads})"
+        );
+    }
 }

@@ -7,7 +7,7 @@ use vnfrel_bench::{fig1_sweep, fig2a_sweep, fig2b_sweep, Scenario, ScenarioParam
 
 #[test]
 fn fig1a_smoke_opt_dominates() {
-    let table = fig1_sweep(Scheme::OnSite, &[20, 40], &[1], true, 1_000);
+    let table = fig1_sweep(Scheme::OnSite, &[20, 40], &[1], true, 1_000, 1);
     for row in 0..table.rows.len() {
         let opt = table.value(row, "Optimal").unwrap();
         let alg = table.value(row, "Algorithm 1").unwrap();
@@ -20,7 +20,7 @@ fn fig1a_smoke_opt_dominates() {
 
 #[test]
 fn fig1b_smoke_opt_dominates() {
-    let table = fig1_sweep(Scheme::OffSite, &[10, 20], &[1], true, 1_000);
+    let table = fig1_sweep(Scheme::OffSite, &[10, 20], &[1], true, 1_000, 1);
     for row in 0..table.rows.len() {
         let opt = table.value(row, "Optimal").unwrap();
         assert!(table.value(row, "Algorithm 2").unwrap() <= opt + 1e-6);
@@ -32,7 +32,7 @@ fn fig1b_smoke_opt_dominates() {
 fn fig2a_smoke_revenue_declines_with_h() {
     // More payment-rate spread (H up, pr_min down) ⇒ less revenue, on
     // average. Use multiple seeds and compare the endpoints.
-    let table = fig2a_sweep(&[1.0, 8.0], 250, &[1, 2, 3, 4]);
+    let table = fig2a_sweep(&[1.0, 8.0], 250, &[1, 2, 3, 4], 2);
     let at_h1 = table.value(0, "Algorithm 1").unwrap();
     let at_h8 = table.value(1, "Algorithm 1").unwrap();
     assert!(
@@ -46,7 +46,7 @@ fn fig2b_smoke_alg2_stays_above_greedy_as_k_grows() {
     // The paper's Figure 2(b) claims: revenue decreases with K, and
     // Algorithm 2 "always achieves better performance than the greedy
     // algorithm by varying the value of K".
-    let table = fig2b_sweep(&[1.0, 1.2], 400, &[1, 2, 3, 4]);
+    let table = fig2b_sweep(&[1.0, 1.2], 400, &[1, 2, 3, 4], 2);
     for row in 0..table.rows.len() {
         let alg = table.value(row, "Algorithm 2").unwrap();
         let greedy = table.value(row, "Greedy (off-site)").unwrap();
