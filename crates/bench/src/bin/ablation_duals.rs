@@ -13,7 +13,7 @@
 use vnfrel::onsite::offline::capacity_shadow_prices;
 use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
 use vnfrel::run_online;
-use vnfrel_bench::{Scenario, ScenarioParams};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
 
 fn pearson(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len() as f64;
@@ -36,12 +36,16 @@ fn pearson(a: &[f64], b: &[f64]) -> f64 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
     let sizes: Vec<usize> = if quick {
         vec![100, 200]
     } else {
         vec![100, 200, 400, 600]
     };
-    println!("Ablation — online λ vs offline LP capacity shadow prices (on-site)\n");
+    note(
+        quiet,
+        "Ablation — online λ vs offline LP capacity shadow prices (on-site)\n",
+    );
     println!(
         "{:>9} {:>12} {:>18} {:>18}",
         "requests", "correlation", "scarce agree (%)", "priced pairs"
@@ -81,10 +85,11 @@ fn main() {
             100.0 * agree as f64 / online_flat.len() as f64
         );
     }
-    println!(
+    note(
+        quiet,
         "\nthe online prices are a coarse estimate of the offline shadow prices \
          \n(modest positive correlation), but they agree well on *which* \
          \n(slot, cloudlet) pairs are scarce once contention is real — which is \
-         \nall the admission rule needs."
+         \nall the admission rule needs.",
     );
 }

@@ -6,10 +6,11 @@
 
 use mec_sim::{IntraSlotOrder, Simulation};
 use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
-use vnfrel_bench::{Scenario, ScenarioParams};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
     let sizes: Vec<usize> = if quick {
         vec![200]
     } else {
@@ -20,7 +21,10 @@ fn main() {
         ("payment", IntraSlotOrder::PaymentDescending),
         ("density", IntraSlotOrder::DensityDescending),
     ];
-    println!("Ablation — intra-slot batch ordering (on-site revenue)\n");
+    note(
+        quiet,
+        "Ablation — intra-slot batch ordering (on-site revenue)\n",
+    );
     println!(
         "{:>9} {:>10} {:>14} {:>14}",
         "requests", "ordering", "Algorithm 1", "Greedy"
@@ -48,8 +52,9 @@ fn main() {
         }
         println!();
     }
-    println!(
+    note(
+        quiet,
         "payment-aware batching mostly helps the payment-blind greedy; \
-         \nAlgorithm 1 already filters by payment through its prices."
+         \nAlgorithm 1 already filters by payment through its prices.",
     );
 }

@@ -12,16 +12,17 @@ use mec_sim::Simulation;
 use vnfrel::bounds::OnsiteBounds;
 use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
 use vnfrel::OnlineScheduler;
-use vnfrel_bench::{Scenario, ScenarioParams};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
     let sizes: Vec<usize> = if quick {
         vec![100, 200]
     } else {
         vec![100, 200, 400, 800]
     };
-    println!("Table A — Algorithm 1 capacity policies (on-site)\n");
+    note(quiet, "Table A — Algorithm 1 capacity policies (on-site)\n");
     println!(
         "{:>9} {:>14} {:>14} {:>14} {:>14} {:>12} {:>12}",
         "requests",
@@ -70,6 +71,9 @@ fn main() {
             "observed overflow {overflow} exceeds Lemma 8 bound {bound}"
         );
     }
-    println!("\nobserved overflow always within the Lemma 8 bound; enforcing capacity");
-    println!("costs little revenue relative to the raw algorithm at every load.");
+    note(
+        quiet,
+        "\nobserved overflow always within the Lemma 8 bound; enforcing capacity\n\
+         costs little revenue relative to the raw algorithm at every load.",
+    );
 }

@@ -9,17 +9,21 @@ use mec_sim::Simulation;
 use vnfrel::baselines::RandomPlacement;
 use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
 use vnfrel::Scheme;
-use vnfrel_bench::{Scenario, ScenarioParams};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
     let sizes: Vec<usize> = if quick {
         vec![100, 200]
     } else {
         vec![100, 200, 400, 800]
     };
     let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
-    println!("Ablation — off-site cloudlet-selection policies (revenue)\n");
+    note(
+        quiet,
+        "Ablation — off-site cloudlet-selection policies (revenue)\n",
+    );
     println!(
         "{:>9} {:>18} {:>18} {:>18}",
         "requests", "price-ratio (Alg2)", "reliability-desc", "random"
@@ -50,9 +54,10 @@ fn main() {
             random / k
         );
     }
-    println!(
+    note(
+        quiet,
         "\nthe price-ratio ordering is what lets Algorithm 2 keep cheap \
          log-reliability\nfor later high-payers; reliability-descending \
-         ordering burns the best cloudlets first."
+         ordering burns the best cloudlets first.",
     );
 }

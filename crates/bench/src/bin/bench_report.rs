@@ -4,7 +4,7 @@
 //!
 //! Run with:
 //! `cargo run --release -p vnfrel-bench --bin bench_report [--quick]
-//!  [--threads N] [--out PATH] [--check PATH]`
+//!  [--threads N] [--out PATH] [--check PATH] [--trace-sample PATH]`
 //!
 //! Measurements:
 //!
@@ -17,13 +17,37 @@
 //! * **Monte-Carlo failure injection** trial throughput, serial vs the
 //!   chunked deterministic parallel injector.
 //!
+//! * **observability overhead**: the production schedulers at their
+//!   `NoopSink` default vs the sink-free copies in
+//!   `vnfrel_bench::uninstrumented` — the disabled trace hooks must
+//!   compile away. The primary proof is deterministic: the noop-sink
+//!   run must produce the identical schedule (revenue equality) with
+//!   the identical number of heap allocations (leaked decision events
+//!   must heap-allocate their `String`/`Vec` fields, so a hook that
+//!   survives codegen shows up as thousands of extra allocations). A
+//!   timed race is reported alongside and bounded by
+//!   [`MAX_OBS_TIMED_OVERHEAD`] as a gross-regression catch-all; it is
+//!   deliberately loose because wall-clock A/B between two separately
+//!   placed copies of the same instruction stream carries a persistent
+//!   code-placement bias (uop-cache and branch-alignment luck) of up to
+//!   ~20% on microsecond-scale kernels, which no amount of repetition
+//!   removes.
+//!
 //! `--check PATH` additionally compares the optimized decide()
 //! requests/sec against a previously emitted JSON and exits non-zero if
-//! any algorithm regressed by more than 30% — the CI perf smoke.
+//! any algorithm regressed by more than 30% — the CI perf smoke. The
+//! same flag arms the in-process observability gate: the deterministic
+//! equivalence asserts plus the timed bound above.
+//!
+//! `--trace-sample PATH` writes a small decision-trace JSONL (Algorithm 1
+//! over the decide() scenario) for artifact upload and schema eyeballing.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use mec_obs::{to_json, RingSink};
 use mec_sim::failure::{inject_failures, inject_failures_parallel};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -34,10 +58,69 @@ use vnfrel_bench::legacy::{
     legacy_fig1_both, LegacyOffsiteGreedy, LegacyOffsitePrimalDual, LegacyOnsiteGreedy,
     LegacyOnsitePrimalDual,
 };
+use vnfrel_bench::uninstrumented::{
+    UninstrumentedOffsiteGreedy, UninstrumentedOffsitePrimalDual, UninstrumentedOnsiteGreedy,
+    UninstrumentedOnsitePrimalDual,
+};
 use vnfrel_bench::{fig1_both_sweep, threads_from_args, Scenario, ScenarioParams};
 
 /// Maximum tolerated decide() throughput regression vs the baseline.
 const MAX_REGRESSION: f64 = 0.30;
+
+/// Maximum tolerated *timed* decide() slowdown of the noop-sink
+/// production schedulers vs their sink-free (`uninstrumented`) twins.
+///
+/// The zero-overhead claim itself is enforced deterministically (see
+/// `obs_overhead`): identical schedules and identical heap-allocation
+/// counts, which any surviving hook breaks by thousands. This timed
+/// bound only exists to catch gross non-allocating regressions, and is
+/// sized to sit above the measured code-placement noise between two
+/// separately placed copies of the same instruction stream (observed up
+/// to ~20% on these ~1ms kernels; an `objdump --disassemble` diff of
+/// the monomorphized `decide` symbols shows identical instructions
+/// modulo basic-block order and alignment padding). It mirrors the 30%
+/// [`MAX_REGRESSION`] margin used for the same reason.
+const MAX_OBS_TIMED_OVERHEAD: f64 = 0.25;
+
+/// Counts every heap allocation so the observability section can assert
+/// that a noop-sink run allocates *exactly* as often as its sink-free
+/// twin — the placement-immune form of "disabled hooks compile away"
+/// (leaked decision events must allocate for their `String`/`Vec`
+/// fields).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to `System` for every operation; only adds counting.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Request count for the observability-overhead race. Much larger than
+/// the decide() race so each timed run is ~1ms+ and per-rep timer noise
+/// amortizes; the residual persistent bias (instruction placement) is
+/// why the timed bound is loose — see [`MAX_OBS_TIMED_OVERHEAD`].
+const OBS_REQUESTS: usize = 20_000;
 
 /// Wall time of the best of `reps` runs of `f`, in seconds.
 fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -119,6 +202,132 @@ fn decide_throughput(scenario: &Scenario, reps: usize) -> Vec<DecidePair> {
     out
 }
 
+/// Noop-sink production scheduler vs its sink-free twin.
+struct ObsPair {
+    name: &'static str,
+    noop_rps: f64,
+    uninstrumented_rps: f64,
+}
+
+impl ObsPair {
+    /// Fractional slowdown of the noop path (negative = noop faster).
+    /// Includes code-placement bias either way; the deterministic
+    /// equivalence asserts in `obs_overhead` carry the precision claim.
+    fn overhead(&self) -> f64 {
+        self.uninstrumented_rps / self.noop_rps - 1.0
+    }
+}
+
+/// Races the noop-sink schedulers against the uninstrumented copies.
+/// Measurements are interleaved per repetition so both sides see the
+/// same thermal/cache conditions.
+///
+/// Two placement-immune equivalence checks run first: both generations
+/// must produce the same schedule (same revenue) **and the same exact
+/// number of heap allocations** over the stream. The decision events
+/// heap-allocate by construction (`String` algorithm labels, per-site
+/// vectors), so instrumentation that fails to compile away under
+/// `NoopSink` shows up as thousands of extra allocations — a
+/// deterministic signal wall-clock timing cannot fake either way.
+fn obs_overhead(scenario: &Scenario, reps: usize) -> Vec<ObsPair> {
+    let n = scenario.requests.len() as f64;
+    let run = |alg: &mut dyn OnlineScheduler| {
+        run_online(alg, &scenario.requests).expect("valid stream");
+    };
+    macro_rules! assert_equivalent {
+        ($name:literal, $noop:expr, $base:expr) => {{
+            let mut a = $noop;
+            let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+            let ra = run_online(&mut a, &scenario.requests).expect("valid stream");
+            let a1 = ALLOCATIONS.load(Ordering::Relaxed);
+            let mut b = $base;
+            let b0 = ALLOCATIONS.load(Ordering::Relaxed);
+            let rb = run_online(&mut b, &scenario.requests).expect("valid stream");
+            let b1 = ALLOCATIONS.load(Ordering::Relaxed);
+            assert_eq!(
+                ra.revenue(),
+                rb.revenue(),
+                "{}: noop-sink and uninstrumented schedules diverge",
+                $name
+            );
+            assert_eq!(
+                a1 - a0,
+                b1 - b0,
+                "{}: noop-sink run allocates {} times, uninstrumented {} — \
+                 trace hooks are not compiling away",
+                $name,
+                a1 - a0,
+                b1 - b0
+            );
+        }};
+    }
+    assert_equivalent!(
+        "alg1",
+        OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap(),
+        UninstrumentedOnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap()
+    );
+    assert_equivalent!(
+        "greedy_onsite",
+        OnsiteGreedy::new(&scenario.instance),
+        UninstrumentedOnsiteGreedy::new(&scenario.instance)
+    );
+    assert_equivalent!(
+        "alg2",
+        OffsitePrimalDual::new(&scenario.instance),
+        UninstrumentedOffsitePrimalDual::new(&scenario.instance)
+    );
+    assert_equivalent!(
+        "greedy_offsite",
+        OffsiteGreedy::new(&scenario.instance),
+        UninstrumentedOffsiteGreedy::new(&scenario.instance)
+    );
+
+    macro_rules! race {
+        ($name:literal, $noop:expr, $base:expr) => {{
+            let mut noop_best = f64::INFINITY;
+            let mut base_best = f64::INFINITY;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let mut a = $noop;
+                run(&mut a);
+                noop_best = noop_best.min(t.elapsed().as_secs_f64());
+                let t = Instant::now();
+                let mut b = $base;
+                run(&mut b);
+                base_best = base_best.min(t.elapsed().as_secs_f64());
+            }
+            ObsPair {
+                name: $name,
+                noop_rps: n / noop_best,
+                uninstrumented_rps: n / base_best,
+            }
+        }};
+    }
+    vec![
+        race!(
+            "alg1",
+            OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap(),
+            UninstrumentedOnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce)
+                .unwrap()
+        ),
+        race!(
+            "greedy_onsite",
+            OnsiteGreedy::new(&scenario.instance),
+            UninstrumentedOnsiteGreedy::new(&scenario.instance)
+        ),
+        race!(
+            "alg2",
+            OffsitePrimalDual::new(&scenario.instance),
+            UninstrumentedOffsitePrimalDual::new(&scenario.instance)
+        ),
+        race!(
+            "greedy_offsite",
+            OffsiteGreedy::new(&scenario.instance),
+            UninstrumentedOffsiteGreedy::new(&scenario.instance)
+        ),
+    ]
+}
+
 /// Pulls `"<name>": { "optimized_rps": <number>` out of a previously
 /// emitted report without a JSON dependency.
 fn baseline_rps(json: &str, name: &str) -> Option<f64> {
@@ -142,6 +351,7 @@ fn main() {
     };
     let out_path = arg_value("--out").unwrap_or_else(|| "results/BENCH_schedule.json".to_string());
     let check_path = arg_value("--check");
+    let trace_sample_path = arg_value("--trace-sample");
 
     let (sizes, seeds, decide_requests, sweep_reps, decide_reps, trials): (
         Vec<usize>,
@@ -180,6 +390,50 @@ fn main() {
             p.legacy_rps,
             p.optimized_rps / p.legacy_rps
         );
+    }
+
+    // --- observability overhead (noop sink vs no hooks at all) ----------
+    // Deterministic equivalence asserts (same revenue, same allocation
+    // count) run inside `obs_overhead` before the timing race. The race
+    // itself uses a much larger stream than the decide() race so each
+    // timed run lasts ~1ms and per-rep timer noise amortizes.
+    let obs_scenario = Scenario::build(&ScenarioParams {
+        requests: OBS_REQUESTS,
+        ..ScenarioParams::default()
+    });
+    let obs = obs_overhead(&obs_scenario, decide_reps.max(9));
+    println!("\nobservability overhead (noop sink vs uninstrumented):");
+    println!("  deterministic: schedules and allocation counts identical");
+    for p in &obs {
+        println!(
+            "  {:<14} noop {:>12.0} req/s   uninstrumented {:>12.0} req/s   timed gap {:>+6.2}%",
+            p.name,
+            p.noop_rps,
+            p.uninstrumented_rps,
+            p.overhead() * 100.0
+        );
+    }
+
+    // --- optional decision-trace sample ---------------------------------
+    if let Some(path) = &trace_sample_path {
+        let mut alg = OnsitePrimalDual::with_sink(
+            &scenario.instance,
+            CapacityPolicy::Enforce,
+            RingSink::new(scenario.requests.len()),
+        )
+        .unwrap();
+        run_online(&mut alg, &scenario.requests).expect("valid stream");
+        let mut body = String::new();
+        for event in alg.into_sink().events() {
+            body.push_str(&to_json(event));
+            body.push('\n');
+        }
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent).expect("create trace-sample directory");
+        }
+        std::fs::write(path, body)
+            .unwrap_or_else(|e| panic!("cannot write trace sample {path}: {e}"));
+        eprintln!("trace sample written to {path}");
     }
 
     // --- end-to-end Figure 1 sweep --------------------------------------
@@ -285,6 +539,24 @@ fn main() {
         );
     }
     json.push_str("  },\n");
+    json.push_str("  \"obs_overhead\": {\n");
+    json.push_str("    \"deterministic_equivalence\": \"same revenue and same heap-allocation count as the sink-free copies\",\n");
+    let _ = writeln!(json, "    \"timed_threshold\": {MAX_OBS_TIMED_OVERHEAD},");
+    let max_overhead = obs.iter().map(ObsPair::overhead).fold(f64::MIN, f64::max);
+    let _ = writeln!(json, "    \"max_timed_gap\": {max_overhead:.4},");
+    for (i, p) in obs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"noop_rps\": {:.1}, \"uninstrumented_rps\": {:.1}, \
+             \"timed_gap\": {:.4} }}{}",
+            p.name,
+            p.noop_rps,
+            p.uninstrumented_rps,
+            p.overhead(),
+            if i + 1 < obs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     json.push_str("  \"fig1_sweep\": {\n");
     let _ = writeln!(
         json,
@@ -359,7 +631,7 @@ fn main() {
         std::fs::create_dir_all(parent).expect("create output directory");
     }
     std::fs::write(&out_path, &json).expect("write report");
-    println!("\nreport written to {out_path}");
+    eprintln!("report written to {out_path}");
 
     // --- regression gate -------------------------------------------------
     if let Some(path) = check_path {
@@ -382,8 +654,35 @@ fn main() {
             );
             failed |= !ok;
         }
+        // The timed observability gate re-measures once before failing:
+        // the deterministic asserts inside `obs_overhead` already carry
+        // the compile-away proof, so this bound only has to catch gross
+        // consistent slowdowns, and one unlucky interleaving on a noisy
+        // host must not fail CI.
+        let mut worst = &obs;
+        let remeasured;
+        if worst.iter().any(|p| p.overhead() > MAX_OBS_TIMED_OVERHEAD) {
+            eprintln!("obs timed gap above threshold, re-measuring once");
+            remeasured = obs_overhead(&obs_scenario, decide_reps.max(9));
+            worst = &remeasured;
+        }
+        for p in worst {
+            let ok = p.overhead() <= MAX_OBS_TIMED_OVERHEAD;
+            println!(
+                "check obs {:<14} timed gap {:>+6.2}% (limit {:.0}%) {}",
+                p.name,
+                p.overhead() * 100.0,
+                MAX_OBS_TIMED_OVERHEAD * 100.0,
+                if ok { "ok" } else { "TOO SLOW" }
+            );
+            failed |= !ok;
+        }
         if failed {
-            eprintln!("perf check failed: decide() throughput regressed more than 30%");
+            eprintln!(
+                "perf check failed: decide() regressed more than 30% vs the baseline \
+                 or the noop-sink timed gap exceeded {:.0}%",
+                MAX_OBS_TIMED_OVERHEAD * 100.0
+            );
             std::process::exit(1);
         }
         println!("perf check passed");

@@ -19,7 +19,7 @@ use rand_chacha::ChaCha8Rng;
 use vnfrel::offsite::OffsitePrimalDual;
 use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
 use vnfrel::{OnlineScheduler, Scheme};
-use vnfrel_bench::{Scenario, ScenarioParams};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
 
 /// Aggregated SLA outcome of one (scheme, policy) cell across seeds.
 #[derive(Debug, Default, Clone, Copy)]
@@ -36,6 +36,7 @@ struct Agg {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
     let (requests, seeds): (usize, Vec<u64>) = if quick {
         (150, vec![1])
     } else {
@@ -176,5 +177,5 @@ fn main() {
         "/../../results/failure_recovery.txt"
     );
     std::fs::write(path, &out).expect("write results/failure_recovery.txt");
-    println!("\nwrote {path}");
+    note(quiet, format!("wrote {path}"));
 }

@@ -13,10 +13,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vnfrel::offsite::OffsitePrimalDual;
 use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
-use vnfrel_bench::{Scenario, ScenarioParams};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
     let (trials, requests) = if quick { (5_000, 100) } else { (100_000, 400) };
     let scenario = Scenario::build(&ScenarioParams {
         requests,
@@ -25,8 +26,11 @@ fn main() {
     let sim = Simulation::new(&scenario.instance, &scenario.requests).expect("valid");
     let mut rng = ChaCha8Rng::seed_from_u64(12345);
 
-    println!(
-        "Table B — Monte-Carlo delivered availability ({trials} trials, {requests} requests)\n"
+    note(
+        quiet,
+        format!(
+            "Table B — Monte-Carlo delivered availability ({trials} trials, {requests} requests)\n"
+        ),
     );
     println!(
         "{:>10} {:>10} {:>14} {:>16} {:>12}",
@@ -69,5 +73,8 @@ fn main() {
             "{scheme}: statistically significant reliability violations: {violations:?}"
         );
     }
-    println!("\nno admitted request receives less availability than it was promised.");
+    note(
+        quiet,
+        "\nno admitted request receives less availability than it was promised.",
+    );
 }

@@ -9,18 +9,22 @@
 //! (+31.8% at 800 in the paper), and the optimum dominates both.
 
 use vnfrel::Scheme;
-use vnfrel_bench::{fig1_sweep, threads_from_args};
+use vnfrel_bench::{fig1_sweep, note, quiet_from_args, threads_from_args};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = threads_from_args();
+    let quiet = quiet_from_args();
     let (sizes, seeds, exact_below): (Vec<usize>, Vec<u64>, usize) = if quick {
         ((1..=4).map(|i| i * 50).collect(), vec![1], 80)
     } else {
         ((1..=8).map(|i| i * 100).collect(), vec![1, 2, 3], 150)
     };
     let table = fig1_sweep(Scheme::OnSite, &sizes, &seeds, true, exact_below, threads);
-    println!("Figure 1(a) — on-site scheme: revenue vs number of requests\n");
+    note(
+        quiet,
+        "Figure 1(a) — on-site scheme: revenue vs number of requests\n",
+    );
     println!("{table}");
     if let Some(ratio) = table.final_ratio("Algorithm 1", "Greedy") {
         println!(

@@ -8,18 +8,22 @@
 //! per unit), the effect is strong for H ∈ [1, 5] and then saturates
 //! because low-rate requests get rejected anyway.
 
-use vnfrel_bench::{fig2a_sweep, threads_from_args};
+use vnfrel_bench::{fig2a_sweep, note, quiet_from_args, threads_from_args};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = threads_from_args();
+    let quiet = quiet_from_args();
     let (h_values, requests, seeds): (Vec<f64>, usize, Vec<u64>) = if quick {
         (vec![1.0, 3.0, 6.0, 10.0], 150, vec![1])
     } else {
         ((1..=10).map(|i| i as f64).collect(), 600, vec![1, 2, 3])
     };
     let table = fig2a_sweep(&h_values, requests, &seeds, threads);
-    println!("Figure 2(a) — revenue vs payment-rate variation H ({requests} requests)\n");
+    note(
+        quiet,
+        format!("Figure 2(a) — revenue vs payment-rate variation H ({requests} requests)\n"),
+    );
     println!("{table}");
     // Effect strength: drop from H=1 to H=5 vs drop from H=5 to H=max.
     if table.rows.len() >= 3 {

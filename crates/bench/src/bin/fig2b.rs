@@ -9,11 +9,12 @@
 //! degrades much faster than Algorithm 2 because it exhausts the reliable
 //! cloudlets first.
 
-use vnfrel_bench::{fig2b_sweep, threads_from_args};
+use vnfrel_bench::{fig2b_sweep, note, quiet_from_args, threads_from_args};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let threads = threads_from_args();
+    let quiet = quiet_from_args();
     let (k_values, requests, seeds): (Vec<f64>, usize, Vec<u64>) = if quick {
         (vec![1.0, 1.05, 1.1], 150, vec![1])
     } else {
@@ -24,7 +25,12 @@ fn main() {
         )
     };
     let table = fig2b_sweep(&k_values, requests, &seeds, threads);
-    println!("Figure 2(b) — revenue vs cloudlet-reliability variation K ({requests} requests)\n");
+    note(
+        quiet,
+        format!(
+            "Figure 2(b) — revenue vs cloudlet-reliability variation K ({requests} requests)\n"
+        ),
+    );
     println!("{table}");
     if let Some(r_first) = table.rows.first() {
         let r_last = table.rows.last().unwrap();

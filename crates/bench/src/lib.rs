@@ -37,6 +37,7 @@
 //!   the old harness as the speedup baseline).
 
 pub mod legacy;
+pub mod uninstrumented;
 
 use mec_sim::experiment::SweepTable;
 use mec_sim::parallel::parallel_map;
@@ -251,6 +252,23 @@ where
         total += f(&s);
     }
     total / seeds.len().max(1) as f64
+}
+
+/// Parses a `--quiet`/`-q` flag from the process arguments.
+///
+/// The figure and ablation binaries keep result tables on stdout and
+/// route banners/progress through [`note`] to stderr, so piping a bin
+/// into a file or a plotting script captures only the data; `--quiet`
+/// silences the stderr side entirely.
+pub fn quiet_from_args() -> bool {
+    std::env::args().any(|a| a == "--quiet" || a == "-q")
+}
+
+/// Prints a banner/progress line to stderr unless `quiet` is set.
+pub fn note(quiet: bool, msg: impl std::fmt::Display) {
+    if !quiet {
+        eprintln!("{msg}");
+    }
 }
 
 /// Parses a `--threads N` argument from the process arguments, falling

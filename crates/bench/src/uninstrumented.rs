@@ -1,0 +1,527 @@
+//! Sink-free copies of the four online schedulers.
+//!
+//! The production schedulers carry a `S: TraceSink` type parameter whose
+//! `NoopSink` default is *supposed* to compile the instrumentation away.
+//! `bench_report`'s `obs_overhead` section verifies that claim by racing
+//! the noop-sink production schedulers against these copies, which never
+//! had the hooks in the first place: same flat-buffer/prefix-sum hot
+//! path, no `sink` field, no `S::ENABLED` branches, no event types in
+//! scope. The primary check is deterministic — the noop-sink run must
+//! produce the identical schedule with the identical heap-allocation
+//! count (decision events allocate `String`/`Vec` fields, so a hook
+//! surviving codegen shows up immediately) — backed by a loose timed
+//! bound, since wall-clock A/B between separately placed copies of the
+//! same instruction stream carries persistent code-placement bias.
+//!
+//! `tests/trace_obs.rs` additionally pins both generations to identical
+//! decision streams, so the race compares two implementations of the
+//! same function.
+
+use mec_topology::CloudletId;
+use mec_workload::Request;
+use vnfrel::offsite::RejectionCounters as OffsiteRejectionCounters;
+use vnfrel::onsite::CapacityPolicy;
+use vnfrel::onsite::RejectionCounters as OnsiteRejectionCounters;
+use vnfrel::{
+    CapacityLedger, Decision, DualPrices, OnlineScheduler, Placement, ProblemInstance, Scheme,
+    VnfrelError,
+};
+
+/// Local copy of the crate-private lazy candidate-selection iterator used
+/// by the production hot path (`vnfrel::pricing::CheapestFirst`): yields
+/// candidate indices in ascending `(key, index)` order, ordering one
+/// small block at a time.
+#[derive(Debug)]
+struct CheapestFirst<'a> {
+    keys: &'a mut Vec<(f64, u32)>,
+    sorted: usize,
+    cursor: usize,
+}
+
+const SELECT_BLOCK: usize = 8;
+const SCAN_THRESHOLD: usize = 32;
+
+impl<'a> CheapestFirst<'a> {
+    #[inline]
+    fn new(keys: &'a mut Vec<(f64, u32)>) -> Self {
+        CheapestFirst {
+            keys,
+            sorted: 0,
+            cursor: 0,
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.cursor >= self.keys.len() {
+            return None;
+        }
+        if self.keys.len() <= SCAN_THRESHOLD {
+            let mut min = self.cursor;
+            for i in self.cursor + 1..self.keys.len() {
+                let (a, b) = (self.keys[i], self.keys[min]);
+                if a.0 < b.0 || (a.0 == b.0 && a.1 < b.1) {
+                    min = i;
+                }
+            }
+            self.keys.swap(self.cursor, min);
+        } else if self.cursor == self.sorted {
+            let cmp = |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+            let tail = &mut self.keys[self.sorted..];
+            let step = SELECT_BLOCK.min(tail.len());
+            if step < tail.len() {
+                tail.select_nth_unstable_by(step - 1, cmp);
+            }
+            tail[..step].sort_unstable_by(cmp);
+            self.sorted += step;
+        }
+        let idx = self.keys[self.cursor].1;
+        self.cursor += 1;
+        Some(idx)
+    }
+}
+
+/// Algorithm 1 without the trace-sink parameter.
+#[derive(Debug)]
+pub struct UninstrumentedOnsitePrimalDual<'a> {
+    instance: &'a ProblemInstance,
+    policy: CapacityPolicy,
+    prices: DualPrices,
+    ledger: CapacityLedger,
+    sum_delta: f64,
+    rejections: OnsiteRejectionCounters,
+    keys: Vec<(f64, u32)>,
+    n_for: Vec<u32>,
+    weight_for: Vec<f64>,
+    cost_for: Vec<f64>,
+}
+
+impl<'a> UninstrumentedOnsitePrimalDual<'a> {
+    /// Creates the scheduler with all dual prices at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a scaling factor below 1 is given.
+    pub fn new(instance: &'a ProblemInstance, policy: CapacityPolicy) -> Result<Self, VnfrelError> {
+        if let CapacityPolicy::Scaled(s) = policy {
+            let valid = s.is_finite() && s >= 1.0;
+            if !valid {
+                return Err(VnfrelError::InvalidParameter("scaling factor must be ≥ 1"));
+            }
+        }
+        let m = instance.cloudlet_count();
+        let t = instance.horizon().len();
+        Ok(UninstrumentedOnsitePrimalDual {
+            instance,
+            policy,
+            prices: DualPrices::new(m, t),
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            sum_delta: 0.0,
+            rejections: OnsiteRejectionCounters::default(),
+            keys: Vec::with_capacity(m),
+            n_for: vec![0; m],
+            weight_for: vec![0.0; m],
+            cost_for: vec![0.0; m],
+        })
+    }
+
+    /// The dual objective `Σ_{t,j} cap_j·λ_{tj} + Σ_i δ_i`.
+    pub fn dual_objective(&self) -> f64 {
+        let lambda_part: f64 = (0..self.prices.cloudlet_count())
+            .map(|j| self.ledger.capacity(CloudletId(j)) * self.prices.row_total(j))
+            .sum();
+        lambda_part + self.sum_delta
+    }
+}
+
+impl OnlineScheduler for UninstrumentedOnsitePrimalDual<'_> {
+    fn name(&self) -> &'static str {
+        "alg1-primal-dual-uninstrumented"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OnSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
+        };
+        let req_rel = request.reliability_requirement();
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
+
+        self.keys.clear();
+        let mut best_unrestricted: Option<f64> = None;
+        for j in 0..self.prices.cloudlet_count() {
+            let Some(n) = self
+                .instance
+                .onsite_instances_for(request.vnf(), CloudletId(j), req_rel)
+            else {
+                continue;
+            };
+            let weight = f64::from(n) * compute;
+            let cost = weight * self.prices.window_sum(j, first, last);
+            if best_unrestricted.is_none_or(|c| cost < c) {
+                best_unrestricted = Some(cost);
+            }
+            self.n_for[j] = n;
+            self.weight_for[j] = weight;
+            self.cost_for[j] = cost;
+            self.keys.push((cost, j as u32));
+        }
+
+        if let Some(min_cost) = best_unrestricted {
+            self.sum_delta += (request.payment() - min_cost).max(0.0);
+        }
+
+        if self.keys.is_empty() {
+            self.rejections.no_eligible_cloudlet += 1;
+            return Decision::Reject;
+        }
+
+        if let Some(min_cost) = best_unrestricted {
+            if request.payment() - min_cost <= 0.0 {
+                self.rejections.payment_test += 1;
+                return Decision::Reject;
+            }
+        }
+
+        let policy = self.policy;
+        let mut best: Option<usize> = None;
+        let mut it = CheapestFirst::new(&mut self.keys);
+        while let Some(j32) = it.next() {
+            let j = j32 as usize;
+            let gate = match policy {
+                CapacityPolicy::Enforce => self.weight_for[j],
+                CapacityPolicy::AllowViolations => 0.0,
+                CapacityPolicy::Scaled(s) => self.weight_for[j] * s,
+            };
+            if gate > 0.0 && !self.ledger.fits_window(CloudletId(j), first, last, gate) {
+                continue;
+            }
+            best = Some(j);
+            break;
+        }
+        let Some(j) = best else {
+            self.rejections.capacity_gate += 1;
+            return Decision::Reject;
+        };
+        let (n, weight, cost) = (self.n_for[j], self.weight_for[j], self.cost_for[j]);
+        if request.payment() - cost <= 0.0 {
+            self.rejections.payment_test += 1;
+            return Decision::Reject;
+        }
+
+        self.ledger
+            .charge_window(CloudletId(j), first, last, weight);
+        let cap = self.ledger.capacity(CloudletId(j));
+        let d = request.duration() as f64;
+        let pay = request.payment();
+        self.prices.update_window(j, first, last, |l| {
+            l * (1.0 + weight / cap) + weight * pay / (d * cap)
+        });
+        Decision::Admit(Placement::OnSite {
+            cloudlet: CloudletId(j),
+            instances: n,
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+/// Algorithm 2 without the trace-sink parameter.
+#[derive(Debug)]
+pub struct UninstrumentedOffsitePrimalDual<'a> {
+    instance: &'a ProblemInstance,
+    prices: DualPrices,
+    ledger: CapacityLedger,
+    sum_delta: f64,
+    rejections: OffsiteRejectionCounters,
+    keys: Vec<(f64, u32)>,
+    selected: Vec<(usize, f64)>,
+}
+
+impl<'a> UninstrumentedOffsitePrimalDual<'a> {
+    /// Creates the scheduler with all dual prices at zero.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let m = instance.cloudlet_count();
+        let t = instance.horizon().len();
+        UninstrumentedOffsitePrimalDual {
+            instance,
+            prices: DualPrices::new(m, t),
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            sum_delta: 0.0,
+            rejections: OffsiteRejectionCounters::default(),
+            keys: Vec::with_capacity(m),
+            selected: Vec::with_capacity(m),
+        }
+    }
+
+    /// The accumulated dual objective `Σ cap_j·λ_{tj} + Σ δ_i`.
+    pub fn dual_objective(&self) -> f64 {
+        let lambda_part: f64 = (0..self.prices.cloudlet_count())
+            .map(|j| self.ledger.capacity(CloudletId(j)) * self.prices.row_total(j))
+            .sum();
+        lambda_part + self.sum_delta
+    }
+}
+
+impl OnlineScheduler for UninstrumentedOffsitePrimalDual<'_> {
+    fn name(&self) -> &'static str {
+        "alg2-primal-dual-uninstrumented"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OffSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
+        };
+        let ln_target = request.reliability_requirement().failure().ln();
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
+
+        self.keys.clear();
+        let mut min_ratio = f64::INFINITY;
+        for j in 0..self.prices.cloudlet_count() {
+            let ln_coef = self.instance.offsite_ln_coef(request.vnf(), CloudletId(j));
+            let lambda_sum = self.prices.window_sum(j, first, last);
+            let ratio = lambda_sum / (-ln_coef);
+            min_ratio = min_ratio.min(ratio);
+            if request.payment() + ln_target * compute * ratio <= 0.0 {
+                continue;
+            }
+            self.keys.push((ratio, j as u32));
+        }
+        if min_ratio.is_finite() {
+            self.sum_delta += (request.payment() + ln_target * compute * min_ratio).max(0.0);
+        }
+        if self.keys.is_empty() {
+            self.rejections.payment_test += 1;
+            return Decision::Reject;
+        }
+
+        self.selected.clear();
+        let mut ln_sum = 0.0;
+        {
+            let instance = self.instance;
+            let vnf_id = request.vnf();
+            let ledger = &self.ledger;
+            let selected = &mut self.selected;
+            let mut it = CheapestFirst::new(&mut self.keys);
+            while let Some(j32) = it.next() {
+                let j = j32 as usize;
+                if !ledger.fits_window(CloudletId(j), first, last, compute) {
+                    continue;
+                }
+                let ln_coef = instance.offsite_ln_coef(vnf_id, CloudletId(j));
+                selected.push((j, ln_coef));
+                ln_sum += ln_coef;
+                if ln_sum <= ln_target + 1e-12 {
+                    break;
+                }
+            }
+        }
+        if ln_sum > ln_target + 1e-12 {
+            self.rejections.reliability_unreachable += 1;
+            return Decision::Reject;
+        }
+
+        let d = request.duration() as f64;
+        let pay = request.payment();
+        for i in 0..self.selected.len() {
+            let (j, ln_coef) = self.selected[i];
+            self.ledger
+                .charge_window(CloudletId(j), first, last, compute);
+            let cap = self.ledger.capacity(CloudletId(j));
+            let factor = ln_target * compute / (ln_coef * cap);
+            self.prices
+                .update_window(j, first, last, |l| l * (1.0 + factor) + factor * pay / d);
+        }
+        Decision::Admit(Placement::OffSite {
+            cloudlets: self.selected.iter().map(|&(j, _)| CloudletId(j)).collect(),
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+/// On-site greedy without the trace-sink parameter.
+#[derive(Debug)]
+pub struct UninstrumentedOnsiteGreedy<'a> {
+    instance: &'a ProblemInstance,
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+}
+
+impl<'a> UninstrumentedOnsiteGreedy<'a> {
+    /// Creates the greedy scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = instance
+                .network()
+                .cloudlet(a)
+                .expect("valid id")
+                .reliability();
+            let rb = instance
+                .network()
+                .cloudlet(b)
+                .expect("valid id")
+                .reliability();
+            rb.cmp(&ra).then(a.index().cmp(&b.index()))
+        });
+        UninstrumentedOnsiteGreedy {
+            instance,
+            order,
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+        }
+    }
+}
+
+impl OnlineScheduler for UninstrumentedOnsiteGreedy<'_> {
+    fn name(&self) -> &'static str {
+        "greedy-onsite-uninstrumented"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OnSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
+        };
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
+        for &cid in &self.order {
+            let Some(n) = self.instance.onsite_instances_for(
+                request.vnf(),
+                cid,
+                request.reliability_requirement(),
+            ) else {
+                break;
+            };
+            let weight = f64::from(n) * compute;
+            if self.ledger.fits_window(cid, first, last, weight) {
+                self.ledger.charge_window(cid, first, last, weight);
+                return Decision::Admit(Placement::OnSite {
+                    cloudlet: cid,
+                    instances: n,
+                });
+            }
+        }
+        Decision::Reject
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}
+
+/// Off-site greedy without the trace-sink parameter.
+#[derive(Debug)]
+pub struct UninstrumentedOffsiteGreedy<'a> {
+    instance: &'a ProblemInstance,
+    order: Vec<CloudletId>,
+    ledger: CapacityLedger,
+    selected: Vec<CloudletId>,
+}
+
+impl<'a> UninstrumentedOffsiteGreedy<'a> {
+    /// Creates the greedy scheduler.
+    pub fn new(instance: &'a ProblemInstance) -> Self {
+        let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = instance
+                .network()
+                .cloudlet(a)
+                .expect("valid id")
+                .reliability();
+            let rb = instance
+                .network()
+                .cloudlet(b)
+                .expect("valid id")
+                .reliability();
+            rb.cmp(&ra).then(a.index().cmp(&b.index()))
+        });
+        UninstrumentedOffsiteGreedy {
+            instance,
+            order,
+            ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            selected: Vec::new(),
+        }
+    }
+}
+
+impl OnlineScheduler for UninstrumentedOffsiteGreedy<'_> {
+    fn name(&self) -> &'static str {
+        "greedy-offsite-uninstrumented"
+    }
+
+    fn scheme(&self) -> Scheme {
+        Scheme::OffSite
+    }
+
+    fn decide(&mut self, request: &Request) -> Decision {
+        let compute = match self.instance.catalog().get(request.vnf()) {
+            Some(v) => v.compute() as f64,
+            None => return Decision::Reject,
+        };
+        let ln_target = request.reliability_requirement().failure().ln();
+        let first = request.arrival();
+        let last = first + request.duration() - 1;
+
+        self.selected.clear();
+        let mut ln_sum = 0.0;
+        for &cid in &self.order {
+            if !self.ledger.fits_window(cid, first, last, compute) {
+                continue;
+            }
+            ln_sum += self.instance.offsite_ln_coef(request.vnf(), cid);
+            self.selected.push(cid);
+            if ln_sum <= ln_target + 1e-12 {
+                break;
+            }
+        }
+        if ln_sum > ln_target + 1e-12 {
+            return Decision::Reject;
+        }
+        for &cid in &self.selected {
+            self.ledger.charge_window(cid, first, last, compute);
+        }
+        Decision::Admit(Placement::OffSite {
+            cloudlets: self.selected.clone(),
+        })
+    }
+
+    fn ledger(&self) -> &CapacityLedger {
+        &self.ledger
+    }
+
+    fn ledger_mut(&mut self) -> &mut CapacityLedger {
+        &mut self.ledger
+    }
+}

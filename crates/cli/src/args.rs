@@ -72,6 +72,15 @@ pub struct SimulateArgs {
     pub failure_trials: usize,
     /// Worker threads for the Monte-Carlo check (0 = all cores).
     pub threads: usize,
+    /// JSONL decision/fault trace target (`--trace`).
+    pub trace: Option<String>,
+    /// Metrics snapshot target (`--metrics`); `.json`/`.jsonl` selects
+    /// the JSONL snapshot format, anything else Prometheus text.
+    pub metrics: Option<String>,
+    /// Per-slot timeline CSV target (`--timeline-csv`).
+    pub timeline_csv: Option<String>,
+    /// Suppress progress/provenance notes on stderr (`--quiet`/`-q`).
+    pub quiet: bool,
 }
 
 impl Default for SimulateArgs {
@@ -90,6 +99,10 @@ impl Default for SimulateArgs {
             cloudlet_fraction: 0.5,
             failure_trials: 0,
             threads: 0,
+            trace: None,
+            metrics: None,
+            timeline_csv: None,
+            quiet: false,
         }
     }
 }
@@ -111,6 +124,8 @@ pub struct FailuresArgs {
     /// Seed of the failure process (independent of the workload seed so
     /// the same outage trace can be replayed against different setups).
     pub failure_seed: u64,
+    /// Per-request SLA ledger CSV target (`--sla-csv`).
+    pub sla_csv: Option<String>,
 }
 
 impl Default for FailuresArgs {
@@ -122,6 +137,7 @@ impl Default for FailuresArgs {
             kill_rate: 0.05,
             policy: mec_sim::RecoveryPolicy::SchemeMatching,
             failure_seed: 1000,
+            sla_csv: None,
         }
     }
 }
@@ -134,6 +150,15 @@ pub enum Command {
     /// Run a fault-aware simulation with online recovery and SLA
     /// accounting.
     Failures(FailuresArgs),
+    /// Replay a recorded trace and explain one request's decision.
+    Explain {
+        /// The request id to explain.
+        request: usize,
+        /// Path of the JSONL trace to replay.
+        trace: String,
+        /// Suppress the provenance note on stderr.
+        quiet: bool,
+    },
     /// Print stats (and optionally DOT) for a topology.
     Topo {
         /// Network to describe.
@@ -166,8 +191,12 @@ vnfrel — reliability-aware VNF scheduling experiments
 USAGE:
   vnfrel simulate [OPTIONS]     run one online-scheduling simulation
   vnfrel failures [OPTIONS]     simulate under dynamic outages with recovery
+  vnfrel explain <ID> --trace <PATH>  replay a trace, explain one request
   vnfrel topo [OPTIONS]         describe a topology (--dot for Graphviz)
   vnfrel help                   show this text
+
+Result tables go to stdout; provenance and progress notes go to stderr
+(suppress them with --quiet/-q).
 
 SIMULATE OPTIONS (defaults in brackets):
   --topology <T>        abilene|cesnet|nsfnet|aarnet|garr|att|geant|er:N:P|ba:N:M|grid:R:C [abilene]
@@ -183,6 +212,12 @@ SIMULATE OPTIONS (defaults in brackets):
   --fraction <F>        fraction of APs hosting cloudlets [0.5]
   --failure-trials <N>  Monte-Carlo availability check (0 = off) [0]
   --threads <N>         worker threads for the Monte-Carlo check (0 = all cores) [0]
+  --trace <PATH>        record one JSONL event per scheduling decision
+                        (primal-dual and greedy algorithms only)
+  --metrics <PATH>      write a metrics snapshot after the run;
+                        .json/.jsonl selects JSONL, else Prometheus text
+  --timeline-csv <PATH> write the per-slot timeline as CSV
+  --quiet, -q           suppress stderr notes
 
 FAILURES OPTIONS (all SIMULATE OPTIONS, plus):
   --mttf <F>            cloudlet mean time to failure, slots [50]
@@ -190,6 +225,13 @@ FAILURES OPTIONS (all SIMULATE OPTIONS, plus):
   --kill-rate <F>       per-slot single-instance kill probability [0.05]
   --policy <P>          none|onsite|offsite|matching [matching]
   --failure-seed <U64>  seed of the outage trace [1000]
+  --sla-csv <PATH>      write the per-request SLA ledger as CSV
+                        (--trace also records outage/kill/breach/recovery
+                        events here)
+
+EXPLAIN OPTIONS:
+  --trace <PATH>        the JSONL trace to replay (required)
+  --quiet, -q           suppress stderr notes
 
 TOPO OPTIONS:
   --topology <T>        as above [abilene]
@@ -210,6 +252,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "simulate" => parse_simulate(rest),
         "failures" => parse_failures(rest),
+        "explain" => parse_explain(rest),
         "topo" => parse_topo(rest),
         other => Err(ParseError(format!(
             "unknown command `{other}` (try `vnfrel help`)"
@@ -264,6 +307,10 @@ fn apply_sim_flag(
             out.failure_trials = parse_num(&value("--failure-trials")?, "--failure-trials")?
         }
         "--threads" => out.threads = parse_num(&value("--threads")?, "--threads")?,
+        "--trace" => out.trace = Some(value("--trace")?),
+        "--metrics" => out.metrics = Some(value("--metrics")?),
+        "--timeline-csv" => out.timeline_csv = Some(value("--timeline-csv")?),
+        "--quiet" | "-q" => out.quiet = true,
         _ => return Ok(false),
     }
     Ok(true)
@@ -313,6 +360,7 @@ fn parse_failures(rest: &[String]) -> Result<Command, ParseError> {
             "--failure-seed" => {
                 out.failure_seed = parse_num(&value("--failure-seed")?, "--failure-seed")?
             }
+            "--sla-csv" => out.sla_csv = Some(value("--sla-csv")?),
             _ => {
                 if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
                     return Err(ParseError(format!("unknown option `{flag}`")));
@@ -322,6 +370,34 @@ fn parse_failures(rest: &[String]) -> Result<Command, ParseError> {
     }
     check_sim(&out.sim)?;
     Ok(Command::Failures(out))
+}
+
+fn parse_explain(rest: &[String]) -> Result<Command, ParseError> {
+    let mut request: Option<usize> = None;
+    let mut trace: Option<String> = None;
+    let mut quiet = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--trace expects a value".into()))?;
+                trace = Some(v.clone());
+            }
+            "--quiet" | "-q" => quiet = true,
+            s if !s.starts_with('-') && request.is_none() => {
+                request = Some(parse_num(s, "request id")?);
+            }
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(Command::Explain {
+        request: request
+            .ok_or_else(|| ParseError("explain needs a request id (vnfrel explain <ID>)".into()))?,
+        trace: trace.ok_or_else(|| ParseError("explain needs --trace <PATH>".into()))?,
+        quiet,
+    })
 }
 
 fn parse_topo(rest: &[String]) -> Result<Command, ParseError> {
@@ -569,6 +645,61 @@ mod tests {
             "density"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn observability_flags() {
+        let Command::Simulate(a) = parse(&sv(&[
+            "simulate",
+            "--trace",
+            "out/trace.jsonl",
+            "--metrics",
+            "out/metrics.prom",
+            "--timeline-csv",
+            "out/timeline.csv",
+            "-q",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.trace.as_deref(), Some("out/trace.jsonl"));
+        assert_eq!(a.metrics.as_deref(), Some("out/metrics.prom"));
+        assert_eq!(a.timeline_csv.as_deref(), Some("out/timeline.csv"));
+        assert!(a.quiet);
+
+        let Command::Failures(a) = parse(&sv(&[
+            "failures",
+            "--sla-csv",
+            "sla.csv",
+            "--trace",
+            "t.jsonl",
+            "--quiet",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.sla_csv.as_deref(), Some("sla.csv"));
+        assert_eq!(a.sim.trace.as_deref(), Some("t.jsonl"));
+        assert!(a.sim.quiet);
+    }
+
+    #[test]
+    fn explain_parsing() {
+        let Command::Explain {
+            request,
+            trace,
+            quiet,
+        } = parse(&sv(&["explain", "17", "--trace", "run.jsonl", "-q"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(request, 17);
+        assert_eq!(trace, "run.jsonl");
+        assert!(quiet);
+        // Both the id and the trace path are mandatory.
+        assert!(parse(&sv(&["explain", "--trace", "run.jsonl"])).is_err());
+        assert!(parse(&sv(&["explain", "17"])).is_err());
+        assert!(parse(&sv(&["explain", "17", "--bogus"])).is_err());
     }
 
     #[test]

@@ -16,13 +16,29 @@ fn main() -> ExitCode {
         }
     };
     let mut stdout = std::io::stdout();
+    let mut stderr = std::io::stderr();
     let result = match &command {
         args::Command::Help => {
             print!("{}", args::USAGE);
             Ok(())
         }
-        args::Command::Simulate(sim_args) => runner::simulate(sim_args, &mut stdout),
-        args::Command::Failures(failures_args) => runner::failures(failures_args, &mut stdout),
+        args::Command::Simulate(sim_args) => runner::simulate(
+            sim_args,
+            &mut runner::Output::new(&mut stdout, &mut stderr, sim_args.quiet),
+        ),
+        args::Command::Failures(failures_args) => runner::failures(
+            failures_args,
+            &mut runner::Output::new(&mut stdout, &mut stderr, failures_args.sim.quiet),
+        ),
+        args::Command::Explain {
+            request,
+            trace,
+            quiet,
+        } => runner::explain(
+            *request,
+            trace,
+            &mut runner::Output::new(&mut stdout, &mut stderr, *quiet),
+        ),
         args::Command::Topo {
             topology,
             dot,

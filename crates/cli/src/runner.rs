@@ -1,6 +1,18 @@
 //! Executes parsed commands.
 
-use mec_sim::{failure, FailureConfig, FailureProcess, RecoveryPolicy, Simulation};
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::rc::Rc;
+
+use mec_obs::{
+    DecisionMetricIds, JsonlSink, MetricsRegistry, MetricsSink, NoopSink, Outcome, TraceEvent,
+    TraceSink,
+};
+use mec_sim::{
+    export, failure, EngineMetricIds, EngineMetrics, FailureConfig, FailureProcess,
+    InjectionMetricIds, IntraSlotOrder, RecoveryPolicy, Simulation,
+};
 use mec_topology::generators::{self, CloudletPlacement};
 use mec_topology::stats::{to_dot, NetworkStats};
 use mec_topology::{zoo, Network};
@@ -13,6 +25,112 @@ use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
 use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
 
 use crate::args::{AlgorithmChoice, FailuresArgs, SimulateArgs, TopologyChoice};
+
+/// Split output channels: result tables go to `out` (stdout), progress
+/// and provenance notes go to `err` (stderr) so tables stay pipeable.
+/// `quiet` suppresses the notes entirely.
+pub struct Output<'w> {
+    out: &'w mut dyn Write,
+    err: &'w mut dyn Write,
+    quiet: bool,
+}
+
+impl<'w> Output<'w> {
+    /// Bundles the two streams.
+    pub fn new(out: &'w mut dyn Write, err: &'w mut dyn Write, quiet: bool) -> Self {
+        Output { out, err, quiet }
+    }
+
+    /// Writes one line of result output (stdout).
+    fn table(&mut self, s: impl std::fmt::Display) -> Result<(), String> {
+        writeln!(self.out, "{s}").map_err(|e| e.to_string())
+    }
+
+    /// Writes one line of progress/provenance output (stderr), unless
+    /// `--quiet`.
+    fn note(&mut self, s: impl std::fmt::Display) -> Result<(), String> {
+        if self.quiet {
+            return Ok(());
+        }
+        writeln!(self.err, "{s}").map_err(|e| e.to_string())
+    }
+}
+
+/// The sink the CLI hands to schedulers and the fault-aware engine:
+/// folds decision events into a metrics registry (when `--metrics`) and
+/// streams every event as JSONL (when `--trace`). Both parts optional,
+/// and the sink is only constructed when at least one flag is present —
+/// flag-less runs keep the compile-away [`NoopSink`] path.
+struct CliTraceSink<'r> {
+    metrics: Option<MetricsSink<'r, NoopSink>>,
+    jsonl: Option<JsonlSink<BufWriter<File>>>,
+}
+
+impl TraceSink for CliTraceSink<'_> {
+    fn record(&mut self, event: TraceEvent) {
+        match (&mut self.metrics, &mut self.jsonl) {
+            (Some(m), Some(j)) => {
+                m.record(event.clone());
+                j.record(event);
+            }
+            (Some(m), None) => m.record(event),
+            (None, Some(j)) => j.record(event),
+            (None, None) => {}
+        }
+    }
+}
+
+type SharedSink<'r> = Rc<RefCell<CliTraceSink<'r>>>;
+
+fn open_trace(path: &str) -> Result<JsonlSink<BufWriter<File>>, String> {
+    let file = File::create(path).map_err(|e| format!("failed to create trace {path}: {e}"))?;
+    Ok(JsonlSink::new(BufWriter::new(file)))
+}
+
+/// Unwraps the shared sink after a run, flushes the JSONL stream, and
+/// surfaces any IO error with the target path.
+fn finish_trace(
+    sink: SharedSink<'_>,
+    path: Option<&str>,
+    io: &mut Output<'_>,
+) -> Result<(), String> {
+    let sink = Rc::try_unwrap(sink)
+        .map_err(|_| "internal error: trace sink still shared after the run".to_string())?
+        .into_inner();
+    if let Some(jsonl) = sink.jsonl {
+        let path = path.unwrap_or("<trace>");
+        let written = jsonl.written();
+        jsonl
+            .finish()
+            .map_err(|e| format!("failed to write trace {path}: {e}"))?;
+        io.note(format!("trace: {written} events -> {path}"))?;
+    }
+    Ok(())
+}
+
+/// Creates `path` and streams a CSV table into it, reporting any mid-table
+/// write failure (rather than leaving a silently truncated file behind).
+fn write_csv_file(
+    path: &str,
+    render: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    render(&mut w)
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("failed to write {path}: {e}"))
+}
+
+/// Writes a metrics snapshot; `.json`/`.jsonl` extensions select the
+/// JSONL format, anything else the Prometheus text exposition format.
+fn write_metrics_snapshot(registry: &MetricsRegistry, path: &str) -> Result<(), String> {
+    let body = if path.ends_with(".json") || path.ends_with(".jsonl") {
+        registry.to_jsonl()
+    } else {
+        registry.to_prometheus()
+    };
+    std::fs::write(path, body).map_err(|e| format!("failed to write metrics {path}: {e}"))
+}
 
 /// Builds a network from a topology choice.
 ///
@@ -97,20 +215,81 @@ fn make_scheduler<'a>(
     })
 }
 
-/// Runs the `simulate` command, writing human-readable output to `out`.
+/// Like [`make_scheduler`], but wires the shared CLI sink into the
+/// scheduler so every `decide()` emits one decision event. Only the four
+/// instrumented schedulers (primal-dual and greedy, each scheme) support
+/// this.
+fn make_traced_scheduler<'a>(
+    instance: &'a ProblemInstance,
+    args: &SimulateArgs,
+    sink: SharedSink<'a>,
+) -> Result<Box<dyn OnlineScheduler + 'a>, String> {
+    Ok(match (args.scheme, args.algorithm) {
+        (Scheme::OnSite, AlgorithmChoice::PrimalDual) => Box::new(
+            OnsitePrimalDual::with_sink(instance, CapacityPolicy::Enforce, sink)
+                .map_err(|e| e.to_string())?,
+        ),
+        (Scheme::OnSite, AlgorithmChoice::Greedy) => {
+            Box::new(OnsiteGreedy::with_sink(instance, sink))
+        }
+        (Scheme::OffSite, AlgorithmChoice::PrimalDual) => {
+            Box::new(OffsitePrimalDual::with_sink(instance, sink))
+        }
+        (Scheme::OffSite, AlgorithmChoice::Greedy) => {
+            Box::new(OffsiteGreedy::with_sink(instance, sink))
+        }
+        (_, AlgorithmChoice::Random | AlgorithmChoice::Density) => {
+            return Err(
+                "--trace/--metrics support the primal-dual and greedy algorithms only".into(),
+            )
+        }
+    })
+}
+
+/// Runs the `simulate` command.
 ///
 /// # Errors
 ///
-/// Returns a printable message on invalid configurations.
-pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<(), String> {
+/// Returns a printable message on invalid configurations or failed
+/// exports (always naming the target path).
+pub fn simulate(args: &SimulateArgs, io: &mut Output<'_>) -> Result<(), String> {
     let (instance, requests, _rng) = build_setup(args)?;
     let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
-    let mut scheduler = make_scheduler(&instance, args)?;
-    let report = sim.run(scheduler.as_mut()).map_err(|e| e.to_string())?;
-    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
-    w(format!("{}", instance))?;
-    w(format!("{}", report.metrics))?;
-    w(format!(
+
+    let want_metrics = args.metrics.is_some();
+    let mut registry = MetricsRegistry::new();
+    let decision_ids = want_metrics.then(|| DecisionMetricIds::register(&mut registry));
+    let engine_ids =
+        want_metrics.then(|| EngineMetricIds::register(&mut registry, instance.cloudlet_count()));
+    let inject_ids = (want_metrics && args.failure_trials > 0)
+        .then(|| InjectionMetricIds::register(&mut registry));
+    let registry = &registry;
+    let engine_metrics = engine_ids.map(|ids| EngineMetrics::new(registry, ids));
+
+    let report = if args.trace.is_some() || want_metrics {
+        let sink = Rc::new(RefCell::new(CliTraceSink {
+            metrics: decision_ids.map(|ids| MetricsSink::new(registry, ids)),
+            jsonl: args.trace.as_deref().map(open_trace).transpose()?,
+        }));
+        let mut scheduler = make_traced_scheduler(&instance, args, Rc::clone(&sink))?;
+        let report = sim
+            .run_ordered_metered(
+                scheduler.as_mut(),
+                IntraSlotOrder::Arrival,
+                engine_metrics.as_ref(),
+            )
+            .map_err(|e| e.to_string())?;
+        drop(scheduler);
+        finish_trace(sink, args.trace.as_deref(), io)?;
+        report
+    } else {
+        let mut scheduler = make_scheduler(&instance, args)?;
+        sim.run(scheduler.as_mut()).map_err(|e| e.to_string())?
+    };
+
+    io.note(format!("{instance}"))?;
+    io.table(&report.metrics)?;
+    io.table(format!(
         "feasible: {} ({} reliability / {} capacity violations)",
         report.validation.is_feasible(),
         report.validation.reliability_violations(),
@@ -120,33 +299,57 @@ pub fn simulate(args: &SimulateArgs, out: &mut impl std::io::Write) -> Result<()
     if args.failure_trials > 0 {
         // Trials are chunk-seeded from the workload seed, so the report
         // is identical for any --threads value.
-        let fr = failure::inject_failures_parallel(
-            &instance,
-            &requests,
-            &report.schedule,
-            args.failure_trials,
-            args.seed,
-            args.threads,
-        )
+        let fr = match inject_ids {
+            Some(ids) => failure::inject_failures_parallel_metered(
+                &instance,
+                &requests,
+                &report.schedule,
+                args.failure_trials,
+                args.seed,
+                args.threads,
+                (registry, ids),
+            ),
+            None => failure::inject_failures_parallel(
+                &instance,
+                &requests,
+                &report.schedule,
+                args.failure_trials,
+                args.seed,
+                args.threads,
+            ),
+        }
         .map_err(|e| e.to_string())?;
-        w(format!(
+        io.table(format!(
             "failure injection: {} trials, worst margin {:+.4}, statistical violations {}",
             fr.trials,
             fr.worst_margin().unwrap_or(f64::NAN),
             fr.statistical_violations(3.0).len()
         ))?;
     }
+
+    if let Some(path) = &args.timeline_csv {
+        write_csv_file(path, |w| export::write_timeline_csv(w, &report))?;
+        io.note(format!("timeline CSV -> {path}"))?;
+    }
+    if let Some(path) = &args.metrics {
+        write_metrics_snapshot(registry, path)?;
+        io.note(format!("metrics snapshot -> {path}"))?;
+    }
     Ok(())
 }
 
 /// Runs the `failures` command: a fault-aware simulation under a seeded
 /// outage trace, with SLA accounting and (unless the policy already is
-/// `none`) a same-trace no-recovery baseline for comparison.
+/// `none`) a same-trace no-recovery baseline for comparison. With
+/// `--trace`, fault-lifecycle events (outages, kills, breaches,
+/// recoveries) are interleaved with the scheduler's decision events in
+/// one stream.
 ///
 /// # Errors
 ///
-/// Returns a printable message on invalid configurations.
-pub fn failures(args: &FailuresArgs, out: &mut impl std::io::Write) -> Result<(), String> {
+/// Returns a printable message on invalid configurations or failed
+/// exports (always naming the target path).
+pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> {
     let (instance, requests, _) = build_setup(&args.sim)?;
     let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
     let config = FailureConfig {
@@ -162,15 +365,35 @@ pub fn failures(args: &FailuresArgs, out: &mut impl std::io::Write) -> Result<()
     )
     .map_err(|e| e.to_string())?;
 
-    let mut scheduler = make_scheduler(&instance, &args.sim)?;
-    let report = sim
-        .run_with_failures(scheduler.as_mut(), &trace, args.policy)
-        .map_err(|e| e.to_string())?;
+    let want_metrics = args.sim.metrics.is_some();
+    let mut registry = MetricsRegistry::new();
+    let decision_ids = want_metrics.then(|| DecisionMetricIds::register(&mut registry));
+    let registry = &registry;
 
-    let mut w = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
-    w(format!("{}", instance))?;
-    w(format!("{}", report.metrics))?;
-    w(format!(
+    let report = if args.sim.trace.is_some() || want_metrics {
+        let sink = Rc::new(RefCell::new(CliTraceSink {
+            metrics: decision_ids.map(|ids| MetricsSink::new(registry, ids)),
+            jsonl: args.sim.trace.as_deref().map(open_trace).transpose()?,
+        }));
+        let mut scheduler = make_traced_scheduler(&instance, &args.sim, Rc::clone(&sink))?;
+        // The engine appends fault-lifecycle events through its own
+        // handle to the same stream.
+        let mut engine_sink = Rc::clone(&sink);
+        let report = sim
+            .run_with_failures_traced(scheduler.as_mut(), &trace, args.policy, &mut engine_sink)
+            .map_err(|e| e.to_string())?;
+        drop(scheduler);
+        drop(engine_sink);
+        finish_trace(sink, args.sim.trace.as_deref(), io)?;
+        report
+    } else {
+        let mut scheduler = make_scheduler(&instance, &args.sim)?;
+        sim.run_with_failures(scheduler.as_mut(), &trace, args.policy)
+            .map_err(|e| e.to_string())?
+    };
+
+    io.note(format!("{instance}"))?;
+    io.note(format!(
         "failure process: mttf {} mttr {} kill-rate {} seed {} -> {} events",
         args.mttf,
         args.mttr,
@@ -178,11 +401,12 @@ pub fn failures(args: &FailuresArgs, out: &mut impl std::io::Write) -> Result<()
         args.failure_seed,
         trace.total_events()
     ))?;
-    w(format!("policy {}: {}", report.policy, report.sla))?;
+    io.table(&report.metrics)?;
+    io.table(format!("policy {}: {}", report.policy, report.sla))?;
     if let Some(latency) = report.sla.mean_repair_latency() {
-        w(format!("mean repair latency: {latency:.2} slots"))?;
+        io.table(format!("mean repair latency: {latency:.2} slots"))?;
     }
-    w(format!(
+    io.table(format!(
         "unrecovered requests: {}",
         report.sla.unrecovered_requests()
     ))?;
@@ -192,11 +416,175 @@ pub fn failures(args: &FailuresArgs, out: &mut impl std::io::Write) -> Result<()
         let base = sim
             .run_with_failures(baseline.as_mut(), &trace, RecoveryPolicy::None)
             .map_err(|e| e.to_string())?;
-        w(format!("baseline {}: {}", base.policy, base.sla))?;
-        w(format!(
+        io.table(format!("baseline {}: {}", base.policy, base.sla))?;
+        io.table(format!(
             "violated request-slots: {} -> {}",
             base.sla.violated_request_slots(),
             report.sla.violated_request_slots()
+        ))?;
+    }
+
+    if let Some(path) = &args.sim.timeline_csv {
+        write_csv_file(path, |w| export::write_fault_timeline_csv(w, &report))?;
+        io.note(format!("timeline CSV -> {path}"))?;
+    }
+    if let Some(path) = &args.sla_csv {
+        write_csv_file(path, |w| export::write_sla_csv(w, &report))?;
+        io.note(format!("SLA CSV -> {path}"))?;
+    }
+    if let Some(path) = &args.sim.metrics {
+        write_metrics_snapshot(registry, path)?;
+        io.note(format!("metrics snapshot -> {path}"))?;
+    }
+    Ok(())
+}
+
+/// Runs the `explain` command: replays a recorded JSONL trace and prints
+/// every event concerning one request, re-deriving the dual-cost
+/// arithmetic of its decision as a consistency check.
+///
+/// The checks: an admission's total dual cost must equal the sum of its
+/// per-site dual costs, and wherever both a dual cost and a margin were
+/// recorded the identity `margin = payment − dual cost` must hold (the
+/// off-site primal-dual's admission margin is its δ_i bookkeeping value,
+/// which follows a different formula and is skipped).
+///
+/// # Errors
+///
+/// Returns a printable message when the trace cannot be read or parsed,
+/// the request does not appear in it, or the arithmetic does not check
+/// out.
+pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<(), String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("failed to read trace {trace_path}: {e}"))?;
+    let events = mec_obs::parse_trace(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+    io.note(format!("trace {trace_path}: {} events", events.len()))?;
+
+    let mine: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.request() == Some(request))
+        .collect();
+    if mine.is_empty() {
+        return Err(format!(
+            "request {request} does not appear in {trace_path} ({} events scanned)",
+            events.len()
+        ));
+    }
+
+    let mut mismatches = 0usize;
+    for event in mine {
+        match event {
+            TraceEvent::Decision(d) => {
+                io.table(format!(
+                    "slot {}: {} ({} scheme) decided on request {} (payment {})",
+                    d.slot, d.algorithm, d.scheme, d.request, d.payment
+                ))?;
+                match &d.outcome {
+                    Outcome::Admit {
+                        dual_cost,
+                        margin,
+                        sites,
+                    } => {
+                        io.table(format!(
+                            "  ADMITTED: dual cost {dual_cost}, margin {margin}"
+                        ))?;
+                        for s in sites {
+                            io.table(format!(
+                                "    cloudlet {}: {} instance(s), dual cost {}",
+                                s.cloudlet, s.instances, s.dual_cost
+                            ))?;
+                        }
+                        let site_sum: f64 = sites.iter().map(|s| s.dual_cost).sum();
+                        if approx(site_sum, *dual_cost) {
+                            io.table(format!(
+                                "  check: site dual costs sum to {site_sum} = recorded total [ok]"
+                            ))?;
+                        } else {
+                            mismatches += 1;
+                            io.table(format!(
+                                "  check: site dual costs sum to {site_sum} but total is \
+                                 {dual_cost} [MISMATCH]"
+                            ))?;
+                        }
+                        // Algorithm 2's margin is δ_i (Eq. 66 bookkeeping),
+                        // not payment − cost; skip the identity there.
+                        if d.algorithm != "alg2-primal-dual" {
+                            check_margin(io, d.payment, *dual_cost, *margin, &mut mismatches)?;
+                        }
+                    }
+                    Outcome::Reject {
+                        reason,
+                        dual_cost,
+                        margin,
+                    } => {
+                        io.table(format!("  REJECTED: {}", reason.as_str()))?;
+                        if let Some(c) = dual_cost {
+                            io.table(format!("    cheapest dual cost seen: {c}"))?;
+                        }
+                        if let Some(m) = margin {
+                            io.table(format!("    payment margin: {m}"))?;
+                        }
+                        if let (Some(c), Some(m)) = (dual_cost, margin) {
+                            check_margin(io, d.payment, *c, *m, &mut mismatches)?;
+                        }
+                    }
+                }
+            }
+            TraceEvent::InstanceKill { slot, cloudlet, .. } => {
+                io.table(format!(
+                    "slot {slot}: one instance killed on cloudlet {cloudlet}"
+                ))?;
+            }
+            TraceEvent::SlaBreach { slot, .. } => {
+                io.table(format!(
+                    "slot {slot}: surviving placement fell below the requirement (SLA breach)"
+                ))?;
+            }
+            TraceEvent::Recovery {
+                slot,
+                success,
+                cloudlets,
+                ..
+            } => {
+                if *success {
+                    io.table(format!(
+                        "slot {slot}: recovered onto cloudlet(s) {cloudlets:?}"
+                    ))?;
+                } else {
+                    io.table(format!("slot {slot}: recovery attempt failed"))?;
+                }
+            }
+            TraceEvent::OutageStart { .. } | TraceEvent::OutageEnd { .. } => {}
+        }
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} dual-cost arithmetic mismatch(es) in {trace_path}"
+        ));
+    }
+    Ok(())
+}
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn check_margin(
+    io: &mut Output<'_>,
+    payment: f64,
+    dual_cost: f64,
+    margin: f64,
+    mismatches: &mut usize,
+) -> Result<(), String> {
+    let derived = payment - dual_cost;
+    if approx(derived, margin) {
+        io.table(format!(
+            "  check: payment − dual cost = {derived} = recorded margin [ok]"
+        ))?;
+    } else {
+        *mismatches += 1;
+        io.table(format!(
+            "  check: payment − dual cost = {derived} but recorded margin is {margin} [MISMATCH]"
         ))?;
     }
     Ok(())
@@ -229,6 +617,35 @@ mod tests {
     use super::*;
     use crate::args::SimulateArgs;
 
+    /// Runs `simulate`, returning (stdout, stderr).
+    fn run_simulate(args: &SimulateArgs) -> Result<(String, String), String> {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        simulate(args, &mut Output::new(&mut out, &mut err, args.quiet))?;
+        Ok((
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        ))
+    }
+
+    fn run_failures(args: &FailuresArgs) -> Result<(String, String), String> {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        failures(args, &mut Output::new(&mut out, &mut err, args.sim.quiet))?;
+        Ok((
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        ))
+    }
+
+    fn temp_path(tag: &str) -> String {
+        let dir = std::env::temp_dir().join("vnfrel-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{tag}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
     #[test]
     fn simulate_runs_every_algorithm() {
         for (scheme, algo) in [
@@ -247,13 +664,136 @@ mod tests {
                 failure_trials: 200,
                 ..SimulateArgs::default()
             };
-            let mut buf = Vec::new();
-            simulate(&args, &mut buf).unwrap_or_else(|e| panic!("{scheme} {algo:?}: {e}"));
-            let text = String::from_utf8(buf).unwrap();
-            assert!(text.contains("revenue"), "{text}");
-            assert!(text.contains("feasible: true"), "{text}");
-            assert!(text.contains("failure injection"), "{text}");
+            let (out, err) =
+                run_simulate(&args).unwrap_or_else(|e| panic!("{scheme} {algo:?}: {e}"));
+            assert!(out.contains("revenue"), "{out}");
+            assert!(out.contains("feasible: true"), "{out}");
+            assert!(out.contains("failure injection"), "{out}");
+            // The instance banner is provenance, not a result table.
+            assert!(err.contains("cloudlets"), "{err}");
+            assert!(!out.contains("cloudlets,"), "{out}");
         }
+    }
+
+    #[test]
+    fn quiet_suppresses_stderr_notes() {
+        let args = SimulateArgs {
+            requests: 20,
+            quiet: true,
+            ..SimulateArgs::default()
+        };
+        let (out, err) = run_simulate(&args).unwrap();
+        assert!(out.contains("revenue"));
+        assert!(err.is_empty(), "{err}");
+    }
+
+    #[test]
+    fn simulate_with_trace_and_metrics_exports_both() {
+        let trace_path = temp_path("sim-trace.jsonl");
+        let metrics_path = temp_path("sim-metrics.prom");
+        let args = SimulateArgs {
+            requests: 50,
+            trace: Some(trace_path.clone()),
+            metrics: Some(metrics_path.clone()),
+            ..SimulateArgs::default()
+        };
+        let (out, err) = run_simulate(&args).unwrap();
+        assert!(out.contains("revenue"));
+        assert!(err.contains("trace: "), "{err}");
+
+        // Exactly one decision event per request, and the admit/reject
+        // split matches the printed metrics.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let events = mec_obs::parse_trace(&text).unwrap();
+        assert_eq!(events.len(), 50);
+        let admits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Decision(d) if d.outcome.is_admit()))
+            .count();
+        let prom = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(
+            prom.contains(&format!("vnfrel_admissions_total {admits}")),
+            "{prom}"
+        );
+        assert!(
+            prom.contains(&format!("vnfrel_rejections_total {}", 50 - admits)),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("vnfrel_decide_latency_seconds_count 50"),
+            "{prom}"
+        );
+
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&metrics_path).ok();
+    }
+
+    #[test]
+    fn explain_replays_a_recorded_trace() {
+        let trace_path = temp_path("explain-trace.jsonl");
+        let args = SimulateArgs {
+            requests: 30,
+            trace: Some(trace_path.clone()),
+            ..SimulateArgs::default()
+        };
+        run_simulate(&args).unwrap();
+
+        // Every recorded request must explain cleanly (arithmetic checks
+        // included — explain() errors on any mismatch).
+        for id in [0usize, 7, 29] {
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            explain(id, &trace_path, &mut Output::new(&mut out, &mut err, false))
+                .unwrap_or_else(|e| panic!("request {id}: {e}"));
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains(&format!("request {id} ")), "{text}");
+            assert!(
+                text.contains("ADMITTED") || text.contains("REJECTED"),
+                "{text}"
+            );
+        }
+        // Unknown ids are an error, not silence.
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let missing = explain(
+            10_000,
+            &trace_path,
+            &mut Output::new(&mut out, &mut err, false),
+        );
+        assert!(missing.is_err());
+
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn export_errors_name_the_target_path() {
+        let bad = "/nonexistent-dir-for-vnfrel-test/trace.jsonl";
+        let args = SimulateArgs {
+            requests: 5,
+            trace: Some(bad.into()),
+            ..SimulateArgs::default()
+        };
+        let e = run_simulate(&args).unwrap_err();
+        assert!(e.contains(bad), "{e}");
+
+        let args = SimulateArgs {
+            requests: 5,
+            timeline_csv: Some("/nonexistent-dir-for-vnfrel-test/t.csv".into()),
+            ..SimulateArgs::default()
+        };
+        let e = run_simulate(&args).unwrap_err();
+        assert!(e.contains("/nonexistent-dir-for-vnfrel-test/t.csv"), "{e}");
+    }
+
+    #[test]
+    fn trace_and_metrics_reject_uninstrumented_algorithms() {
+        let args = SimulateArgs {
+            algorithm: AlgorithmChoice::Random,
+            trace: Some(temp_path("never-written.jsonl")),
+            ..SimulateArgs::default()
+        };
+        let e = run_simulate(&args).unwrap_err();
+        assert!(e.contains("primal-dual and greedy"), "{e}");
     }
 
     #[test]
@@ -274,19 +814,58 @@ mod tests {
                 kill_rate: 0.05,
                 policy,
                 failure_seed: 5,
+                sla_csv: None,
             };
-            let mut buf = Vec::new();
-            failures(&args, &mut buf).unwrap_or_else(|e| panic!("{policy}: {e}"));
-            let text = String::from_utf8(buf).unwrap();
-            assert!(text.contains("failure process"), "{text}");
-            assert!(text.contains(&format!("policy {policy}")), "{text}");
+            let (out, err) = run_failures(&args).unwrap_or_else(|e| panic!("{policy}: {e}"));
+            assert!(err.contains("failure process"), "{err}");
+            assert!(out.contains(&format!("policy {policy}")), "{out}");
             if policy == RecoveryPolicy::None {
-                assert!(!text.contains("baseline"), "{text}");
+                assert!(!out.contains("baseline"), "{out}");
             } else {
-                assert!(text.contains("baseline none"), "{text}");
-                assert!(text.contains("violated request-slots"), "{text}");
+                assert!(out.contains("baseline none"), "{out}");
+                assert!(out.contains("violated request-slots"), "{out}");
             }
         }
+    }
+
+    #[test]
+    fn failures_trace_interleaves_faults_and_exports_csvs() {
+        let trace_path = temp_path("fault-trace.jsonl");
+        let timeline_path = temp_path("fault-timeline.csv");
+        let sla_path = temp_path("fault-sla.csv");
+        let args = FailuresArgs {
+            sim: SimulateArgs {
+                requests: 60,
+                trace: Some(trace_path.clone()),
+                timeline_csv: Some(timeline_path.clone()),
+                ..SimulateArgs::default()
+            },
+            mttf: 10.0,
+            mttr: 3.0,
+            kill_rate: 0.05,
+            policy: RecoveryPolicy::SchemeMatching,
+            failure_seed: 5,
+            sla_csv: Some(sla_path.clone()),
+        };
+        let (out, _err) = run_failures(&args).unwrap();
+        assert!(out.contains("policy scheme-matching"), "{out}");
+
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let events = mec_obs::parse_trace(&text).unwrap();
+        // One decision per request plus at least one fault event (the
+        // aggressive mttf guarantees outages in 16 slots).
+        let decisions = events.iter().filter(|e| e.kind() == "decision").count();
+        assert_eq!(decisions, 60);
+        assert!(events.len() > 60, "no fault events in {}", events.len());
+
+        let timeline = std::fs::read_to_string(&timeline_path).unwrap();
+        assert!(timeline.starts_with("slot,arrivals,admitted,active,events"));
+        let sla = std::fs::read_to_string(&sla_path).unwrap();
+        assert!(sla.starts_with("request,payment,duration"));
+
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&timeline_path).ok();
+        std::fs::remove_file(&sla_path).ok();
     }
 
     #[test]
@@ -297,7 +876,7 @@ mod tests {
             algorithm: AlgorithmChoice::Density,
             ..SimulateArgs::default()
         };
-        assert!(simulate(&args, &mut Vec::new()).is_err());
+        assert!(run_simulate(&args).is_err());
     }
 
     #[test]

@@ -1,3 +1,6 @@
+use mec_obs::{
+    DecisionEvent, NoopSink, Outcome, RejectReason, SitePlacement, TraceEvent, TraceSink,
+};
 use mec_topology::CloudletId;
 use mec_workload::Request;
 
@@ -16,7 +19,7 @@ use crate::scheduler::OnlineScheduler;
 /// admit any incoming requests in spite of existing lots of failure-prone
 /// cloudlets" — the behaviour the Figure 2(b) sweep exposes.
 #[derive(Debug)]
-pub struct OffsiteGreedy<'a> {
+pub struct OffsiteGreedy<'a, S: TraceSink = NoopSink> {
     instance: &'a ProblemInstance,
     /// Cloudlet ids sorted by reliability, most reliable first.
     order: Vec<CloudletId>,
@@ -24,11 +27,25 @@ pub struct OffsiteGreedy<'a> {
     /// Scratch: cloudlets accumulated for the current request, so the
     /// (common) reject path never allocates.
     selected: Vec<CloudletId>,
+    /// Decision-event consumer; `NoopSink` (the default) compiles the
+    /// instrumentation away entirely.
+    sink: S,
 }
 
-impl<'a> OffsiteGreedy<'a> {
-    /// Creates the greedy scheduler.
+impl<'a> OffsiteGreedy<'a, NoopSink> {
+    /// Creates the greedy scheduler with tracing disabled.
     pub fn new(instance: &'a ProblemInstance) -> Self {
+        Self::with_sink(instance, NoopSink)
+    }
+}
+
+impl<'a, S: TraceSink> OffsiteGreedy<'a, S> {
+    /// Like [`OffsiteGreedy::new`] but records one
+    /// [`TraceEvent::Decision`] per `decide()` call into `sink`.
+    ///
+    /// Greedy ignores dual prices, so admission events carry a zero
+    /// `dual_cost` and the raw payment as `margin`.
+    pub fn with_sink(instance: &'a ProblemInstance, sink: S) -> Self {
         let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
         order.sort_by(|&a, &b| {
             let ra = instance
@@ -48,11 +65,31 @@ impl<'a> OffsiteGreedy<'a> {
             order,
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
             selected: Vec::new(),
+            sink,
         }
+    }
+
+    /// Consumes the scheduler, returning the trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Emits the one decision event for the current `decide()` call.
+    /// Callers must gate on `S::ENABLED` so the disabled build never
+    /// constructs the event.
+    fn emit(&mut self, request: &Request, outcome: Outcome) {
+        self.sink.record(TraceEvent::Decision(DecisionEvent {
+            request: request.id().index(),
+            algorithm: "greedy-offsite".to_string(),
+            scheme: "offsite".to_string(),
+            slot: request.arrival(),
+            payment: request.payment(),
+            outcome,
+        }));
     }
 }
 
-impl OnlineScheduler for OffsiteGreedy<'_> {
+impl<S: TraceSink> OnlineScheduler for OffsiteGreedy<'_, S> {
     fn name(&self) -> &'static str {
         "greedy-offsite"
     }
@@ -64,7 +101,19 @@ impl OnlineScheduler for OffsiteGreedy<'_> {
     fn decide(&mut self, request: &Request) -> Decision {
         let compute = match self.instance.catalog().get(request.vnf()) {
             Some(v) => v.compute() as f64,
-            None => return Decision::Reject,
+            None => {
+                if S::ENABLED {
+                    self.emit(
+                        request,
+                        Outcome::Reject {
+                            reason: RejectReason::UnknownVnf,
+                            dual_cost: None,
+                            margin: None,
+                        },
+                    );
+                }
+                return Decision::Reject;
+            }
         };
         let ln_target = request.reliability_requirement().failure().ln();
         let first = request.arrival();
@@ -83,10 +132,42 @@ impl OnlineScheduler for OffsiteGreedy<'_> {
             }
         }
         if ln_sum > ln_target + 1e-12 {
+            if S::ENABLED {
+                // All capacity holes look the same to greedy: whatever
+                // fit could not accumulate enough log-reliability.
+                self.emit(
+                    request,
+                    Outcome::Reject {
+                        reason: RejectReason::ReliabilityInfeasible,
+                        dual_cost: None,
+                        margin: None,
+                    },
+                );
+            }
             return Decision::Reject;
         }
         for &cid in &self.selected {
             self.ledger.charge_window(cid, first, last, compute);
+        }
+        if S::ENABLED {
+            let sites = self
+                .selected
+                .iter()
+                .map(|&cid| SitePlacement {
+                    cloudlet: cid.index(),
+                    instances: 1,
+                    dual_cost: 0.0,
+                })
+                .collect();
+            self.emit(
+                request,
+                Outcome::Admit {
+                    // Greedy is payment- and price-oblivious.
+                    dual_cost: 0.0,
+                    margin: request.payment(),
+                    sites,
+                },
+            );
         }
         Decision::Admit(Placement::OffSite {
             cloudlets: self.selected.clone(),

@@ -1,3 +1,6 @@
+use mec_obs::{
+    DecisionEvent, NoopSink, Outcome, RejectReason, SitePlacement, TraceEvent, TraceSink,
+};
 use mec_topology::CloudletId;
 use mec_workload::Request;
 
@@ -27,8 +30,11 @@ use crate::scheduler::OnlineScheduler;
 /// Unlike the on-site Algorithm 1, capacity is checked before selection,
 /// so this scheduler never violates capacity (Theorem 2).
 #[derive(Debug)]
-pub struct OffsitePrimalDual<'a> {
+pub struct OffsitePrimalDual<'a, S: TraceSink = NoopSink> {
     instance: &'a ProblemInstance,
+    /// Decision-event consumer; `NoopSink` (the default) compiles the
+    /// instrumentation away entirely.
+    sink: S,
     prices: DualPrices,
     ledger: CapacityLedger,
     /// Σ δ_i accumulated over all processed requests.
@@ -53,13 +59,23 @@ pub struct RejectionCounters {
     pub reliability_unreachable: usize,
 }
 
-impl<'a> OffsitePrimalDual<'a> {
-    /// Creates the scheduler with all dual prices at zero.
+impl<'a> OffsitePrimalDual<'a, NoopSink> {
+    /// Creates the scheduler with all dual prices at zero and tracing
+    /// disabled (the hooks compile to nothing).
     pub fn new(instance: &'a ProblemInstance) -> Self {
+        Self::with_sink(instance, NoopSink)
+    }
+}
+
+impl<'a, S: TraceSink> OffsitePrimalDual<'a, S> {
+    /// Like [`OffsitePrimalDual::new`] but records one
+    /// [`TraceEvent::Decision`] per `decide()` call into `sink`.
+    pub fn with_sink(instance: &'a ProblemInstance, sink: S) -> Self {
         let m = instance.cloudlet_count();
         let t = instance.horizon().len();
         OffsitePrimalDual {
             instance,
+            sink,
             prices: DualPrices::new(m, t),
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
             sum_delta: 0.0,
@@ -79,6 +95,26 @@ impl<'a> OffsitePrimalDual<'a> {
         self.rejections
     }
 
+    /// Consumes the scheduler, returning the trace sink (e.g. to read a
+    /// [`mec_obs::RingSink`] back out).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Emits the one decision event for the current `decide()` call.
+    /// Callers must gate on `S::ENABLED` so the disabled build never
+    /// constructs the event.
+    fn emit(&mut self, request: &Request, outcome: Outcome) {
+        self.sink.record(TraceEvent::Decision(DecisionEvent {
+            request: request.id().index(),
+            algorithm: "alg2-primal-dual".to_string(),
+            scheme: "offsite".to_string(),
+            slot: request.arrival(),
+            payment: request.payment(),
+            outcome,
+        }));
+    }
+
     /// The accumulated dual objective `Σ cap_j·λ_{tj} + Σ δ_i` where
     /// `δ_i = max(0, pay_i + ln(1 − R_i)·c(f_i)·min_j ratio_j)` (Eq. 66).
     ///
@@ -92,7 +128,7 @@ impl<'a> OffsitePrimalDual<'a> {
     }
 }
 
-impl OnlineScheduler for OffsitePrimalDual<'_> {
+impl<S: TraceSink> OnlineScheduler for OffsitePrimalDual<'_, S> {
     fn name(&self) -> &'static str {
         "alg2-primal-dual"
     }
@@ -104,7 +140,19 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
     fn decide(&mut self, request: &Request) -> Decision {
         let compute = match self.instance.catalog().get(request.vnf()) {
             Some(v) => v.compute() as f64,
-            None => return Decision::Reject,
+            None => {
+                if S::ENABLED {
+                    self.emit(
+                        request,
+                        Outcome::Reject {
+                            reason: RejectReason::UnknownVnf,
+                            dual_cost: None,
+                            margin: None,
+                        },
+                    );
+                }
+                return Decision::Reject;
+            }
         };
         let ln_target = request.reliability_requirement().failure().ln(); // < 0
         let first = request.arrival();
@@ -133,6 +181,25 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
         }
         if self.keys.is_empty() {
             self.rejections.payment_test += 1;
+            if S::ENABLED {
+                // The would-be dual cost of the cheapest site path is
+                // `−ln(1−R_i)·c(f_i)·min_ratio`; the payment test margin
+                // is `pay_i` minus exactly that.
+                let (dual_cost, margin) = if min_ratio.is_finite() {
+                    let cheapest = -ln_target * compute * min_ratio;
+                    (Some(cheapest), Some(request.payment() - cheapest))
+                } else {
+                    (None, None)
+                };
+                self.emit(
+                    request,
+                    Outcome::Reject {
+                        reason: RejectReason::PaymentTest,
+                        dual_cost,
+                        margin,
+                    },
+                );
+            }
             return Decision::Reject;
         }
 
@@ -165,7 +232,40 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
         }
         if ln_sum > ln_target + 1e-12 {
             self.rejections.reliability_unreachable += 1;
+            if S::ENABLED {
+                // Report the cost of the partial selection that still
+                // fell short of the log-reliability target.
+                let partial: f64 = self
+                    .selected
+                    .iter()
+                    .map(|&(j, _)| compute * self.prices.window_sum(j, first, last))
+                    .sum();
+                let dual_cost = (!self.selected.is_empty()).then_some(partial);
+                self.emit(
+                    request,
+                    Outcome::Reject {
+                        reason: RejectReason::ReliabilityInfeasible,
+                        dual_cost,
+                        margin: None,
+                    },
+                );
+            }
             return Decision::Reject;
+        }
+
+        // Capture per-site dual costs *before* the price update below
+        // mutates the very prices they derive from.
+        let mut traced_sites = Vec::new();
+        if S::ENABLED {
+            traced_sites = self
+                .selected
+                .iter()
+                .map(|&(j, _)| SitePlacement {
+                    cloudlet: j,
+                    instances: 1,
+                    dual_cost: compute * self.prices.window_sum(j, first, last),
+                })
+                .collect();
         }
 
         // Admit: one instance per selected cloudlet; charge capacity and
@@ -182,6 +282,19 @@ impl OnlineScheduler for OffsitePrimalDual<'_> {
             let factor = ln_target * compute / (ln_coef * cap);
             self.prices
                 .update_window(j, first, last, |l| l * (1.0 + factor) + factor * pay / d);
+        }
+        if S::ENABLED {
+            let dual_cost: f64 = traced_sites.iter().map(|s| s.dual_cost).sum();
+            // δ_i (Eq. 66): margin of the cheapest-site payment test.
+            let margin = pay + ln_target * compute * min_ratio;
+            self.emit(
+                request,
+                Outcome::Admit {
+                    dual_cost,
+                    margin,
+                    sites: traced_sites,
+                },
+            );
         }
         Decision::Admit(Placement::OffSite {
             cloudlets: self.selected.iter().map(|&(j, _)| CloudletId(j)).collect(),

@@ -1,3 +1,6 @@
+use mec_obs::{
+    DecisionEvent, NoopSink, Outcome, RejectReason, SitePlacement, TraceEvent, TraceSink,
+};
 use mec_topology::CloudletId;
 use mec_workload::Request;
 
@@ -16,16 +19,30 @@ use crate::scheduler::OnlineScheduler;
 /// window. Payments are ignored entirely — which is exactly why the
 /// baseline underperforms once resources become scarce.
 #[derive(Debug)]
-pub struct OnsiteGreedy<'a> {
+pub struct OnsiteGreedy<'a, S: TraceSink = NoopSink> {
     instance: &'a ProblemInstance,
     /// Cloudlet ids sorted by reliability, most reliable first.
     order: Vec<CloudletId>,
     ledger: CapacityLedger,
+    /// Decision-event consumer; `NoopSink` (the default) compiles the
+    /// instrumentation away entirely.
+    sink: S,
 }
 
-impl<'a> OnsiteGreedy<'a> {
-    /// Creates the greedy scheduler.
+impl<'a> OnsiteGreedy<'a, NoopSink> {
+    /// Creates the greedy scheduler with tracing disabled.
     pub fn new(instance: &'a ProblemInstance) -> Self {
+        Self::with_sink(instance, NoopSink)
+    }
+}
+
+impl<'a, S: TraceSink> OnsiteGreedy<'a, S> {
+    /// Like [`OnsiteGreedy::new`] but records one
+    /// [`TraceEvent::Decision`] per `decide()` call into `sink`.
+    ///
+    /// Greedy ignores dual prices, so admission events carry a zero
+    /// `dual_cost` and the raw payment as `margin`.
+    pub fn with_sink(instance: &'a ProblemInstance, sink: S) -> Self {
         let mut order: Vec<CloudletId> = instance.network().cloudlets().map(|c| c.id()).collect();
         order.sort_by(|&a, &b| {
             let ra = instance
@@ -44,11 +61,31 @@ impl<'a> OnsiteGreedy<'a> {
             instance,
             order,
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
+            sink,
         }
+    }
+
+    /// Consumes the scheduler, returning the trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Emits the one decision event for the current `decide()` call.
+    /// Callers must gate on `S::ENABLED` so the disabled build never
+    /// constructs the event.
+    fn emit(&mut self, request: &Request, outcome: Outcome) {
+        self.sink.record(TraceEvent::Decision(DecisionEvent {
+            request: request.id().index(),
+            algorithm: "greedy-onsite".to_string(),
+            scheme: "onsite".to_string(),
+            slot: request.arrival(),
+            payment: request.payment(),
+            outcome,
+        }));
     }
 }
 
-impl OnlineScheduler for OnsiteGreedy<'_> {
+impl<S: TraceSink> OnlineScheduler for OnsiteGreedy<'_, S> {
     fn name(&self) -> &'static str {
         "greedy-onsite"
     }
@@ -60,10 +97,24 @@ impl OnlineScheduler for OnsiteGreedy<'_> {
     fn decide(&mut self, request: &Request) -> Decision {
         let compute = match self.instance.catalog().get(request.vnf()) {
             Some(v) => v.compute() as f64,
-            None => return Decision::Reject,
+            None => {
+                if S::ENABLED {
+                    self.emit(
+                        request,
+                        Outcome::Reject {
+                            reason: RejectReason::UnknownVnf,
+                            dual_cost: None,
+                            margin: None,
+                        },
+                    );
+                }
+                return Decision::Reject;
+            }
         };
         let first = request.arrival();
         let last = first + request.duration() - 1;
+        let mut any_eligible = false;
+        let mut admitted: Option<(CloudletId, u32)> = None;
         for &cid in &self.order {
             let Some(n) = self.instance.onsite_instances_for(
                 request.vnf(),
@@ -74,16 +125,57 @@ impl OnlineScheduler for OnsiteGreedy<'_> {
                 // all later ones are as well.
                 break;
             };
+            any_eligible = true;
             let weight = f64::from(n) * compute;
             if self.ledger.fits_window(cid, first, last, weight) {
                 self.ledger.charge_window(cid, first, last, weight);
-                return Decision::Admit(Placement::OnSite {
-                    cloudlet: cid,
-                    instances: n,
-                });
+                admitted = Some((cid, n));
+                break;
             }
         }
-        Decision::Reject
+        match admitted {
+            Some((cid, n)) => {
+                if S::ENABLED {
+                    self.emit(
+                        request,
+                        Outcome::Admit {
+                            // Greedy is payment- and price-oblivious.
+                            dual_cost: 0.0,
+                            margin: request.payment(),
+                            sites: vec![SitePlacement {
+                                cloudlet: cid.index(),
+                                instances: n,
+                                dual_cost: 0.0,
+                            }],
+                        },
+                    );
+                }
+                Decision::Admit(Placement::OnSite {
+                    cloudlet: cid,
+                    instances: n,
+                })
+            }
+            None => {
+                if S::ENABLED {
+                    let reason = if any_eligible {
+                        // Reliable-enough cloudlets existed but none had
+                        // residual capacity for the whole window.
+                        RejectReason::CapacityGate
+                    } else {
+                        RejectReason::ReliabilityInfeasible
+                    };
+                    self.emit(
+                        request,
+                        Outcome::Reject {
+                            reason,
+                            dual_cost: None,
+                            margin: None,
+                        },
+                    );
+                }
+                Decision::Reject
+            }
+        }
     }
 
     fn ledger(&self) -> &CapacityLedger {

@@ -1,3 +1,6 @@
+use mec_obs::{
+    DecisionEvent, NoopSink, Outcome, RejectReason, SitePlacement, TraceEvent, TraceSink,
+};
 use mec_topology::CloudletId;
 use mec_workload::Request;
 
@@ -63,9 +66,12 @@ pub enum CapacityPolicy {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct OnsitePrimalDual<'a> {
+pub struct OnsitePrimalDual<'a, S: TraceSink = NoopSink> {
     instance: &'a ProblemInstance,
     policy: CapacityPolicy,
+    /// Decision-event consumer; `NoopSink` (the default) compiles the
+    /// instrumentation away entirely.
+    sink: S,
     prices: DualPrices,
     ledger: CapacityLedger,
     /// Σ δ_i accumulated over all processed requests.
@@ -96,8 +102,9 @@ pub struct RejectionCounters {
     pub payment_test: usize,
 }
 
-impl<'a> OnsitePrimalDual<'a> {
-    /// Creates the scheduler with all dual prices at zero.
+impl<'a> OnsitePrimalDual<'a, NoopSink> {
+    /// Creates the scheduler with all dual prices at zero and tracing
+    /// disabled (the hooks compile to nothing).
     ///
     /// # Errors
     ///
@@ -106,6 +113,18 @@ impl<'a> OnsitePrimalDual<'a> {
     pub fn new(
         instance: &'a ProblemInstance,
         policy: CapacityPolicy,
+    ) -> Result<Self, crate::VnfrelError> {
+        Self::with_sink(instance, policy, NoopSink)
+    }
+}
+
+impl<'a, S: TraceSink> OnsitePrimalDual<'a, S> {
+    /// Like [`OnsitePrimalDual::new`] but records one
+    /// [`TraceEvent::Decision`] per `decide()` call into `sink`.
+    pub fn with_sink(
+        instance: &'a ProblemInstance,
+        policy: CapacityPolicy,
+        sink: S,
     ) -> Result<Self, crate::VnfrelError> {
         if let CapacityPolicy::Scaled(s) = policy {
             let valid = s.is_finite() && s >= 1.0;
@@ -120,6 +139,7 @@ impl<'a> OnsitePrimalDual<'a> {
         Ok(OnsitePrimalDual {
             instance,
             policy,
+            sink,
             prices: DualPrices::new(m, t),
             ledger: CapacityLedger::new(instance.network(), instance.horizon()),
             sum_delta: 0.0,
@@ -141,6 +161,34 @@ impl<'a> OnsitePrimalDual<'a> {
         self.prices.get(cloudlet.index(), slot)
     }
 
+    /// Consumes the scheduler, returning the trace sink (e.g. to read a
+    /// [`mec_obs::RingSink`] back out).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        match self.policy {
+            CapacityPolicy::Enforce => "alg1-primal-dual",
+            CapacityPolicy::AllowViolations => "alg1-primal-dual-raw",
+            CapacityPolicy::Scaled(_) => "alg1-primal-dual-scaled",
+        }
+    }
+
+    /// Emits the one decision event for the current `decide()` call.
+    /// Callers must gate on `S::ENABLED` so the disabled build never
+    /// constructs the event.
+    fn emit(&mut self, request: &Request, outcome: Outcome) {
+        self.sink.record(TraceEvent::Decision(DecisionEvent {
+            request: request.id().index(),
+            algorithm: self.algorithm_name().to_string(),
+            scheme: "onsite".to_string(),
+            slot: request.arrival(),
+            payment: request.payment(),
+            outcome,
+        }));
+    }
+
     /// The dual objective `Σ_{t,j} cap_j·λ_{tj} + Σ_i δ_i` — by weak
     /// duality an upper bound on the offline optimum of the LP relaxation
     /// (and hence of the ILP).
@@ -152,13 +200,9 @@ impl<'a> OnsitePrimalDual<'a> {
     }
 }
 
-impl OnlineScheduler for OnsitePrimalDual<'_> {
+impl<S: TraceSink> OnlineScheduler for OnsitePrimalDual<'_, S> {
     fn name(&self) -> &'static str {
-        match self.policy {
-            CapacityPolicy::Enforce => "alg1-primal-dual",
-            CapacityPolicy::AllowViolations => "alg1-primal-dual-raw",
-            CapacityPolicy::Scaled(_) => "alg1-primal-dual-scaled",
-        }
+        self.algorithm_name()
     }
 
     fn scheme(&self) -> Scheme {
@@ -168,7 +212,19 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
     fn decide(&mut self, request: &Request) -> Decision {
         let compute = match self.instance.catalog().get(request.vnf()) {
             Some(v) => v.compute() as f64,
-            None => return Decision::Reject,
+            None => {
+                if S::ENABLED {
+                    self.emit(
+                        request,
+                        Outcome::Reject {
+                            reason: RejectReason::UnknownVnf,
+                            dual_cost: None,
+                            margin: None,
+                        },
+                    );
+                }
+                return Decision::Reject;
+            }
         };
         let req_rel = request.reliability_requirement();
         let first = request.arrival();
@@ -206,6 +262,16 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
 
         if self.keys.is_empty() {
             self.rejections.no_eligible_cloudlet += 1;
+            if S::ENABLED {
+                self.emit(
+                    request,
+                    Outcome::Reject {
+                        reason: RejectReason::ReliabilityInfeasible,
+                        dual_cost: None,
+                        margin: None,
+                    },
+                );
+            }
             return Decision::Reject;
         }
 
@@ -218,6 +284,16 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
         if let Some(min_cost) = best_unrestricted {
             if request.payment() - min_cost <= 0.0 {
                 self.rejections.payment_test += 1;
+                if S::ENABLED {
+                    self.emit(
+                        request,
+                        Outcome::Reject {
+                            reason: RejectReason::DoomedShortCircuit,
+                            dual_cost: Some(min_cost),
+                            margin: Some(request.payment() - min_cost),
+                        },
+                    );
+                }
                 return Decision::Reject;
             }
         }
@@ -244,12 +320,32 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
         }
         let Some(j) = best else {
             self.rejections.capacity_gate += 1;
+            if S::ENABLED {
+                self.emit(
+                    request,
+                    Outcome::Reject {
+                        reason: RejectReason::CapacityGate,
+                        dual_cost: best_unrestricted,
+                        margin: best_unrestricted.map(|c| request.payment() - c),
+                    },
+                );
+            }
             return Decision::Reject;
         };
         let (n, weight, cost) = (self.n_for[j], self.weight_for[j], self.cost_for[j]);
         // Admission rule: pay_i − min_j cost_j > 0.
         if request.payment() - cost <= 0.0 {
             self.rejections.payment_test += 1;
+            if S::ENABLED {
+                self.emit(
+                    request,
+                    Outcome::Reject {
+                        reason: RejectReason::PaymentTest,
+                        dual_cost: Some(cost),
+                        margin: Some(request.payment() - cost),
+                    },
+                );
+            }
             return Decision::Reject;
         }
 
@@ -264,6 +360,20 @@ impl OnlineScheduler for OnsitePrimalDual<'_> {
         self.prices.update_window(j, first, last, |l| {
             l * (1.0 + weight / cap) + weight * pay / (d * cap)
         });
+        if S::ENABLED {
+            self.emit(
+                request,
+                Outcome::Admit {
+                    dual_cost: cost,
+                    margin: pay - cost,
+                    sites: vec![SitePlacement {
+                        cloudlet: j,
+                        instances: n,
+                        dual_cost: cost,
+                    }],
+                },
+            );
+        }
         Decision::Admit(Placement::OnSite {
             cloudlet: CloudletId(j),
             instances: n,

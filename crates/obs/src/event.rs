@@ -1,0 +1,207 @@
+//! Typed trace events emitted by the scheduling pipeline.
+//!
+//! One [`TraceEvent::Decision`] is emitted per scheduler `decide()` call;
+//! the fault-injection engine additionally emits outage, kill, SLA-breach
+//! and recovery events. The JSONL wire format lives in [`crate::json`].
+
+/// Why a request was rejected.
+///
+/// Each variant corresponds to a concrete exit path in one of the four
+/// schedulers; the golden tests in `tests/trace_obs.rs` assert every
+/// variant is reachable by a crafted scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The final payment test `pay_i − cost > 0` failed: the dual
+    /// (resource) cost of the best candidate placement exceeds what the
+    /// request pays.
+    PaymentTest,
+    /// No placement can meet the reliability requirement `R_i` — on-site:
+    /// no cloudlet with `r(c_j) > R_i` survives the instance ladder;
+    /// off-site: the accumulated `ln(1 − r_f · r(c_j))` mass of all usable
+    /// cloudlets cannot reach `ln(1 − R_i)`.
+    ReliabilityInfeasible,
+    /// A capacity gate (Enforce / Scaled policy) refused every otherwise
+    /// eligible cloudlet: the dual price says the cloudlet is too full.
+    CapacityGate,
+    /// The doomed-payment short-circuit: even the cheapest possible
+    /// placement already costs more than the payment, so the scheduler
+    /// bailed out before scanning candidates. A sub-case of the payment
+    /// test, kept distinct so the fast path is visible in traces.
+    DoomedShortCircuit,
+    /// The request names a VNF type absent from the catalog.
+    UnknownVnf,
+}
+
+impl RejectReason {
+    /// Stable wire name used in the JSONL schema and Prometheus labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::PaymentTest => "payment-test",
+            RejectReason::ReliabilityInfeasible => "reliability-infeasible",
+            RejectReason::CapacityGate => "capacity-gate",
+            RejectReason::DoomedShortCircuit => "doomed-short-circuit",
+            RejectReason::UnknownVnf => "unknown-vnf",
+        }
+    }
+
+    /// Inverse of [`RejectReason::as_str`].
+    pub fn from_wire(s: &str) -> Option<Self> {
+        Some(match s {
+            "payment-test" => RejectReason::PaymentTest,
+            "reliability-infeasible" => RejectReason::ReliabilityInfeasible,
+            "capacity-gate" => RejectReason::CapacityGate,
+            "doomed-short-circuit" => RejectReason::DoomedShortCircuit,
+            "unknown-vnf" => RejectReason::UnknownVnf,
+            _ => return None,
+        })
+    }
+
+    /// All variants, in wire order. Used by exporters to pre-register one
+    /// counter per reason and by the golden tests for coverage.
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::PaymentTest,
+        RejectReason::ReliabilityInfeasible,
+        RejectReason::CapacityGate,
+        RejectReason::DoomedShortCircuit,
+        RejectReason::UnknownVnf,
+    ];
+}
+
+/// One selected cloudlet within an admission.
+///
+/// On-site placements have exactly one site; off-site placements list
+/// every cloudlet the primary/backup instances were spread across.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SitePlacement {
+    /// Dense cloudlet id (index into the network's cloudlet list).
+    pub cloudlet: usize,
+    /// Number of VNF instances placed there (`N_ij` on-site, 1 off-site).
+    pub instances: u32,
+    /// Dual cost charged for this site: `weight · Σ_t λ_tj` over the
+    /// request's window, normalised by capacity.
+    pub dual_cost: f64,
+}
+
+/// Whether a request was admitted and at what cost, or rejected and why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The request was admitted.
+    Admit {
+        /// Total dual cost across all selected sites.
+        dual_cost: f64,
+        /// The admission margin the payment test compared against zero —
+        /// `pay_i − cost` for Algorithm 1, `δ_i` for Algorithm 2, and the
+        /// raw payment for the payment-oblivious greedy baselines.
+        margin: f64,
+        /// The chosen cloudlet(s) with per-site instance counts and costs.
+        sites: Vec<SitePlacement>,
+    },
+    /// The request was rejected.
+    Reject {
+        /// The classified exit path.
+        reason: RejectReason,
+        /// Dual cost of the best candidate considered, when one was
+        /// evaluated before rejecting (absent for e.g. unknown-VNF).
+        dual_cost: Option<f64>,
+        /// Margin of the failed test, when one was computed.
+        margin: Option<f64>,
+    },
+}
+
+impl Outcome {
+    /// True for [`Outcome::Admit`].
+    pub fn is_admit(&self) -> bool {
+        matches!(self, Outcome::Admit { .. })
+    }
+}
+
+/// One scheduling decision, fully explained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Dense request id.
+    pub request: usize,
+    /// Scheduler name, e.g. `alg1-onsite` (matches `OnlineScheduler::name`).
+    pub algorithm: String,
+    /// `onsite` or `offsite`.
+    pub scheme: String,
+    /// Arrival slot of the request.
+    pub slot: usize,
+    /// The request's payment `pay_i`.
+    pub payment: f64,
+    /// Admission or classified rejection.
+    pub outcome: Outcome,
+}
+
+/// A structured event on the trace stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One scheduler `decide()` call.
+    Decision(DecisionEvent),
+    /// A cloudlet outage began at `slot` (fault injection).
+    OutageStart {
+        /// Slot at which the outage takes effect.
+        slot: usize,
+        /// Dense cloudlet id.
+        cloudlet: usize,
+    },
+    /// A cloudlet outage ended at `slot`.
+    OutageEnd {
+        /// Slot at which the cloudlet comes back up.
+        slot: usize,
+        /// Dense cloudlet id.
+        cloudlet: usize,
+    },
+    /// A single request's instances on one cloudlet were killed.
+    InstanceKill {
+        /// Slot of the kill.
+        slot: usize,
+        /// Dense cloudlet id the instances were running on.
+        cloudlet: usize,
+        /// Dense request id whose instances were killed.
+        request: usize,
+    },
+    /// An admitted request dropped below its reliability target and the
+    /// SLA clock started (or a final breach was recorded).
+    SlaBreach {
+        /// Slot of the breach.
+        slot: usize,
+        /// Dense request id.
+        request: usize,
+    },
+    /// A recovery (re-placement) attempt for a failed request.
+    Recovery {
+        /// Slot of the attempt.
+        slot: usize,
+        /// Dense request id.
+        request: usize,
+        /// Whether a replacement placement was found and charged.
+        success: bool,
+        /// Cloudlets of the replacement placement (empty on failure).
+        cloudlets: Vec<usize>,
+    },
+}
+
+impl TraceEvent {
+    /// Stable `"type"` discriminator used in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Decision(_) => "decision",
+            TraceEvent::OutageStart { .. } => "outage-start",
+            TraceEvent::OutageEnd { .. } => "outage-end",
+            TraceEvent::InstanceKill { .. } => "instance-kill",
+            TraceEvent::SlaBreach { .. } => "sla-breach",
+            TraceEvent::Recovery { .. } => "recovery",
+        }
+    }
+
+    /// The request id the event concerns, if any.
+    pub fn request(&self) -> Option<usize> {
+        match self {
+            TraceEvent::Decision(d) => Some(d.request),
+            TraceEvent::InstanceKill { request, .. }
+            | TraceEvent::SlaBreach { request, .. }
+            | TraceEvent::Recovery { request, .. } => Some(*request),
+            TraceEvent::OutageStart { .. } | TraceEvent::OutageEnd { .. } => None,
+        }
+    }
+}

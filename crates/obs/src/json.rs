@@ -1,0 +1,651 @@
+//! Hand-rolled JSONL serialization for [`TraceEvent`].
+//!
+//! The workspace deliberately carries no serde dependency, so the wire
+//! format is produced and consumed by a few hundred lines of plain std
+//! code. The schema is versioned by field names only; the round-trip
+//! test in `tests/trace_obs.rs` pins it for downstream tooling.
+//!
+//! Conventions:
+//! - one event per line, no pretty printing;
+//! - every object carries a `"type"` discriminator (see
+//!   [`TraceEvent::kind`]);
+//! - non-finite floats serialize as `null` (JSON has no NaN/Inf), and
+//!   `null` parses back as NaN for required float fields.
+
+use std::fmt::Write as _;
+
+use crate::event::{DecisionEvent, Outcome, RejectReason, SitePlacement, TraceEvent};
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_sites(out: &mut String, sites: &[SitePlacement]) {
+    out.push('[');
+    for (i, s) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"cloudlet\":{},\"instances\":{},\"dual_cost\":",
+            s.cloudlet, s.instances
+        );
+        push_f64(out, s.dual_cost);
+        out.push('}');
+    }
+    out.push(']');
+}
+
+/// Serializes one event as a single JSON line (no trailing newline).
+pub fn to_json(event: &TraceEvent) -> String {
+    let mut out = String::with_capacity(128);
+    match event {
+        TraceEvent::Decision(d) => {
+            out.push_str("{\"type\":\"decision\",\"request\":");
+            let _ = write!(out, "{}", d.request);
+            out.push_str(",\"algorithm\":");
+            push_str(&mut out, &d.algorithm);
+            out.push_str(",\"scheme\":");
+            push_str(&mut out, &d.scheme);
+            let _ = write!(out, ",\"slot\":{},\"payment\":", d.slot);
+            push_f64(&mut out, d.payment);
+            match &d.outcome {
+                Outcome::Admit {
+                    dual_cost,
+                    margin,
+                    sites,
+                } => {
+                    out.push_str(",\"outcome\":\"admit\",\"dual_cost\":");
+                    push_f64(&mut out, *dual_cost);
+                    out.push_str(",\"margin\":");
+                    push_f64(&mut out, *margin);
+                    out.push_str(",\"sites\":");
+                    push_sites(&mut out, sites);
+                }
+                Outcome::Reject {
+                    reason,
+                    dual_cost,
+                    margin,
+                } => {
+                    out.push_str(",\"outcome\":\"reject\",\"reason\":");
+                    push_str(&mut out, reason.as_str());
+                    out.push_str(",\"dual_cost\":");
+                    push_opt_f64(&mut out, *dual_cost);
+                    out.push_str(",\"margin\":");
+                    push_opt_f64(&mut out, *margin);
+                }
+            }
+            out.push('}');
+        }
+        TraceEvent::OutageStart { slot, cloudlet } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"outage-start\",\"slot\":{slot},\"cloudlet\":{cloudlet}}}"
+            );
+        }
+        TraceEvent::OutageEnd { slot, cloudlet } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"outage-end\",\"slot\":{slot},\"cloudlet\":{cloudlet}}}"
+            );
+        }
+        TraceEvent::InstanceKill {
+            slot,
+            cloudlet,
+            request,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"instance-kill\",\"slot\":{slot},\"cloudlet\":{cloudlet},\"request\":{request}}}"
+            );
+        }
+        TraceEvent::SlaBreach { slot, request } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"sla-breach\",\"slot\":{slot},\"request\":{request}}}"
+            );
+        }
+        TraceEvent::Recovery {
+            slot,
+            request,
+            success,
+            cloudlets,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"recovery\",\"slot\":{slot},\"request\":{request},\"success\":{success},\"cloudlets\":["
+            );
+            for (i, c) in cloudlets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Error produced while parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the line where parsing stopped (best effort).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON value. Minimal: just enough for the trace schema.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Num(v)),
+            Err(_) => self.err("malformed number"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| ParseError {
+                            message: "invalid utf-8".to_string(),
+                            offset: self.pos,
+                        })?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+fn fail(message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+        offset: 0,
+    }
+}
+
+fn as_usize(v: &Json, field: &str) -> Result<usize, ParseError> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+        _ => Err(fail(format!(
+            "field '{field}' is not a non-negative integer"
+        ))),
+    }
+}
+
+fn as_f64(v: &Json, field: &str) -> Result<f64, ParseError> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        Json::Null => Ok(f64::NAN),
+        _ => Err(fail(format!("field '{field}' is not a number"))),
+    }
+}
+
+fn as_opt_f64(v: &Json, field: &str) -> Result<Option<f64>, ParseError> {
+    match v {
+        Json::Num(n) => Ok(Some(*n)),
+        Json::Null => Ok(None),
+        _ => Err(fail(format!("field '{field}' is not a number or null"))),
+    }
+}
+
+fn as_str<'a>(v: &'a Json, field: &str) -> Result<&'a str, ParseError> {
+    match v {
+        Json::Str(s) => Ok(s),
+        _ => Err(fail(format!("field '{field}' is not a string"))),
+    }
+}
+
+fn required<'a>(obj: &'a Json, field: &str) -> Result<&'a Json, ParseError> {
+    obj.get(field)
+        .ok_or_else(|| fail(format!("missing field '{field}'")))
+}
+
+fn decision_from(obj: &Json) -> Result<DecisionEvent, ParseError> {
+    let outcome_tag = as_str(required(obj, "outcome")?, "outcome")?;
+    let outcome = match outcome_tag {
+        "admit" => {
+            let sites_json = match required(obj, "sites")? {
+                Json::Arr(items) => items,
+                _ => return Err(fail("field 'sites' is not an array")),
+            };
+            let mut sites = Vec::with_capacity(sites_json.len());
+            for s in sites_json {
+                sites.push(SitePlacement {
+                    cloudlet: as_usize(required(s, "cloudlet")?, "cloudlet")?,
+                    instances: as_usize(required(s, "instances")?, "instances")? as u32,
+                    dual_cost: as_f64(required(s, "dual_cost")?, "dual_cost")?,
+                });
+            }
+            Outcome::Admit {
+                dual_cost: as_f64(required(obj, "dual_cost")?, "dual_cost")?,
+                margin: as_f64(required(obj, "margin")?, "margin")?,
+                sites,
+            }
+        }
+        "reject" => {
+            let reason_str = as_str(required(obj, "reason")?, "reason")?;
+            let reason = RejectReason::from_wire(reason_str)
+                .ok_or_else(|| fail(format!("unknown rejection reason '{reason_str}'")))?;
+            Outcome::Reject {
+                reason,
+                dual_cost: as_opt_f64(required(obj, "dual_cost")?, "dual_cost")?,
+                margin: as_opt_f64(required(obj, "margin")?, "margin")?,
+            }
+        }
+        other => return Err(fail(format!("unknown outcome '{other}'"))),
+    };
+    Ok(DecisionEvent {
+        request: as_usize(required(obj, "request")?, "request")?,
+        algorithm: as_str(required(obj, "algorithm")?, "algorithm")?.to_string(),
+        scheme: as_str(required(obj, "scheme")?, "scheme")?.to_string(),
+        slot: as_usize(required(obj, "slot")?, "slot")?,
+        payment: as_f64(required(obj, "payment")?, "payment")?,
+        outcome,
+    })
+}
+
+/// Parses one JSONL trace line back into a [`TraceEvent`].
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let mut parser = Parser::new(line);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing garbage after JSON value");
+    }
+    let kind = as_str(required(&value, "type")?, "type")?;
+    match kind {
+        "decision" => Ok(TraceEvent::Decision(decision_from(&value)?)),
+        "outage-start" => Ok(TraceEvent::OutageStart {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            cloudlet: as_usize(required(&value, "cloudlet")?, "cloudlet")?,
+        }),
+        "outage-end" => Ok(TraceEvent::OutageEnd {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            cloudlet: as_usize(required(&value, "cloudlet")?, "cloudlet")?,
+        }),
+        "instance-kill" => Ok(TraceEvent::InstanceKill {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            cloudlet: as_usize(required(&value, "cloudlet")?, "cloudlet")?,
+            request: as_usize(required(&value, "request")?, "request")?,
+        }),
+        "sla-breach" => Ok(TraceEvent::SlaBreach {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            request: as_usize(required(&value, "request")?, "request")?,
+        }),
+        "recovery" => {
+            let cloudlets_json = match required(&value, "cloudlets")? {
+                Json::Arr(items) => items,
+                _ => return Err(fail("field 'cloudlets' is not an array")),
+            };
+            let mut cloudlets = Vec::with_capacity(cloudlets_json.len());
+            for c in cloudlets_json {
+                cloudlets.push(as_usize(c, "cloudlets[]")?);
+            }
+            let success = match required(&value, "success")? {
+                Json::Bool(b) => *b,
+                _ => return Err(fail("field 'success' is not a bool")),
+            };
+            Ok(TraceEvent::Recovery {
+                slot: as_usize(required(&value, "slot")?, "slot")?,
+                request: as_usize(required(&value, "request")?, "request")?,
+                success,
+                cloudlets,
+            })
+        }
+        other => Err(fail(format!("unknown event type '{other}'"))),
+    }
+}
+
+/// Parses a whole JSONL document, skipping blank lines.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(line).map_err(|e| ParseError {
+            message: format!("line {}: {}", i + 1, e.message),
+            offset: e.offset,
+        })?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_admit_round_trips() {
+        let ev = TraceEvent::Decision(DecisionEvent {
+            request: 7,
+            algorithm: "alg1-onsite".to_string(),
+            scheme: "onsite".to_string(),
+            slot: 3,
+            payment: 4.25,
+            outcome: Outcome::Admit {
+                dual_cost: 1.5,
+                margin: 2.75,
+                sites: vec![SitePlacement {
+                    cloudlet: 2,
+                    instances: 3,
+                    dual_cost: 1.5,
+                }],
+            },
+        });
+        assert_eq!(parse_line(&to_json(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn reject_with_null_fields_round_trips() {
+        let ev = TraceEvent::Decision(DecisionEvent {
+            request: 0,
+            algorithm: "alg2-offsite".to_string(),
+            scheme: "offsite".to_string(),
+            slot: 0,
+            payment: 0.5,
+            outcome: Outcome::Reject {
+                reason: RejectReason::ReliabilityInfeasible,
+                dual_cost: None,
+                margin: Some(-0.25),
+            },
+        });
+        assert_eq!(parse_line(&to_json(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let ev = TraceEvent::Decision(DecisionEvent {
+            request: 1,
+            algorithm: "weird\"name\\with\ncontrol\u{1}".to_string(),
+            scheme: "onsite".to_string(),
+            slot: 1,
+            payment: 1.0,
+            outcome: Outcome::Reject {
+                reason: RejectReason::UnknownVnf,
+                dual_cost: None,
+                margin: None,
+            },
+        });
+        assert_eq!(parse_line(&to_json(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        let ev = TraceEvent::Decision(DecisionEvent {
+            request: 1,
+            algorithm: "a".to_string(),
+            scheme: "onsite".to_string(),
+            slot: 1,
+            payment: f64::INFINITY,
+            outcome: Outcome::Reject {
+                reason: RejectReason::PaymentTest,
+                dual_cost: None,
+                margin: None,
+            },
+        });
+        let line = to_json(&ev);
+        assert!(line.contains("\"payment\":null"));
+        match parse_line(&line).unwrap() {
+            TraceEvent::Decision(d) => assert!(d.payment.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("{\"type\":\"decision\"").is_err());
+        assert!(parse_line("{\"type\":\"mystery\"}").is_err());
+        assert!(parse_line("{} trailing").is_err());
+        assert!(parse_line("{\"no_type\":1}").is_err());
+    }
+
+    #[test]
+    fn parse_trace_skips_blank_lines_and_reports_line_numbers() {
+        let doc = "\n{\"type\":\"sla-breach\",\"slot\":1,\"request\":2}\n\nnot json\n";
+        let err = parse_trace(doc).unwrap_err();
+        assert!(err.message.starts_with("line 4:"), "{err}");
+        let ok = parse_trace("{\"type\":\"outage-start\",\"slot\":0,\"cloudlet\":1}\n").unwrap();
+        assert_eq!(
+            ok,
+            vec![TraceEvent::OutageStart {
+                slot: 0,
+                cloudlet: 1
+            }]
+        );
+    }
+}

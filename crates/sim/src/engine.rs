@@ -1,3 +1,6 @@
+use std::time::Instant;
+
+use mec_obs::{NoopSink, TraceEvent, TraceSink};
 use mec_topology::{CloudletId, Reliability};
 use mec_workload::{Request, TimeSlot};
 use vnfrel::reliability::onsite_availability;
@@ -5,6 +8,7 @@ use vnfrel::{validate_schedule, OnlineScheduler, ProblemInstance, Schedule, Vali
 
 use crate::fault::{FailureEvent, FailureProcess};
 use crate::metrics::{FaultSlotStats, RunMetrics, SlaRecord, SlaReport, SlotStats};
+use crate::obs::EngineMetrics;
 use crate::recovery::{self, RecoveryPolicy};
 use crate::SimError;
 
@@ -210,6 +214,24 @@ impl<'a> Simulation<'a> {
         scheduler: &mut S,
         order: IntraSlotOrder,
     ) -> Result<RunReport, SimError> {
+        self.run_ordered_metered(scheduler, order, None)
+    }
+
+    /// Like [`Simulation::run_ordered`], but records engine-side metrics
+    /// into `metrics` when given: a `decide()` wall-clock latency
+    /// histogram and, at the end of the run, one mean-utilization gauge
+    /// per cloudlet. Pass `None` to get the exact behaviour (and cost)
+    /// of [`Simulation::run_ordered`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn run_ordered_metered<S: OnlineScheduler + ?Sized>(
+        &self,
+        scheduler: &mut S,
+        order: IntraSlotOrder,
+        metrics: Option<&EngineMetrics<'_>>,
+    ) -> Result<RunReport, SimError> {
         let mut schedule = Schedule::new();
         let mut timeline = vec![SlotStats::default(); self.instance.horizon().len()];
         let mut cumulative_revenue = Vec::with_capacity(self.instance.horizon().len());
@@ -252,7 +274,15 @@ impl<'a> Simulation<'a> {
             // Schedule requires dense recording).
             let mut decisions: Vec<(usize, vnfrel::Decision)> = batch
                 .into_iter()
-                .map(|i| (i, scheduler.decide(&self.requests[i])))
+                .map(|i| match metrics {
+                    Some(m) => {
+                        let start = Instant::now();
+                        let d = scheduler.decide(&self.requests[i]);
+                        m.observe_decide(start.elapsed().as_secs_f64());
+                        (i, d)
+                    }
+                    None => (i, scheduler.decide(&self.requests[i])),
+                })
                 .collect();
             decisions.sort_by_key(|&(i, _)| i);
             for (i, decision) in decisions {
@@ -271,6 +301,25 @@ impl<'a> Simulation<'a> {
 
         let validation =
             validate_schedule(self.instance, self.requests, &schedule, scheduler.scheme())?;
+        if let Some(m) = metrics {
+            let ledger = scheduler.ledger();
+            let slots = self.instance.horizon().len().max(1) as f64;
+            for j in 0..m.cloudlet_count().min(ledger.cloudlet_count()) {
+                let cid = CloudletId(j);
+                let cap = ledger.capacity(cid);
+                let mean = if cap > 0.0 {
+                    self.instance
+                        .horizon()
+                        .slots()
+                        .map(|t| ledger.used(cid, t))
+                        .sum::<f64>()
+                        / (cap * slots)
+                } else {
+                    0.0
+                };
+                m.set_utilization(j, mean);
+            }
+        }
         let metrics = RunMetrics {
             algorithm: scheduler.name().to_string(),
             revenue: schedule.revenue(),
@@ -332,6 +381,36 @@ impl<'a> Simulation<'a> {
         failures: &FailureProcess,
         policy: RecoveryPolicy,
     ) -> Result<FaultRunReport, SimError> {
+        self.run_with_failures_traced(scheduler, failures, policy, &mut NoopSink)
+    }
+
+    /// Like [`Simulation::run_with_failures`], but records one
+    /// [`TraceEvent`] per fault-lifecycle transition into `sink`:
+    /// [`TraceEvent::OutageStart`]/[`TraceEvent::OutageEnd`] when a
+    /// cloudlet crashes or is repaired, [`TraceEvent::InstanceKill`] when
+    /// an instance-kill resolves to a victim request,
+    /// [`TraceEvent::SlaBreach`] when a placement falls below `R_i`, and
+    /// [`TraceEvent::Recovery`] for every recovery attempt (successful or
+    /// not, with the re-placement cloudlets on success).
+    ///
+    /// Decision events are *not* emitted here — they belong to the
+    /// scheduler, which carries its own sink (see
+    /// `with_sink` on the scheduler types); share one sink between both
+    /// via `Rc<RefCell<_>>` to get a single interleaved stream.
+    ///
+    /// With `&mut NoopSink` this is exactly
+    /// [`Simulation::run_with_failures`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run_with_failures`].
+    pub fn run_with_failures_traced<S: OnlineScheduler + ?Sized, K: TraceSink>(
+        &self,
+        scheduler: &mut S,
+        failures: &FailureProcess,
+        policy: RecoveryPolicy,
+        sink: &mut K,
+    ) -> Result<FaultRunReport, SimError> {
         let m = self.instance.network().cloudlets().count();
         if failures.horizon_len() != self.instance.horizon().len() {
             return Err(SimError::Mismatch(
@@ -358,6 +437,12 @@ impl<'a> Simulation<'a> {
                 match *e {
                     FailureEvent::CloudletDown { cloudlet: j, .. } => {
                         up[j] = false;
+                        if K::ENABLED {
+                            sink.record(TraceEvent::OutageStart {
+                                slot: t,
+                                cloudlet: j,
+                            });
+                        }
                         for (i, entry) in live.iter_mut().enumerate() {
                             let Some(lr) = entry else { continue };
                             let r = &self.requests[i];
@@ -374,7 +459,15 @@ impl<'a> Simulation<'a> {
                             }
                         }
                     }
-                    FailureEvent::CloudletUp { cloudlet: j, .. } => up[j] = true,
+                    FailureEvent::CloudletUp { cloudlet: j, .. } => {
+                        up[j] = true;
+                        if K::ENABLED {
+                            sink.record(TraceEvent::OutageEnd {
+                                slot: t,
+                                cloudlet: j,
+                            });
+                        }
+                    }
                     FailureEvent::InstanceKill {
                         cloudlet: j,
                         selector,
@@ -421,6 +514,13 @@ impl<'a> Simulation<'a> {
                                     t..=r.end_slot(),
                                     lr.per_instance,
                                 )?;
+                                if K::ENABLED {
+                                    sink.record(TraceEvent::InstanceKill {
+                                        slot: t,
+                                        cloudlet: j,
+                                        request: i,
+                                    });
+                                }
                                 break;
                             }
                             victim -= n;
@@ -497,6 +597,12 @@ impl<'a> Simulation<'a> {
                     lr.down_since = Some(t);
                     lr.failures += 1;
                     stats.newly_failed += 1;
+                    if K::ENABLED {
+                        sink.record(TraceEvent::SlaBreach {
+                            slot: t,
+                            request: i,
+                        });
+                    }
                 }
             }
 
@@ -512,7 +618,7 @@ impl<'a> Simulation<'a> {
                         continue;
                     };
                     lr.recovery_attempts += 1;
-                    if let Some(p) = recovery::try_replace(
+                    match recovery::try_replace(
                         self.instance,
                         scheduler.ledger_mut(),
                         r,
@@ -520,11 +626,31 @@ impl<'a> Simulation<'a> {
                         &up,
                         scheme,
                     ) {
-                        lr.sites = LiveReq::sites_of(&p);
-                        lr.recoveries += 1;
-                        lr.repair_latency_slots += t - fail_slot;
-                        lr.down_since = None;
-                        stats.recovered += 1;
+                        Some(p) => {
+                            lr.sites = LiveReq::sites_of(&p);
+                            lr.recoveries += 1;
+                            lr.repair_latency_slots += t - fail_slot;
+                            lr.down_since = None;
+                            stats.recovered += 1;
+                            if K::ENABLED {
+                                sink.record(TraceEvent::Recovery {
+                                    slot: t,
+                                    request: i,
+                                    success: true,
+                                    cloudlets: lr.sites.iter().map(|&(c, _)| c).collect(),
+                                });
+                            }
+                        }
+                        None => {
+                            if K::ENABLED {
+                                sink.record(TraceEvent::Recovery {
+                                    slot: t,
+                                    request: i,
+                                    success: false,
+                                    cloudlets: Vec::new(),
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -862,6 +988,60 @@ mod tests {
             // remaining window (slots 3..=5).
             assert!(g.ledger().used(mec_topology::CloudletId(1), 4) > 0.0);
             assert_eq!(g.ledger().used(mec_topology::CloudletId(0), 4), 0.0);
+        }
+
+        #[test]
+        fn traced_fault_run_emits_lifecycle_events() {
+            use mec_obs::RingSink;
+
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = outage_trace(inst.horizon());
+
+            // The traced run must not change behaviour at all.
+            let mut g0 = OnsiteGreedy::new(&inst);
+            let plain = sim
+                .run_with_failures(&mut g0, &trace, RecoveryPolicy::SchemeMatching)
+                .unwrap();
+            let mut g = OnsiteGreedy::new(&inst);
+            let mut sink = RingSink::new(64);
+            let traced = sim
+                .run_with_failures_traced(&mut g, &trace, RecoveryPolicy::SchemeMatching, &mut sink)
+                .unwrap();
+            assert_eq!(plain, traced);
+
+            let events = sink.into_events();
+            let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+            // Two crashes, one repair from the injected trace.
+            assert_eq!(count("outage-start"), 2);
+            assert_eq!(count("outage-end"), 1);
+            // One SLA breach (slot 2) and two recovery attempts: the
+            // slot-2 attempt fails, the slot-3 one succeeds.
+            assert_eq!(count("sla-breach"), 1);
+            let recoveries: Vec<_> = events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Recovery {
+                        slot,
+                        success,
+                        cloudlets,
+                        ..
+                    } => Some((*slot, *success, cloudlets.clone())),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(recoveries.len(), 2);
+            assert_eq!((recoveries[0].0, recoveries[0].1), (2, false));
+            assert_eq!((recoveries[1].0, recoveries[1].1), (3, true));
+            // The successful re-placement names the repaired cloudlet.
+            assert_eq!(recoveries[1].2, vec![1]);
+            // Counts line up with the SLA ledger.
+            assert_eq!(count("sla-breach"), traced.sla.total_failures());
+            assert_eq!(
+                recoveries.iter().filter(|r| r.1).count(),
+                traced.timeline.iter().map(|s| s.recovered).sum::<usize>()
+            );
         }
 
         #[test]

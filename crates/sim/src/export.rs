@@ -1,42 +1,81 @@
 //! Plain-text/CSV export of simulation artifacts, for plotting outside
 //! Rust (gnuplot, matplotlib, spreadsheets).
+//!
+//! Each table has two forms: a streaming `write_*` function that renders
+//! straight into any [`io::Write`] and propagates the first IO error
+//! (no silently truncated tables on a full disk), and a `*_csv`
+//! convenience wrapper returning a `String` for callers that want the
+//! whole table in memory. The CLI uses the streaming forms so a failed
+//! export surfaces as an error naming the target path instead of a
+//! half-written file.
+
+use std::io::{self, Write};
 
 use crate::engine::{FaultRunReport, RunReport};
 use crate::experiment::SweepTable;
 
+/// Streams the per-slot timeline as CSV (`slot,arrivals,admitted,active`).
+///
+/// # Errors
+///
+/// Returns the first IO error from `out`; the table may be partially
+/// written at that point, so callers should treat the target as invalid.
+pub fn write_timeline_csv<W: Write>(out: &mut W, report: &RunReport) -> io::Result<()> {
+    writeln!(out, "slot,arrivals,admitted,active")?;
+    for (t, s) in report.timeline.iter().enumerate() {
+        writeln!(out, "{t},{},{},{}", s.arrivals, s.admitted, s.active)?;
+    }
+    Ok(())
+}
+
 /// Renders the per-slot timeline as CSV (`slot,arrivals,admitted,active`).
 pub fn timeline_csv(report: &RunReport) -> String {
-    let mut out = String::from("slot,arrivals,admitted,active\n");
+    into_string(|buf| write_timeline_csv(buf, report))
+}
+
+/// Streams a fault-aware run's per-slot timeline as CSV
+/// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated`).
+///
+/// # Errors
+///
+/// Returns the first IO error from `out`.
+pub fn write_fault_timeline_csv<W: Write>(out: &mut W, report: &FaultRunReport) -> io::Result<()> {
+    writeln!(
+        out,
+        "slot,arrivals,admitted,active,events,newly_failed,recovered,violated"
+    )?;
     for (t, s) in report.timeline.iter().enumerate() {
-        out.push_str(&format!("{t},{},{},{}\n", s.arrivals, s.admitted, s.active));
+        writeln!(
+            out,
+            "{t},{},{},{},{},{},{},{}",
+            s.arrivals, s.admitted, s.active, s.events, s.newly_failed, s.recovered, s.violated
+        )?;
     }
-    out
+    Ok(())
 }
 
 /// Renders a fault-aware run's per-slot timeline as CSV
 /// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated`).
 pub fn fault_timeline_csv(report: &FaultRunReport) -> String {
-    let mut out =
-        String::from("slot,arrivals,admitted,active,events,newly_failed,recovered,violated\n");
-    for (t, s) in report.timeline.iter().enumerate() {
-        out.push_str(&format!(
-            "{t},{},{},{},{},{},{},{}\n",
-            s.arrivals, s.admitted, s.active, s.events, s.newly_failed, s.recovered, s.violated
-        ));
-    }
-    out
+    into_string(|buf| write_fault_timeline_csv(buf, report))
 }
 
-/// Renders the SLA ledger as CSV, one row per admitted request
+/// Streams the SLA ledger as CSV, one row per admitted request
 /// (`request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,repair_latency_slots,unrecovered,refund,retained`).
-pub fn sla_csv(report: &FaultRunReport) -> String {
-    let mut out = String::from(
+///
+/// # Errors
+///
+/// Returns the first IO error from `out`.
+pub fn write_sla_csv<W: Write>(out: &mut W, report: &FaultRunReport) -> io::Result<()> {
+    writeln!(
+        out,
         "request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,\
-         repair_latency_slots,unrecovered,refund,retained\n",
-    );
+         repair_latency_slots,unrecovered,refund,retained"
+    )?;
     for r in &report.sla.records {
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{}\n",
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
             r.request.index(),
             r.payment,
             r.duration,
@@ -48,35 +87,54 @@ pub fn sla_csv(report: &FaultRunReport) -> String {
             r.unrecovered,
             r.refund(),
             r.retained()
-        ));
+        )?;
     }
-    out
+    Ok(())
+}
+
+/// Renders the SLA ledger as CSV, one row per admitted request.
+pub fn sla_csv(report: &FaultRunReport) -> String {
+    into_string(|buf| write_sla_csv(buf, report))
+}
+
+/// Streams a sweep table as CSV with the x-label as the first column.
+///
+/// # Errors
+///
+/// Returns the first IO error from `out`.
+pub fn write_sweep_csv<W: Write>(out: &mut W, table: &SweepTable) -> io::Result<()> {
+    out.write_all(table.x_label.as_bytes())?;
+    for c in &table.columns {
+        out.write_all(b",")?;
+        // Quote column names containing commas to keep the CSV parseable.
+        if c.contains(',') {
+            write!(out, "\"{}\"", c.replace('"', "\"\""))?;
+        } else {
+            out.write_all(c.as_bytes())?;
+        }
+    }
+    out.write_all(b"\n")?;
+    for (x, vals) in &table.rows {
+        write!(out, "{x}")?;
+        for v in vals {
+            write!(out, ",{v}")?;
+        }
+        out.write_all(b"\n")?;
+    }
+    Ok(())
 }
 
 /// Renders a sweep table as CSV with the x-label as the first column.
 pub fn sweep_csv(table: &SweepTable) -> String {
-    let mut out = String::new();
-    out.push_str(&table.x_label);
-    for c in &table.columns {
-        out.push(',');
-        // Quote column names containing commas to keep the CSV parseable.
-        if c.contains(',') {
-            out.push('"');
-            out.push_str(&c.replace('"', "\"\""));
-            out.push('"');
-        } else {
-            out.push_str(c);
-        }
-    }
-    out.push('\n');
-    for (x, vals) in &table.rows {
-        out.push_str(&format!("{x}"));
-        for v in vals {
-            out.push_str(&format!(",{v}"));
-        }
-        out.push('\n');
-    }
-    out
+    into_string(|buf| write_sweep_csv(buf, table))
+}
+
+/// Runs a streaming renderer into an in-memory buffer. Writes to a
+/// `Vec<u8>` cannot fail and everything written is UTF-8.
+fn into_string(render: impl FnOnce(&mut Vec<u8>) -> io::Result<()>) -> String {
+    let mut buf = Vec::new();
+    render(&mut buf).expect("in-memory CSV rendering cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
 }
 
 #[cfg(test)]
@@ -179,5 +237,30 @@ mod tests {
         let csv = sweep_csv(&t);
         assert!(csv.starts_with("x,plain,\"with,comma\"\n"));
         assert!(csv.contains("1,2,3\n"));
+    }
+
+    #[test]
+    fn streaming_writers_propagate_io_errors() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    self.0 -= 1;
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut t = SweepTable::new("x", "y", vec!["a".into()]);
+        t.push_row(1.0, vec![2.0]);
+        // The header write succeeds, a later row write fails: the error
+        // must reach the caller rather than vanish.
+        assert!(write_sweep_csv(&mut FailAfter(1), &t).is_err());
+        assert!(write_sweep_csv(&mut FailAfter(1000), &t).is_ok());
     }
 }

@@ -230,6 +230,51 @@ pub fn inject_failures_parallel(
     seed: u64,
     threads: usize,
 ) -> Result<FailureReport, SimError> {
+    inject_chunked(instance, requests, schedule, trials, seed, threads, None)
+}
+
+/// [`inject_failures_parallel`] with shard-and-merge telemetry: each
+/// worker chunk accumulates trial/survival counts into a private
+/// [`mec_obs::MetricsShard`] (no shared cache lines inside the trial
+/// loop) which is absorbed into `registry` as results are folded in, in
+/// deterministic chunk order.
+///
+/// Survival counts — and therefore the returned [`FailureReport`] — are
+/// bit-identical to [`inject_failures_parallel`] at the same
+/// `(inputs, seed)`; only the registry side effect is added.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for the same mismatches as [`inject_failures`].
+pub fn inject_failures_parallel_metered(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    telemetry: (&mec_obs::MetricsRegistry, crate::obs::InjectionMetricIds),
+) -> Result<FailureReport, SimError> {
+    inject_chunked(
+        instance,
+        requests,
+        schedule,
+        trials,
+        seed,
+        threads,
+        Some(telemetry),
+    )
+}
+
+fn inject_chunked(
+    instance: &ProblemInstance,
+    requests: &[Request],
+    schedule: &Schedule,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    metered: Option<(&mec_obs::MetricsRegistry, crate::obs::InjectionMetricIds)>,
+) -> Result<FailureReport, SimError> {
     use rand::SeedableRng;
 
     let campaign = prepare(instance, requests, schedule)?;
@@ -242,12 +287,21 @@ pub fn inject_failures_parallel(
         rng.set_stream(c as u64 + 1);
         let mut survived = vec![0usize; campaign.placed.len()];
         run_trials(&campaign, hi - lo, &mut rng, &mut survived);
-        survived
+        let shard = metered.map(|(reg, ids)| {
+            let mut shard = reg.shard();
+            shard.add(ids.trials, (hi - lo) as u64);
+            shard.add(ids.survivals, survived.iter().map(|&s| s as u64).sum());
+            shard
+        });
+        (survived, shard)
     });
     let mut survived = vec![0usize; campaign.placed.len()];
-    for chunk in counts {
+    for (chunk, shard) in counts {
         for (total, s) in survived.iter_mut().zip(chunk) {
             *total += s;
+        }
+        if let (Some((reg, _)), Some(shard)) = (metered, shard) {
+            reg.absorb(&shard);
         }
     }
     Ok(assemble(&campaign, &survived, trials))
@@ -489,6 +543,37 @@ mod tests {
         let serial = inject_failures(&inst, &reqs, &schedule, 20_000, &mut rng).unwrap();
         assert!(t1.statistical_violations(4.0).is_empty());
         assert!(serial.statistical_violations(4.0).is_empty());
+    }
+
+    #[test]
+    fn metered_injection_matches_plain_and_counts_trials() {
+        use crate::obs::InjectionMetricIds;
+        use mec_obs::MetricsRegistry;
+
+        let inst = instance();
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let reqs = RequestGenerator::new(inst.horizon())
+            .reliability_band(0.9, 0.97)
+            .unwrap()
+            .generate(20, inst.catalog(), &mut rng)
+            .unwrap();
+        let mut alg = OnsitePrimalDual::new(&inst, CapacityPolicy::Enforce).unwrap();
+        let schedule = run_online(&mut alg, &reqs).unwrap();
+
+        let mut reg = MetricsRegistry::new();
+        let ids = InjectionMetricIds::register(&mut reg);
+        let metered =
+            inject_failures_parallel_metered(&inst, &reqs, &schedule, 1500, 42, 4, (&reg, ids))
+                .unwrap();
+        let plain = inject_failures_parallel(&inst, &reqs, &schedule, 1500, 42, 4).unwrap();
+        assert_eq!(metered, plain);
+        assert_eq!(reg.counter_value(ids.trials), 1500);
+        let expected_survivals: u64 = metered
+            .requests
+            .iter()
+            .map(|r| (r.measured * 1500.0).round() as u64)
+            .sum();
+        assert_eq!(reg.counter_value(ids.survivals), expected_survivals);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   re-places affected requests under a [`RecoveryPolicy`], and keeps
 //!   an SLA ledger ([`SlaReport`]) of downtime and refunds,
 //! * [`experiment`] — sweep tables used by the figure-regeneration
-//!   binaries in `vnfrel-bench`.
+//!   binaries in `vnfrel-bench`,
+//! * [`obs`] — engine-side observability: decide-latency/utilization
+//!   metrics for [`Simulation::run_ordered_metered`] and fault-lifecycle
+//!   trace events from [`Simulation::run_with_failures_traced`]
+//!   (schedulers emit their own decision events via `mec_obs`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +34,7 @@ pub mod export;
 pub mod failure;
 pub mod fault;
 mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod recovery;
 
@@ -38,4 +43,5 @@ pub use engine::{FaultRunReport, IntraSlotOrder, RunReport, Simulation};
 pub use error::SimError;
 pub use fault::{FailureConfig, FailureEvent, FailureProcess};
 pub use metrics::{FaultSlotStats, RunMetrics, SlaRecord, SlaReport, SlotStats};
+pub use obs::{EngineMetricIds, EngineMetrics, InjectionMetricIds};
 pub use recovery::RecoveryPolicy;
