@@ -245,6 +245,7 @@ fn bench_decide(c: &mut Criterion) {
             .reliability_band(0.9, 0.95)
             .unwrap()
             .durations(DurationModel::Fixed(d))
+            .unwrap()
             .generate(400, inst.catalog(), &mut rng)
             .unwrap();
         c.bench_function(&format!("decide/onsite_window_{d}_400req"), |b| {

@@ -1,0 +1,258 @@
+//! **Table D (robustness)**: revenue retention under *correlated* domain
+//! outages with cascades — no recovery vs plain recovery vs graceful
+//! degradation, both schemes, against an independent-failure control.
+//!
+//! Run with: `cargo run --release -p vnfrel-bench --bin correlated_failures [--quick]`
+//!
+//! For each seed, TWO outage traces are generated from the identical
+//! per-cloudlet failure config and RNG seed: an *independent* control
+//! (no domains) and a *correlated* stream where three zone-partition
+//! failure domains crash atomically and overloaded survivors face a
+//! cascade hazard. Every (scheme, mode) cell replays the same trace.
+//!
+//! Hard assertions, enforced here and pinned in `tests/degradation.rs`:
+//! on the correlated traces graceful degradation yields strictly fewer
+//! SLA-violated request-slots and strictly more retained revenue than
+//! `RecoveryPolicy::None` for BOTH schemes, and the runtime invariant
+//! auditor reports zero violations on every degraded run.
+//!
+//! Output is printed and written to `results/correlated_failures.txt`.
+
+use std::fmt::Write as _;
+
+use mec_sim::{
+    CascadeConfig, DegradationConfig, FailureConfig, FailureProcess, RecoveryPolicy, Simulation,
+};
+use mec_topology::FailureDomainSet;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::offsite::OffsitePrimalDual;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+use vnfrel::{OnlineScheduler, Scheme};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
+
+const MODES: [&str; 3] = ["none", "recovery", "degraded"];
+const TRACES: [&str; 2] = ["independent", "correlated"];
+
+/// Aggregated SLA outcome of one (scheme, trace, mode) cell across seeds.
+#[derive(Debug, Default, Clone, Copy)]
+struct Agg {
+    admitted: usize,
+    violated: usize,
+    failures: usize,
+    recoveries: usize,
+    evicted: usize,
+    retained: f64,
+    refunded: f64,
+    audit_violations: usize,
+}
+
+fn make_scheduler<'a>(scheme: Scheme, scenario: &'a Scenario) -> Box<dyn OnlineScheduler + 'a> {
+    match scheme {
+        Scheme::OnSite => {
+            Box::new(OnsitePrimalDual::new(&scenario.instance, CapacityPolicy::Enforce).unwrap())
+        }
+        Scheme::OffSite => Box::new(OffsitePrimalDual::new(&scenario.instance)),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
+    let (requests, seeds): (usize, Vec<u64>) = if quick {
+        (150, vec![1])
+    } else {
+        (300, vec![1, 2, 3])
+    };
+    // Independent failures are kept mild (mttf 12) so the correlated
+    // stream's extra damage comes from the domains (mttf 6 per zone)
+    // and the cascade overlay, not from the shared base process.
+    let config = FailureConfig {
+        cloudlet_mttf: 12.0,
+        cloudlet_mttr: 2.0,
+        instance_kill_rate: 0.05,
+    };
+    let (domain_mttf, domain_mttr, zones) = (6.0, 2.0, 3);
+    let cascade = CascadeConfig {
+        utilization_threshold: 0.5,
+        hazard: 0.5,
+        outage_slots: 2,
+    };
+    let degradation = DegradationConfig::default();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table D — revenue retention under correlated domain outages \
+         ({requests} requests, seeds {seeds:?})\n\
+         base failures: mttf {} mttr {} kill-rate {}; domains: {zones} zones \
+         mttf {domain_mttf} mttr {domain_mttr}; cascade: threshold {} hazard {} \
+         outage {} slots; degradation: headroom {} max-retries {} backoff {}\n",
+        config.cloudlet_mttf,
+        config.cloudlet_mttr,
+        config.instance_kill_rate,
+        cascade.utilization_threshold,
+        cascade.hazard,
+        cascade.outage_slots,
+        degradation.headroom,
+        degradation.max_retries,
+        degradation.backoff_base,
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8} {:>11} {:>11}",
+        "scheme",
+        "trace",
+        "mode",
+        "admitted",
+        "violated",
+        "failures",
+        "recovered",
+        "evicted",
+        "retained",
+        "refunded"
+    );
+
+    for scheme in [Scheme::OnSite, Scheme::OffSite] {
+        // cells[trace][mode]
+        let mut cells = [[Agg::default(); 3]; 2];
+        for &seed in &seeds {
+            let scenario = Scenario::build(&ScenarioParams {
+                requests,
+                seed,
+                ..ScenarioParams::default()
+            });
+            let sim = Simulation::new(&scenario.instance, &scenario.requests).expect("valid");
+            let domains = FailureDomainSet::zones(
+                scenario.instance.network(),
+                zones,
+                domain_mttf,
+                domain_mttr,
+            )
+            .expect("valid domains");
+            // Identical seed for both streams: the correlated trace
+            // differs only by the domain process and cascade overlay.
+            let fseed = seed.wrapping_add(9000);
+            let independent = FailureProcess::generate(
+                scenario.instance.network(),
+                &config,
+                scenario.instance.horizon(),
+                &mut ChaCha8Rng::seed_from_u64(fseed),
+            )
+            .expect("valid config");
+            let correlated = FailureProcess::generate_with_domains(
+                scenario.instance.network(),
+                &config,
+                &domains,
+                Some(cascade),
+                scenario.instance.horizon(),
+                &mut ChaCha8Rng::seed_from_u64(fseed),
+            )
+            .expect("valid config");
+            for (row, trace) in [&independent, &correlated].into_iter().enumerate() {
+                for (col, &mode) in MODES.iter().enumerate() {
+                    let mut scheduler = make_scheduler(scheme, &scenario);
+                    let report = match mode {
+                        "none" => sim
+                            .run_with_failures(scheduler.as_mut(), trace, RecoveryPolicy::None)
+                            .expect("fault run"),
+                        "recovery" => sim
+                            .run_with_failures(
+                                scheduler.as_mut(),
+                                trace,
+                                RecoveryPolicy::SchemeMatching,
+                            )
+                            .expect("fault run"),
+                        _ => sim
+                            .run_degraded(
+                                scheduler.as_mut(),
+                                trace,
+                                RecoveryPolicy::SchemeMatching,
+                                &degradation,
+                            )
+                            .expect("degraded run"),
+                    };
+                    let cell = &mut cells[row][col];
+                    cell.admitted += report.metrics.admitted;
+                    cell.violated += report.sla.violated_request_slots();
+                    cell.failures += report.sla.total_failures();
+                    cell.recoveries += report.sla.total_recoveries();
+                    cell.evicted += report.sla.evicted_requests();
+                    cell.retained += report.sla.revenue_retained();
+                    cell.refunded += report.sla.revenue_refunded();
+                    if let Some(audit) = &report.audit {
+                        cell.audit_violations += audit.violations.len();
+                    }
+                }
+            }
+        }
+        for (row, trace) in TRACES.iter().enumerate() {
+            for (col, mode) in MODES.iter().enumerate() {
+                let cell = cells[row][col];
+                let _ = writeln!(
+                    out,
+                    "{:>9} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8} {:>11.2} {:>11.2}",
+                    match scheme {
+                        Scheme::OnSite => "on-site",
+                        Scheme::OffSite => "off-site",
+                    },
+                    trace,
+                    mode,
+                    cell.admitted,
+                    cell.violated,
+                    cell.failures,
+                    cell.recoveries,
+                    cell.evicted,
+                    cell.retained,
+                    cell.refunded
+                );
+            }
+        }
+        // Correlated-trace acceptance: graceful degradation strictly
+        // beats no recovery on both axes, with a clean audit.
+        let none = cells[1][0];
+        let degraded = cells[1][2];
+        assert!(
+            none.failures > 0,
+            "correlated trace produced no failures; the comparison is vacuous"
+        );
+        assert!(
+            degraded.violated < none.violated,
+            "{scheme:?}: graceful degradation must strictly reduce violated \
+             request-slots on correlated traces ({} vs {} with none)",
+            degraded.violated,
+            none.violated
+        );
+        assert!(
+            degraded.retained > none.retained,
+            "{scheme:?}: graceful degradation must strictly increase retained \
+             revenue on correlated traces ({:.2} vs {:.2} with none)",
+            degraded.retained,
+            none.retained
+        );
+        assert_eq!(
+            degraded.audit_violations, 0,
+            "{scheme:?}: the invariant auditor found violations in a degraded run"
+        );
+        assert_eq!(
+            cells[0][2].audit_violations, 0,
+            "{scheme:?}: the invariant auditor found violations on the independent trace"
+        );
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "graceful degradation strictly reduces SLA-violated request-slots and \
+         strictly increases retained revenue vs none on the correlated traces, \
+         for both schemes; the runtime invariant auditor reported zero \
+         violations across every degraded run."
+    );
+
+    print!("{out}");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/correlated_failures.txt"
+    );
+    std::fs::write(path, &out).expect("write results/correlated_failures.txt");
+    note(quiet, format!("wrote {path}"));
+}

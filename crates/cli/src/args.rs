@@ -142,6 +142,40 @@ impl Default for FailuresArgs {
     }
 }
 
+/// Fully parsed `degradation` options: a fault simulation with
+/// correlated failure domains, an optional cascade overlay, and the
+/// graceful-degradation layer (headroom admission, load shedding,
+/// bounded retries, runtime auditing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationArgs {
+    /// The underlying fault simulation (same flags as `failures`).
+    pub failures: FailuresArgs,
+    /// Number of zone-partition failure domains the cloudlets are
+    /// split into.
+    pub domains: usize,
+    /// Domain mean time to failure, in slots.
+    pub domain_mttf: f64,
+    /// Domain mean time to repair, in slots.
+    pub domain_mttr: f64,
+    /// Cascade overlay; `None` disables secondary failures.
+    pub cascade: Option<mec_sim::CascadeConfig>,
+    /// The graceful-degradation knobs.
+    pub config: mec_sim::DegradationConfig,
+}
+
+impl Default for DegradationArgs {
+    fn default() -> Self {
+        DegradationArgs {
+            failures: FailuresArgs::default(),
+            domains: 2,
+            domain_mttf: 24.0,
+            domain_mttr: 2.0,
+            cascade: Some(mec_sim::CascadeConfig::default()),
+            config: mec_sim::DegradationConfig::default(),
+        }
+    }
+}
+
 /// The parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -150,6 +184,9 @@ pub enum Command {
     /// Run a fault-aware simulation with online recovery and SLA
     /// accounting.
     Failures(FailuresArgs),
+    /// Run a fault-aware simulation with correlated failure domains,
+    /// cascades, and graceful degradation.
+    Degradation(DegradationArgs),
     /// Replay a recorded trace and explain one request's decision.
     Explain {
         /// The request id to explain.
@@ -191,6 +228,8 @@ vnfrel — reliability-aware VNF scheduling experiments
 USAGE:
   vnfrel simulate [OPTIONS]     run one online-scheduling simulation
   vnfrel failures [OPTIONS]     simulate under dynamic outages with recovery
+  vnfrel degradation [OPTIONS]  correlated domain outages, cascades, and
+                                graceful degradation
   vnfrel explain <ID> --trace <PATH>  replay a trace, explain one request
   vnfrel topo [OPTIONS]         describe a topology (--dot for Graphviz)
   vnfrel help                   show this text
@@ -229,6 +268,21 @@ FAILURES OPTIONS (all SIMULATE OPTIONS, plus):
                         (--trace also records outage/kill/breach/recovery
                         events here)
 
+DEGRADATION OPTIONS (all FAILURES OPTIONS, plus):
+  --domains <N>         zone-partition failure domains [2]
+  --domain-mttf <F>     domain mean time to failure, slots [24]
+  --domain-mttr <F>     domain mean time to repair, slots [2]
+  --no-cascade          disable the secondary-failure overlay
+  --cascade-threshold <F> utilization fraction that puts survivors at
+                        risk [0.85]
+  --cascade-hazard <F>  per-trigger cascade probability [0.3]
+  --cascade-slots <N>   slots a cascade outage lasts [2]
+  --headroom <F>        capacity fraction reserved while degraded [0.1]
+  --max-retries <N>     re-placement attempts per failure episode [4]
+  --backoff <N>         base of the exponential retry backoff, slots [1]
+  --no-shed             disable the revenue-aware load shedder
+  --no-audit            disable the runtime invariant auditor
+
 EXPLAIN OPTIONS:
   --trace <PATH>        the JSONL trace to replay (required)
   --quiet, -q           suppress stderr notes
@@ -252,6 +306,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "simulate" => parse_simulate(rest),
         "failures" => parse_failures(rest),
+        "degradation" => parse_degradation(rest),
         "explain" => parse_explain(rest),
         "topo" => parse_topo(rest),
         other => Err(ParseError(format!(
@@ -335,8 +390,56 @@ fn parse_simulate(rest: &[String]) -> Result<Command, ParseError> {
     Ok(Command::Simulate(out))
 }
 
+/// Tries to consume one `failures`-family flag (shared between the
+/// `failures` and `degradation` commands), falling through to the
+/// simulate flags. Returns `Ok(false)` when the flag belongs to neither
+/// family.
+fn apply_failures_flag(
+    out: &mut FailuresArgs,
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, ParseError> {
+    let mut value = |name: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{name} expects a value")))
+    };
+    match flag {
+        "--mttf" => out.mttf = parse_num(&value("--mttf")?, "--mttf")?,
+        "--mttr" => out.mttr = parse_num(&value("--mttr")?, "--mttr")?,
+        "--kill-rate" => out.kill_rate = parse_num(&value("--kill-rate")?, "--kill-rate")?,
+        "--policy" => {
+            out.policy = match value("--policy")?.as_str() {
+                "none" => mec_sim::RecoveryPolicy::None,
+                "onsite" | "on-site" => mec_sim::RecoveryPolicy::OnSite,
+                "offsite" | "off-site" => mec_sim::RecoveryPolicy::OffSite,
+                "matching" | "scheme-matching" => mec_sim::RecoveryPolicy::SchemeMatching,
+                s => return Err(ParseError(format!("unknown recovery policy `{s}`"))),
+            }
+        }
+        "--failure-seed" => {
+            out.failure_seed = parse_num(&value("--failure-seed")?, "--failure-seed")?
+        }
+        "--sla-csv" => out.sla_csv = Some(value("--sla-csv")?),
+        _ => return apply_sim_flag(&mut out.sim, flag, it),
+    }
+    Ok(true)
+}
+
 fn parse_failures(rest: &[String]) -> Result<Command, ParseError> {
     let mut out = FailuresArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if !apply_failures_flag(&mut out, flag, &mut it)? {
+            return Err(ParseError(format!("unknown option `{flag}`")));
+        }
+    }
+    check_sim(&out.sim)?;
+    Ok(Command::Failures(out))
+}
+
+fn parse_degradation(rest: &[String]) -> Result<Command, ParseError> {
+    let mut out = DegradationArgs::default();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -345,31 +448,48 @@ fn parse_failures(rest: &[String]) -> Result<Command, ParseError> {
                 .ok_or_else(|| ParseError(format!("{name} expects a value")))
         };
         match flag.as_str() {
-            "--mttf" => out.mttf = parse_num(&value("--mttf")?, "--mttf")?,
-            "--mttr" => out.mttr = parse_num(&value("--mttr")?, "--mttr")?,
-            "--kill-rate" => out.kill_rate = parse_num(&value("--kill-rate")?, "--kill-rate")?,
-            "--policy" => {
-                out.policy = match value("--policy")?.as_str() {
-                    "none" => mec_sim::RecoveryPolicy::None,
-                    "onsite" | "on-site" => mec_sim::RecoveryPolicy::OnSite,
-                    "offsite" | "off-site" => mec_sim::RecoveryPolicy::OffSite,
-                    "matching" | "scheme-matching" => mec_sim::RecoveryPolicy::SchemeMatching,
-                    s => return Err(ParseError(format!("unknown recovery policy `{s}`"))),
-                }
+            "--domains" => out.domains = parse_num(&value("--domains")?, "--domains")?,
+            "--domain-mttf" => {
+                out.domain_mttf = parse_num(&value("--domain-mttf")?, "--domain-mttf")?
             }
-            "--failure-seed" => {
-                out.failure_seed = parse_num(&value("--failure-seed")?, "--failure-seed")?
+            "--domain-mttr" => {
+                out.domain_mttr = parse_num(&value("--domain-mttr")?, "--domain-mttr")?
             }
-            "--sla-csv" => out.sla_csv = Some(value("--sla-csv")?),
+            "--no-cascade" => out.cascade = None,
+            "--cascade-threshold" => {
+                out.cascade
+                    .get_or_insert_with(Default::default)
+                    .utilization_threshold =
+                    parse_num(&value("--cascade-threshold")?, "--cascade-threshold")?
+            }
+            "--cascade-hazard" => {
+                out.cascade.get_or_insert_with(Default::default).hazard =
+                    parse_num(&value("--cascade-hazard")?, "--cascade-hazard")?
+            }
+            "--cascade-slots" => {
+                out.cascade
+                    .get_or_insert_with(Default::default)
+                    .outage_slots = parse_num(&value("--cascade-slots")?, "--cascade-slots")?
+            }
+            "--headroom" => out.config.headroom = parse_num(&value("--headroom")?, "--headroom")?,
+            "--max-retries" => {
+                out.config.max_retries = parse_num(&value("--max-retries")?, "--max-retries")?
+            }
+            "--backoff" => out.config.backoff_base = parse_num(&value("--backoff")?, "--backoff")?,
+            "--no-shed" => out.config.shed = false,
+            "--no-audit" => out.config.audit = false,
             _ => {
-                if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
+                if !apply_failures_flag(&mut out.failures, flag, &mut it)? {
                     return Err(ParseError(format!("unknown option `{flag}`")));
                 }
             }
         }
     }
-    check_sim(&out.sim)?;
-    Ok(Command::Failures(out))
+    if out.domains == 0 {
+        return Err(ParseError("--domains must be at least 1".into()));
+    }
+    check_sim(&out.failures.sim)?;
+    Ok(Command::Degradation(out))
 }
 
 fn parse_explain(rest: &[String]) -> Result<Command, ParseError> {
@@ -645,6 +765,71 @@ mod tests {
             "density"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn degradation_defaults_and_flags() {
+        let Command::Degradation(a) = parse(&sv(&["degradation"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, DegradationArgs::default());
+
+        let Command::Degradation(a) = parse(&sv(&[
+            "degradation",
+            "--domains",
+            "3",
+            "--domain-mttf",
+            "12",
+            "--domain-mttr",
+            "4",
+            "--cascade-threshold",
+            "0.6",
+            "--cascade-hazard",
+            "0.5",
+            "--cascade-slots",
+            "3",
+            "--headroom",
+            "0.2",
+            "--max-retries",
+            "2",
+            "--backoff",
+            "2",
+            "--no-shed",
+            "--mttf",
+            "20",
+            "--requests",
+            "80",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.domains, 3);
+        assert_eq!(a.domain_mttf, 12.0);
+        assert_eq!(a.domain_mttr, 4.0);
+        let cascade = a.cascade.unwrap();
+        assert_eq!(cascade.utilization_threshold, 0.6);
+        assert_eq!(cascade.hazard, 0.5);
+        assert_eq!(cascade.outage_slots, 3);
+        assert_eq!(a.config.headroom, 0.2);
+        assert_eq!(a.config.max_retries, 2);
+        assert_eq!(a.config.backoff_base, 2);
+        assert!(!a.config.shed);
+        assert!(a.config.audit);
+        // Inherited failures and simulate flags still apply.
+        assert_eq!(a.failures.mttf, 20.0);
+        assert_eq!(a.failures.sim.requests, 80);
+
+        let Command::Degradation(a) =
+            parse(&sv(&["degradation", "--no-cascade", "--no-audit"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.cascade.is_none());
+        assert!(!a.config.audit);
+
+        assert!(parse(&sv(&["degradation", "--domains", "0"])).is_err());
+        assert!(parse(&sv(&["degradation", "--bogus"])).is_err());
+        assert!(parse(&sv(&["degradation", "--headroom"])).is_err());
     }
 
     #[test]

@@ -30,6 +30,10 @@ fn main() -> ExitCode {
             failures_args,
             &mut runner::Output::new(&mut stdout, &mut stderr, failures_args.sim.quiet),
         ),
+        args::Command::Degradation(deg_args) => runner::degradation(
+            deg_args,
+            &mut runner::Output::new(&mut stdout, &mut stderr, deg_args.failures.sim.quiet),
+        ),
         args::Command::Explain {
             request,
             trace,

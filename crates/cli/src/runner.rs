@@ -15,7 +15,7 @@ use mec_sim::{
 };
 use mec_topology::generators::{self, CloudletPlacement};
 use mec_topology::stats::{to_dot, NetworkStats};
-use mec_topology::{zoo, Network};
+use mec_topology::{zoo, FailureDomainSet, Network};
 use mec_workload::{Horizon, Request, RequestGenerator, VnfCatalog};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -24,7 +24,7 @@ use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
 use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
 use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
 
-use crate::args::{AlgorithmChoice, FailuresArgs, SimulateArgs, TopologyChoice};
+use crate::args::{AlgorithmChoice, DegradationArgs, FailuresArgs, SimulateArgs, TopologyChoice};
 
 /// Split output channels: result tables go to `out` (stdout), progress
 /// and provenance notes go to `err` (stderr) so tables stay pipeable.
@@ -439,6 +439,147 @@ pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> 
     Ok(())
 }
 
+/// Runs the `degradation` command: a fault-aware simulation whose
+/// outage trace carries correlated failure domains (zone partitions of
+/// the cloudlet fleet) and an optional cascade overlay, replayed through
+/// the graceful-degradation layer — headroom-reserving admission, a
+/// revenue-aware load shedder, bounded retries with exponential backoff,
+/// and the runtime invariant auditor. A same-trace no-recovery baseline
+/// quantifies what the layer buys.
+///
+/// # Errors
+///
+/// Returns a printable message on invalid configurations or failed
+/// exports (always naming the target path).
+pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), String> {
+    let fargs = &args.failures;
+    let (instance, requests, _) = build_setup(&fargs.sim)?;
+    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    let config = FailureConfig {
+        cloudlet_mttf: fargs.mttf,
+        cloudlet_mttr: fargs.mttr,
+        instance_kill_rate: fargs.kill_rate,
+    };
+    let domains = FailureDomainSet::zones(
+        instance.network(),
+        args.domains,
+        args.domain_mttf,
+        args.domain_mttr,
+    )
+    .map_err(|e| e.to_string())?;
+    let trace = FailureProcess::generate_with_domains(
+        instance.network(),
+        &config,
+        &domains,
+        args.cascade,
+        instance.horizon(),
+        &mut ChaCha8Rng::seed_from_u64(fargs.failure_seed),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let report = if fargs.sim.trace.is_some() {
+        let sink = Rc::new(RefCell::new(CliTraceSink {
+            metrics: None,
+            jsonl: fargs.sim.trace.as_deref().map(open_trace).transpose()?,
+        }));
+        let mut scheduler = make_traced_scheduler(&instance, &fargs.sim, Rc::clone(&sink))?;
+        let mut engine_sink = Rc::clone(&sink);
+        let report = sim
+            .run_degraded_traced(
+                scheduler.as_mut(),
+                &trace,
+                fargs.policy,
+                &args.config,
+                &mut engine_sink,
+            )
+            .map_err(|e| e.to_string())?;
+        drop(scheduler);
+        drop(engine_sink);
+        finish_trace(sink, fargs.sim.trace.as_deref(), io)?;
+        report
+    } else {
+        let mut scheduler = make_scheduler(&instance, &fargs.sim)?;
+        sim.run_degraded(scheduler.as_mut(), &trace, fargs.policy, &args.config)
+            .map_err(|e| e.to_string())?
+    };
+
+    io.note(format!("{instance}"))?;
+    io.note(format!(
+        "failure process: mttf {} mttr {} kill-rate {} seed {} -> {} events",
+        fargs.mttf,
+        fargs.mttr,
+        fargs.kill_rate,
+        fargs.failure_seed,
+        trace.total_events()
+    ))?;
+    io.note(format!(
+        "failure domains: {} zones, mttf {} mttr {} -> {} domain events{}",
+        args.domains,
+        args.domain_mttf,
+        args.domain_mttr,
+        trace.total_domain_events(),
+        match &args.cascade {
+            Some(c) => format!(
+                "; cascades above {:.0}% utilization (hazard {}, {} slots)",
+                c.utilization_threshold * 100.0,
+                c.hazard,
+                c.outage_slots
+            ),
+            None => "; cascades off".into(),
+        }
+    ))?;
+    io.table(&report.metrics)?;
+    io.table(format!("policy {}: {}", report.policy, report.sla))?;
+    if let Some(stats) = &report.degradation {
+        io.table(format!(
+            "degradation: {} degraded slots, {} vetoed admissions, {} evictions, \
+             {} cascades, {} retry episodes exhausted",
+            stats.degraded_slots,
+            stats.vetoed_admissions,
+            stats.evictions,
+            stats.cascades,
+            stats.retries_exhausted
+        ))?;
+    }
+    match &report.audit {
+        Some(audit) if audit.is_clean() => {
+            io.table(format!("audit: clean over {} slots", audit.slots_checked))?
+        }
+        Some(audit) => {
+            io.table(format!("audit: {audit}"))?;
+        }
+        None => io.note("audit: off".to_string())?,
+    }
+
+    // Same-trace baseline without recovery or degradation: what the
+    // layer buys in violated slots and retained revenue.
+    let mut baseline = make_scheduler(&instance, &fargs.sim)?;
+    let base = sim
+        .run_with_failures(baseline.as_mut(), &trace, RecoveryPolicy::None)
+        .map_err(|e| e.to_string())?;
+    io.table(format!("baseline {}: {}", base.policy, base.sla))?;
+    io.table(format!(
+        "violated request-slots: {} -> {}",
+        base.sla.violated_request_slots(),
+        report.sla.violated_request_slots()
+    ))?;
+    io.table(format!(
+        "revenue retained: {:.2} -> {:.2}",
+        base.sla.revenue_retained(),
+        report.sla.revenue_retained()
+    ))?;
+
+    if let Some(path) = &fargs.sim.timeline_csv {
+        write_csv_file(path, |w| export::write_fault_timeline_csv(w, &report))?;
+        io.note(format!("timeline CSV -> {path}"))?;
+    }
+    if let Some(path) = &fargs.sla_csv {
+        write_csv_file(path, |w| export::write_sla_csv(w, &report))?;
+        io.note(format!("SLA CSV -> {path}"))?;
+    }
+    Ok(())
+}
+
 /// Runs the `explain` command: replays a recorded JSONL trace and prints
 /// every event concerning one request, re-deriving the dual-cost
 /// arithmetic of its decision as a consistency check.
@@ -554,7 +695,21 @@ pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<
                     io.table(format!("slot {slot}: recovery attempt failed"))?;
                 }
             }
-            TraceEvent::OutageStart { .. } | TraceEvent::OutageEnd { .. } => {}
+            TraceEvent::Eviction { slot, density, .. } => {
+                io.table(format!(
+                    "slot {slot}: evicted by the load shedder (payment density {density})"
+                ))?;
+            }
+            // Fleet-level events carry no request id and never pass the
+            // `request()` filter above.
+            TraceEvent::OutageStart { .. }
+            | TraceEvent::OutageEnd { .. }
+            | TraceEvent::DomainOutageStart { .. }
+            | TraceEvent::DomainOutageEnd { .. }
+            | TraceEvent::Cascade { .. }
+            | TraceEvent::DegradedEnter { .. }
+            | TraceEvent::DegradedExit { .. }
+            | TraceEvent::AuditViolation { .. } => {}
         }
     }
     if mismatches > 0 {

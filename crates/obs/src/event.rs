@@ -179,6 +179,65 @@ pub enum TraceEvent {
         /// Cloudlets of the replacement placement (empty on failure).
         cloudlets: Vec<usize>,
     },
+    /// A whole failure domain (shared-risk group) crashed: every member
+    /// cloudlet went down atomically.
+    DomainOutageStart {
+        /// Slot at which the domain outage takes effect.
+        slot: usize,
+        /// Dense failure-domain id.
+        domain: usize,
+        /// Member cloudlets taken down with the domain.
+        cloudlets: Vec<usize>,
+    },
+    /// A failure domain finished repair.
+    DomainOutageEnd {
+        /// Slot at which the domain comes back.
+        slot: usize,
+        /// Dense failure-domain id.
+        domain: usize,
+    },
+    /// A surviving cloudlet cascaded: its post-outage utilization crossed
+    /// the cascade threshold and the pre-drawn hazard fired.
+    Cascade {
+        /// Slot of the secondary outage.
+        slot: usize,
+        /// Dense cloudlet id that cascaded.
+        cloudlet: usize,
+        /// Utilization fraction that put the cloudlet at risk.
+        utilization: f64,
+    },
+    /// The load-shedder evicted a retained request to free capacity for
+    /// a higher-density re-placement.
+    Eviction {
+        /// Slot of the eviction.
+        slot: usize,
+        /// Dense request id evicted.
+        request: usize,
+        /// Payment density (`pay / (duration · demand)`) at eviction —
+        /// evictions happen in ascending density order.
+        density: f64,
+    },
+    /// The engine entered degraded mode: admissions now reserve capacity
+    /// headroom until every domain repairs.
+    DegradedEnter {
+        /// Slot degraded mode began.
+        slot: usize,
+    },
+    /// The engine left degraded mode.
+    DegradedExit {
+        /// Slot normal admission resumed.
+        slot: usize,
+    },
+    /// The runtime invariant auditor observed a violation (the run
+    /// continues; violations are reported, not panicked on).
+    AuditViolation {
+        /// Slot the violation was detected in.
+        slot: usize,
+        /// Stable name of the violated invariant.
+        invariant: String,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -191,6 +250,13 @@ impl TraceEvent {
             TraceEvent::InstanceKill { .. } => "instance-kill",
             TraceEvent::SlaBreach { .. } => "sla-breach",
             TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::DomainOutageStart { .. } => "domain-outage-start",
+            TraceEvent::DomainOutageEnd { .. } => "domain-outage-end",
+            TraceEvent::Cascade { .. } => "cascade",
+            TraceEvent::Eviction { .. } => "eviction",
+            TraceEvent::DegradedEnter { .. } => "degraded-enter",
+            TraceEvent::DegradedExit { .. } => "degraded-exit",
+            TraceEvent::AuditViolation { .. } => "audit-violation",
         }
     }
 
@@ -200,8 +266,16 @@ impl TraceEvent {
             TraceEvent::Decision(d) => Some(d.request),
             TraceEvent::InstanceKill { request, .. }
             | TraceEvent::SlaBreach { request, .. }
-            | TraceEvent::Recovery { request, .. } => Some(*request),
-            TraceEvent::OutageStart { .. } | TraceEvent::OutageEnd { .. } => None,
+            | TraceEvent::Recovery { request, .. }
+            | TraceEvent::Eviction { request, .. } => Some(*request),
+            TraceEvent::OutageStart { .. }
+            | TraceEvent::OutageEnd { .. }
+            | TraceEvent::DomainOutageStart { .. }
+            | TraceEvent::DomainOutageEnd { .. }
+            | TraceEvent::Cascade { .. }
+            | TraceEvent::DegradedEnter { .. }
+            | TraceEvent::DegradedExit { .. }
+            | TraceEvent::AuditViolation { .. } => None,
         }
     }
 }

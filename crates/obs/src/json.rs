@@ -158,6 +158,73 @@ pub fn to_json(event: &TraceEvent) -> String {
             }
             out.push_str("]}");
         }
+        TraceEvent::DomainOutageStart {
+            slot,
+            domain,
+            cloudlets,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"domain-outage-start\",\"slot\":{slot},\"domain\":{domain},\"cloudlets\":["
+            );
+            for (i, c) in cloudlets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+        TraceEvent::DomainOutageEnd { slot, domain } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"domain-outage-end\",\"slot\":{slot},\"domain\":{domain}}}"
+            );
+        }
+        TraceEvent::Cascade {
+            slot,
+            cloudlet,
+            utilization,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"cascade\",\"slot\":{slot},\"cloudlet\":{cloudlet},\"utilization\":"
+            );
+            push_f64(&mut out, *utilization);
+            out.push('}');
+        }
+        TraceEvent::Eviction {
+            slot,
+            request,
+            density,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"eviction\",\"slot\":{slot},\"request\":{request},\"density\":"
+            );
+            push_f64(&mut out, *density);
+            out.push('}');
+        }
+        TraceEvent::DegradedEnter { slot } => {
+            let _ = write!(out, "{{\"type\":\"degraded-enter\",\"slot\":{slot}}}");
+        }
+        TraceEvent::DegradedExit { slot } => {
+            let _ = write!(out, "{{\"type\":\"degraded-exit\",\"slot\":{slot}}}");
+        }
+        TraceEvent::AuditViolation {
+            slot,
+            invariant,
+            detail,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"audit-violation\",\"slot\":{slot},\"invariant\":"
+            );
+            push_str(&mut out, invariant);
+            out.push_str(",\"detail\":");
+            push_str(&mut out, detail);
+            out.push('}');
+        }
     }
     out
 }
@@ -526,6 +593,46 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
                 cloudlets,
             })
         }
+        "domain-outage-start" => {
+            let cloudlets_json = match required(&value, "cloudlets")? {
+                Json::Arr(items) => items,
+                _ => return Err(fail("field 'cloudlets' is not an array")),
+            };
+            let mut cloudlets = Vec::with_capacity(cloudlets_json.len());
+            for c in cloudlets_json {
+                cloudlets.push(as_usize(c, "cloudlets[]")?);
+            }
+            Ok(TraceEvent::DomainOutageStart {
+                slot: as_usize(required(&value, "slot")?, "slot")?,
+                domain: as_usize(required(&value, "domain")?, "domain")?,
+                cloudlets,
+            })
+        }
+        "domain-outage-end" => Ok(TraceEvent::DomainOutageEnd {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            domain: as_usize(required(&value, "domain")?, "domain")?,
+        }),
+        "cascade" => Ok(TraceEvent::Cascade {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            cloudlet: as_usize(required(&value, "cloudlet")?, "cloudlet")?,
+            utilization: as_f64(required(&value, "utilization")?, "utilization")?,
+        }),
+        "eviction" => Ok(TraceEvent::Eviction {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            request: as_usize(required(&value, "request")?, "request")?,
+            density: as_f64(required(&value, "density")?, "density")?,
+        }),
+        "degraded-enter" => Ok(TraceEvent::DegradedEnter {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+        }),
+        "degraded-exit" => Ok(TraceEvent::DegradedExit {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+        }),
+        "audit-violation" => Ok(TraceEvent::AuditViolation {
+            slot: as_usize(required(&value, "slot")?, "slot")?,
+            invariant: as_str(required(&value, "invariant")?, "invariant")?.to_string(),
+            detail: as_str(required(&value, "detail")?, "detail")?.to_string(),
+        }),
         other => Err(fail(format!("unknown event type '{other}'"))),
     }
 }
@@ -624,6 +731,52 @@ mod tests {
             TraceEvent::Decision(d) => assert!(d.payment.is_nan()),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_lifecycle_events_round_trip() {
+        let events = vec![
+            TraceEvent::DomainOutageStart {
+                slot: 4,
+                domain: 1,
+                cloudlets: vec![0, 2, 5],
+            },
+            TraceEvent::DomainOutageEnd { slot: 9, domain: 1 },
+            TraceEvent::Cascade {
+                slot: 5,
+                cloudlet: 3,
+                utilization: 0.9375,
+            },
+            TraceEvent::Eviction {
+                slot: 6,
+                request: 12,
+                density: 0.125,
+            },
+            TraceEvent::DegradedEnter { slot: 4 },
+            TraceEvent::DegradedExit { slot: 10 },
+            TraceEvent::AuditViolation {
+                slot: 7,
+                invariant: "ledger-balance".to_string(),
+                detail: "cloudlet 2 slot 7: used 5 expected 4".to_string(),
+            },
+        ];
+        for ev in events {
+            let line = to_json(&ev);
+            assert_eq!(parse_line(&line).unwrap(), ev, "line: {line}");
+        }
+        assert_eq!(
+            TraceEvent::Eviction {
+                slot: 0,
+                request: 0,
+                density: 0.0
+            }
+            .request(),
+            Some(0)
+        );
+        assert_eq!(
+            TraceEvent::DegradedEnter { slot: 0 }.kind(),
+            "degraded-enter"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@ use mec_workload::{Request, TimeSlot};
 use vnfrel::reliability::onsite_availability;
 use vnfrel::{validate_schedule, OnlineScheduler, ProblemInstance, Schedule, ValidationReport};
 
-use crate::fault::{FailureEvent, FailureProcess};
+use crate::audit::{AuditReport, Auditor, LiveView};
+use crate::fault::{DomainEvent, FailureEvent, FailureProcess};
 use crate::metrics::{FaultSlotStats, RunMetrics, SlaRecord, SlaReport, SlotStats};
 use crate::obs::EngineMetrics;
 use crate::recovery::{self, RecoveryPolicy};
@@ -46,6 +47,98 @@ pub struct RunReport {
     pub cumulative_revenue: Vec<f64>,
 }
 
+/// Knobs of the graceful-degradation layer
+/// ([`Simulation::run_degraded`]).
+///
+/// The layer adds three mechanisms on top of a [`RecoveryPolicy`]:
+///
+/// * **Degraded-mode admission headroom** — while any failure domain is
+///   down (or a cascade outage is active), fresh admissions that would
+///   push a hosting cloudlet's committed load above
+///   `(1 − headroom) · capacity` in any slot of their window are
+///   overturned into rejections, keeping `headroom` of every cloudlet
+///   free for recovery re-placements.
+/// * **Revenue-aware load shedding** — when a re-placement attempt finds
+///   no room, retained requests with *strictly lower* payment density
+///   (`pay / (duration · demand)`) are evicted in ascending density
+///   order until the re-placement fits or no cheaper victim remains.
+///   Evicted requests accrue downtime (and thus SLA refunds) for the
+///   rest of their window.
+/// * **Bounded retry with exponential backoff** — each failure episode
+///   allows at most `max_retries` re-placement attempts, spaced
+///   `backoff_base · 2^(attempt−1)` slots apart, so a hopeless request
+///   stops hammering the ledger.
+///
+/// With [`DegradationConfig::audit`] the engine additionally re-verifies
+/// its books after every slot (see [`crate::audit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationConfig {
+    /// Fraction of every cloudlet's capacity reserved while degraded.
+    pub headroom: f64,
+    /// Re-placement attempts allowed per failure episode.
+    pub max_retries: usize,
+    /// Base retry spacing in slots; attempt `k` waits
+    /// `backoff_base · 2^(k−1)` slots after failing.
+    pub backoff_base: usize,
+    /// Enables the revenue-aware load shedder.
+    pub shed: bool,
+    /// Runs the invariant auditor each slot, attaching an
+    /// [`AuditReport`] to the run report.
+    pub audit: bool,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            headroom: 0.1,
+            max_retries: 4,
+            backoff_base: 1,
+            shed: true,
+            audit: true,
+        }
+    }
+}
+
+impl DegradationConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Mismatch`] when the headroom leaves `[0, 1)`
+    /// or a retry knob is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.headroom.is_finite() || !(0.0..1.0).contains(&self.headroom) {
+            return Err(SimError::Mismatch("degradation headroom must be in [0, 1)"));
+        }
+        if self.max_retries == 0 {
+            return Err(SimError::Mismatch(
+                "degradation must allow at least one retry",
+            ));
+        }
+        if self.backoff_base == 0 {
+            return Err(SimError::Mismatch(
+                "degradation backoff base must be at least one slot",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters of the graceful-degradation layer over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationStats {
+    /// Slots spent in degraded mode (a domain or cascade outage active).
+    pub degraded_slots: usize,
+    /// Admissions overturned by the degraded-mode headroom reserve.
+    pub vetoed_admissions: usize,
+    /// Requests evicted by the load shedder.
+    pub evictions: usize,
+    /// Secondary (cascade) outages that fired.
+    pub cascades: usize,
+    /// Failure episodes that exhausted their retry budget.
+    pub retries_exhausted: usize,
+}
+
 /// Result of one fault-aware run ([`Simulation::run_with_failures`]).
 ///
 /// There is no [`ValidationReport`] here: the static feasibility checker
@@ -64,6 +157,12 @@ pub struct FaultRunReport {
     pub timeline: Vec<FaultSlotStats>,
     /// The recovery policy the run used.
     pub policy: RecoveryPolicy,
+    /// Invariant-auditor findings, when auditing was enabled
+    /// ([`DegradationConfig::audit`]).
+    pub audit: Option<AuditReport>,
+    /// Degradation-layer counters, when the run used
+    /// [`Simulation::run_degraded`].
+    pub degradation: Option<DegradationStats>,
 }
 
 /// Live placement state of one admitted request during a fault-aware run.
@@ -81,6 +180,12 @@ struct LiveReq {
     recovery_attempts: usize,
     recoveries: usize,
     repair_latency_slots: usize,
+    /// The load shedder evicted this request; it stays down for good.
+    evicted: bool,
+    /// Re-placement attempts spent on the current failure episode.
+    episode_attempts: usize,
+    /// Earliest slot the next re-placement attempt may run (backoff).
+    retry_at: TimeSlot,
 }
 
 impl LiveReq {
@@ -104,7 +209,7 @@ impl LiveReq {
 /// on-site placement reduces to Eq. 3, a pure off-site one to Eq. 10,
 /// and mixed states (partially killed placements, recoveries under a
 /// different scheme) interpolate between them.
-fn surviving_availability(
+pub(crate) fn surviving_availability(
     instance: &ProblemInstance,
     vnf_rel: Reliability,
     sites: &[(usize, u32)],
@@ -411,6 +516,68 @@ impl<'a> Simulation<'a> {
         policy: RecoveryPolicy,
         sink: &mut K,
     ) -> Result<FaultRunReport, SimError> {
+        self.fault_run(scheduler, failures, policy, None, sink)
+    }
+
+    /// Like [`Simulation::run_with_failures`], with the graceful-
+    /// degradation layer active: degraded-mode admission headroom while
+    /// a failure domain (or cascade outage) is down, revenue-aware load
+    /// shedding when re-placements find no room, bounded retries with
+    /// exponential backoff per failure episode, and — when
+    /// [`DegradationConfig::audit`] is set — a per-slot invariant audit
+    /// attached to the report. See [`DegradationConfig`] for the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run_with_failures`], plus
+    /// [`SimError::Mismatch`] for invalid degradation knobs.
+    pub fn run_degraded<S: OnlineScheduler + ?Sized>(
+        &self,
+        scheduler: &mut S,
+        failures: &FailureProcess,
+        policy: RecoveryPolicy,
+        config: &DegradationConfig,
+    ) -> Result<FaultRunReport, SimError> {
+        self.fault_run(scheduler, failures, policy, Some(config), &mut NoopSink)
+    }
+
+    /// Like [`Simulation::run_degraded`], recording fault-lifecycle,
+    /// degradation ([`TraceEvent::Eviction`], [`TraceEvent::DegradedEnter`]
+    /// / [`TraceEvent::DegradedExit`], [`TraceEvent::Cascade`],
+    /// [`TraceEvent::DomainOutageStart`] / [`TraceEvent::DomainOutageEnd`])
+    /// and [`TraceEvent::AuditViolation`] events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run_degraded`].
+    pub fn run_degraded_traced<S: OnlineScheduler + ?Sized, K: TraceSink>(
+        &self,
+        scheduler: &mut S,
+        failures: &FailureProcess,
+        policy: RecoveryPolicy,
+        config: &DegradationConfig,
+        sink: &mut K,
+    ) -> Result<FaultRunReport, SimError> {
+        self.fault_run(scheduler, failures, policy, Some(config), sink)
+    }
+
+    /// The shared slot loop behind [`Simulation::run_with_failures`] and
+    /// [`Simulation::run_degraded`]. With `degradation = None` this is
+    /// exactly the five-step loop documented on
+    /// [`Simulation::run_with_failures`]; a config adds the headroom
+    /// veto (step 2), load shedding and backoff (step 4), and the
+    /// end-of-slot audit. Cascade outages replay whenever the failure
+    /// stream carries a [`CascadeConfig`](crate::CascadeConfig),
+    /// degradation or not, so the same trace stresses every policy
+    /// identically.
+    fn fault_run<S: OnlineScheduler + ?Sized, K: TraceSink>(
+        &self,
+        scheduler: &mut S,
+        failures: &FailureProcess,
+        policy: RecoveryPolicy,
+        degradation: Option<&DegradationConfig>,
+        sink: &mut K,
+    ) -> Result<FaultRunReport, SimError> {
         let m = self.instance.network().cloudlets().count();
         if failures.horizon_len() != self.instance.horizon().len() {
             return Err(SimError::Mismatch(
@@ -422,20 +589,90 @@ impl<'a> Simulation<'a> {
                 "failure stream references unknown cloudlet",
             ));
         }
+        if (0..failures.domain_count()).any(|d| failures.domain_members(d).iter().any(|&j| j >= m))
+        {
+            return Err(SimError::Mismatch(
+                "failure stream domain references unknown cloudlet",
+            ));
+        }
+        if let Some(cfg) = degradation {
+            cfg.validate()?;
+        }
+        let cascade_cfg = failures.cascade().copied();
         let recovery_scheme = policy.scheme_for(scheduler.scheme());
         let mut schedule = Schedule::new();
         let mut timeline = vec![FaultSlotStats::default(); self.instance.horizon().len()];
+        // `up` is the effective state (base process AND cascade overlay);
+        // `base_up` replays the trace's net transitions alone.
         let mut up = vec![true; m];
+        let mut base_up = vec![true; m];
+        let mut cascade_until: Vec<Option<TimeSlot>> = vec![None; m];
+        let mut domain_down = vec![false; failures.domain_count()];
+        let mut degraded = false;
+        let mut deg_stats = DegradationStats::default();
+        let mut auditor = match degradation {
+            Some(cfg) if cfg.audit => Some(Auditor::new(m)),
+            _ => None,
+        };
         let mut live: Vec<Option<LiveReq>> = (0..self.requests.len()).map(|_| None).collect();
 
         for t in self.instance.horizon().slots() {
             let stats = &mut timeline[t];
+            if let Some(a) = auditor.as_mut() {
+                a.begin_slot(t);
+            }
 
-            // 1. Apply this slot's outage events.
+            // 0. Cascade outages whose forced window ended are lifted
+            //    (unless the base process still holds the cloudlet down).
+            for j in 0..m {
+                if matches!(cascade_until[j], Some(end) if end <= t) {
+                    cascade_until[j] = None;
+                    if base_up[j] && !up[j] {
+                        up[j] = true;
+                        if K::ENABLED {
+                            sink.record(TraceEvent::OutageEnd {
+                                slot: t,
+                                cloudlet: j,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // 1. Apply this slot's outage events. Domain markers first —
+            //    they carry the shared-risk grouping for tracing and
+            //    degraded-mode tracking; the matching net per-cloudlet
+            //    transitions arrive through the event stream itself.
+            for de in failures.domain_events_at(t) {
+                match *de {
+                    DomainEvent::Down { domain, .. } => {
+                        domain_down[domain] = true;
+                        if K::ENABLED {
+                            sink.record(TraceEvent::DomainOutageStart {
+                                slot: t,
+                                domain,
+                                cloudlets: failures.domain_members(domain).to_vec(),
+                            });
+                        }
+                    }
+                    DomainEvent::Up { domain, .. } => {
+                        domain_down[domain] = false;
+                        if K::ENABLED {
+                            sink.record(TraceEvent::DomainOutageEnd { slot: t, domain });
+                        }
+                    }
+                }
+            }
             for e in failures.events_at(t) {
                 stats.events += 1;
                 match *e {
                     FailureEvent::CloudletDown { cloudlet: j, .. } => {
+                        base_up[j] = false;
+                        if !up[j] {
+                            // Already held down by a cascade overlay; its
+                            // sites were released when the cascade fired.
+                            continue;
+                        }
                         up[j] = false;
                         if K::ENABLED {
                             sink.record(TraceEvent::OutageStart {
@@ -460,12 +697,15 @@ impl<'a> Simulation<'a> {
                         }
                     }
                     FailureEvent::CloudletUp { cloudlet: j, .. } => {
-                        up[j] = true;
-                        if K::ENABLED {
-                            sink.record(TraceEvent::OutageEnd {
-                                slot: t,
-                                cloudlet: j,
-                            });
+                        base_up[j] = true;
+                        if cascade_until[j].is_none() && !up[j] {
+                            up[j] = true;
+                            if K::ENABLED {
+                                sink.record(TraceEvent::OutageEnd {
+                                    slot: t,
+                                    cloudlet: j,
+                                });
+                            }
                         }
                     }
                     FailureEvent::InstanceKill {
@@ -528,12 +768,127 @@ impl<'a> Simulation<'a> {
                     }
                 }
             }
+            if let Some(a) = auditor.as_mut() {
+                a.apply_events(failures.events_at(t));
+            }
+
+            // 1b. Cascade check: when a domain crashed this slot, every
+            //     surviving cloudlet whose committed load exceeds the
+            //     threshold faces the elevated secondary hazard. The
+            //     uniform deciding each (slot, cloudlet) was pre-drawn at
+            //     generation time, so replays stay seed-deterministic.
+            let domain_crashed = failures
+                .domain_events_at(t)
+                .iter()
+                .any(|e| matches!(e, DomainEvent::Down { .. }));
+            if let (Some(cc), true) = (&cascade_cfg, domain_crashed) {
+                for j in 0..m {
+                    if !up[j] {
+                        continue;
+                    }
+                    let cap = scheduler.ledger().capacity(CloudletId(j));
+                    if cap <= 0.0 {
+                        continue;
+                    }
+                    let util = scheduler.ledger().used(CloudletId(j), t) / cap;
+                    if util <= cc.utilization_threshold || failures.cascade_draw(t, j) >= cc.hazard
+                    {
+                        continue;
+                    }
+                    up[j] = false;
+                    cascade_until[j] = Some(t + cc.outage_slots);
+                    deg_stats.cascades += 1;
+                    stats.events += 1;
+                    if let Some(a) = auditor.as_mut() {
+                        a.note_cascade(j, t + cc.outage_slots);
+                    }
+                    if K::ENABLED {
+                        sink.record(TraceEvent::Cascade {
+                            slot: t,
+                            cloudlet: j,
+                            utilization: util,
+                        });
+                        sink.record(TraceEvent::OutageStart {
+                            slot: t,
+                            cloudlet: j,
+                        });
+                    }
+                    for (i, entry) in live.iter_mut().enumerate() {
+                        let Some(lr) = entry else { continue };
+                        let r = &self.requests[i];
+                        if t > r.end_slot() {
+                            continue;
+                        }
+                        if let Some(pos) = lr.sites.iter().position(|&(c, _)| c == j) {
+                            let (_, n) = lr.sites.remove(pos);
+                            scheduler.ledger_mut().release(
+                                CloudletId(j),
+                                t..=r.end_slot(),
+                                f64::from(n) * lr.per_instance,
+                            )?;
+                        }
+                    }
+                }
+            }
+
+            // 1c. Degraded-mode tracking: active while any failure domain
+            //     or cascade outage is unrepaired.
+            if degradation.is_some() {
+                let now =
+                    domain_down.iter().any(|&d| d) || cascade_until.iter().any(Option::is_some);
+                if now != degraded {
+                    degraded = now;
+                    if K::ENABLED {
+                        sink.record(if now {
+                            TraceEvent::DegradedEnter { slot: t }
+                        } else {
+                            TraceEvent::DegradedExit { slot: t }
+                        });
+                    }
+                }
+                if degraded {
+                    deg_stats.degraded_slots += 1;
+                }
+            }
 
             // 2. Offer this slot's arrivals to the scheduler.
             for &i in &self.by_slot[t] {
                 let r = &self.requests[i];
-                let decision = scheduler.decide(r);
+                let mut decision = scheduler.decide(r);
                 stats.arrivals += 1;
+                // Degraded mode: overturn admissions that would eat into
+                // the recovery headroom on any of their hosting cloudlets.
+                if degraded && decision.is_admit() {
+                    if let Some(cfg) = degradation {
+                        let vnf = self
+                            .instance
+                            .catalog()
+                            .get(r.vnf())
+                            .ok_or(SimError::Mismatch("request references unknown vnf type"))?;
+                        let per = vnf.compute() as f64;
+                        let sites = decision
+                            .placement()
+                            .map(LiveReq::sites_of)
+                            .unwrap_or_default();
+                        let breaches = sites.iter().any(|&(j, _)| {
+                            let limit =
+                                (1.0 - cfg.headroom) * scheduler.ledger().capacity(CloudletId(j));
+                            (t..=r.end_slot())
+                                .any(|s| scheduler.ledger().used(CloudletId(j), s) > limit + 1e-9)
+                        });
+                        if breaches {
+                            for &(j, n) in &sites {
+                                scheduler.ledger_mut().release(
+                                    CloudletId(j),
+                                    t..=r.end_slot(),
+                                    f64::from(n) * per,
+                                )?;
+                            }
+                            decision = vnfrel::Decision::Reject;
+                            deg_stats.vetoed_admissions += 1;
+                        }
+                    }
+                }
                 let placement = decision.placement().cloned();
                 schedule.record(r, decision);
                 let Some(p) = placement else { continue };
@@ -553,6 +908,9 @@ impl<'a> Simulation<'a> {
                     recovery_attempts: 0,
                     recoveries: 0,
                     repair_latency_slots: 0,
+                    evicted: false,
+                    episode_attempts: 0,
+                    retry_at: t,
                 };
                 // The scheduler is outage-blind: strip (and refund) any
                 // site it placed on a cloudlet that is currently down.
@@ -596,6 +954,8 @@ impl<'a> Simulation<'a> {
                     lr.sites.clear();
                     lr.down_since = Some(t);
                     lr.failures += 1;
+                    lr.episode_attempts = 0;
+                    lr.retry_at = t;
                     stats.newly_failed += 1;
                     if K::ENABLED {
                         sink.record(TraceEvent::SlaBreach {
@@ -606,31 +966,113 @@ impl<'a> Simulation<'a> {
                 }
             }
 
-            // 4. Attempt recovery for every down request, id order.
+            // 4. Attempt recovery for every down request, id order. The
+            //    degradation layer adds bounded retries with exponential
+            //    backoff and, when an attempt finds no room, evicts
+            //    retained requests of strictly lower payment density
+            //    (ascending) until the re-placement fits.
             if let Some(scheme) = recovery_scheme {
-                for (i, entry) in live.iter_mut().enumerate() {
-                    let Some(lr) = entry else { continue };
+                for i in 0..live.len() {
                     let r = &self.requests[i];
-                    if t > r.end_slot() {
-                        continue;
-                    }
-                    let Some(fail_slot) = lr.down_since else {
+                    let Some(fail_slot) = live[i].as_ref().and_then(|lr| {
+                        if t > r.end_slot() || lr.evicted {
+                            None
+                        } else {
+                            lr.down_since
+                        }
+                    }) else {
                         continue;
                     };
-                    lr.recovery_attempts += 1;
-                    match recovery::try_replace(
+                    let per_instance = live[i].as_ref().map(|lr| lr.per_instance).unwrap_or(0.0);
+                    if let Some(cfg) = degradation {
+                        let lr = live[i].as_ref().expect("down request is live");
+                        if lr.episode_attempts >= cfg.max_retries || t < lr.retry_at {
+                            continue;
+                        }
+                    }
+                    live[i]
+                        .as_mut()
+                        .expect("down request is live")
+                        .recovery_attempts += 1;
+                    let mut placed = recovery::try_replace(
                         self.instance,
                         scheduler.ledger_mut(),
                         r,
                         t,
                         &up,
                         scheme,
-                    ) {
+                    );
+                    if placed.is_none() && degradation.is_some_and(|cfg| cfg.shed) {
+                        let my_density =
+                            r.payment() / (r.duration() as f64 * per_instance).max(1e-12);
+                        loop {
+                            // Cheapest healthy victim strictly below the
+                            // recovering request's density, id tie-break.
+                            let mut best: Option<(f64, usize)> = None;
+                            for (k, entry) in live.iter().enumerate() {
+                                if k == i {
+                                    continue;
+                                }
+                                let Some(l2) = entry else { continue };
+                                let rk = &self.requests[k];
+                                if t > rk.end_slot()
+                                    || l2.down_since.is_some()
+                                    || l2.sites.is_empty()
+                                {
+                                    continue;
+                                }
+                                let d2 = rk.payment()
+                                    / (rk.duration() as f64 * l2.per_instance).max(1e-12);
+                                if d2 + 1e-12 < my_density
+                                    && best.is_none_or(|(bd, bk)| (d2, k) < (bd, bk))
+                                {
+                                    best = Some((d2, k));
+                                }
+                            }
+                            let Some((d2, k)) = best else { break };
+                            let rk = &self.requests[k];
+                            let l2 = live[k].as_mut().expect("victim is live");
+                            for &(j, n) in &l2.sites {
+                                scheduler.ledger_mut().release(
+                                    CloudletId(j),
+                                    t..=rk.end_slot(),
+                                    f64::from(n) * l2.per_instance,
+                                )?;
+                            }
+                            l2.sites.clear();
+                            l2.evicted = true;
+                            l2.down_since = Some(t);
+                            deg_stats.evictions += 1;
+                            stats.evicted += 1;
+                            if K::ENABLED {
+                                sink.record(TraceEvent::Eviction {
+                                    slot: t,
+                                    request: k,
+                                    density: d2,
+                                });
+                            }
+                            placed = recovery::try_replace(
+                                self.instance,
+                                scheduler.ledger_mut(),
+                                r,
+                                t,
+                                &up,
+                                scheme,
+                            );
+                            if placed.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let lr = live[i].as_mut().expect("down request is live");
+                    match placed {
                         Some(p) => {
                             lr.sites = LiveReq::sites_of(&p);
                             lr.recoveries += 1;
                             lr.repair_latency_slots += t - fail_slot;
                             lr.down_since = None;
+                            lr.episode_attempts = 0;
+                            lr.retry_at = t;
                             stats.recovered += 1;
                             if K::ENABLED {
                                 sink.record(TraceEvent::Recovery {
@@ -642,6 +1084,16 @@ impl<'a> Simulation<'a> {
                             }
                         }
                         None => {
+                            if let Some(cfg) = degradation {
+                                lr.episode_attempts += 1;
+                                if lr.episode_attempts >= cfg.max_retries {
+                                    deg_stats.retries_exhausted += 1;
+                                } else {
+                                    let shift = (lr.episode_attempts - 1).min(16) as u32;
+                                    lr.retry_at =
+                                        t + cfg.backoff_base.saturating_mul(1usize << shift);
+                                }
+                            }
                             if K::ENABLED {
                                 sink.record(TraceEvent::Recovery {
                                     slot: t,
@@ -666,6 +1118,40 @@ impl<'a> Simulation<'a> {
                     stats.violated += 1;
                 }
             }
+
+            // 6. Invariant audit over the end-of-slot state.
+            if let Some(a) = auditor.as_mut() {
+                let views: Vec<LiveView<'_>> = live
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, entry)| {
+                        let lr = entry.as_ref()?;
+                        let r = &self.requests[i];
+                        if t > r.end_slot() {
+                            return None;
+                        }
+                        Some(LiveView {
+                            request: i,
+                            end_slot: r.end_slot(),
+                            requirement: r.reliability_requirement().value(),
+                            vnf_rel: lr.vnf_rel,
+                            per_instance: lr.per_instance,
+                            sites: &lr.sites,
+                            healthy: lr.down_since.is_none(),
+                        })
+                    })
+                    .collect();
+                let first = a.check_slot(t, self.instance, scheduler.ledger(), &up, &views);
+                if K::ENABLED {
+                    for v in a.violations_since(first) {
+                        sink.record(TraceEvent::AuditViolation {
+                            slot: t,
+                            invariant: v.invariant.as_str().to_string(),
+                            detail: v.detail.clone(),
+                        });
+                    }
+                }
+            }
         }
 
         let mut records = Vec::new();
@@ -682,6 +1168,7 @@ impl<'a> Simulation<'a> {
                 recoveries: lr.recoveries,
                 repair_latency_slots: lr.repair_latency_slots,
                 unrecovered: lr.down_since.is_some(),
+                evicted: lr.evicted,
             });
         }
         let metrics = RunMetrics {
@@ -699,6 +1186,8 @@ impl<'a> Simulation<'a> {
             sla: SlaReport { records },
             timeline,
             policy,
+            audit: auditor.map(Auditor::finish),
+            degradation: degradation.map(|_| deg_stats),
         })
     }
 }
@@ -1118,6 +1607,488 @@ mod tests {
             assert!(rec.downtime_slots <= 4);
             let events: usize = report.timeline.iter().map(|s| s.events).sum();
             assert_eq!(events, 1);
+        }
+    }
+
+    mod degradation {
+        use super::*;
+        use crate::fault::{
+            CascadeConfig, DomainEvent, FailureConfig, FailureEvent, FailureProcess,
+        };
+        use crate::recovery::RecoveryPolicy;
+        use mec_obs::RingSink;
+
+        /// Domain `{0, 1}` crashes in slot 2 and is repaired in slot 3,
+        /// with matching net cloudlet transitions.
+        fn domain_outage_trace(h: Horizon) -> FailureProcess {
+            FailureProcess::from_events(
+                h,
+                [
+                    FailureEvent::CloudletDown {
+                        slot: 2,
+                        cloudlet: 0,
+                    },
+                    FailureEvent::CloudletDown {
+                        slot: 2,
+                        cloudlet: 1,
+                    },
+                    FailureEvent::CloudletUp {
+                        slot: 3,
+                        cloudlet: 0,
+                    },
+                    FailureEvent::CloudletUp {
+                        slot: 3,
+                        cloudlet: 1,
+                    },
+                ],
+                FailureConfig::default(),
+            )
+            .unwrap()
+            .with_domain_events(
+                vec![vec![0, 1]],
+                [
+                    DomainEvent::Down { slot: 2, domain: 0 },
+                    DomainEvent::Up { slot: 3, domain: 0 },
+                ],
+            )
+            .unwrap()
+        }
+
+        fn one_request(h: Horizon) -> Vec<Request> {
+            vec![Request::new(
+                RequestId(0),
+                VnfTypeId(1),
+                Reliability::new(0.9).unwrap(),
+                0,
+                6,
+                10.0,
+                h,
+            )
+            .unwrap()]
+        }
+
+        #[test]
+        fn fault_free_degraded_run_matches_recovery_run() {
+            let inst = instance();
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let reqs = RequestGenerator::new(inst.horizon())
+                .generate(50, inst.catalog(), &mut rng)
+                .unwrap();
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let empty =
+                FailureProcess::from_events(inst.horizon(), [], FailureConfig::default()).unwrap();
+            let mut a = OnsiteGreedy::new(&inst);
+            let plain = sim
+                .run_with_failures(&mut a, &empty, RecoveryPolicy::SchemeMatching)
+                .unwrap();
+            let mut b = OnsiteGreedy::new(&inst);
+            let deg = sim
+                .run_degraded(
+                    &mut b,
+                    &empty,
+                    RecoveryPolicy::SchemeMatching,
+                    &DegradationConfig::default(),
+                )
+                .unwrap();
+            assert_eq!(plain.schedule, deg.schedule);
+            assert_eq!(plain.metrics, deg.metrics);
+            assert_eq!(deg.degradation, Some(DegradationStats::default()));
+            let audit = deg.audit.as_ref().expect("auditing enabled by default");
+            assert!(audit.is_clean(), "{audit}");
+            assert_eq!(audit.slots_checked, inst.horizon().len());
+        }
+
+        #[test]
+        fn degradation_config_is_validated() {
+            for cfg in [
+                DegradationConfig {
+                    headroom: 1.0,
+                    ..DegradationConfig::default()
+                },
+                DegradationConfig {
+                    headroom: f64::NAN,
+                    ..DegradationConfig::default()
+                },
+                DegradationConfig {
+                    max_retries: 0,
+                    ..DegradationConfig::default()
+                },
+                DegradationConfig {
+                    backoff_base: 0,
+                    ..DegradationConfig::default()
+                },
+            ] {
+                assert!(cfg.validate().is_err(), "{cfg:?}");
+                let inst = instance();
+                let reqs = one_request(inst.horizon());
+                let sim = Simulation::new(&inst, &reqs).unwrap();
+                let empty =
+                    FailureProcess::from_events(inst.horizon(), [], FailureConfig::default())
+                        .unwrap();
+                let mut g = OnsiteGreedy::new(&inst);
+                assert!(sim
+                    .run_degraded(&mut g, &empty, RecoveryPolicy::SchemeMatching, &cfg)
+                    .is_err());
+            }
+        }
+
+        #[test]
+        fn domain_outage_drives_degraded_lifecycle_and_beats_no_recovery() {
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = domain_outage_trace(inst.horizon());
+
+            let mut g = OnsiteGreedy::new(&inst);
+            let mut sink = RingSink::new(64);
+            let report = sim
+                .run_degraded_traced(
+                    &mut g,
+                    &trace,
+                    RecoveryPolicy::SchemeMatching,
+                    &DegradationConfig::default(),
+                    &mut sink,
+                )
+                .unwrap();
+            let events = sink.into_events();
+            let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+            assert_eq!(count("domain-outage-start"), 1);
+            assert_eq!(count("domain-outage-end"), 1);
+            assert_eq!(count("degraded-enter"), 1);
+            assert_eq!(count("degraded-exit"), 1);
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::DegradedEnter { slot: 2 })));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::DegradedExit { slot: 3 })));
+
+            let stats = report.degradation.unwrap();
+            assert_eq!(stats.degraded_slots, 1);
+            assert_eq!(stats.cascades, 0);
+            assert_eq!(stats.evictions, 0);
+            let rec = &report.sla.records[0];
+            // Slot-2 attempt fails (whole fleet down), slot-3 succeeds
+            // once the domain repairs; default backoff base 1 retries
+            // exactly then.
+            assert_eq!(rec.recovery_attempts, 2);
+            assert_eq!(rec.recoveries, 1);
+            assert_eq!(rec.downtime_slots, 1);
+            let audit = report.audit.as_ref().unwrap();
+            assert!(audit.is_clean(), "{audit}");
+
+            // Strictly fewer violated slots and strictly more retained
+            // revenue than no recovery on the identical trace.
+            let mut g2 = OnsiteGreedy::new(&inst);
+            let none = sim
+                .run_with_failures(&mut g2, &trace, RecoveryPolicy::None)
+                .unwrap();
+            assert!(report.sla.violated_request_slots() < none.sla.violated_request_slots());
+            assert!(report.sla.revenue_retained() > none.sla.revenue_retained());
+        }
+
+        #[test]
+        fn headroom_veto_blocks_admissions_while_degraded() {
+            let inst = instance();
+            let h = inst.horizon();
+            let mk = |id: usize, arrival: usize, dur: usize| {
+                Request::new(
+                    RequestId(id),
+                    VnfTypeId(1),
+                    Reliability::new(0.9).unwrap(),
+                    arrival,
+                    dur,
+                    5.0,
+                    h,
+                )
+                .unwrap()
+            };
+            // Request 0 holds one unit on cloudlet 0; cloudlet 1's
+            // domain crashes in slot 1 and stays down, so request 1's
+            // slot-2 arrival lands in degraded mode.
+            let reqs = vec![mk(0, 0, 8), mk(1, 2, 4)];
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = FailureProcess::from_events(
+                h,
+                [FailureEvent::CloudletDown {
+                    slot: 1,
+                    cloudlet: 1,
+                }],
+                FailureConfig::default(),
+            )
+            .unwrap()
+            .with_domain_events(vec![vec![1]], [DomainEvent::Down { slot: 1, domain: 0 }])
+            .unwrap();
+
+            // Without degradation the second request is admitted.
+            let mut g = OnsiteGreedy::new(&inst);
+            let plain = sim
+                .run_with_failures(&mut g, &trace, RecoveryPolicy::SchemeMatching)
+                .unwrap();
+            assert!(plain.schedule.is_admitted(RequestId(1)));
+
+            // With a headroom reserve of 95% of each cloudlet the
+            // two-unit load on cloudlet 0 breaches the cap and the
+            // admission is overturned.
+            let cfg = DegradationConfig {
+                headroom: 0.95,
+                ..DegradationConfig::default()
+            };
+            let mut g2 = OnsiteGreedy::new(&inst);
+            let report = sim
+                .run_degraded(&mut g2, &trace, RecoveryPolicy::SchemeMatching, &cfg)
+                .unwrap();
+            assert!(report.schedule.is_admitted(RequestId(0)));
+            assert!(!report.schedule.is_admitted(RequestId(1)));
+            let stats = report.degradation.unwrap();
+            assert_eq!(stats.vetoed_admissions, 1);
+            // Degraded from slot 1 to the end of the horizon.
+            assert_eq!(stats.degraded_slots, h.len() - 1);
+            assert!(report.metrics.revenue < plain.metrics.revenue);
+            // The veto released the charge: cloudlet 0 carries exactly
+            // request 0's unit over the contested window.
+            for t in 2..6 {
+                assert_eq!(g2.ledger().used(mec_topology::CloudletId(0), t), 1.0);
+            }
+            let audit = report.audit.as_ref().unwrap();
+            assert!(audit.is_clean(), "{audit}");
+        }
+
+        #[test]
+        fn shedder_evicts_cheaper_request_to_recover_denser_one() {
+            // Two unit-capacity cloudlets: the cheap request takes the
+            // reliable cloudlet 0, the dense one cloudlet 1. When
+            // cloudlet 1's domain crashes, re-placement only fits by
+            // evicting the cheap tenant.
+            let mut b = NetworkBuilder::new();
+            let a = b.add_ap("a");
+            let c = b.add_ap("b");
+            b.add_link(a, c, 1.0).unwrap();
+            b.add_cloudlet(a, 1, Reliability::new(0.999).unwrap())
+                .unwrap();
+            b.add_cloudlet(c, 1, Reliability::new(0.995).unwrap())
+                .unwrap();
+            let inst =
+                ProblemInstance::new(b.build().unwrap(), VnfCatalog::standard(), Horizon::new(12))
+                    .unwrap();
+            let h = inst.horizon();
+            let mk = |id: usize, pay: f64| {
+                Request::new(
+                    RequestId(id),
+                    VnfTypeId(1),
+                    Reliability::new(0.9).unwrap(),
+                    0,
+                    6,
+                    pay,
+                    h,
+                )
+                .unwrap()
+            };
+            let reqs = vec![mk(0, 1.0), mk(1, 50.0)];
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            let trace = FailureProcess::from_events(
+                h,
+                [FailureEvent::CloudletDown {
+                    slot: 2,
+                    cloudlet: 1,
+                }],
+                FailureConfig::default(),
+            )
+            .unwrap()
+            .with_domain_events(vec![vec![1]], [DomainEvent::Down { slot: 2, domain: 0 }])
+            .unwrap();
+
+            let mut g = OnsiteGreedy::new(&inst);
+            let mut sink = RingSink::new(64);
+            let report = sim
+                .run_degraded_traced(
+                    &mut g,
+                    &trace,
+                    RecoveryPolicy::SchemeMatching,
+                    &DegradationConfig::default(),
+                    &mut sink,
+                )
+                .unwrap();
+            let stats = report.degradation.unwrap();
+            assert_eq!(stats.evictions, 1);
+            let cheap = &report.sla.records[0];
+            let dense = &report.sla.records[1];
+            assert!(cheap.evicted);
+            // Evicted in slot 2, down through the window end (slot 5).
+            assert_eq!(cheap.downtime_slots, 4);
+            assert!(!dense.evicted);
+            assert_eq!(dense.recoveries, 1);
+            // Same-slot re-placement: the dense request never loses a
+            // whole slot.
+            assert_eq!(dense.downtime_slots, 0);
+            assert_eq!(report.sla.evicted_requests(), 1);
+            let evictions: Vec<_> = sink
+                .into_events()
+                .into_iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Eviction {
+                        slot,
+                        request,
+                        density,
+                    } => Some((slot, request, density)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(evictions.len(), 1);
+            assert_eq!((evictions[0].0, evictions[0].1), (2, 0));
+            assert!((evictions[0].2 - 1.0 / 6.0).abs() < 1e-12);
+            // The dense request ends on cloudlet 0 for the rest of its
+            // window.
+            assert_eq!(g.ledger().used(mec_topology::CloudletId(0), 4), 1.0);
+            let audit = report.audit.as_ref().unwrap();
+            assert!(audit.is_clean(), "{audit}");
+            // Shedding retains strictly more revenue than refusing to
+            // shed on the same trace.
+            let no_shed = DegradationConfig {
+                shed: false,
+                ..DegradationConfig::default()
+            };
+            let mut g2 = OnsiteGreedy::new(&inst);
+            let kept = sim
+                .run_degraded(&mut g2, &trace, RecoveryPolicy::SchemeMatching, &no_shed)
+                .unwrap();
+            assert_eq!(kept.degradation.unwrap().evictions, 0);
+            assert!(report.sla.revenue_retained() > kept.sla.revenue_retained());
+        }
+
+        #[test]
+        fn backoff_spaces_retries_and_exhaustion_stops_them() {
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            // Fleet-wide crash in slot 2; cloudlet 1 repairs in slot 3.
+            let trace = FailureProcess::from_events(
+                inst.horizon(),
+                [
+                    FailureEvent::CloudletDown {
+                        slot: 2,
+                        cloudlet: 0,
+                    },
+                    FailureEvent::CloudletDown {
+                        slot: 2,
+                        cloudlet: 1,
+                    },
+                    FailureEvent::CloudletUp {
+                        slot: 3,
+                        cloudlet: 1,
+                    },
+                ],
+                FailureConfig::default(),
+            )
+            .unwrap()
+            .with_domain_events(vec![vec![0, 1]], [DomainEvent::Down { slot: 2, domain: 0 }])
+            .unwrap();
+
+            // backoff_base 2: the failed slot-2 attempt schedules the
+            // retry for slot 4, deliberately skipping the slot-3 repair.
+            let spaced = DegradationConfig {
+                backoff_base: 2,
+                ..DegradationConfig::default()
+            };
+            let mut g = OnsiteGreedy::new(&inst);
+            let report = sim
+                .run_degraded(&mut g, &trace, RecoveryPolicy::SchemeMatching, &spaced)
+                .unwrap();
+            let rec = &report.sla.records[0];
+            assert_eq!(rec.recovery_attempts, 2);
+            assert_eq!(rec.recoveries, 1);
+            assert_eq!(rec.downtime_slots, 2);
+            assert_eq!(report.degradation.unwrap().retries_exhausted, 0);
+
+            // max_retries 1: the slot-2 failure exhausts the episode and
+            // the request stays down even after the repair.
+            let single = DegradationConfig {
+                max_retries: 1,
+                ..DegradationConfig::default()
+            };
+            let mut g2 = OnsiteGreedy::new(&inst);
+            let report = sim
+                .run_degraded(&mut g2, &trace, RecoveryPolicy::SchemeMatching, &single)
+                .unwrap();
+            let rec = &report.sla.records[0];
+            assert_eq!(rec.recovery_attempts, 1);
+            assert_eq!(rec.recoveries, 0);
+            assert!(rec.unrecovered);
+            assert_eq!(rec.downtime_slots, 4);
+            assert_eq!(report.degradation.unwrap().retries_exhausted, 1);
+            let audit = report.audit.as_ref().unwrap();
+            assert!(audit.is_clean(), "{audit}");
+        }
+
+        #[test]
+        fn hot_survivor_cascades_after_domain_crash() {
+            let inst = instance();
+            let reqs = one_request(inst.horizon());
+            let sim = Simulation::new(&inst, &reqs).unwrap();
+            // Domain {1} crashes in slot 2; the pre-drawn uniforms are
+            // all zero so any loaded survivor above the (tiny) threshold
+            // cascades with certainty for two slots.
+            let cascade = CascadeConfig {
+                utilization_threshold: 0.01,
+                hazard: 0.3,
+                outage_slots: 2,
+            };
+            let draws = vec![0.0; inst.horizon().len() * 2];
+            let trace = FailureProcess::from_events(
+                inst.horizon(),
+                [FailureEvent::CloudletDown {
+                    slot: 2,
+                    cloudlet: 1,
+                }],
+                FailureConfig::default(),
+            )
+            .unwrap()
+            .with_domain_events(vec![vec![1]], [DomainEvent::Down { slot: 2, domain: 0 }])
+            .unwrap()
+            .with_cascade(cascade, 2, draws)
+            .unwrap();
+
+            let mut g = OnsiteGreedy::new(&inst);
+            let mut sink = RingSink::new(64);
+            let report = sim
+                .run_degraded_traced(
+                    &mut g,
+                    &trace,
+                    RecoveryPolicy::SchemeMatching,
+                    &DegradationConfig::default(),
+                    &mut sink,
+                )
+                .unwrap();
+            let stats = report.degradation.unwrap();
+            // Only cloudlet 0 was loaded (the request lives there), so
+            // exactly one secondary outage fires.
+            assert_eq!(stats.cascades, 1);
+            let events = sink.into_events();
+            let cascades: Vec<_> = events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Cascade {
+                        slot,
+                        cloudlet,
+                        utilization,
+                    } => Some((*slot, *cloudlet, *utilization)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(cascades.len(), 1);
+            assert_eq!((cascades[0].0, cascades[0].1), (2, 0));
+            assert!(cascades[0].2 > 0.01);
+            let rec = &report.sla.records[0];
+            assert_eq!(rec.failures, 1);
+            // Down slots 2..4 while the cascade holds cloudlet 0 and the
+            // domain holds cloudlet 1; the forced window lifts at slot 4
+            // and the backoff schedule retries then.
+            assert_eq!(rec.recoveries, 1);
+            assert!(rec.downtime_slots >= 2);
+            let audit = report.audit.as_ref().unwrap();
+            assert!(audit.is_clean(), "{audit}");
+            // The cascade counts as a fleet event in the timeline.
+            assert_eq!(report.timeline[2].events, 2);
         }
     }
 

@@ -34,7 +34,7 @@ pub fn timeline_csv(report: &RunReport) -> String {
 }
 
 /// Streams a fault-aware run's per-slot timeline as CSV
-/// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated`).
+/// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated,evicted`).
 ///
 /// # Errors
 ///
@@ -42,26 +42,33 @@ pub fn timeline_csv(report: &RunReport) -> String {
 pub fn write_fault_timeline_csv<W: Write>(out: &mut W, report: &FaultRunReport) -> io::Result<()> {
     writeln!(
         out,
-        "slot,arrivals,admitted,active,events,newly_failed,recovered,violated"
+        "slot,arrivals,admitted,active,events,newly_failed,recovered,violated,evicted"
     )?;
     for (t, s) in report.timeline.iter().enumerate() {
         writeln!(
             out,
-            "{t},{},{},{},{},{},{},{}",
-            s.arrivals, s.admitted, s.active, s.events, s.newly_failed, s.recovered, s.violated
+            "{t},{},{},{},{},{},{},{},{}",
+            s.arrivals,
+            s.admitted,
+            s.active,
+            s.events,
+            s.newly_failed,
+            s.recovered,
+            s.violated,
+            s.evicted
         )?;
     }
     Ok(())
 }
 
 /// Renders a fault-aware run's per-slot timeline as CSV
-/// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated`).
+/// (`slot,arrivals,admitted,active,events,newly_failed,recovered,violated,evicted`).
 pub fn fault_timeline_csv(report: &FaultRunReport) -> String {
     into_string(|buf| write_fault_timeline_csv(buf, report))
 }
 
 /// Streams the SLA ledger as CSV, one row per admitted request
-/// (`request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,repair_latency_slots,unrecovered,refund,retained`).
+/// (`request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,repair_latency_slots,unrecovered,evicted,refund,retained`).
 ///
 /// # Errors
 ///
@@ -70,12 +77,12 @@ pub fn write_sla_csv<W: Write>(out: &mut W, report: &FaultRunReport) -> io::Resu
     writeln!(
         out,
         "request,payment,duration,downtime_slots,failures,recovery_attempts,recoveries,\
-         repair_latency_slots,unrecovered,refund,retained"
+         repair_latency_slots,unrecovered,evicted,refund,retained"
     )?;
     for r in &report.sla.records {
         writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             r.request.index(),
             r.payment,
             r.duration,
@@ -85,6 +92,7 @@ pub fn write_sla_csv<W: Write>(out: &mut W, report: &FaultRunReport) -> io::Resu
             r.recoveries,
             r.repair_latency_slots,
             r.unrecovered,
+            r.evicted,
             r.refund(),
             r.retained()
         )?;
@@ -216,7 +224,7 @@ mod tests {
         assert_eq!(lines.len(), 7); // header + 6 slots
         assert_eq!(
             lines[0],
-            "slot,arrivals,admitted,active,events,newly_failed,recovered,violated"
+            "slot,arrivals,admitted,active,events,newly_failed,recovered,violated,evicted"
         );
         // The injected event shows up in slot 2's events column.
         assert_eq!(lines[3].split(',').nth(4).unwrap(), "1");
@@ -226,7 +234,7 @@ mod tests {
         assert_eq!(rows.len() - 1, report.metrics.admitted);
         assert!(rows[0].starts_with("request,payment,duration,downtime_slots"));
         for row in &rows[1..] {
-            assert_eq!(row.split(',').count(), 11);
+            assert_eq!(row.split(',').count(), 12);
         }
     }
 

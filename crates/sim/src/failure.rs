@@ -36,8 +36,12 @@ impl RequestAvailability {
     }
 
     /// Approximate standard error of the measurement
-    /// (`√(p(1−p)/n)` with the measured `p`).
+    /// (`√(p(1−p)/n)` with the measured `p`; 0 with no trials, where no
+    /// uncertainty estimate exists).
     pub fn standard_error(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
         (self.measured * (1.0 - self.measured) / self.trials as f64).sqrt()
     }
 
@@ -59,11 +63,15 @@ pub struct FailureReport {
 
 impl FailureReport {
     /// Smallest margin across admitted requests (`None` if none admitted).
+    ///
+    /// NaN margins (possible only from hand-built reports with NaN
+    /// fields) sort as largest, so a finite worst margin wins over them
+    /// instead of panicking mid-fold.
     pub fn worst_margin(&self) -> Option<f64> {
         self.requests
             .iter()
             .map(|r| r.margin())
-            .min_by(|a, b| a.partial_cmp(b).expect("margins are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Requests whose measurement is statistically below requirement at
@@ -609,5 +617,48 @@ mod tests {
         assert!((a.margin() - 0.02).abs() < 1e-12);
         assert!(a.standard_error() > 0.0 && a.standard_error() < 0.01);
         assert!(a.meets_requirement(3.0));
+    }
+
+    #[test]
+    fn zero_trials_and_nan_margins_stay_finite() {
+        // trials == 0 used to divide by zero (SE = NaN) and poison every
+        // downstream comparison.
+        let a = RequestAvailability {
+            request: mec_workload::RequestId(0),
+            required: 0.95,
+            measured: 0.0,
+            trials: 0,
+        };
+        assert_eq!(a.standard_error(), 0.0);
+        assert!(!a.meets_requirement(3.0));
+
+        // A NaN margin must not panic the fold; the finite entry wins.
+        let report = FailureReport {
+            requests: vec![
+                RequestAvailability {
+                    request: mec_workload::RequestId(0),
+                    required: f64::NAN,
+                    measured: 0.9,
+                    trials: 100,
+                },
+                RequestAvailability {
+                    request: mec_workload::RequestId(1),
+                    required: 0.95,
+                    measured: 0.90,
+                    trials: 100,
+                },
+            ],
+            trials: 100,
+        };
+        let worst = report.worst_margin().unwrap();
+        assert!((worst + 0.05).abs() < 1e-12);
+
+        // And an empty report still reports no margin at all.
+        let empty = FailureReport {
+            requests: Vec::new(),
+            trials: 0,
+        };
+        assert_eq!(empty.worst_margin(), None);
+        assert!(empty.statistical_violations(3.0).is_empty());
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 mod compare;
 mod engine;
 mod error;
@@ -38,10 +39,13 @@ pub mod obs;
 pub mod parallel;
 pub mod recovery;
 
+pub use audit::{AuditInvariant, AuditReport, AuditViolation};
 pub use compare::{compare, Comparison};
-pub use engine::{FaultRunReport, IntraSlotOrder, RunReport, Simulation};
+pub use engine::{
+    DegradationConfig, DegradationStats, FaultRunReport, IntraSlotOrder, RunReport, Simulation,
+};
 pub use error::SimError;
-pub use fault::{FailureConfig, FailureEvent, FailureProcess};
+pub use fault::{CascadeConfig, DomainEvent, FailureConfig, FailureEvent, FailureProcess};
 pub use metrics::{FaultSlotStats, RunMetrics, SlaRecord, SlaReport, SlotStats};
 pub use obs::{EngineMetricIds, EngineMetrics, InjectionMetricIds};
 pub use recovery::RecoveryPolicy;

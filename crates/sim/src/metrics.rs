@@ -86,6 +86,9 @@ pub struct FaultSlotStats {
     /// Active requests still without a valid placement at the end of the
     /// slot — each one is an SLA-violated request-slot.
     pub violated: usize,
+    /// Requests evicted by the load shedder in this slot (0 outside
+    /// [`Simulation::run_degraded`](crate::Simulation::run_degraded)).
+    pub evicted: usize,
 }
 
 /// Per-request SLA outcome of a fault-aware run.
@@ -114,6 +117,9 @@ pub struct SlaRecord {
     /// Whether the request was still down when its window (or the
     /// horizon) ended.
     pub unrecovered: bool,
+    /// Whether the load shedder evicted this request to make room for a
+    /// higher-density re-placement (implies `unrecovered`).
+    pub evicted: bool,
 }
 
 impl SlaRecord {
@@ -191,6 +197,11 @@ impl SlaReport {
     /// Requests that ended their window without a valid placement.
     pub fn unrecovered_requests(&self) -> usize {
         self.records.iter().filter(|r| r.unrecovered).count()
+    }
+
+    /// Requests the load shedder evicted.
+    pub fn evicted_requests(&self) -> usize {
+        self.records.iter().filter(|r| r.evicted).count()
     }
 }
 

@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::ids::NodeId;
+use crate::ids::{CloudletId, NodeId};
 
 /// Errors produced while constructing or querying an MEC network.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +23,18 @@ pub enum TopologyError {
     ZeroCapacity,
     /// The built network would be empty.
     EmptyNetwork,
+    /// A cloudlet id referenced a cloudlet that does not exist.
+    UnknownCloudlet(CloudletId),
+    /// A failure domain was declared with no member cloudlets.
+    EmptyDomain,
+    /// A cloudlet appeared more than once in the same failure domain.
+    DuplicateDomainMember(CloudletId),
+    /// A domain mean time (MTTF/MTTR) was not a finite number ≥ 1 slot.
+    InvalidDomainRate(f64),
+    /// A placement fraction fell outside `(0, 1]`.
+    InvalidFraction(f64),
+    /// A capacity range was inverted (`lo > hi`).
+    InvalidCapacityRange(u64, u64),
 }
 
 impl fmt::Display for TopologyError {
@@ -44,6 +56,23 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::ZeroCapacity => write!(f, "cloudlet capacity must be positive"),
             TopologyError::EmptyNetwork => write!(f, "network has no nodes"),
+            TopologyError::UnknownCloudlet(id) => write!(f, "unknown cloudlet {id:?}"),
+            TopologyError::EmptyDomain => write!(f, "failure domain has no member cloudlets"),
+            TopologyError::DuplicateDomainMember(id) => {
+                write!(f, "cloudlet {id:?} appears twice in one failure domain")
+            }
+            TopologyError::InvalidDomainRate(v) => {
+                write!(
+                    f,
+                    "domain mean time {v} must be a finite number of slots ≥ 1"
+                )
+            }
+            TopologyError::InvalidFraction(v) => {
+                write!(f, "placement fraction {v} is outside (0, 1]")
+            }
+            TopologyError::InvalidCapacityRange(lo, hi) => {
+                write!(f, "capacity range [{lo}, {hi}] is inverted")
+            }
         }
     }
 }
@@ -65,6 +94,12 @@ mod tests {
             TopologyError::InvalidLatency(f64::NAN),
             TopologyError::ZeroCapacity,
             TopologyError::EmptyNetwork,
+            TopologyError::UnknownCloudlet(CloudletId(4)),
+            TopologyError::EmptyDomain,
+            TopologyError::DuplicateDomainMember(CloudletId(1)),
+            TopologyError::InvalidDomainRate(0.2),
+            TopologyError::InvalidFraction(-1.0),
+            TopologyError::InvalidCapacityRange(9, 3),
         ];
         for e in errs {
             let s = e.to_string();

@@ -50,9 +50,11 @@ impl CloudletPlacement {
     /// # Errors
     ///
     /// Returns [`TopologyError::ReliabilityOutOfRange`] if the reliability
-    /// interval leaves `(0, 1)` or is inverted, and
-    /// [`TopologyError::ZeroCapacity`] for a zero capacity bound or a
-    /// non-positive fraction.
+    /// interval leaves `(0, 1)` or is inverted,
+    /// [`TopologyError::ZeroCapacity`] for a zero capacity bound,
+    /// [`TopologyError::InvalidCapacityRange`] for an inverted capacity
+    /// range, and [`TopologyError::InvalidFraction`] when the fraction is
+    /// not in `(0, 1]` (NaN included).
     pub fn validate(&self) -> Result<(), TopologyError> {
         let (lo, hi) = self.reliability;
         if !(lo > 0.0 && hi < 1.0 && lo <= hi) {
@@ -62,11 +64,17 @@ impl CloudletPlacement {
                 hi
             }));
         }
-        if self.capacity.0 == 0 || self.capacity.0 > self.capacity.1 {
+        if self.capacity.0 == 0 {
             return Err(TopologyError::ZeroCapacity);
         }
+        if self.capacity.0 > self.capacity.1 {
+            return Err(TopologyError::InvalidCapacityRange(
+                self.capacity.0,
+                self.capacity.1,
+            ));
+        }
         if !(self.fraction > 0.0 && self.fraction <= 1.0) {
-            return Err(TopologyError::ZeroCapacity);
+            return Err(TopologyError::InvalidFraction(self.fraction));
         }
         Ok(())
     }
@@ -540,10 +548,22 @@ mod tests {
         assert!(p.validate().is_err());
         let mut p = place();
         p.capacity = (0, 10);
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(TopologyError::ZeroCapacity));
+        let mut p = place();
+        p.capacity = (12, 8);
+        assert_eq!(
+            p.validate(),
+            Err(TopologyError::InvalidCapacityRange(12, 8))
+        );
         let mut p = place();
         p.fraction = 0.0;
-        assert!(p.validate().is_err());
+        assert_eq!(p.validate(), Err(TopologyError::InvalidFraction(0.0)));
+        let mut p = place();
+        p.fraction = f64::NAN;
+        assert!(matches!(
+            p.validate(),
+            Err(TopologyError::InvalidFraction(_))
+        ));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 mod builder;
 mod cloudlet;
+mod domain;
 mod error;
 pub mod generators;
 mod graph;
@@ -48,6 +49,7 @@ pub mod zoo;
 
 pub use builder::NetworkBuilder;
 pub use cloudlet::{Cloudlet, CloudletSpec};
+pub use domain::{FailureDomain, FailureDomainSet};
 pub use error::TopologyError;
 pub use graph::{Link, Network, PathResult};
 pub use ids::{CloudletId, LinkId, NodeId};

@@ -28,6 +28,16 @@ pub enum WorkloadError {
     UnknownVnfType(usize),
     /// A generator parameter was out of its documented range.
     InvalidParameter(&'static str),
+    /// A duration model is inverted (`lo > hi`), zero, or longer than
+    /// the horizon it must generate into.
+    InvalidDurationModel {
+        /// Shortest duration the model can draw.
+        lo: usize,
+        /// Longest duration the model can draw.
+        hi: usize,
+        /// Horizon length the windows must fit into.
+        horizon: usize,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -49,6 +59,11 @@ impl fmt::Display for WorkloadError {
             WorkloadError::Reliability(e) => write!(f, "invalid reliability: {e}"),
             WorkloadError::UnknownVnfType(i) => write!(f, "unknown vnf type index {i}"),
             WorkloadError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            WorkloadError::InvalidDurationModel { lo, hi, horizon } => write!(
+                f,
+                "duration model [{lo}, {hi}] is inverted, zero, or exceeds the {horizon}-slot \
+                 horizon"
+            ),
         }
     }
 }
@@ -85,6 +100,11 @@ mod tests {
             },
             WorkloadError::UnknownVnfType(4),
             WorkloadError::InvalidParameter("pr_min"),
+            WorkloadError::InvalidDurationModel {
+                lo: 5,
+                hi: 2,
+                horizon: 10,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

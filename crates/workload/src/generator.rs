@@ -118,9 +118,17 @@ impl RequestGenerator {
     }
 
     /// Sets the duration model.
-    pub fn durations(mut self, durations: DurationModel) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidDurationModel`] when the model is
+    /// inverted (`lo > hi`), can draw a zero duration, or cannot fit a
+    /// single window inside the horizon — callers learn at construction,
+    /// not on the first `generate`.
+    pub fn durations(mut self, durations: DurationModel) -> Result<Self, WorkloadError> {
         self.durations = durations;
-        self
+        self.validate_durations()?;
+        Ok(self)
     }
 
     /// Sets the VNF-type selection law.
@@ -235,17 +243,17 @@ impl RequestGenerator {
 
     fn validate_durations(&self) -> Result<(), WorkloadError> {
         let t = self.horizon.len();
-        let ok = match self.durations {
-            DurationModel::Uniform { lo, hi } => lo >= 1 && lo <= hi && lo <= t,
+        let (lo, hi, ok) = match self.durations {
+            DurationModel::Uniform { lo, hi } => (lo, hi, lo >= 1 && lo <= hi && lo <= t),
             DurationModel::Pareto { lo, hi, alpha } => {
-                lo >= 1 && lo <= hi && lo <= t && alpha > 0.0
+                (lo, hi, lo >= 1 && lo <= hi && lo <= t && alpha > 0.0)
             }
-            DurationModel::Fixed(d) => d >= 1 && d <= t,
+            DurationModel::Fixed(d) => (d, d, d >= 1 && d <= t),
         };
         if ok {
             Ok(())
         } else {
-            Err(WorkloadError::InvalidParameter("duration model"))
+            Err(WorkloadError::InvalidDurationModel { lo, hi, horizon: t })
         }
     }
 
@@ -378,7 +386,9 @@ mod tests {
 
     #[test]
     fn fixed_duration_clamped_to_horizon_room() {
-        let g = RequestGenerator::new(Horizon::new(10)).durations(DurationModel::Fixed(4));
+        let g = RequestGenerator::new(Horizon::new(10))
+            .durations(DurationModel::Fixed(4))
+            .unwrap();
         let cat = VnfCatalog::standard();
         let reqs = g.generate(100, &cat, &mut rng(5)).unwrap();
         for r in &reqs {
@@ -389,11 +399,13 @@ mod tests {
 
     #[test]
     fn pareto_durations_are_heavy_tailed() {
-        let g = RequestGenerator::new(Horizon::new(200)).durations(DurationModel::Pareto {
-            lo: 1,
-            hi: 50,
-            alpha: 1.1,
-        });
+        let g = RequestGenerator::new(Horizon::new(200))
+            .durations(DurationModel::Pareto {
+                lo: 1,
+                hi: 50,
+                alpha: 1.1,
+            })
+            .unwrap();
         let cat = VnfCatalog::standard();
         let reqs = g.generate(2000, &cat, &mut rng(6)).unwrap();
         let short = reqs.iter().filter(|r| r.duration() <= 3).count();
@@ -416,14 +428,37 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        let (g, cat) = standard();
+        let (g, _cat) = standard();
         assert!(g.clone().reliability_band(0.0, 0.9).is_err());
         assert!(g.clone().reliability_band(0.9, 1.0).is_err());
         assert!(g.clone().payment_rate_band(0.0, 5.0).is_err());
         assert!(g.clone().payment_rate_band(6.0, 5.0).is_err());
         assert!(g.clone().payment_ratio(0.5).is_err());
-        let bad = g.clone().durations(DurationModel::Uniform { lo: 5, hi: 2 });
-        assert!(bad.generate(10, &cat, &mut rng(0)).is_err());
+        // Inverted, zero, and over-horizon duration models are rejected
+        // at construction with the typed error.
+        assert_eq!(
+            g.clone()
+                .durations(DurationModel::Uniform { lo: 5, hi: 2 })
+                .unwrap_err(),
+            WorkloadError::InvalidDurationModel {
+                lo: 5,
+                hi: 2,
+                horizon: g.horizon().len(),
+            }
+        );
+        assert!(g.clone().durations(DurationModel::Fixed(0)).is_err());
+        assert!(g
+            .clone()
+            .durations(DurationModel::Pareto {
+                lo: 2,
+                hi: 1,
+                alpha: 1.0
+            })
+            .is_err());
+        assert!(g
+            .clone()
+            .durations(DurationModel::Fixed(g.horizon().len() + 1))
+            .is_err());
         let empty = VnfCatalog::from_specs(Vec::<(&str, u64, f64)>::new()).unwrap();
         assert!(g.generate(10, &empty, &mut rng(0)).is_err());
     }

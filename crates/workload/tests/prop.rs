@@ -75,7 +75,7 @@ proptest! {
         let cat = VnfCatalog::standard();
         let gen = RequestGenerator::new(Horizon::new(40))
             .payment_rate_band(lo, hi).unwrap()
-            .durations(DurationModel::Uniform { lo: 1, hi: 6 })
+            .durations(DurationModel::Uniform { lo: 1, hi: 6 }).unwrap()
             .vnf_selection(VnfSelection::Zipf(1.0));
         let reqs = gen.generate(50, &cat, &mut rng).unwrap();
         for r in &reqs {
