@@ -1,0 +1,155 @@
+//! **Serving throughput**: spins up the `mec-serve` admission daemon
+//! in-process on an ephemeral port, drives it with the closed-loop load
+//! generator at full speed, and reports decisions/sec plus p50/p99/max
+//! admission latency for both schemes.
+//!
+//! Hard-asserts daemon ↔ batch parity along the way: the client-side
+//! revenue must be bit-identical to a batch [`Simulation`] run of the
+//! same trace, so the numbers below measure the *serving* overhead of
+//! the very same decisions — socket, framing, queue — not a different
+//! schedule.
+//!
+//! Run with: `cargo run --release -p vnfrel-bench --bin serve_bench [--quick]`
+//!
+//! Output is printed and written to `results/serve_throughput.txt`.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::thread;
+
+use mec_obs::MetricsRegistry;
+use mec_serve::{
+    run_loadgen, serve, DecisionTap, LoadgenConfig, ServeConfig, ServeError, ServeMetricIds,
+    ServeReport,
+};
+use mec_sim::Simulation;
+use vnfrel::offsite::OffsitePrimalDual;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+use vnfrel::{OnlineScheduler, ProblemInstance};
+use vnfrel_bench::{note, quiet_from_args, Scenario, ScenarioParams};
+
+/// Starts a daemon thread on `127.0.0.1:0`, returning the bound address
+/// and the handle yielding the final report.
+fn spawn_daemon(
+    instance: ProblemInstance,
+    onsite: bool,
+) -> (
+    SocketAddr,
+    thread::JoinHandle<Result<ServeReport, ServeError>>,
+) {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let tap = DecisionTap::new();
+        let mut alg1;
+        let mut alg2;
+        let scheduler: &mut dyn OnlineScheduler = if onsite {
+            alg1 = OnsitePrimalDual::with_sink(&instance, CapacityPolicy::Enforce, tap.clone())
+                .expect("valid instance");
+            &mut alg1
+        } else {
+            alg2 = OffsitePrimalDual::with_sink(&instance, tap.clone());
+            &mut alg2
+        };
+        let mut registry = MetricsRegistry::new();
+        let ids = ServeMetricIds::register(&mut registry, scheduler.ledger().cloudlet_count());
+        let config = ServeConfig::new("127.0.0.1:0");
+        serve(scheduler, &tap, &registry, &ids, &config, Some(tx))
+    });
+    let addr = rx.recv().expect("daemon bound");
+    (addr, handle)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let quiet = quiet_from_args();
+    let requests = if quick { 2_000 } else { 10_000 };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Serving throughput — in-process daemon, closed-loop loadgen at full speed"
+    );
+    let _ = writeln!(
+        out,
+        "({requests} requests, abilene topology, seed 1; latency = send -> decision parsed; \
+         revenue bit-identical to the batch engine)"
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:>9} {:>18} {:>13} {:>9} {:>9} {:>9} {:>9}",
+        "scheme", "algorithm", "decisions/s", "p50_us", "p90_us", "p99_us", "max_us"
+    );
+
+    for onsite in [true, false] {
+        let s = Scenario::build(&ScenarioParams {
+            requests,
+            ..ScenarioParams::default()
+        });
+        let sim = Simulation::new(&s.instance, &s.requests).expect("valid scenario");
+        let batch = if onsite {
+            let mut alg =
+                OnsitePrimalDual::new(&s.instance, CapacityPolicy::Enforce).expect("valid");
+            sim.run(&mut alg).expect("batch run")
+        } else {
+            let mut alg = OffsitePrimalDual::new(&s.instance);
+            sim.run(&mut alg).expect("batch run")
+        };
+
+        let (addr, daemon) = spawn_daemon(s.instance.clone(), onsite);
+        let mut lg = LoadgenConfig::new(addr.to_string());
+        lg.shutdown_when_done = true;
+        let client = run_loadgen(&s.requests, &lg).expect("loadgen run");
+        let report = daemon
+            .join()
+            .expect("daemon thread")
+            .expect("clean shutdown");
+
+        // Parity hard-asserts: same decisions, same money, to the bit.
+        assert_eq!(client.decided, requests, "every request must be decided");
+        assert_eq!(
+            client.admitted, batch.metrics.admitted,
+            "daemon/batch admission count diverged"
+        );
+        assert_eq!(
+            client.revenue.to_bits(),
+            batch.metrics.revenue.to_bits(),
+            "daemon/batch revenue diverged"
+        );
+        assert_eq!(report.stats.decided as usize, requests);
+
+        let (scheme, algorithm) = if onsite {
+            ("on-site", "alg1-primal-dual")
+        } else {
+            ("off-site", "alg2-primal-dual")
+        };
+        let _ = writeln!(
+            out,
+            "{:>9} {:>18} {:>13.0} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            scheme,
+            algorithm,
+            client.throughput(),
+            client.latency.p50 * 1e6,
+            client.latency.p90 * 1e6,
+            client.latency.p99 * 1e6,
+            client.latency.max * 1e6
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "closed loop: one outstanding request per connection, so decisions/s is\n\
+         bounded by round-trip latency, not scheduler throughput; see DESIGN.md §12\n\
+         and the EXPERIMENTS.md serving-throughput methodology for caveats."
+    );
+
+    print!("{out}");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/serve_throughput.txt"
+    );
+    std::fs::write(path, &out).expect("write results/serve_throughput.txt");
+    note(quiet, format_args!("\nwritten to {path}"));
+}

@@ -176,6 +176,81 @@ impl Default for DegradationArgs {
     }
 }
 
+/// Fully parsed `serve` options: the scenario that defines the
+/// instance and scheduler (shared with `simulate`) plus the daemon's
+/// listening, queueing, ticking and persistence knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Scenario and scheduler selection (same flags as `simulate`;
+    /// `--requests` et al. are accepted but only the instance-defining
+    /// fields matter to the daemon).
+    pub sim: SimulateArgs,
+    /// Listen address (`--addr`).
+    pub addr: String,
+    /// Ingress queue bound (`--queue`); submits beyond it get typed
+    /// overload rejections.
+    pub queue: usize,
+    /// Connection worker threads (`--workers`).
+    pub workers: usize,
+    /// Snapshot file (`--snapshot`); `None` disables persistence.
+    pub snapshot: Option<String>,
+    /// Load the snapshot, if present, before serving (`--resume`).
+    pub resume: bool,
+    /// Advance the virtual slot clock every this many milliseconds
+    /// (`--tick-ms`); `None` advances only on `advance-slot` controls.
+    pub tick_ms: Option<u64>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            sim: SimulateArgs::default(),
+            addr: "127.0.0.1:7070".into(),
+            queue: 256,
+            workers: 4,
+            snapshot: None,
+            resume: false,
+            tick_ms: None,
+        }
+    }
+}
+
+/// Fully parsed `loadgen` options: the scenario whose request stream is
+/// replayed (must match the serving daemon's) plus client pacing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenArgs {
+    /// Scenario (same flags as `simulate`); `--requests` sets how many
+    /// requests the closed loop replays.
+    pub sim: SimulateArgs,
+    /// Daemon address (`--addr`).
+    pub addr: String,
+    /// Target requests/second (`--rate`); 0 sends full speed.
+    pub rate: f64,
+    /// Skip requests with id below this (`--start-at`), to resume a
+    /// partially served trace after a daemon restart.
+    pub start_at: usize,
+    /// Leave the daemon running when done (`--no-shutdown`); by default
+    /// the generator sends a `shutdown` control and waits for the
+    /// drain-then-snapshot ack.
+    pub no_shutdown: bool,
+    /// Write the admission-latency histogram artifact here
+    /// (`--hist-out`).
+    pub hist_out: Option<String>,
+}
+
+impl Default for LoadgenArgs {
+    fn default() -> Self {
+        LoadgenArgs {
+            sim: SimulateArgs::default(),
+            addr: "127.0.0.1:7070".into(),
+            rate: 0.0,
+            start_at: 0,
+            no_shutdown: false,
+            hist_out: None,
+        }
+    }
+}
+
 /// The parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -187,6 +262,10 @@ pub enum Command {
     /// Run a fault-aware simulation with correlated failure domains,
     /// cascades, and graceful degradation.
     Degradation(DegradationArgs),
+    /// Run the long-running admission daemon.
+    Serve(ServeArgs),
+    /// Drive a running daemon with the closed-loop load generator.
+    Loadgen(LoadgenArgs),
     /// Replay a recorded trace and explain one request's decision.
     Explain {
         /// The request id to explain.
@@ -230,6 +309,8 @@ USAGE:
   vnfrel failures [OPTIONS]     simulate under dynamic outages with recovery
   vnfrel degradation [OPTIONS]  correlated domain outages, cascades, and
                                 graceful degradation
+  vnfrel serve [OPTIONS]        run the admission daemon (line-JSON over TCP)
+  vnfrel loadgen [OPTIONS]      replay a generated trace against a daemon
   vnfrel explain <ID> --trace <PATH>  replay a trace, explain one request
   vnfrel topo [OPTIONS]         describe a topology (--dot for Graphviz)
   vnfrel help                   show this text
@@ -283,6 +364,31 @@ DEGRADATION OPTIONS (all FAILURES OPTIONS, plus):
   --no-shed             disable the revenue-aware load shedder
   --no-audit            disable the runtime invariant auditor
 
+SERVE OPTIONS (scenario flags as SIMULATE — topology, seed, horizon,
+capacity, scheme, algorithm, … define the instance and must match the
+loadgen side — plus):
+  --addr <HOST:PORT>    listen address; port 0 picks a free port [127.0.0.1:7070]
+  --queue <N>           ingress queue bound; submits beyond it get typed
+                        overload rejections [256]
+  --workers <N>         connection worker threads [4]
+  --snapshot <PATH>     crash-consistent snapshot target (written on the
+                        snapshot control and at shutdown)
+  --resume              load the snapshot, if present, before serving
+  --tick-ms <N>         advance the virtual slot clock every N ms
+                        (default: only on advance-slot control messages)
+  --trace <PATH>        tee every decision to a JSONL trace
+  (--algorithm primal-dual|greedy only; metrics are served over HTTP as
+  GET /metrics on the same port, not written to a file)
+
+LOADGEN OPTIONS (scenario flags as SIMULATE; --requests sets the trace
+length; plus):
+  --addr <HOST:PORT>    daemon address [127.0.0.1:7070]
+  --rate <F>            target requests/second (0 = full speed) [0]
+  --start-at <ID>       skip requests below this id (resume a
+                        partially served trace) [0]
+  --no-shutdown         leave the daemon running when done
+  --hist-out <PATH>     write the admission-latency histogram artifact
+
 EXPLAIN OPTIONS:
   --trace <PATH>        the JSONL trace to replay (required)
   --quiet, -q           suppress stderr notes
@@ -307,6 +413,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "simulate" => parse_simulate(rest),
         "failures" => parse_failures(rest),
         "degradation" => parse_degradation(rest),
+        "serve" => parse_serve(rest),
+        "loadgen" => parse_loadgen(rest),
         "explain" => parse_explain(rest),
         "topo" => parse_topo(rest),
         other => Err(ParseError(format!(
@@ -490,6 +598,75 @@ fn parse_degradation(rest: &[String]) -> Result<Command, ParseError> {
     }
     check_sim(&out.failures.sim)?;
     Ok(Command::Degradation(out))
+}
+
+fn parse_serve(rest: &[String]) -> Result<Command, ParseError> {
+    let mut out = ServeArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--queue" => out.queue = parse_num(&value("--queue")?, "--queue")?,
+            "--workers" => out.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--snapshot" => out.snapshot = Some(value("--snapshot")?),
+            "--resume" => out.resume = true,
+            "--tick-ms" => out.tick_ms = Some(parse_num(&value("--tick-ms")?, "--tick-ms")?),
+            _ => {
+                if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
+                    return Err(ParseError(format!("unknown option `{flag}`")));
+                }
+            }
+        }
+    }
+    if out.queue == 0 {
+        return Err(ParseError("--queue must be at least 1".into()));
+    }
+    if !matches!(
+        out.sim.algorithm,
+        AlgorithmChoice::PrimalDual | AlgorithmChoice::Greedy
+    ) {
+        return Err(ParseError(
+            "serve supports the primal-dual and greedy algorithms only".into(),
+        ));
+    }
+    check_sim(&out.sim)?;
+    Ok(Command::Serve(out))
+}
+
+fn parse_loadgen(rest: &[String]) -> Result<Command, ParseError> {
+    let mut out = LoadgenArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--rate" => out.rate = parse_num(&value("--rate")?, "--rate")?,
+            "--start-at" => out.start_at = parse_num(&value("--start-at")?, "--start-at")?,
+            "--no-shutdown" => out.no_shutdown = true,
+            "--hist-out" => out.hist_out = Some(value("--hist-out")?),
+            _ => {
+                if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
+                    return Err(ParseError(format!("unknown option `{flag}`")));
+                }
+            }
+        }
+    }
+    if out.rate < 0.0 || !out.rate.is_finite() {
+        return Err(ParseError(
+            "--rate must be a finite non-negative rate".into(),
+        ));
+    }
+    check_sim(&out.sim)?;
+    Ok(Command::Loadgen(out))
 }
 
 fn parse_explain(rest: &[String]) -> Result<Command, ParseError> {
@@ -926,5 +1103,88 @@ mod tests {
     fn bad_ranges() {
         assert!(parse(&sv(&["simulate", "--capacity", "10-20"])).is_err());
         assert!(parse(&sv(&["simulate", "--payment", "abc:2"])).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let Command::Serve(a) = parse(&sv(&["serve"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, ServeArgs::default());
+
+        let Command::Serve(a) = parse(&sv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--queue",
+            "64",
+            "--workers",
+            "2",
+            "--snapshot",
+            "state.snap",
+            "--resume",
+            "--tick-ms",
+            "250",
+            "--scheme",
+            "offsite",
+            "--seed",
+            "9",
+            "--trace",
+            "serve.jsonl",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.queue, 64);
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.snapshot.as_deref(), Some("state.snap"));
+        assert!(a.resume);
+        assert_eq!(a.tick_ms, Some(250));
+        // Scenario flags fall through to the shared simulate parser.
+        assert_eq!(a.sim.scheme, vnfrel::Scheme::OffSite);
+        assert_eq!(a.sim.seed, 9);
+        assert_eq!(a.sim.trace.as_deref(), Some("serve.jsonl"));
+
+        assert!(parse(&sv(&["serve", "--queue", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--algorithm", "random"])).is_err());
+        assert!(parse(&sv(&["serve", "--bogus"])).is_err());
+        assert!(parse(&sv(&["serve", "--addr"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_defaults_and_flags() {
+        let Command::Loadgen(a) = parse(&sv(&["loadgen"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, LoadgenArgs::default());
+
+        let Command::Loadgen(a) = parse(&sv(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:9000",
+            "--rate",
+            "500",
+            "--start-at",
+            "100",
+            "--no-shutdown",
+            "--hist-out",
+            "hist.txt",
+            "--requests",
+            "10000",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.addr, "127.0.0.1:9000");
+        assert_eq!(a.rate, 500.0);
+        assert_eq!(a.start_at, 100);
+        assert!(a.no_shutdown);
+        assert_eq!(a.hist_out.as_deref(), Some("hist.txt"));
+        assert_eq!(a.sim.requests, 10000);
+
+        assert!(parse(&sv(&["loadgen", "--rate", "-1"])).is_err());
+        assert!(parse(&sv(&["loadgen", "--rate", "inf"])).is_err());
+        assert!(parse(&sv(&["loadgen", "--bogus"])).is_err());
     }
 }

@@ -1,0 +1,129 @@
+//! Typed CLI errors with distinct nonzero exit codes.
+//!
+//! Daemon-mode failures in particular (bad listen address, busy port,
+//! corrupt or mismatched snapshot) must report cleanly and
+//! distinguishably — scripts supervising `vnfrel serve` branch on the
+//! exit code, so "retry later" (busy port) and "operator intervention"
+//! (corrupt snapshot) need different numbers, and none of them should
+//! abort with a backtrace.
+
+use std::fmt;
+
+use mec_serve::ServeError;
+
+/// A CLI failure with a user-facing message and a stable exit code.
+///
+/// Exit codes: `1` internal, `2` usage, `3` configuration, `4` file IO,
+/// `5` network, `6` snapshot. `0` is reserved for success.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown flag, missing value). Exit code 2.
+    Usage(String),
+    /// Semantically invalid configuration (bad topology parameters,
+    /// unsupported scheme/algorithm combination). Exit code 3.
+    Config(String),
+    /// File input/output failed (trace, CSV, metrics, histogram
+    /// targets). Exit code 4.
+    Io(String),
+    /// Network setup or transport failed (bad address, busy port,
+    /// unreachable daemon, dropped connection). Exit code 5.
+    Net(String),
+    /// A snapshot could not be read, parsed, validated or written.
+    /// Exit code 6.
+    Snapshot(String),
+    /// Everything else — engine failures and violated internal
+    /// invariants. Exit code 1.
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to (always nonzero).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Internal(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Config(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Net(_) => 5,
+            CliError::Snapshot(_) => 6,
+        }
+    }
+
+    /// Builds a [`CliError::Config`] from any displayable error.
+    pub fn config(e: impl fmt::Display) -> Self {
+        CliError::Config(e.to_string())
+    }
+
+    /// Builds a [`CliError::Io`] from any displayable error.
+    pub fn io(e: impl fmt::Display) -> Self {
+        CliError::Io(e.to_string())
+    }
+
+    /// Builds a [`CliError::Internal`] from any displayable error.
+    pub fn internal(e: impl fmt::Display) -> Self {
+        CliError::Internal(e.to_string())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Config(m)
+            | CliError::Io(m)
+            | CliError::Net(m)
+            | CliError::Snapshot(m)
+            | CliError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        match &e {
+            ServeError::Net { .. } => CliError::Net(e.to_string()),
+            ServeError::Snapshot(_) | ServeError::SnapshotIo { .. } => {
+                CliError::Snapshot(e.to_string())
+            }
+            ServeError::Io(_) | ServeError::Protocol(_) => CliError::Net(e.to_string()),
+            ServeError::Config(_) => CliError::Config(e.to_string()),
+            ServeError::State(_) => CliError::Internal(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let all = [
+            CliError::Internal("x".into()),
+            CliError::Usage("x".into()),
+            CliError::Config("x".into()),
+            CliError::Io("x".into()),
+            CliError::Net("x".into()),
+            CliError::Snapshot("x".into()),
+        ];
+        let mut codes: Vec<u8> = all.iter().map(CliError::exit_code).collect();
+        assert!(codes.iter().all(|&c| c != 0));
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "exit codes must be distinct");
+    }
+
+    #[test]
+    fn serve_errors_map_to_the_right_category() {
+        let net = ServeError::Net {
+            action: "bind",
+            addr: "127.0.0.1:1".into(),
+            source: std::io::Error::new(std::io::ErrorKind::AddrInUse, "busy"),
+        };
+        assert_eq!(CliError::from(net).exit_code(), 5);
+        let snap = ServeError::Snapshot("corrupt".into());
+        assert_eq!(CliError::from(snap).exit_code(), 6);
+    }
+}

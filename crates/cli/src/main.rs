@@ -1,7 +1,13 @@
 //! `vnfrel` — command-line front end for the reliability-aware VNF
 //! scheduling library. Run `vnfrel help` for usage.
+//!
+//! Failures exit with a typed code (see [`error::CliError`]): 1
+//! internal, 2 usage, 3 configuration, 4 file IO, 5 network, 6
+//! snapshot — so supervisors of `vnfrel serve` can tell a busy port
+//! from a corrupt snapshot without parsing stderr.
 
 mod args;
+mod error;
 mod runner;
 
 use std::process::ExitCode;
@@ -12,7 +18,7 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(error::CliError::Usage(e.to_string()).exit_code());
         }
     };
     let mut stdout = std::io::stdout();
@@ -34,6 +40,14 @@ fn main() -> ExitCode {
             deg_args,
             &mut runner::Output::new(&mut stdout, &mut stderr, deg_args.failures.sim.quiet),
         ),
+        args::Command::Serve(serve_args) => runner::serve(
+            serve_args,
+            &mut runner::Output::new(&mut stdout, &mut stderr, serve_args.sim.quiet),
+        ),
+        args::Command::Loadgen(loadgen_args) => runner::loadgen(
+            loadgen_args,
+            &mut runner::Output::new(&mut stdout, &mut stderr, loadgen_args.sim.quiet),
+        ),
         args::Command::Explain {
             request,
             trace,
@@ -53,7 +67,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

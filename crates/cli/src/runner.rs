@@ -3,7 +3,10 @@
 use std::cell::RefCell;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use mec_obs::{
     DecisionMetricIds, JsonlSink, MetricsRegistry, MetricsSink, NoopSink, Outcome, TraceEvent,
@@ -24,7 +27,15 @@ use vnfrel::offsite::{OffsiteGreedy, OffsitePrimalDual};
 use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
 use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
 
-use crate::args::{AlgorithmChoice, DegradationArgs, FailuresArgs, SimulateArgs, TopologyChoice};
+use mec_serve::{
+    run_loadgen, serve as serve_daemon, DecisionTap, LoadgenConfig, ServeConfig, ServeMetricIds,
+};
+
+use crate::args::{
+    AlgorithmChoice, DegradationArgs, FailuresArgs, LoadgenArgs, ServeArgs, SimulateArgs,
+    TopologyChoice,
+};
+use crate::error::CliError;
 
 /// Split output channels: result tables go to `out` (stdout), progress
 /// and provenance notes go to `err` (stderr) so tables stay pipeable.
@@ -42,17 +53,17 @@ impl<'w> Output<'w> {
     }
 
     /// Writes one line of result output (stdout).
-    fn table(&mut self, s: impl std::fmt::Display) -> Result<(), String> {
-        writeln!(self.out, "{s}").map_err(|e| e.to_string())
+    fn table(&mut self, s: impl std::fmt::Display) -> Result<(), CliError> {
+        writeln!(self.out, "{s}").map_err(CliError::io)
     }
 
     /// Writes one line of progress/provenance output (stderr), unless
     /// `--quiet`.
-    fn note(&mut self, s: impl std::fmt::Display) -> Result<(), String> {
+    fn note(&mut self, s: impl std::fmt::Display) -> Result<(), CliError> {
         if self.quiet {
             return Ok(());
         }
-        writeln!(self.err, "{s}").map_err(|e| e.to_string())
+        writeln!(self.err, "{s}").map_err(CliError::io)
     }
 }
 
@@ -82,8 +93,9 @@ impl TraceSink for CliTraceSink<'_> {
 
 type SharedSink<'r> = Rc<RefCell<CliTraceSink<'r>>>;
 
-fn open_trace(path: &str) -> Result<JsonlSink<BufWriter<File>>, String> {
-    let file = File::create(path).map_err(|e| format!("failed to create trace {path}: {e}"))?;
+fn open_trace(path: &str) -> Result<JsonlSink<BufWriter<File>>, CliError> {
+    let file = File::create(path)
+        .map_err(|e| CliError::Io(format!("failed to create trace {path}: {e}")))?;
     Ok(JsonlSink::new(BufWriter::new(file)))
 }
 
@@ -93,16 +105,18 @@ fn finish_trace(
     sink: SharedSink<'_>,
     path: Option<&str>,
     io: &mut Output<'_>,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let sink = Rc::try_unwrap(sink)
-        .map_err(|_| "internal error: trace sink still shared after the run".to_string())?
+        .map_err(|_| {
+            CliError::Internal("internal error: trace sink still shared after the run".into())
+        })?
         .into_inner();
     if let Some(jsonl) = sink.jsonl {
         let path = path.unwrap_or("<trace>");
         let written = jsonl.written();
         jsonl
             .finish()
-            .map_err(|e| format!("failed to write trace {path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("failed to write trace {path}: {e}")))?;
         io.note(format!("trace: {written} events -> {path}"))?;
     }
     Ok(())
@@ -113,23 +127,25 @@ fn finish_trace(
 fn write_csv_file(
     path: &str,
     render: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
-) -> Result<(), String> {
-    let file = File::create(path).map_err(|e| format!("failed to create {path}: {e}"))?;
+) -> Result<(), CliError> {
+    let file =
+        File::create(path).map_err(|e| CliError::Io(format!("failed to create {path}: {e}")))?;
     let mut w = BufWriter::new(file);
     render(&mut w)
         .and_then(|()| w.flush())
-        .map_err(|e| format!("failed to write {path}: {e}"))
+        .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))
 }
 
 /// Writes a metrics snapshot; `.json`/`.jsonl` extensions select the
 /// JSONL format, anything else the Prometheus text exposition format.
-fn write_metrics_snapshot(registry: &MetricsRegistry, path: &str) -> Result<(), String> {
+fn write_metrics_snapshot(registry: &MetricsRegistry, path: &str) -> Result<(), CliError> {
     let body = if path.ends_with(".json") || path.ends_with(".jsonl") {
         registry.to_jsonl()
     } else {
         registry.to_prometheus()
     };
-    std::fs::write(path, body).map_err(|e| format!("failed to write metrics {path}: {e}"))
+    std::fs::write(path, body)
+        .map_err(|e| CliError::Io(format!("failed to write metrics {path}: {e}")))
 }
 
 /// Builds a network from a topology choice.
@@ -141,7 +157,7 @@ pub fn build_network(
     choice: &TopologyChoice,
     placement: &CloudletPlacement,
     rng: &mut ChaCha8Rng,
-) -> Result<Network, String> {
+) -> Result<Network, CliError> {
     let net = match choice {
         TopologyChoice::Zoo(name) => {
             let topo = match name.as_str() {
@@ -152,7 +168,7 @@ pub fn build_network(
                 "geant" => zoo::geant(),
                 "garr" => zoo::garr(),
                 "cesnet" => zoo::cesnet(),
-                other => return Err(format!("unknown zoo topology `{other}`")),
+                other => return Err(CliError::Config(format!("unknown zoo topology `{other}`"))),
             };
             topo.into_network(placement, rng)
         }
@@ -162,13 +178,15 @@ pub fn build_network(
         }
         TopologyChoice::Grid { rows, cols } => generators::grid(*rows, *cols, placement, rng),
     };
-    net.map_err(|e| format!("failed to build topology: {e}"))
+    net.map_err(|e| CliError::Config(format!("failed to build topology: {e}")))
 }
 
 /// Builds the instance and request stream a `simulate`-family command
 /// operates on. The returned RNG has consumed the topology and workload
 /// draws and may be reused for downstream sampling.
-fn build_setup(args: &SimulateArgs) -> Result<(ProblemInstance, Vec<Request>, ChaCha8Rng), String> {
+fn build_setup(
+    args: &SimulateArgs,
+) -> Result<(ProblemInstance, Vec<Request>, ChaCha8Rng), CliError> {
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let placement = CloudletPlacement {
         fraction: args.cloudlet_fraction,
@@ -178,14 +196,14 @@ fn build_setup(args: &SimulateArgs) -> Result<(ProblemInstance, Vec<Request>, Ch
     let network = build_network(&args.topology, &placement, &mut rng)?;
     let instance =
         ProblemInstance::new(network, VnfCatalog::standard(), Horizon::new(args.horizon))
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::config)?;
     let requests = RequestGenerator::new(instance.horizon())
         .reliability_band(args.requirement.0, args.requirement.1)
-        .map_err(|e| e.to_string())?
+        .map_err(CliError::config)?
         .payment_rate_band(args.payment_rate.0, args.payment_rate.1)
-        .map_err(|e| e.to_string())?
+        .map_err(CliError::config)?
         .generate(args.requests, instance.catalog(), &mut rng)
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::config)?;
     Ok((instance, requests, rng))
 }
 
@@ -193,10 +211,10 @@ fn build_setup(args: &SimulateArgs) -> Result<(ProblemInstance, Vec<Request>, Ch
 fn make_scheduler<'a>(
     instance: &'a ProblemInstance,
     args: &SimulateArgs,
-) -> Result<Box<dyn OnlineScheduler + 'a>, String> {
+) -> Result<Box<dyn OnlineScheduler + 'a>, CliError> {
     Ok(match (args.scheme, args.algorithm) {
         (Scheme::OnSite, AlgorithmChoice::PrimalDual) => Box::new(
-            OnsitePrimalDual::new(instance, CapacityPolicy::Enforce).map_err(|e| e.to_string())?,
+            OnsitePrimalDual::new(instance, CapacityPolicy::Enforce).map_err(CliError::config)?,
         ),
         (Scheme::OnSite, AlgorithmChoice::Greedy) => Box::new(OnsiteGreedy::new(instance)),
         (Scheme::OffSite, AlgorithmChoice::PrimalDual) => {
@@ -207,10 +225,10 @@ fn make_scheduler<'a>(
             Box::new(RandomPlacement::new(instance, scheme, args.seed))
         }
         (Scheme::OnSite, AlgorithmChoice::Density) => {
-            Box::new(DensityGreedy::new(instance, 0.0).map_err(|e| e.to_string())?)
+            Box::new(DensityGreedy::new(instance, 0.0).map_err(CliError::config)?)
         }
         (Scheme::OffSite, AlgorithmChoice::Density) => {
-            return Err("density greedy is on-site only".into())
+            return Err(CliError::Usage("density greedy is on-site only".into()))
         }
     })
 }
@@ -223,11 +241,11 @@ fn make_traced_scheduler<'a>(
     instance: &'a ProblemInstance,
     args: &SimulateArgs,
     sink: SharedSink<'a>,
-) -> Result<Box<dyn OnlineScheduler + 'a>, String> {
+) -> Result<Box<dyn OnlineScheduler + 'a>, CliError> {
     Ok(match (args.scheme, args.algorithm) {
         (Scheme::OnSite, AlgorithmChoice::PrimalDual) => Box::new(
             OnsitePrimalDual::with_sink(instance, CapacityPolicy::Enforce, sink)
-                .map_err(|e| e.to_string())?,
+                .map_err(CliError::config)?,
         ),
         (Scheme::OnSite, AlgorithmChoice::Greedy) => {
             Box::new(OnsiteGreedy::with_sink(instance, sink))
@@ -239,9 +257,9 @@ fn make_traced_scheduler<'a>(
             Box::new(OffsiteGreedy::with_sink(instance, sink))
         }
         (_, AlgorithmChoice::Random | AlgorithmChoice::Density) => {
-            return Err(
+            return Err(CliError::Usage(
                 "--trace/--metrics support the primal-dual and greedy algorithms only".into(),
-            )
+            ))
         }
     })
 }
@@ -252,9 +270,9 @@ fn make_traced_scheduler<'a>(
 ///
 /// Returns a printable message on invalid configurations or failed
 /// exports (always naming the target path).
-pub fn simulate(args: &SimulateArgs, io: &mut Output<'_>) -> Result<(), String> {
+pub fn simulate(args: &SimulateArgs, io: &mut Output<'_>) -> Result<(), CliError> {
     let (instance, requests, _rng) = build_setup(args)?;
-    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    let sim = Simulation::new(&instance, &requests).map_err(CliError::config)?;
 
     let want_metrics = args.metrics.is_some();
     let mut registry = MetricsRegistry::new();
@@ -278,13 +296,13 @@ pub fn simulate(args: &SimulateArgs, io: &mut Output<'_>) -> Result<(), String> 
                 IntraSlotOrder::Arrival,
                 engine_metrics.as_ref(),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::internal)?;
         drop(scheduler);
         finish_trace(sink, args.trace.as_deref(), io)?;
         report
     } else {
         let mut scheduler = make_scheduler(&instance, args)?;
-        sim.run(scheduler.as_mut()).map_err(|e| e.to_string())?
+        sim.run(scheduler.as_mut()).map_err(CliError::internal)?
     };
 
     io.note(format!("{instance}"))?;
@@ -318,7 +336,7 @@ pub fn simulate(args: &SimulateArgs, io: &mut Output<'_>) -> Result<(), String> 
                 args.threads,
             ),
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::internal)?;
         io.table(format!(
             "failure injection: {} trials, worst margin {:+.4}, statistical violations {}",
             fr.trials,
@@ -349,9 +367,9 @@ pub fn simulate(args: &SimulateArgs, io: &mut Output<'_>) -> Result<(), String> 
 ///
 /// Returns a printable message on invalid configurations or failed
 /// exports (always naming the target path).
-pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> {
+pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), CliError> {
     let (instance, requests, _) = build_setup(&args.sim)?;
-    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    let sim = Simulation::new(&instance, &requests).map_err(CliError::config)?;
     let config = FailureConfig {
         cloudlet_mttf: args.mttf,
         cloudlet_mttr: args.mttr,
@@ -363,7 +381,7 @@ pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> 
         instance.horizon(),
         &mut ChaCha8Rng::seed_from_u64(args.failure_seed),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::config)?;
 
     let want_metrics = args.sim.metrics.is_some();
     let mut registry = MetricsRegistry::new();
@@ -381,7 +399,7 @@ pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> 
         let mut engine_sink = Rc::clone(&sink);
         let report = sim
             .run_with_failures_traced(scheduler.as_mut(), &trace, args.policy, &mut engine_sink)
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::internal)?;
         drop(scheduler);
         drop(engine_sink);
         finish_trace(sink, args.sim.trace.as_deref(), io)?;
@@ -389,7 +407,7 @@ pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> 
     } else {
         let mut scheduler = make_scheduler(&instance, &args.sim)?;
         sim.run_with_failures(scheduler.as_mut(), &trace, args.policy)
-            .map_err(|e| e.to_string())?
+            .map_err(CliError::internal)?
     };
 
     io.note(format!("{instance}"))?;
@@ -415,7 +433,7 @@ pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> 
         let mut baseline = make_scheduler(&instance, &args.sim)?;
         let base = sim
             .run_with_failures(baseline.as_mut(), &trace, RecoveryPolicy::None)
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::internal)?;
         io.table(format!("baseline {}: {}", base.policy, base.sla))?;
         io.table(format!(
             "violated request-slots: {} -> {}",
@@ -451,10 +469,10 @@ pub fn failures(args: &FailuresArgs, io: &mut Output<'_>) -> Result<(), String> 
 ///
 /// Returns a printable message on invalid configurations or failed
 /// exports (always naming the target path).
-pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), String> {
+pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), CliError> {
     let fargs = &args.failures;
     let (instance, requests, _) = build_setup(&fargs.sim)?;
-    let sim = Simulation::new(&instance, &requests).map_err(|e| e.to_string())?;
+    let sim = Simulation::new(&instance, &requests).map_err(CliError::config)?;
     let config = FailureConfig {
         cloudlet_mttf: fargs.mttf,
         cloudlet_mttr: fargs.mttr,
@@ -466,7 +484,7 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
         args.domain_mttf,
         args.domain_mttr,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::config)?;
     let trace = FailureProcess::generate_with_domains(
         instance.network(),
         &config,
@@ -475,7 +493,7 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
         instance.horizon(),
         &mut ChaCha8Rng::seed_from_u64(fargs.failure_seed),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(CliError::config)?;
 
     let report = if fargs.sim.trace.is_some() {
         let sink = Rc::new(RefCell::new(CliTraceSink {
@@ -492,7 +510,7 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
                 &args.config,
                 &mut engine_sink,
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(CliError::internal)?;
         drop(scheduler);
         drop(engine_sink);
         finish_trace(sink, fargs.sim.trace.as_deref(), io)?;
@@ -500,7 +518,7 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
     } else {
         let mut scheduler = make_scheduler(&instance, &fargs.sim)?;
         sim.run_degraded(scheduler.as_mut(), &trace, fargs.policy, &args.config)
-            .map_err(|e| e.to_string())?
+            .map_err(CliError::internal)?
     };
 
     io.note(format!("{instance}"))?;
@@ -556,7 +574,7 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
     let mut baseline = make_scheduler(&instance, &fargs.sim)?;
     let base = sim
         .run_with_failures(baseline.as_mut(), &trace, RecoveryPolicy::None)
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::config)?;
     io.table(format!("baseline {}: {}", base.policy, base.sla))?;
     io.table(format!(
         "violated request-slots: {} -> {}",
@@ -580,6 +598,195 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
     Ok(())
 }
 
+/// Like [`make_traced_scheduler`], but wires the daemon's
+/// [`DecisionTap`] in as the sink so [`serve_daemon`] can pop each
+/// decision right after `decide()` returns.
+fn make_tapped_scheduler<'a>(
+    instance: &'a ProblemInstance,
+    args: &SimulateArgs,
+    tap: DecisionTap,
+) -> Result<Box<dyn OnlineScheduler + 'a>, CliError> {
+    Ok(match (args.scheme, args.algorithm) {
+        (Scheme::OnSite, AlgorithmChoice::PrimalDual) => Box::new(
+            OnsitePrimalDual::with_sink(instance, CapacityPolicy::Enforce, tap)
+                .map_err(CliError::config)?,
+        ),
+        (Scheme::OnSite, AlgorithmChoice::Greedy) => {
+            Box::new(OnsiteGreedy::with_sink(instance, tap))
+        }
+        (Scheme::OffSite, AlgorithmChoice::PrimalDual) => {
+            Box::new(OffsitePrimalDual::with_sink(instance, tap))
+        }
+        (Scheme::OffSite, AlgorithmChoice::Greedy) => {
+            Box::new(OffsiteGreedy::with_sink(instance, tap))
+        }
+        (_, AlgorithmChoice::Random | AlgorithmChoice::Density) => {
+            return Err(CliError::Usage(
+                "serve supports the primal-dual and greedy algorithms only".into(),
+            ))
+        }
+    })
+}
+
+/// A canonical string of everything that defines the daemon's instance
+/// and scheduler. Stored in snapshots and validated on resume, so a
+/// daemon only resumes state produced by an identical scenario.
+fn scenario_fingerprint(args: &SimulateArgs) -> String {
+    format!(
+        "v1|topo={:?}|scheme={:?}|algo={:?}|seed={}|horizon={}|cap={}:{}|crel={}:{}|frac={}",
+        args.topology,
+        args.scheme,
+        args.algorithm,
+        args.seed,
+        args.horizon,
+        args.capacity.0,
+        args.capacity.1,
+        args.cloudlet_reliability.0,
+        args.cloudlet_reliability.1,
+        args.cloudlet_fraction,
+    )
+}
+
+/// Runs the `serve` command: builds the scenario's instance, wires the
+/// selected scheduler to the daemon's decision tap, and blocks serving
+/// line-JSON admission requests until a shutdown control or signal.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the address cannot be bound (bad address,
+/// busy port), [`CliError::Snapshot`] when `--resume` finds a corrupt
+/// or mismatched snapshot, [`CliError::Config`] on invalid scenarios.
+pub fn serve(args: &ServeArgs, io: &mut Output<'_>) -> Result<(), CliError> {
+    let (instance, _requests, _rng) = build_setup(&args.sim)?;
+    let tap = DecisionTap::new();
+    let mut scheduler = make_tapped_scheduler(&instance, &args.sim, tap.clone())?;
+    let mut registry = MetricsRegistry::new();
+    let ids = ServeMetricIds::register(&mut registry, instance.cloudlet_count());
+
+    let mut config = ServeConfig::new(args.addr.clone());
+    config.queue_capacity = args.queue;
+    config.workers = args.workers;
+    config.snapshot_path = args.snapshot.as_ref().map(PathBuf::from);
+    config.resume = args.resume;
+    config.tick = args.tick_ms.map(Duration::from_millis);
+    config.fingerprint = scenario_fingerprint(&args.sim);
+    config.trace_path = args.sim.trace.as_ref().map(PathBuf::from);
+    config.install_signal_handlers = true;
+
+    io.note(format!("{instance}"))?;
+    io.note(format!(
+        "serving {:?} {:?} (fingerprint {})",
+        args.sim.scheme, args.sim.algorithm, config.fingerprint
+    ))?;
+    // The daemon blocks this thread; announce the bound address from a
+    // helper thread so `--addr 127.0.0.1:0` runs still print where they
+    // actually listen.
+    let (tx, rx) = mpsc::channel();
+    let quiet = args.sim.quiet;
+    let announce = std::thread::spawn(move || {
+        if let Ok(addr) = rx.recv() {
+            if !quiet {
+                eprintln!(
+                    "listening on {addr} (GET /metrics for Prometheus text; \
+                     SIGINT/SIGTERM for drain-then-snapshot shutdown)"
+                );
+            }
+        }
+    });
+    let result = serve_daemon(scheduler.as_mut(), &tap, &registry, &ids, &config, Some(tx));
+    announce.join().ok();
+    let report = result?;
+
+    io.table(format!(
+        "served: revenue {:.2}, admitted {}/{} ({} rejected, {} overloads), final slot {}",
+        report.stats.revenue,
+        report.stats.admitted,
+        report.stats.decided,
+        report.stats.rejected,
+        report.stats.overloaded,
+        report.slot
+    ))?;
+    if report.snapshot_written {
+        io.note(format!(
+            "snapshot -> {}",
+            args.snapshot.as_deref().unwrap_or("<none>")
+        ))?;
+    }
+    Ok(())
+}
+
+/// Polls until the daemon accepts connections — serve and loadgen are
+/// typically started back-to-back — bounded to ~5 s, then lets
+/// [`run_loadgen`] surface the real connect error.
+fn wait_for_daemon(addr: &str) {
+    for _ in 0..50 {
+        if std::net::TcpStream::connect(addr).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Runs the `loadgen` command: regenerates the scenario's request
+/// stream and replays it against a running daemon, closed-loop, then
+/// prints client-side bookkeeping next to the daemon's own counters
+/// (from the shutdown ack) so parity with `vnfrel simulate` is a
+/// string comparison.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the daemon is unreachable or the connection
+/// drops, [`CliError::Io`] when `--hist-out` cannot be written.
+pub fn loadgen(args: &LoadgenArgs, io: &mut Output<'_>) -> Result<(), CliError> {
+    let (_instance, requests, _rng) = build_setup(&args.sim)?;
+    let mut config = LoadgenConfig::new(args.addr.clone());
+    if args.rate > 0.0 {
+        config.rate = args.rate;
+    }
+    config.start_at = args.start_at;
+    config.shutdown_when_done = !args.no_shutdown;
+
+    io.note(format!(
+        "replaying {} generated requests against {}",
+        requests.len(),
+        args.addr
+    ))?;
+    wait_for_daemon(&args.addr);
+    let report = run_loadgen(&requests, &config)?;
+
+    io.table(format!(
+        "loadgen: revenue {:.2}, admitted {}/{} ({} rejected, {} overloaded, {} errors)",
+        report.revenue,
+        report.admitted,
+        report.sent,
+        report.rejected,
+        report.overloaded,
+        report.errors
+    ))?;
+    io.table(format!(
+        "throughput {:.0} decisions/s over {:.2}s; latency p50 {:.1}us p90 {:.1}us \
+         p99 {:.1}us max {:.1}us",
+        report.throughput(),
+        report.elapsed.as_secs_f64(),
+        report.latency.p50 * 1e6,
+        report.latency.p90 * 1e6,
+        report.latency.p99 * 1e6,
+        report.latency.max * 1e6
+    ))?;
+    if let Some(stats) = &report.final_stats {
+        io.table(format!(
+            "daemon: revenue {:.2}, admitted {}/{} (clean drain-and-shutdown acked)",
+            stats.revenue, stats.admitted, stats.decided
+        ))?;
+    }
+    if let Some(path) = &args.hist_out {
+        std::fs::write(path, report.latency.to_text())
+            .map_err(|e| CliError::Io(format!("failed to write histogram {path}: {e}")))?;
+        io.note(format!("latency histogram -> {path}"))?;
+    }
+    Ok(())
+}
+
 /// Runs the `explain` command: replays a recorded JSONL trace and prints
 /// every event concerning one request, re-deriving the dual-cost
 /// arithmetic of its decision as a consistency check.
@@ -595,10 +802,11 @@ pub fn degradation(args: &DegradationArgs, io: &mut Output<'_>) -> Result<(), St
 /// Returns a printable message when the trace cannot be read or parsed,
 /// the request does not appear in it, or the arithmetic does not check
 /// out.
-pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<(), String> {
+pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<(), CliError> {
     let text = std::fs::read_to_string(trace_path)
-        .map_err(|e| format!("failed to read trace {trace_path}: {e}"))?;
-    let events = mec_obs::parse_trace(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+        .map_err(|e| CliError::Io(format!("failed to read trace {trace_path}: {e}")))?;
+    let events =
+        mec_obs::parse_trace(&text).map_err(|e| CliError::Io(format!("{trace_path}: {e}")))?;
     io.note(format!("trace {trace_path}: {} events", events.len()))?;
 
     let mine: Vec<&TraceEvent> = events
@@ -606,10 +814,10 @@ pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<
         .filter(|e| e.request() == Some(request))
         .collect();
     if mine.is_empty() {
-        return Err(format!(
+        return Err(CliError::Config(format!(
             "request {request} does not appear in {trace_path} ({} events scanned)",
             events.len()
-        ));
+        )));
     }
 
     let mut mismatches = 0usize;
@@ -713,9 +921,9 @@ pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<
         }
     }
     if mismatches > 0 {
-        return Err(format!(
+        return Err(CliError::Internal(format!(
             "{mismatches} dual-cost arithmetic mismatch(es) in {trace_path}"
-        ));
+        )));
     }
     Ok(())
 }
@@ -730,7 +938,7 @@ fn check_margin(
     dual_cost: f64,
     margin: f64,
     mismatches: &mut usize,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let derived = payment - dual_cost;
     if approx(derived, margin) {
         io.table(format!(
@@ -755,14 +963,14 @@ pub fn topo(
     dot: bool,
     seed: u64,
     out: &mut impl std::io::Write,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let placement = CloudletPlacement::balanced();
     let network = build_network(choice, &placement, &mut rng)?;
     if dot {
-        write!(out, "{}", to_dot(&network)).map_err(|e| e.to_string())?;
+        write!(out, "{}", to_dot(&network)).map_err(CliError::io)?;
     } else {
-        writeln!(out, "{}", NetworkStats::compute(&network)).map_err(|e| e.to_string())?;
+        writeln!(out, "{}", NetworkStats::compute(&network)).map_err(CliError::io)?;
     }
     Ok(())
 }
@@ -773,7 +981,7 @@ mod tests {
     use crate::args::SimulateArgs;
 
     /// Runs `simulate`, returning (stdout, stderr).
-    fn run_simulate(args: &SimulateArgs) -> Result<(String, String), String> {
+    fn run_simulate(args: &SimulateArgs) -> Result<(String, String), CliError> {
         let mut out = Vec::new();
         let mut err = Vec::new();
         simulate(args, &mut Output::new(&mut out, &mut err, args.quiet))?;
@@ -783,7 +991,7 @@ mod tests {
         ))
     }
 
-    fn run_failures(args: &FailuresArgs) -> Result<(String, String), String> {
+    fn run_failures(args: &FailuresArgs) -> Result<(String, String), CliError> {
         let mut out = Vec::new();
         let mut err = Vec::new();
         failures(args, &mut Output::new(&mut out, &mut err, args.sim.quiet))?;
@@ -929,7 +1137,8 @@ mod tests {
             ..SimulateArgs::default()
         };
         let e = run_simulate(&args).unwrap_err();
-        assert!(e.contains(bad), "{e}");
+        assert!(matches!(e, CliError::Io(_)), "{e}");
+        assert!(e.to_string().contains(bad), "{e}");
 
         let args = SimulateArgs {
             requests: 5,
@@ -937,7 +1146,11 @@ mod tests {
             ..SimulateArgs::default()
         };
         let e = run_simulate(&args).unwrap_err();
-        assert!(e.contains("/nonexistent-dir-for-vnfrel-test/t.csv"), "{e}");
+        assert!(
+            e.to_string()
+                .contains("/nonexistent-dir-for-vnfrel-test/t.csv"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -948,7 +1161,8 @@ mod tests {
             ..SimulateArgs::default()
         };
         let e = run_simulate(&args).unwrap_err();
-        assert!(e.contains("primal-dual and greedy"), "{e}");
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+        assert!(e.to_string().contains("primal-dual and greedy"), "{e}");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum VnfrelError {
     },
     /// A scheduling parameter was out of range.
     InvalidParameter(&'static str),
+    /// A saved scheduler-state payload cannot be loaded into this
+    /// scheduler: wrong grid shape, non-finite value, or a counter
+    /// vector that does not match the scheduler's layout.
+    StateRestore(&'static str),
     /// A capacity release would drive a ledger cell below zero — the
     /// amount was never charged (or was already released).
     ReleaseUnderflow {
@@ -53,6 +57,9 @@ impl fmt::Display for VnfrelError {
                 "request ids must be dense in arrival order; position {position} holds id {found}"
             ),
             VnfrelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            VnfrelError::StateRestore(what) => {
+                write!(f, "scheduler state restore failed: {what}")
+            }
             VnfrelError::ReleaseUnderflow {
                 cloudlet,
                 slot,

@@ -164,6 +164,43 @@ impl CapacityLedger {
         Ok(())
     }
 
+    /// The committed-usage grid in row-major
+    /// `used[cloudlet * slots + slot]` order — the complete mutable
+    /// state of the ledger. Used by snapshot/restore in `mec-serve`.
+    #[inline]
+    pub fn used_grid(&self) -> &[f64] {
+        &self.used
+    }
+
+    /// Replaces the committed-usage grid with `grid`.
+    ///
+    /// Capacities, slot count and horizon are construction-time
+    /// invariants and are *not* part of the restore payload; callers
+    /// must rebuild the ledger from the same network/horizon first.
+    /// Negative cells are rejected, but over-committed cells (above
+    /// capacity) are accepted — the raw Algorithm 1 legitimately
+    /// overflows by a bounded amount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnfrelError::StateRestore`](crate::VnfrelError) when
+    /// `grid` has the wrong length or holds a negative or non-finite
+    /// value.
+    pub fn restore_used(&mut self, grid: &[f64]) -> Result<(), crate::VnfrelError> {
+        if grid.len() != self.used.len() {
+            return Err(crate::VnfrelError::StateRestore(
+                "usage grid length mismatch",
+            ));
+        }
+        if grid.iter().any(|u| !u.is_finite() || *u < 0.0) {
+            return Err(crate::VnfrelError::StateRestore(
+                "negative or non-finite usage in snapshot",
+            ));
+        }
+        self.used.copy_from_slice(grid);
+        Ok(())
+    }
+
     /// Largest relative violation `max(0, used/cap − 1)` over all
     /// cloudlets and slots.
     pub fn max_overflow(&self) -> f64 {

@@ -78,5 +78,5 @@ pub use instance::{ProblemInstance, Scheme};
 pub use ledger::CapacityLedger;
 pub use pricing::DualPrices;
 pub use schedule::{Decision, Placement, Schedule};
-pub use scheduler::{run_online, OnlineScheduler};
+pub use scheduler::{run_online, OnlineScheduler, SchedulerState};
 pub use validate::{validate_schedule, ValidationReport, Violation};

@@ -8,7 +8,7 @@ use crate::instance::{ProblemInstance, Scheme};
 use crate::ledger::CapacityLedger;
 use crate::pricing::{CheapestFirst, DualPrices};
 use crate::schedule::{Decision, Placement};
-use crate::scheduler::OnlineScheduler;
+use crate::scheduler::{OnlineScheduler, SchedulerState};
 
 /// How Algorithm 1 treats cloudlet capacity.
 ///
@@ -386,6 +386,52 @@ impl<S: TraceSink> OnlineScheduler for OnsitePrimalDual<'_, S> {
 
     fn ledger_mut(&mut self) -> &mut CapacityLedger {
         &mut self.ledger
+    }
+
+    // Counter order: [no_eligible_cloudlet, capacity_gate, payment_test].
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            used: self.ledger.used_grid().to_vec(),
+            lambda: self.prices.values().to_vec(),
+            sum_delta: self.sum_delta,
+            counters: vec![
+                self.rejections.no_eligible_cloudlet as u64,
+                self.rejections.capacity_gate as u64,
+                self.rejections.payment_test as u64,
+            ],
+        }
+    }
+
+    fn import_state(&mut self, state: &SchedulerState) -> Result<(), crate::VnfrelError> {
+        if state.counters.len() != 3 {
+            return Err(crate::VnfrelError::StateRestore(
+                "on-site counter vector must have exactly 3 entries",
+            ));
+        }
+        if !state.sum_delta.is_finite() {
+            return Err(crate::VnfrelError::StateRestore(
+                "non-finite sum_delta in snapshot",
+            ));
+        }
+        // Pre-validate the usage grid so a failure below cannot leave the
+        // scheduler half-restored (DualPrices::restore also validates
+        // before mutating).
+        if state.used.len() != self.ledger.used_grid().len()
+            || state.used.iter().any(|u| !u.is_finite() || *u < 0.0)
+        {
+            return Err(crate::VnfrelError::StateRestore(
+                "usage grid does not fit this scheduler",
+            ));
+        }
+        self.prices.restore(&state.lambda)?;
+        self.ledger.restore_used(&state.used)?;
+        self.sum_delta = state.sum_delta;
+        self.rejections = RejectionCounters {
+            no_eligible_cloudlet: state.counters[0] as usize,
+            capacity_gate: state.counters[1] as usize,
+            payment_test: state.counters[2] as usize,
+        };
+        Ok(())
     }
 }
 

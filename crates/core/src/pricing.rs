@@ -75,6 +75,53 @@ impl DualPrices {
         self.prefix[cloudlet * (self.slots + 1) + self.slots]
     }
 
+    /// The full `λ` grid in row-major `lambda[cloudlet * slots + slot]`
+    /// order — the complete mutable state of the structure (the prefix
+    /// sums are derived). Used by snapshot/restore in `mec-serve`.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// Replaces the `λ` grid with `values` and rebuilds every prefix row.
+    ///
+    /// Prefix rows are accumulated strictly left-to-right, exactly as
+    /// incremental [`DualPrices::update_window`] calls would have left
+    /// them (positions below an update's window keep their previously
+    /// accumulated values, which are themselves left-to-right folds of
+    /// unchanged prices) — so a restore from [`DualPrices::values`] is
+    /// bit-identical to the live structure and subsequent decisions
+    /// reproduce the original stream byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnfrelError::StateRestore`](crate::VnfrelError) when
+    /// `values` has the wrong length or holds a non-finite price.
+    pub fn restore(&mut self, values: &[f64]) -> Result<(), crate::VnfrelError> {
+        if values.len() != self.lambda.len() {
+            return Err(crate::VnfrelError::StateRestore(
+                "dual-price grid length mismatch",
+            ));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(crate::VnfrelError::StateRestore(
+                "non-finite dual price in snapshot",
+            ));
+        }
+        self.lambda.copy_from_slice(values);
+        for j in 0..self.cloudlets {
+            let base = j * self.slots;
+            let pbase = j * (self.slots + 1);
+            let mut acc = 0.0;
+            self.prefix[pbase] = 0.0;
+            for t in 0..self.slots {
+                acc += self.lambda[base + t];
+                self.prefix[pbase + t + 1] = acc;
+            }
+        }
+        Ok(())
+    }
+
     /// Applies `f` to `λ_{tj}` for `t ∈ [first, last]` on one cloudlet
     /// row, then rebuilds that row's prefix sums in O(T).
     #[inline]

@@ -5,6 +5,31 @@ use crate::instance::Scheme;
 use crate::ledger::CapacityLedger;
 use crate::schedule::{Decision, Schedule};
 
+/// Portable snapshot of an online scheduler's mutable state.
+///
+/// Everything a scheduler accumulates across `decide()` calls, flattened
+/// into plain vectors so a serving daemon can persist it and later
+/// rebuild a scheduler that continues the decision stream byte for byte
+/// (see `mec-serve`). Construction-time state — the problem instance,
+/// capacities, precomputed ladders — is *not* included; a restore
+/// target must be built from the same instance first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerState {
+    /// Committed-usage grid, row-major `used[cloudlet * slots + slot]`
+    /// (see [`CapacityLedger::used_grid`]).
+    pub used: Vec<f64>,
+    /// Dual-price grid `λ`, row-major `lambda[cloudlet * slots + slot]`
+    /// (see [`crate::DualPrices::values`]); empty for schedulers that
+    /// keep no prices (the greedy baselines).
+    pub lambda: Vec<f64>,
+    /// Accumulated dual-objective increment `Σ δ_i`; `0` for schedulers
+    /// that keep no dual objective.
+    pub sum_delta: f64,
+    /// Per-reason rejection counters in the scheduler's documented
+    /// order; empty for schedulers that keep no counters.
+    pub counters: Vec<u64>,
+}
+
 /// An online request-admission algorithm.
 ///
 /// Implementations hold a reference to the
@@ -29,6 +54,46 @@ pub trait OnlineScheduler {
     /// [`release`](CapacityLedger::release) capacity killed by outages
     /// and charge replacement placements during recovery.
     fn ledger_mut(&mut self) -> &mut CapacityLedger;
+
+    /// Exports the scheduler's mutable state for persistence.
+    ///
+    /// The default covers ledger-only schedulers (the greedy baselines,
+    /// whose ordering/scratch state is derived at construction): just
+    /// the usage grid, no prices, no counters. The primal–dual
+    /// schedulers override this to add `λ`, `Σ δ_i` and their rejection
+    /// counters.
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            used: self.ledger().used_grid().to_vec(),
+            lambda: Vec::new(),
+            sum_delta: 0.0,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Restores state previously produced by
+    /// [`export_state`](OnlineScheduler::export_state) on a scheduler
+    /// built from the same problem instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VnfrelError::StateRestore`] when the payload does not
+    /// fit this scheduler (wrong grid shape, prices for a price-free
+    /// scheduler, counter-vector length mismatch) and leaves the
+    /// scheduler unchanged in that case.
+    fn import_state(&mut self, state: &SchedulerState) -> Result<(), VnfrelError> {
+        if !state.lambda.is_empty() {
+            return Err(VnfrelError::StateRestore(
+                "this scheduler keeps no dual prices",
+            ));
+        }
+        if !state.counters.is_empty() {
+            return Err(VnfrelError::StateRestore(
+                "this scheduler keeps no rejection counters",
+            ));
+        }
+        self.ledger_mut().restore_used(&state.used)
+    }
 }
 
 /// Feeds `requests` (already in arrival order) through a scheduler and

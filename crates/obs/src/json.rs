@@ -1,4 +1,6 @@
-//! Hand-rolled JSONL serialization for [`TraceEvent`].
+//! Hand-rolled JSONL serialization for [`TraceEvent`], plus a small
+//! generic [`JsonValue`] tree used by the `mec-serve` wire protocol and
+//! snapshot files.
 //!
 //! The workspace deliberately carries no serde dependency, so the wire
 //! format is produced and consumed by a few hundred lines of plain std
@@ -10,7 +12,10 @@
 //! - every object carries a `"type"` discriminator (see
 //!   [`TraceEvent::kind`]);
 //! - non-finite floats serialize as `null` (JSON has no NaN/Inf), and
-//!   `null` parses back as NaN for required float fields.
+//!   `null` parses back as NaN for required float fields;
+//! - finite floats are written with `{:?}` — the shortest representation
+//!   that round-trips — so encode→parse restores the exact bit pattern
+//!   (this is what makes snapshot/restore byte-identical downstream).
 
 use std::fmt::Write as _;
 
@@ -250,24 +255,157 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// A parsed JSON value. Minimal: just enough for the trace schema.
+/// A generic JSON value tree.
+///
+/// Originally the parser's private intermediate form; exposed so other
+/// crates (the `mec-serve` protocol and snapshot codec) can build and
+/// inspect ad-hoc JSON without a serde dependency. Object fields keep
+/// insertion order; duplicate keys are not rejected ([`JsonValue::get`]
+/// returns the first match).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (always an `f64`, like the wire format).
     Num(f64),
+    /// A string.
     Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as an ordered list of `(key, value)` fields.
+    Obj(Vec<(String, JsonValue)>),
 }
 
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+/// Internal shorthand — the parser/decoder below predates the public
+/// name.
+type Json = JsonValue;
+
+impl JsonValue {
+    /// Looks up a field of an object (first match); `None` for non-objects.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
+
+    /// The value as a finite-or-NaN float: numbers parse as themselves,
+    /// `null` as NaN (matching the non-finite-floats-as-`null` encode
+    /// convention); anything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, rejecting fractional numbers.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Appends the compact (single-line) encoding of this value to `out`.
+    ///
+    /// Finite numbers use the shortest round-tripping representation;
+    /// non-finite numbers encode as `null` (and [`JsonValue::as_f64`]
+    /// turns `null` back into NaN), matching the trace-event codec.
+    pub fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            // Integral values encode without a decimal point so count
+            // fields read as integers on the wire; the bit-pattern check
+            // keeps -0.0 (and anything outside i64) on the `{:?}` path,
+            // preserving the byte-exact round-trip guarantee.
+            Json::Num(n) => {
+                let as_int = *n as i64;
+                if n.to_bits() == (as_int as f64).to_bits() {
+                    let _ = write!(out, "{as_int}");
+                } else {
+                    push_f64(out, *n);
+                }
+            }
+            Json::Str(s) => push_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_str(out, k);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The compact (single-line) encoding of this value.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Parses one complete JSON value, rejecting trailing garbage — the
+/// generic counterpart of [`parse_line`] for non-trace payloads (the
+/// `mec-serve` protocol and snapshot files).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed byte.
+pub fn parse_value(text: &str) -> Result<JsonValue, ParseError> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing garbage after JSON value");
+    }
+    Ok(value)
 }
 
 struct Parser<'a> {
@@ -777,6 +915,51 @@ mod tests {
             TraceEvent::DegradedEnter { slot: 0 }.kind(),
             "degraded-enter"
         );
+    }
+
+    #[test]
+    fn json_value_encode_parse_round_trips() {
+        let v = JsonValue::Obj(vec![
+            ("type".to_string(), JsonValue::Str("snapshot".to_string())),
+            ("v".to_string(), JsonValue::Num(1.0)),
+            ("ok".to_string(), JsonValue::Bool(true)),
+            ("none".to_string(), JsonValue::Null),
+            (
+                "grid".to_string(),
+                JsonValue::Arr(vec![
+                    JsonValue::Num(0.1 + 0.2), // not exactly 0.3 — bit pattern must survive
+                    JsonValue::Num(-1.5e-300),
+                    JsonValue::Num(7.0),
+                ]),
+            ),
+            (
+                "name".to_string(),
+                JsonValue::Str("quo\"te\\and\ncontrol\u{1}".to_string()),
+            ),
+        ]);
+        let text = v.encode();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back, v);
+        // Byte-exact floats through the round trip.
+        let grid = back.get("grid").unwrap().as_array().unwrap();
+        assert_eq!(
+            grid[0].as_f64().unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        assert_eq!(
+            grid[1].as_f64().unwrap().to_bits(),
+            (-1.5e-300f64).to_bits()
+        );
+        // Accessors.
+        assert_eq!(back.get("v").unwrap().as_usize(), Some(1));
+        assert_eq!(back.get("ok").unwrap().as_bool(), Some(true));
+        assert!(back.get("none").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(back.get("type").unwrap().as_str(), Some("snapshot"));
+        assert_eq!(back.get("missing"), None);
+        assert_eq!(JsonValue::Num(1.5).as_usize(), None);
+        assert_eq!(JsonValue::Num(f64::NAN).encode(), "null");
+        assert!(parse_value("{} extra").is_err());
+        assert!(parse_value("[1,").is_err());
     }
 
     #[test]

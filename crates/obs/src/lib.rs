@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use event::{DecisionEvent, Outcome, RejectReason, SitePlacement, TraceEvent};
-pub use json::{parse_line, parse_trace, to_json, ParseError};
+pub use json::{parse_line, parse_trace, parse_value, to_json, JsonValue, ParseError};
 pub use metrics::{
     DecisionMetricIds, MetricId, MetricsRegistry, MetricsShard, MetricsSink, DUAL_COST_BUCKETS,
 };

@@ -216,6 +216,11 @@ impl MetricsRegistry {
     }
 
     /// Creates a private shard mirroring the currently registered series.
+    ///
+    /// Gauge slots start *unset* (`None`), not at `0.0`: a shard that
+    /// never touches a gauge must not clobber the registry's value when
+    /// absorbed. See [`MetricsRegistry::absorb`] for the full gauge
+    /// merge semantics.
     pub fn shard(&self) -> MetricsShard {
         MetricsShard {
             slots: self
@@ -237,6 +242,24 @@ impl MetricsRegistry {
     /// Merges a shard's accumulated values into the registry. The shard
     /// is left untouched and may be reused (counts would then be double
     /// absorbed — reset or drop it instead).
+    ///
+    /// Merge semantics per kind:
+    ///
+    /// - **Counters / histograms** are additive: deltas sum into the
+    ///   registry, so absorb order never matters.
+    /// - **Gauges** are *last-writer-wins*: a gauge the shard never set
+    ///   stays `None` and leaves the registry value untouched, while a
+    ///   set gauge overwrites the registry unconditionally. When several
+    ///   shards set the same gauge, the value after all absorbs is the
+    ///   one from the shard absorbed **last** — not the largest, not the
+    ///   latest `set_gauge` call across threads. Callers that need a
+    ///   deterministic winner must absorb shards in a deterministic
+    ///   order (as `parallel_map`'s index-ordered merge does); gauges
+    ///   that should reflect a global property (e.g. final utilization)
+    ///   are better set directly on the registry after the merge.
+    ///
+    /// The regression tests `gauge_unset_in_shard_does_not_clobber` and
+    /// `gauge_absorb_is_last_writer_wins` pin this behaviour.
     pub fn absorb(&self, shard: &MetricsShard) {
         assert_eq!(
             shard.slots.len(),
@@ -472,7 +495,10 @@ impl MetricsShard {
         self.add(id, 1);
     }
 
-    /// Sets a gauge slot (last absorb wins across shards).
+    /// Sets a gauge slot, marking it *set* — from now on absorbing this
+    /// shard overwrites the registry's gauge (last absorb wins across
+    /// shards; see [`MetricsRegistry::absorb`]). Repeated sets on the
+    /// same shard keep only the latest value.
     #[inline]
     pub fn set_gauge(&mut self, id: MetricId, value: f64) {
         match &mut self.slots[id.0] {
@@ -686,6 +712,49 @@ mod tests {
         assert_eq!(buckets, vec![1, 1]);
         assert_eq!(count, 2);
         assert!((sum - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_unset_in_shard_does_not_clobber() {
+        // Regression: shards start gauges at `None`, so absorbing a
+        // shard that recorded only counters must keep the registry's
+        // directly-set gauge value instead of resetting it to 0.
+        let mut reg = MetricsRegistry::new();
+        let c = reg.register_counter("c_total", "c");
+        let g = reg.register_gauge("g", "g");
+        reg.set_gauge(g, 42.0);
+        let mut shard = reg.shard();
+        shard.inc(c);
+        reg.absorb(&shard);
+        assert_eq!(reg.gauge_value(g), 42.0, "unset shard gauge clobbered");
+        assert_eq!(reg.counter_value(c), 1);
+    }
+
+    #[test]
+    fn gauge_absorb_is_last_writer_wins() {
+        // Regression: when several shards set the same gauge, the value
+        // after all absorbs is the one from the shard absorbed last —
+        // absorb order, not set_gauge call order, decides.
+        let mut reg = MetricsRegistry::new();
+        let g = reg.register_gauge("g", "g");
+        let mut a = reg.shard();
+        let mut b = reg.shard();
+        a.set_gauge(g, 1.0);
+        b.set_gauge(g, 2.0);
+        // `b` set later, but `a` absorbed later → `a` wins.
+        reg.absorb(&b);
+        reg.absorb(&a);
+        assert_eq!(reg.gauge_value(g), 1.0);
+        // Repeated sets on one shard keep only the latest value.
+        let mut c = reg.shard();
+        c.set_gauge(g, 5.0);
+        c.set_gauge(g, 9.0);
+        reg.absorb(&c);
+        assert_eq!(reg.gauge_value(g), 9.0);
+        // And a later absorb of an unset shard leaves the winner alone.
+        let d = reg.shard();
+        reg.absorb(&d);
+        assert_eq!(reg.gauge_value(g), 9.0);
     }
 
     #[test]

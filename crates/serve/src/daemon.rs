@@ -1,0 +1,653 @@
+//! The admission daemon: accept loop, worker pool, and the single decide
+//! thread.
+//!
+//! Threading model (see DESIGN.md §12):
+//!
+//! ```text
+//! accept thread ──► BoundedQueue<TcpStream> ──► worker pool (parse lines)
+//!                                                    │ try_push (overload on full)
+//!                                                    ▼
+//!                                        BoundedQueue<WorkItem> (ingress)
+//!                                                    │ pop (FIFO)
+//!                                                    ▼
+//!                                        decide thread (owns scheduler)
+//! ```
+//!
+//! Only the decide thread — the thread that calls [`serve`] — touches the
+//! scheduler, dual prices and ledger, so the hot path is exactly the
+//! batch engine's `decide()` with no locking. Workers block on socket
+//! reads with a short timeout so every thread observes shutdown promptly.
+
+use std::io::{self, BufRead as _, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mec_obs::{JsonlSink, MetricsRegistry, MetricsSink, TraceEvent, TraceSink};
+use mec_sim::obs::EngineMetrics;
+use mec_topology::{CloudletId, Reliability};
+use mec_workload::{Horizon, Request, RequestId, VnfTypeId};
+use vnfrel::OnlineScheduler;
+
+use crate::error::ServeError;
+use crate::metrics::ServeMetricIds;
+use crate::pool::{BoundedQueue, PopTimeout};
+use crate::protocol::{
+    encode_server, parse_client, ClientMsg, ControlAck, ControlAction, OverloadReject, ServeStats,
+    ServerMsg, SubmitRequest,
+};
+use crate::snapshot::Snapshot;
+use crate::tap::DecisionTap;
+
+/// How the daemon listens, queues, ticks and persists.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `"127.0.0.1:7070"` (port 0 picks a free
+    /// port; the bound address is in the [`ServeReport`]).
+    pub addr: String,
+    /// Ingress queue bound; submits beyond it get typed overload
+    /// rejections.
+    pub queue_capacity: usize,
+    /// Connection-handling worker threads.
+    pub workers: usize,
+    /// Snapshot file; `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Load the snapshot (if the file exists) before serving.
+    pub resume: bool,
+    /// Advance the virtual slot clock every `tick` of wall time; `None`
+    /// advances only on explicit `advance-slot` control messages.
+    pub tick: Option<Duration>,
+    /// Opaque scenario fingerprint stored in snapshots and validated on
+    /// resume.
+    pub fingerprint: String,
+    /// Tee every decision event to this JSONL trace file.
+    pub trace_path: Option<PathBuf>,
+    /// Install SIGINT/SIGTERM handlers that trigger drain-then-snapshot
+    /// (process-global; leave off in tests).
+    pub install_signal_handlers: bool,
+}
+
+impl ServeConfig {
+    /// A config with conservative defaults on `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServeConfig {
+            addr: addr.into(),
+            queue_capacity: 256,
+            workers: 4,
+            snapshot_path: None,
+            resume: false,
+            tick: None,
+            fingerprint: String::new(),
+            trace_path: None,
+            install_signal_handlers: false,
+        }
+    }
+}
+
+/// What a completed (cleanly shut down) daemon reports.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The address actually bound.
+    pub local_addr: SocketAddr,
+    /// Final counters.
+    pub stats: ServeStats,
+    /// Final virtual slot.
+    pub slot: usize,
+    /// Dense id the next submission must carry.
+    pub next_id: usize,
+    /// Whether a final snapshot was written.
+    pub snapshot_written: bool,
+}
+
+enum WorkItem {
+    Submit {
+        msg: SubmitRequest,
+        conn: Arc<Mutex<TcpStream>>,
+        enqueued: Instant,
+    },
+    Control {
+        action: ControlAction,
+        conn: Option<Arc<Mutex<TcpStream>>>,
+    },
+}
+
+// One write per line: two small writes would trip Nagle + delayed-ACK
+// (~40 ms per round trip) on peers without TCP_NODELAY.
+fn write_line(conn: &Arc<Mutex<TcpStream>>, mut line: String) -> io::Result<()> {
+    line.push('\n');
+    let mut s = conn.lock().unwrap();
+    s.write_all(line.as_bytes())
+}
+
+#[cfg(unix)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        // Raw libc `signal(2)`; the handler only touches an atomic, which
+        // is async-signal-safe.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub(super) fn requested() -> bool {
+        REQUESTED.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    pub(super) fn install() {}
+    pub(super) fn requested() -> bool {
+        false
+    }
+}
+
+/// Runs the daemon until a `shutdown` control message or a termination
+/// signal, then drains the ingress queue, writes a final snapshot and
+/// returns.
+///
+/// The scheduler must have been constructed with `tap.clone()` as its
+/// trace sink — the daemon reads the full decision event (reject reason,
+/// placement sites, dual cost) back out of the tap after every
+/// `decide()` call. `on_bound` (if given) receives the bound address
+/// once the listener is up, which is how tests and the CLI learn the
+/// port when binding to port 0.
+///
+/// # Errors
+///
+/// [`ServeError`] on bind failure, snapshot problems during
+/// resume/persist, or a scheduler without the daemon's tap.
+pub fn serve(
+    scheduler: &mut dyn OnlineScheduler,
+    tap: &DecisionTap,
+    registry: &MetricsRegistry,
+    ids: &ServeMetricIds,
+    config: &ServeConfig,
+    on_bound: Option<mpsc::Sender<SocketAddr>>,
+) -> Result<ServeReport, ServeError> {
+    let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Net {
+        action: "bind",
+        addr: config.addr.clone(),
+        source,
+    })?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let mut driver = Driver {
+        scheduler,
+        tap,
+        registry,
+        ids,
+        engine: EngineMetrics::new(registry, ids.engine.clone()),
+        decisions: MetricsSink::new(registry, ids.decisions),
+        trace: match &config.trace_path {
+            Some(path) => {
+                let file = std::fs::File::create(path)?;
+                Some(JsonlSink::new(BufWriter::new(file)))
+            }
+            None => None,
+        },
+        config,
+        horizon: Horizon::new(1),
+        stats: ServeStats::default(),
+        next_id: 0,
+        slot: 0,
+        pending_shutdown: None,
+    };
+    driver.horizon = driver.scheduler.ledger().horizon();
+
+    if config.resume {
+        let path = config
+            .snapshot_path
+            .as_deref()
+            .ok_or_else(|| ServeError::Config("resume requires a snapshot path".to_string()))?;
+        if path.exists() {
+            let snap = Snapshot::load(path)?;
+            snap.validate(driver.scheduler.name(), &config.fingerprint)?;
+            driver.scheduler.import_state(&snap.state)?;
+            driver.stats = snap.stats;
+            driver.next_id = snap.next_id;
+            driver.slot = snap.slot;
+        }
+    }
+    registry.set_gauge(ids.slot, driver.slot as f64);
+
+    if config.install_signal_handlers {
+        signal::install();
+    }
+    if let Some(tx) = on_bound {
+        let _ = tx.send(local_addr);
+    }
+
+    let stop = AtomicBool::new(false);
+    let conns: BoundedQueue<TcpStream> = BoundedQueue::new(config.workers.max(1) * 2);
+    let ingress: BoundedQueue<WorkItem> = BoundedQueue::new(config.queue_capacity);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| accept_loop(&listener, &conns, &stop));
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(|| worker_loop(&conns, &ingress, &stop, registry, ids));
+        }
+        if let Some(tick) = config.tick {
+            let (ingress, stop) = (&ingress, &stop);
+            scope.spawn(move || ticker_loop(tick, ingress, stop));
+        }
+
+        let result = driver.run(&ingress, &stop);
+        stop.store(true, Ordering::Release);
+        conns.close();
+        ingress.close();
+        result
+    })?;
+
+    let snapshot_written = driver.finish()?;
+    Ok(ServeReport {
+        local_addr,
+        stats: driver.stats,
+        slot: driver.slot,
+        next_id: driver.next_id,
+        snapshot_written,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, conns: &BoundedQueue<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // push blocks while all workers are busy; Err means the
+                // daemon is shutting down and the connection is dropped.
+                if conns.push(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(
+    conns: &BoundedQueue<TcpStream>,
+    ingress: &BoundedQueue<WorkItem>,
+    stop: &AtomicBool,
+    registry: &MetricsRegistry,
+    ids: &ServeMetricIds,
+) {
+    while let Some(stream) = conns.pop() {
+        registry.inc(ids.connections);
+        let _ = handle_conn(stream, ingress, stop, registry, ids);
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    ingress: &BoundedQueue<WorkItem>,
+    stop: &AtomicBool,
+    registry: &MetricsRegistry,
+    ids: &ServeMetricIds,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut first = true;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        // On a read timeout any partial line stays in `line` and the next
+        // read_line call appends the rest — lines are never torn.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => continue,
+            Err(e) => return Err(e),
+        }
+        if first && line.starts_with("GET ") {
+            return serve_http(&line, reader, &writer, registry);
+        }
+        first = false;
+        handle_line(line.trim(), ingress, &writer, registry, ids);
+        line.clear();
+    }
+}
+
+fn handle_line(
+    line: &str,
+    ingress: &BoundedQueue<WorkItem>,
+    writer: &Arc<Mutex<TcpStream>>,
+    registry: &MetricsRegistry,
+    ids: &ServeMetricIds,
+) {
+    if line.is_empty() {
+        return;
+    }
+    match parse_client(line) {
+        Ok(ClientMsg::Submit(msg)) => {
+            registry.inc(ids.submitted);
+            let id = msg.id;
+            let item = WorkItem::Submit {
+                msg,
+                conn: Arc::clone(writer),
+                enqueued: Instant::now(),
+            };
+            if ingress.try_push(item).is_err() {
+                registry.inc(ids.overloads);
+                let reply = ServerMsg::Overload(OverloadReject {
+                    id,
+                    queue_depth: ingress.len(),
+                    limit: ingress.capacity(),
+                });
+                let _ = write_line(writer, encode_server(&reply));
+            }
+            registry.set_gauge(ids.queue_depth, ingress.len() as f64);
+        }
+        Ok(ClientMsg::Control(action)) => {
+            let item = WorkItem::Control {
+                action,
+                conn: Some(Arc::clone(writer)),
+            };
+            // Controls must not be dropped by backpressure; block until
+            // there is room (Err only when the daemon is already gone).
+            if ingress.push(item).is_err() {
+                let reply = ServerMsg::Error("daemon is shutting down".to_string());
+                let _ = write_line(writer, encode_server(&reply));
+            }
+        }
+        Err(e) => {
+            registry.inc(ids.protocol_errors);
+            let _ = write_line(writer, encode_server(&ServerMsg::Error(e.to_string())));
+        }
+    }
+}
+
+fn serve_http(
+    request_line: &str,
+    mut reader: BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+    registry: &MetricsRegistry,
+) -> io::Result<()> {
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", registry.to_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut w = writer.lock().unwrap();
+    w.write_all(response.as_bytes())
+}
+
+fn ticker_loop(tick: Duration, ingress: &BoundedQueue<WorkItem>, stop: &AtomicBool) {
+    let step = Duration::from_millis(25).min(tick);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < tick {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(step);
+            waited += step;
+        }
+        let item = WorkItem::Control {
+            action: ControlAction::AdvanceSlot,
+            conn: None,
+        };
+        if ingress.push(item).is_err() {
+            return;
+        }
+    }
+}
+
+/// The decide thread's state: the only place scheduler state mutates.
+struct Driver<'a> {
+    scheduler: &'a mut dyn OnlineScheduler,
+    tap: &'a DecisionTap,
+    registry: &'a MetricsRegistry,
+    ids: &'a ServeMetricIds,
+    engine: EngineMetrics<'a>,
+    decisions: MetricsSink<'a>,
+    trace: Option<JsonlSink<BufWriter<std::fs::File>>>,
+    config: &'a ServeConfig,
+    horizon: Horizon,
+    stats: ServeStats,
+    next_id: usize,
+    slot: usize,
+    pending_shutdown: Option<Option<Arc<Mutex<TcpStream>>>>,
+}
+
+impl Driver<'_> {
+    fn run(
+        &mut self,
+        ingress: &BoundedQueue<WorkItem>,
+        stop: &AtomicBool,
+    ) -> Result<(), ServeError> {
+        loop {
+            if signal::requested() {
+                stop.store(true, Ordering::Release);
+            }
+            if stop.load(Ordering::Acquire) || self.pending_shutdown.is_some() {
+                break;
+            }
+            match ingress.pop_timeout(Duration::from_millis(50)) {
+                PopTimeout::Item(item) => self.handle(item)?,
+                PopTimeout::TimedOut => {}
+                PopTimeout::Closed => break,
+            }
+        }
+        // Drain: decide everything already queued, in order.
+        while let Some(item) = ingress.try_pop() {
+            self.handle(item)?;
+        }
+        Ok(())
+    }
+
+    fn handle(&mut self, item: WorkItem) -> Result<(), ServeError> {
+        match item {
+            WorkItem::Submit {
+                msg,
+                conn,
+                enqueued,
+            } => self.handle_submit(msg, &conn, enqueued),
+            WorkItem::Control { action, conn } => self.handle_control(action, conn),
+        }
+    }
+
+    fn handle_submit(
+        &mut self,
+        msg: SubmitRequest,
+        conn: &Arc<Mutex<TcpStream>>,
+        enqueued: Instant,
+    ) -> Result<(), ServeError> {
+        if msg.id != self.next_id {
+            self.reply_error(
+                conn,
+                format!(
+                    "out-of-order id {} (the daemon expects dense ids; next is {})",
+                    msg.id, self.next_id
+                ),
+            );
+            return Ok(());
+        }
+        let request = match self.build_request(&msg) {
+            Ok(r) => r,
+            Err(text) => {
+                self.reply_error(conn, text);
+                return Ok(());
+            }
+        };
+        let t0 = Instant::now();
+        let decision = self.scheduler.decide(&request);
+        self.engine.observe_decide(t0.elapsed().as_secs_f64());
+        let event = match self.tap.pop() {
+            Some(TraceEvent::Decision(ev)) => ev,
+            _ => {
+                return Err(ServeError::Config(
+                    "scheduler was not constructed with the daemon's DecisionTap sink".to_string(),
+                ))
+            }
+        };
+        self.decisions.record(TraceEvent::Decision(event.clone()));
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::Decision(event.clone()));
+        }
+        self.stats.decided += 1;
+        if decision.is_admit() {
+            self.stats.admitted += 1;
+            self.stats.revenue += request.payment();
+        } else {
+            self.stats.rejected += 1;
+        }
+        self.next_id += 1;
+        let _ = write_line(conn, encode_server(&ServerMsg::Decision(event)));
+        self.registry
+            .observe(self.ids.admission_latency, enqueued.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    fn build_request(&self, msg: &SubmitRequest) -> Result<Request, String> {
+        let reliability =
+            Reliability::new(msg.reliability).map_err(|e| format!("invalid reliability: {e}"))?;
+        Request::new(
+            RequestId(msg.id),
+            VnfTypeId(msg.vnf),
+            reliability,
+            msg.arrival,
+            msg.duration,
+            msg.payment,
+            self.horizon,
+        )
+        .map_err(|e| format!("invalid request: {e}"))
+    }
+
+    fn handle_control(
+        &mut self,
+        action: ControlAction,
+        conn: Option<Arc<Mutex<TcpStream>>>,
+    ) -> Result<(), ServeError> {
+        match action {
+            ControlAction::AdvanceSlot => {
+                self.slot += 1;
+                self.registry.set_gauge(self.ids.slot, self.slot as f64);
+                self.ack(conn.as_ref(), action);
+            }
+            ControlAction::Stats => self.ack(conn.as_ref(), action),
+            ControlAction::Snapshot => match self.write_snapshot() {
+                Ok(_) => self.ack(conn.as_ref(), action),
+                Err(e) => {
+                    if let Some(c) = conn.as_ref() {
+                        self.reply_error(c, format!("snapshot failed: {e}"));
+                    }
+                }
+            },
+            ControlAction::Shutdown => {
+                // Ack comes from finish() after the drain + final
+                // snapshot, so the client's ack means state is durable.
+                self.pending_shutdown = Some(conn);
+            }
+        }
+        Ok(())
+    }
+
+    fn reply_error(&self, conn: &Arc<Mutex<TcpStream>>, text: String) {
+        self.registry.inc(self.ids.protocol_errors);
+        let _ = write_line(conn, encode_server(&ServerMsg::Error(text)));
+    }
+
+    fn ack(&self, conn: Option<&Arc<Mutex<TcpStream>>>, action: ControlAction) {
+        if let Some(c) = conn {
+            let msg = ServerMsg::Ack(ControlAck {
+                action,
+                slot: self.slot,
+                stats: self.stats,
+            });
+            let _ = write_line(c, encode_server(&msg));
+        }
+    }
+
+    fn write_snapshot(&self) -> Result<bool, ServeError> {
+        let Some(path) = &self.config.snapshot_path else {
+            return Ok(false);
+        };
+        Snapshot {
+            algorithm: self.scheduler.name().to_string(),
+            config: self.config.fingerprint.clone(),
+            next_id: self.next_id,
+            slot: self.slot,
+            stats: self.stats,
+            state: self.scheduler.export_state(),
+        }
+        .save(path)?;
+        Ok(true)
+    }
+
+    /// Final snapshot, utilization gauges, trace flush and (if a client
+    /// asked for the shutdown) the shutdown ack.
+    fn finish(&mut self) -> Result<bool, ServeError> {
+        let written = self.write_snapshot()?;
+        let ledger = self.scheduler.ledger();
+        let slots = ledger.horizon().len();
+        let grid = ledger.used_grid();
+        for j in 0..ledger.cloudlet_count() {
+            let capacity = ledger.capacity(CloudletId(j));
+            let used: f64 = grid[j * slots..(j + 1) * slots].iter().sum();
+            let mean = if capacity > 0.0 {
+                used / (capacity * slots as f64)
+            } else {
+                0.0
+            };
+            self.engine.set_utilization(j, mean);
+        }
+        if let Some(trace) = self.trace.take() {
+            trace.finish()?;
+        }
+        if let Some(conn) = self.pending_shutdown.take().flatten() {
+            self.ack(Some(&conn), ControlAction::Shutdown);
+        }
+        Ok(written)
+    }
+}

@@ -1,0 +1,41 @@
+//! `mec-serve`: a long-running online admission daemon for the vnfrel
+//! schedulers, plus the closed-loop load generator that drives it.
+//!
+//! The batch engine (`mec-sim`) replays a whole trace in one call; this
+//! crate runs the *same* schedulers against live traffic. Clients submit
+//! requests over line-delimited JSON on TCP ([`protocol`]); a bounded
+//! ingress queue feeds a single decide thread that owns the scheduler,
+//! dual prices and capacity ledger ([`daemon`]); decisions stream back
+//! with full reject reasons and placement sites. The daemon persists its
+//! state crash-consistently ([`snapshot`]) so a killed process resumes
+//! and continues the decision stream byte for byte, exposes Prometheus
+//! metrics over `GET /metrics`, and drains cleanly on SIGINT/SIGTERM or
+//! a `shutdown` control message.
+//!
+//! Everything is `std`-only: `std::net` sockets, `Mutex`/`Condvar`
+//! bounded queues ([`pool`]), scoped threads. See DESIGN.md §12 for the
+//! architecture and EXPERIMENTS.md for the throughput methodology.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod daemon;
+mod error;
+pub mod loadgen;
+pub mod pool;
+pub mod protocol;
+pub mod snapshot;
+mod tap;
+
+pub mod metrics;
+
+pub use daemon::{serve, ServeConfig, ServeReport};
+pub use error::ServeError;
+pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
+pub use metrics::ServeMetricIds;
+pub use protocol::{
+    encode_client, encode_server, parse_client, parse_server, ClientMsg, ControlAck, ControlAction,
+    OverloadReject, ServeStats, ServerMsg, SubmitRequest, PROTOCOL_VERSION,
+};
+pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
+pub use tap::DecisionTap;

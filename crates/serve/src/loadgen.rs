@@ -1,0 +1,309 @@
+//! Closed-loop load generator: replays a `mec-workload` trace against a
+//! running daemon over one connection, one outstanding request at a
+//! time, recording end-to-end admission latency.
+//!
+//! Closed-loop means the generator waits for each decision before
+//! sending the next request, so submission order equals decision order —
+//! exactly the batch engine's arrival order. That is what makes the
+//! daemon's decision stream comparable (and byte-identical) to a batch
+//! `Simulation` run of the same trace. `rate` paces *send* times but
+//! never reorders.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use mec_workload::Request;
+
+use crate::error::ServeError;
+use crate::protocol::{
+    encode_client, parse_server, ClientMsg, ControlAction, ServeStats, ServerMsg, SubmitRequest,
+};
+
+/// How the load generator drives the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `"127.0.0.1:7070"`.
+    pub addr: String,
+    /// Target arrival rate in requests/second; `f64::INFINITY` (the
+    /// default) sends as fast as the closed loop allows.
+    pub rate: f64,
+    /// Skip requests with id below this (resume after a daemon restart).
+    pub start_at: usize,
+    /// Send a `shutdown` control after the last request and wait for the
+    /// drain-then-snapshot ack.
+    pub shutdown_when_done: bool,
+}
+
+impl LoadgenConfig {
+    /// Full-speed config against `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            rate: f64::INFINITY,
+            start_at: 0,
+            shutdown_when_done: false,
+        }
+    }
+}
+
+/// Latency summary over all decided requests, in seconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+    /// Histogram counts over [`LatencySummary::BUCKET_BOUNDS`] plus a
+    /// final overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl LatencySummary {
+    /// Upper bounds (seconds) of the latency histogram buckets.
+    pub const BUCKET_BOUNDS: [f64; 8] = [25e-6, 50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 5e-3, 25e-3];
+
+    /// Summarizes a set of samples (sorted internally).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                buckets: vec![0; Self::BUCKET_BOUNDS.len() + 1],
+                ..LatencySummary::default()
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let count = samples.len();
+        let pct = |q: f64| -> f64 {
+            let idx = ((count - 1) as f64 * q).round() as usize;
+            samples[idx]
+        };
+        let mut buckets = vec![0u64; Self::BUCKET_BOUNDS.len() + 1];
+        for &s in &samples {
+            let idx = Self::BUCKET_BOUNDS
+                .iter()
+                .position(|&b| s <= b)
+                .unwrap_or(Self::BUCKET_BOUNDS.len());
+            buckets[idx] += 1;
+        }
+        LatencySummary {
+            count,
+            mean: samples.iter().sum::<f64>() / count as f64,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            max: samples[count - 1],
+            buckets,
+        }
+    }
+
+    /// Renders the summary plus bucket table as plain text (the CI
+    /// latency-histogram artifact).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "samples {}", self.count);
+        let _ = writeln!(out, "mean_us {:.2}", self.mean * 1e6);
+        let _ = writeln!(out, "p50_us {:.2}", self.p50 * 1e6);
+        let _ = writeln!(out, "p90_us {:.2}", self.p90 * 1e6);
+        let _ = writeln!(out, "p99_us {:.2}", self.p99 * 1e6);
+        let _ = writeln!(out, "max_us {:.2}", self.max * 1e6);
+        for (i, count) in self.buckets.iter().enumerate() {
+            match Self::BUCKET_BOUNDS.get(i) {
+                Some(bound) => {
+                    let _ = writeln!(out, "le_{}us {}", (bound * 1e6) as u64, count);
+                }
+                None => {
+                    let _ = writeln!(out, "le_inf {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// What a completed load-generation run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests submitted.
+    pub sent: usize,
+    /// Decisions received.
+    pub decided: usize,
+    /// Admissions among them.
+    pub admitted: usize,
+    /// Rejections among them.
+    pub rejected: usize,
+    /// Typed overload rejections (request dropped before the scheduler).
+    pub overloaded: usize,
+    /// Error replies.
+    pub errors: usize,
+    /// Σ payment over admitted requests (client-side bookkeeping).
+    pub revenue: f64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// End-to-end latency (send → decision parsed) summary.
+    pub latency: LatencySummary,
+    /// The daemon's own counters from the final ack, when
+    /// `shutdown_when_done` was set.
+    pub final_stats: Option<ServeStats>,
+}
+
+impl LoadgenReport {
+    /// Decisions per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.decided as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn read_reply(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> Result<ServerMsg, ServeError> {
+    line.clear();
+    let n = reader.read_line(line)?;
+    if n == 0 {
+        return Err(ServeError::Protocol(
+            "daemon closed the connection".to_string(),
+        ));
+    }
+    parse_server(line.trim())
+}
+
+/// Replays `requests` (dense-id arrival order) against the daemon.
+///
+/// # Errors
+///
+/// [`ServeError::Net`] if the daemon is unreachable, [`ServeError::Io`] /
+/// [`ServeError::Protocol`] if the connection drops or replies are
+/// malformed.
+pub fn run_loadgen(
+    requests: &[Request],
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, ServeError> {
+    let stream = TcpStream::connect(&config.addr).map_err(|source| ServeError::Net {
+        action: "connect",
+        addr: config.addr.clone(),
+        source,
+    })?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    let mut report = LoadgenReport {
+        sent: 0,
+        decided: 0,
+        admitted: 0,
+        rejected: 0,
+        overloaded: 0,
+        errors: 0,
+        revenue: 0.0,
+        elapsed: Duration::ZERO,
+        latency: LatencySummary::default(),
+        final_stats: None,
+    };
+    let mut samples = Vec::with_capacity(requests.len());
+    let started = Instant::now();
+    let pace = config.rate.is_finite() && config.rate > 0.0;
+
+    for request in requests
+        .iter()
+        .filter(|r| r.id().index() >= config.start_at)
+    {
+        if pace {
+            let target = started + Duration::from_secs_f64(report.sent as f64 / config.rate);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+        let msg = ClientMsg::Submit(SubmitRequest {
+            id: request.id().index(),
+            vnf: request.vnf().index(),
+            reliability: request.reliability_requirement().value(),
+            arrival: request.arrival(),
+            duration: request.duration(),
+            payment: request.payment(),
+        });
+        let mut out = encode_client(&msg);
+        out.push('\n');
+        let sent_at = Instant::now();
+        writer.write_all(out.as_bytes())?;
+        report.sent += 1;
+        match read_reply(&mut reader, &mut line)? {
+            ServerMsg::Decision(event) => {
+                samples.push(sent_at.elapsed().as_secs_f64());
+                report.decided += 1;
+                if event.outcome.is_admit() {
+                    report.admitted += 1;
+                    report.revenue += request.payment();
+                } else {
+                    report.rejected += 1;
+                }
+            }
+            ServerMsg::Overload(_) => report.overloaded += 1,
+            ServerMsg::Error(_) => report.errors += 1,
+            ServerMsg::Ack(_) => {
+                return Err(ServeError::Protocol(
+                    "unexpected ack while awaiting a decision".to_string(),
+                ))
+            }
+        }
+    }
+
+    if config.shutdown_when_done {
+        let mut out = encode_client(&ClientMsg::Control(ControlAction::Shutdown));
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+        match read_reply(&mut reader, &mut line)? {
+            ServerMsg::Ack(ack) => report.final_stats = Some(ack.stats),
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "expected a shutdown ack, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    report.elapsed = started.elapsed();
+    report.latency = LatencySummary::from_samples(samples);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles_and_buckets() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-5).collect();
+        let s = LatencySummary::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert!((s.p50 - 51e-5).abs() < 1e-9);
+        assert!((s.p99 - 99e-5).abs() < 1e-9);
+        assert!((s.max - 1e-3).abs() < 1e-12);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 100);
+        let text = s.to_text();
+        assert!(text.contains("samples 100"));
+        assert!(text.contains("le_inf"));
+    }
+
+    #[test]
+    fn empty_summary_is_well_formed() {
+        let s = LatencySummary::from_samples(Vec::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.buckets.len(), LatencySummary::BUCKET_BOUNDS.len() + 1);
+    }
+}

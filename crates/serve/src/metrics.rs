@@ -1,0 +1,105 @@
+//! Metric series exported by the daemon at `GET /metrics`.
+//!
+//! The daemon reuses the decision series ([`DecisionMetricIds`]) and the
+//! engine series ([`EngineMetricIds`], decide-latency + per-cloudlet
+//! utilization) so the same dashboards work for batch runs and the
+//! daemon, and adds serving-specific counters and gauges.
+
+use mec_obs::{DecisionMetricIds, MetricId, MetricsRegistry};
+use mec_sim::obs::EngineMetricIds;
+
+/// Buckets for end-to-end admission latency (socket read → decision
+/// written) in seconds: 5 µs .. 100 ms.
+pub const ADMISSION_LATENCY_BUCKETS: [f64; 9] = [
+    5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 1e-3, 10e-3, 50e-3, 100e-3,
+];
+
+/// Pre-registered daemon series.
+#[derive(Debug, Clone)]
+pub struct ServeMetricIds {
+    /// Shared decision series (admissions, rejections by reason, dual
+    /// cost).
+    pub decisions: DecisionMetricIds,
+    /// Shared engine series (decide latency, per-cloudlet utilization).
+    pub engine: EngineMetricIds,
+    /// `vnfrel_serve_submitted_total`: submit lines accepted off sockets.
+    pub submitted: MetricId,
+    /// `vnfrel_serve_overload_total`: submissions dropped by backpressure.
+    pub overloads: MetricId,
+    /// `vnfrel_serve_protocol_errors_total`: unparseable/invalid lines.
+    pub protocol_errors: MetricId,
+    /// `vnfrel_serve_connections_total`: connections served.
+    pub connections: MetricId,
+    /// `vnfrel_serve_slot`: the virtual slot clock (gauge).
+    pub slot: MetricId,
+    /// `vnfrel_serve_queue_depth`: ingress queue depth (gauge).
+    pub queue_depth: MetricId,
+    /// `vnfrel_serve_admission_latency_seconds`: enqueue → reply written.
+    pub admission_latency: MetricId,
+}
+
+impl ServeMetricIds {
+    /// Registers every daemon series for a topology with
+    /// `cloudlet_count` cloudlets.
+    pub fn register(reg: &mut MetricsRegistry, cloudlet_count: usize) -> Self {
+        ServeMetricIds {
+            decisions: DecisionMetricIds::register(reg),
+            engine: EngineMetricIds::register(reg, cloudlet_count),
+            submitted: reg.register_counter(
+                "vnfrel_serve_submitted_total",
+                "Submit lines accepted off client sockets",
+            ),
+            overloads: reg.register_counter(
+                "vnfrel_serve_overload_total",
+                "Submissions dropped because the ingress queue was full",
+            ),
+            protocol_errors: reg.register_counter(
+                "vnfrel_serve_protocol_errors_total",
+                "Client lines that failed to parse or validate",
+            ),
+            connections: reg.register_counter(
+                "vnfrel_serve_connections_total",
+                "Client connections served",
+            ),
+            slot: reg.register_gauge("vnfrel_serve_slot", "Virtual slot clock of the daemon"),
+            queue_depth: reg.register_gauge(
+                "vnfrel_serve_queue_depth",
+                "Current depth of the ingress queue",
+            ),
+            admission_latency: reg.register_histogram(
+                "vnfrel_serve_admission_latency_seconds",
+                "End-to-end latency from socket read to decision written",
+                &ADMISSION_LATENCY_BUCKETS,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_exports_all_series() {
+        let mut reg = MetricsRegistry::new();
+        let ids = ServeMetricIds::register(&mut reg, 2);
+        reg.inc(ids.submitted);
+        reg.set_gauge(ids.slot, 3.0);
+        reg.observe(ids.admission_latency, 20e-6);
+        let text = reg.to_prometheus();
+        for name in [
+            "vnfrel_admissions_total",
+            "vnfrel_decide_latency_seconds",
+            "vnfrel_cloudlet_utilization",
+            "vnfrel_serve_submitted_total",
+            "vnfrel_serve_overload_total",
+            "vnfrel_serve_protocol_errors_total",
+            "vnfrel_serve_connections_total",
+            "vnfrel_serve_slot",
+            "vnfrel_serve_queue_depth",
+            "vnfrel_serve_admission_latency_seconds",
+        ] {
+            assert!(text.contains(name), "missing series {name} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Line-delimited JSON wire protocol of the admission daemon.
+//!
+//! Every message is one compact JSON object per line with a `"type"`
+//! discriminator. Serve-specific messages carry a `"v"` schema version
+//! (currently [`PROTOCOL_VERSION`]); decision lines reuse the
+//! `mec-obs` trace schema (`"type":"decision"`, see
+//! [`mec_obs::to_json`]) unchanged, so a daemon response stream is also
+//! a valid trace file.
+//!
+//! Client → server:
+//!
+//! ```text
+//! {"type":"submit","v":1,"id":0,"vnf":2,"reliability":0.95,"arrival":3,"duration":4,"payment":6.5}
+//! {"type":"control","v":1,"action":"advance-slot"}   // also: snapshot | stats | shutdown
+//! ```
+//!
+//! Server → client (one line per submit, in submission order):
+//!
+//! ```text
+//! {"type":"decision", ...}                            // full DecisionEvent
+//! {"type":"overload","v":1,"id":7,"queue_depth":128,"limit":128}
+//! {"type":"ack","v":1,"action":"stats","slot":3,"stats":{...}}
+//! {"type":"error","v":1,"message":"..."}
+//! ```
+
+use mec_obs::{parse_line, parse_value, to_json, DecisionEvent, JsonValue, TraceEvent};
+
+use crate::error::ServeError;
+
+/// Wire schema version of the serve-specific message types.
+pub const PROTOCOL_VERSION: usize = 1;
+
+/// A request submission: the client-side view of one
+/// [`mec_workload::Request`], before validation against the daemon's
+/// horizon and catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Dense request id; the daemon enforces arrival order (`id` must
+    /// equal the number of requests decided so far).
+    pub id: usize,
+    /// VNF type index into the daemon's catalog.
+    pub vnf: usize,
+    /// Required reliability in `(0, 1)`.
+    pub reliability: f64,
+    /// Arrival slot.
+    pub arrival: usize,
+    /// Duration in slots (≥ 1).
+    pub duration: usize,
+    /// Offered payment.
+    pub payment: f64,
+}
+
+/// Daemon control verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Advance the virtual slot clock by one slot.
+    AdvanceSlot,
+    /// Write a snapshot now (no-op without a configured snapshot path).
+    Snapshot,
+    /// Report live counters without changing anything.
+    Stats,
+    /// Drain the ingress queue, snapshot, and exit.
+    Shutdown,
+}
+
+impl ControlAction {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ControlAction::AdvanceSlot => "advance-slot",
+            ControlAction::Snapshot => "snapshot",
+            ControlAction::Stats => "stats",
+            ControlAction::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name back into an action.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        match s {
+            "advance-slot" => Some(ControlAction::AdvanceSlot),
+            "snapshot" => Some(ControlAction::Snapshot),
+            "stats" => Some(ControlAction::Stats),
+            "shutdown" => Some(ControlAction::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Anything a client can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Submit one request for an admission decision.
+    Submit(SubmitRequest),
+    /// Control the daemon.
+    Control(ControlAction),
+}
+
+/// Live daemon counters, embedded in every control acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServeStats {
+    /// Requests decided (admitted + rejected).
+    pub decided: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected by the scheduler.
+    pub rejected: u64,
+    /// Submissions dropped by backpressure (never reached the scheduler).
+    pub overloaded: u64,
+    /// Σ payment over admitted requests.
+    pub revenue: f64,
+}
+
+/// Typed backpressure rejection: the ingress queue was full, the request
+/// never reached the scheduler and consumed no state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadReject {
+    /// Id of the dropped submission.
+    pub id: usize,
+    /// Queue depth observed when the push failed.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub limit: usize,
+}
+
+/// Acknowledgement of a control message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlAck {
+    /// The action being acknowledged.
+    pub action: ControlAction,
+    /// Current virtual slot.
+    pub slot: usize,
+    /// Live counters at acknowledgement time.
+    pub stats: ServeStats,
+}
+
+/// Anything the daemon can send back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Full admission decision for one submitted request.
+    Decision(DecisionEvent),
+    /// Backpressure drop.
+    Overload(OverloadReject),
+    /// Control acknowledgement.
+    Ack(ControlAck),
+    /// The line could not be honored (parse failure, invalid request
+    /// fields, out-of-order id); the daemon keeps serving.
+    Error(String),
+}
+
+fn num(out: &mut String, v: f64) {
+    JsonValue::Num(v).encode_into(out);
+}
+
+fn uint(out: &mut String, v: usize) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{v}");
+}
+
+/// Encodes a client message as one line (no trailing newline).
+pub fn encode_client(msg: &ClientMsg) -> String {
+    let mut out = String::with_capacity(128);
+    match msg {
+        ClientMsg::Submit(s) => {
+            out.push_str("{\"type\":\"submit\",\"v\":1,\"id\":");
+            uint(&mut out, s.id);
+            out.push_str(",\"vnf\":");
+            uint(&mut out, s.vnf);
+            out.push_str(",\"reliability\":");
+            num(&mut out, s.reliability);
+            out.push_str(",\"arrival\":");
+            uint(&mut out, s.arrival);
+            out.push_str(",\"duration\":");
+            uint(&mut out, s.duration);
+            out.push_str(",\"payment\":");
+            num(&mut out, s.payment);
+            out.push('}');
+        }
+        ClientMsg::Control(a) => {
+            out.push_str("{\"type\":\"control\",\"v\":1,\"action\":\"");
+            out.push_str(a.as_str());
+            out.push_str("\"}");
+        }
+    }
+    out
+}
+
+fn encode_stats(out: &mut String, s: &ServeStats) {
+    out.push_str("{\"decided\":");
+    num(out, s.decided as f64);
+    out.push_str(",\"admitted\":");
+    num(out, s.admitted as f64);
+    out.push_str(",\"rejected\":");
+    num(out, s.rejected as f64);
+    out.push_str(",\"overloaded\":");
+    num(out, s.overloaded as f64);
+    out.push_str(",\"revenue\":");
+    num(out, s.revenue);
+    out.push('}');
+}
+
+/// Encodes a server message as one line (no trailing newline).
+pub fn encode_server(msg: &ServerMsg) -> String {
+    match msg {
+        ServerMsg::Decision(d) => to_json(&TraceEvent::Decision(d.clone())),
+        ServerMsg::Overload(o) => {
+            let mut out = String::with_capacity(80);
+            out.push_str("{\"type\":\"overload\",\"v\":1,\"id\":");
+            uint(&mut out, o.id);
+            out.push_str(",\"queue_depth\":");
+            uint(&mut out, o.queue_depth);
+            out.push_str(",\"limit\":");
+            uint(&mut out, o.limit);
+            out.push('}');
+            out
+        }
+        ServerMsg::Ack(a) => {
+            let mut out = String::with_capacity(160);
+            out.push_str("{\"type\":\"ack\",\"v\":1,\"action\":\"");
+            out.push_str(a.action.as_str());
+            out.push_str("\",\"slot\":");
+            uint(&mut out, a.slot);
+            out.push_str(",\"stats\":");
+            encode_stats(&mut out, &a.stats);
+            out.push('}');
+            out
+        }
+        ServerMsg::Error(m) => {
+            let mut out = String::with_capacity(48 + m.len());
+            out.push_str("{\"type\":\"error\",\"v\":1,\"message\":");
+            JsonValue::Str(m.clone()).encode_into(&mut out);
+            out.push('}');
+            out
+        }
+    }
+}
+
+fn perr(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ServeError> {
+    v.get(key)
+        .ok_or_else(|| perr(format!("missing field '{key}'")))
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, ServeError> {
+    field(v, key)?
+        .as_usize()
+        .ok_or_else(|| perr(format!("field '{key}' must be a non-negative integer")))
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Result<f64, ServeError> {
+    match field(v, key)? {
+        JsonValue::Num(n) => Ok(*n),
+        _ => Err(perr(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn field_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ServeError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| perr(format!("field '{key}' must be a string")))
+}
+
+fn check_version(v: &JsonValue) -> Result<(), ServeError> {
+    let version = field_usize(v, "v")?;
+    if version != PROTOCOL_VERSION {
+        return Err(perr(format!(
+            "unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses one client line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed JSON, unknown type/action,
+/// version mismatch, or missing/mistyped fields.
+pub fn parse_client(line: &str) -> Result<ClientMsg, ServeError> {
+    let v = parse_value(line).map_err(|e| perr(e.to_string()))?;
+    match field_str(&v, "type")? {
+        "submit" => {
+            check_version(&v)?;
+            Ok(ClientMsg::Submit(SubmitRequest {
+                id: field_usize(&v, "id")?,
+                vnf: field_usize(&v, "vnf")?,
+                reliability: field_f64(&v, "reliability")?,
+                arrival: field_usize(&v, "arrival")?,
+                duration: field_usize(&v, "duration")?,
+                payment: field_f64(&v, "payment")?,
+            }))
+        }
+        "control" => {
+            check_version(&v)?;
+            let action = field_str(&v, "action")?;
+            ControlAction::from_wire(action)
+                .map(ClientMsg::Control)
+                .ok_or_else(|| perr(format!("unknown control action '{action}'")))
+        }
+        other => Err(perr(format!("unknown client message type '{other}'"))),
+    }
+}
+
+fn parse_stats(v: &JsonValue) -> Result<ServeStats, ServeError> {
+    let as_u64 = |key: &str| -> Result<u64, ServeError> { Ok(field_usize(v, key)? as u64) };
+    Ok(ServeStats {
+        decided: as_u64("decided")?,
+        admitted: as_u64("admitted")?,
+        rejected: as_u64("rejected")?,
+        overloaded: as_u64("overloaded")?,
+        revenue: field_f64(v, "revenue")?,
+    })
+}
+
+/// Parses one server line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed JSON, unknown type, version
+/// mismatch, or missing/mistyped fields.
+pub fn parse_server(line: &str) -> Result<ServerMsg, ServeError> {
+    let v = parse_value(line).map_err(|e| perr(e.to_string()))?;
+    match field_str(&v, "type")? {
+        "decision" => match parse_line(line).map_err(|e| perr(e.to_string()))? {
+            TraceEvent::Decision(d) => Ok(ServerMsg::Decision(d)),
+            other => Err(perr(format!(
+                "expected a decision event, got '{}'",
+                other.kind()
+            ))),
+        },
+        "overload" => {
+            check_version(&v)?;
+            Ok(ServerMsg::Overload(OverloadReject {
+                id: field_usize(&v, "id")?,
+                queue_depth: field_usize(&v, "queue_depth")?,
+                limit: field_usize(&v, "limit")?,
+            }))
+        }
+        "ack" => {
+            check_version(&v)?;
+            let action = field_str(&v, "action")?;
+            let action = ControlAction::from_wire(action)
+                .ok_or_else(|| perr(format!("unknown ack action '{action}'")))?;
+            Ok(ServerMsg::Ack(ControlAck {
+                action,
+                slot: field_usize(&v, "slot")?,
+                stats: parse_stats(field(&v, "stats")?)?,
+            }))
+        }
+        "error" => {
+            check_version(&v)?;
+            Ok(ServerMsg::Error(field_str(&v, "message")?.to_string()))
+        }
+        other => Err(perr(format!("unknown server message type '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_obs::{Outcome, RejectReason, SitePlacement};
+
+    #[test]
+    fn submit_round_trips() {
+        let msg = ClientMsg::Submit(SubmitRequest {
+            id: 42,
+            vnf: 3,
+            reliability: 0.97,
+            arrival: 5,
+            duration: 2,
+            payment: 12.25,
+        });
+        let line = encode_client(&msg);
+        assert!(line.starts_with("{\"type\":\"submit\",\"v\":1,"));
+        assert_eq!(parse_client(&line).unwrap(), msg);
+    }
+
+    #[test]
+    fn control_round_trips_all_actions() {
+        for action in [
+            ControlAction::AdvanceSlot,
+            ControlAction::Snapshot,
+            ControlAction::Stats,
+            ControlAction::Shutdown,
+        ] {
+            let msg = ClientMsg::Control(action);
+            assert_eq!(parse_client(&encode_client(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let decision = ServerMsg::Decision(DecisionEvent {
+            request: 7,
+            algorithm: "alg1-primal-dual".into(),
+            scheme: "on-site".into(),
+            slot: 2,
+            payment: 4.5,
+            outcome: Outcome::Admit {
+                dual_cost: 1.25,
+                margin: 3.25,
+                sites: vec![SitePlacement {
+                    cloudlet: 1,
+                    instances: 2,
+                    dual_cost: 1.25,
+                }],
+            },
+        });
+        let overload = ServerMsg::Overload(OverloadReject {
+            id: 9,
+            queue_depth: 128,
+            limit: 128,
+        });
+        let ack = ServerMsg::Ack(ControlAck {
+            action: ControlAction::Stats,
+            slot: 3,
+            stats: ServeStats {
+                decided: 10,
+                admitted: 6,
+                rejected: 4,
+                overloaded: 1,
+                revenue: 33.5,
+            },
+        });
+        let error = ServerMsg::Error("bad line: \"quoted\"".into());
+        for msg in [decision, overload, ack, error] {
+            assert_eq!(parse_server(&encode_server(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn reject_decision_round_trips() {
+        let msg = ServerMsg::Decision(DecisionEvent {
+            request: 11,
+            algorithm: "alg2-primal-dual".into(),
+            scheme: "off-site".into(),
+            slot: 0,
+            payment: 2.0,
+            outcome: Outcome::Reject {
+                reason: RejectReason::PaymentTest,
+                dual_cost: Some(5.5),
+                margin: Some(-3.5),
+            },
+        });
+        assert_eq!(parse_server(&encode_server(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn version_and_type_are_enforced() {
+        assert!(parse_client("{\"type\":\"submit\",\"v\":2,\"id\":0}").is_err());
+        assert!(parse_client("{\"type\":\"nope\",\"v\":1}").is_err());
+        assert!(parse_client("{\"type\":\"control\",\"v\":1,\"action\":\"dance\"}").is_err());
+        assert!(parse_client("not json").is_err());
+        assert!(parse_server("{\"type\":\"ack\",\"v\":1,\"action\":\"stats\"}").is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Crash-consistent persistence of the daemon's serving state.
+//!
+//! A snapshot is a single JSON line capturing everything the decide
+//! thread accumulates: the scheduler's [`SchedulerState`] (usage grid,
+//! dual prices, rejection counters), the dense id cursor, the virtual
+//! slot clock and the protocol-level counters. Floats use the byte-exact
+//! `{:?}` encoding (see `mec_obs::json`), so restore is bit-identical
+//! and a restored daemon continues the decision stream byte for byte.
+//!
+//! Writes go to `<path>.tmp` first and are fsynced before an atomic
+//! rename over `<path>`; a crash mid-write leaves the previous snapshot
+//! intact. Loading validates the schema version, the algorithm name and
+//! a caller-supplied configuration fingerprint before any state touches
+//! the scheduler, so a snapshot from a different scenario fails cleanly.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use mec_obs::JsonValue;
+use vnfrel::SchedulerState;
+
+use crate::error::ServeError;
+use crate::protocol::ServeStats;
+
+/// Snapshot schema version.
+pub const SNAPSHOT_VERSION: usize = 1;
+
+/// One persisted serving state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `OnlineScheduler::name()` of the scheduler that produced it.
+    pub algorithm: String,
+    /// Opaque fingerprint of the scenario configuration (topology,
+    /// catalog, seed, policy); restore refuses on mismatch.
+    pub config: String,
+    /// Dense id of the next request to decide.
+    pub next_id: usize,
+    /// Virtual slot clock.
+    pub slot: usize,
+    /// Protocol-level counters.
+    pub stats: ServeStats,
+    /// The scheduler's mutable state.
+    pub state: SchedulerState,
+}
+
+fn arr_f64(values: &[f64]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
+}
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn serr(msg: impl Into<String>) -> ServeError {
+    ServeError::Snapshot(msg.into())
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ServeError> {
+    v.get(key)
+        .ok_or_else(|| serr(format!("missing field '{key}'")))
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, ServeError> {
+    field(v, key)?
+        .as_usize()
+        .ok_or_else(|| serr(format!("field '{key}' must be a non-negative integer")))
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Result<f64, ServeError> {
+    match field(v, key)? {
+        JsonValue::Num(n) => Ok(*n),
+        _ => Err(serr(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn field_f64_arr(v: &JsonValue, key: &str) -> Result<Vec<f64>, ServeError> {
+    let items = field(v, key)?
+        .as_array()
+        .ok_or_else(|| serr(format!("field '{key}' must be an array")))?;
+    items
+        .iter()
+        .map(|item| match item {
+            JsonValue::Num(n) => Ok(*n),
+            _ => Err(serr(format!("field '{key}' must contain only numbers"))),
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Encodes the snapshot as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        obj(vec![
+            ("type", JsonValue::Str("snapshot".into())),
+            ("v", JsonValue::Num(SNAPSHOT_VERSION as f64)),
+            ("algorithm", JsonValue::Str(self.algorithm.clone())),
+            ("config", JsonValue::Str(self.config.clone())),
+            ("next_id", JsonValue::Num(self.next_id as f64)),
+            ("slot", JsonValue::Num(self.slot as f64)),
+            ("decided", JsonValue::Num(self.stats.decided as f64)),
+            ("admitted", JsonValue::Num(self.stats.admitted as f64)),
+            ("rejected", JsonValue::Num(self.stats.rejected as f64)),
+            ("overloaded", JsonValue::Num(self.stats.overloaded as f64)),
+            ("revenue", JsonValue::Num(self.stats.revenue)),
+            ("sum_delta", JsonValue::Num(self.state.sum_delta)),
+            ("used", arr_f64(&self.state.used)),
+            ("lambda", arr_f64(&self.state.lambda)),
+            (
+                "counters",
+                JsonValue::Arr(
+                    self.state
+                        .counters
+                        .iter()
+                        .map(|&c| JsonValue::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+        .encode()
+    }
+
+    /// Decodes a snapshot line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] on malformed JSON, wrong `type`, or an
+    /// unsupported schema version.
+    pub fn decode(text: &str) -> Result<Self, ServeError> {
+        let v = mec_obs::parse_value(text.trim()).map_err(|e| serr(e.to_string()))?;
+        let ty = field(&v, "type")?
+            .as_str()
+            .ok_or_else(|| serr("field 'type' must be a string"))?;
+        if ty != "snapshot" {
+            return Err(serr(format!("expected a snapshot line, got '{ty}'")));
+        }
+        let version = field_usize(&v, "v")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(serr(format!(
+                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let counters = field(&v, "counters")?
+            .as_array()
+            .ok_or_else(|| serr("field 'counters' must be an array"))?
+            .iter()
+            .map(|item| {
+                item.as_usize()
+                    .map(|c| c as u64)
+                    .ok_or_else(|| serr("field 'counters' must contain non-negative integers"))
+            })
+            .collect::<Result<Vec<u64>, ServeError>>()?;
+        Ok(Snapshot {
+            algorithm: field(&v, "algorithm")?
+                .as_str()
+                .ok_or_else(|| serr("field 'algorithm' must be a string"))?
+                .to_string(),
+            config: field(&v, "config")?
+                .as_str()
+                .ok_or_else(|| serr("field 'config' must be a string"))?
+                .to_string(),
+            next_id: field_usize(&v, "next_id")?,
+            slot: field_usize(&v, "slot")?,
+            stats: ServeStats {
+                decided: field_usize(&v, "decided")? as u64,
+                admitted: field_usize(&v, "admitted")? as u64,
+                rejected: field_usize(&v, "rejected")? as u64,
+                overloaded: field_usize(&v, "overloaded")? as u64,
+                revenue: field_f64(&v, "revenue")?,
+            },
+            state: SchedulerState {
+                used: field_f64_arr(&v, "used")?,
+                lambda: field_f64_arr(&v, "lambda")?,
+                sum_delta: field_f64(&v, "sum_delta")?,
+                counters,
+            },
+        })
+    }
+
+    /// Writes the snapshot crash-consistently: temp file, fsync, rename.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotIo`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        let io_err = |source: std::io::Error| ServeError::SnapshotIo {
+            path: path.to_path_buf(),
+            source,
+        };
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut f = fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(self.encode().as_bytes()).map_err(io_err)?;
+            f.write_all(b"\n").map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Loads and decodes a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SnapshotIo`] if the file cannot be read,
+    /// [`ServeError::Snapshot`] if it does not decode.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let text = fs::read_to_string(path).map_err(|source| ServeError::SnapshotIo {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Snapshot::decode(&text)
+    }
+
+    /// Checks the snapshot against the running daemon's identity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Snapshot`] naming the mismatched field.
+    pub fn validate(&self, algorithm: &str, config: &str) -> Result<(), ServeError> {
+        if self.algorithm != algorithm {
+            return Err(serr(format!(
+                "snapshot was taken by '{}' but the daemon runs '{algorithm}'",
+                self.algorithm
+            )));
+        }
+        if self.config != config {
+            return Err(serr(format!(
+                "snapshot configuration '{}' does not match '{config}'",
+                self.config
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            algorithm: "alg1-primal-dual".into(),
+            config: "zoo:seed=42".into(),
+            next_id: 17,
+            slot: 4,
+            stats: ServeStats {
+                decided: 17,
+                admitted: 11,
+                rejected: 6,
+                overloaded: 2,
+                revenue: 123.456789,
+            },
+            state: SchedulerState {
+                used: vec![0.0, 1.5, 0.25, 3.0],
+                lambda: vec![0.1 + 0.2, 0.0, 1e-9, 7.0],
+                sum_delta: 42.125,
+                counters: vec![3, 0, 3],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exact() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        for (a, b) in decoded.state.lambda.iter().zip(snap.state.lambda.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("vnfrel-snapshot-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        let snap = sample();
+        snap.save(&path).unwrap();
+        let mut newer = snap.clone();
+        newer.next_id = 18;
+        newer.save(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap(), newer);
+        assert!(!path.with_extension("snap.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let snap = sample();
+        assert!(snap.validate("alg1-primal-dual", "zoo:seed=42").is_ok());
+        assert!(snap.validate("alg2-primal-dual", "zoo:seed=42").is_err());
+        assert!(snap.validate("alg1-primal-dual", "zoo:seed=43").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert!(Snapshot::decode("{").is_err());
+        assert!(Snapshot::decode("{\"type\":\"decision\"}").is_err());
+        let wrong_version = sample().encode().replace("\"v\":1", "\"v\":9");
+        assert!(Snapshot::decode(&wrong_version).is_err());
+        let truncated = &sample().encode()[..40];
+        assert!(Snapshot::decode(truncated).is_err());
+    }
+}

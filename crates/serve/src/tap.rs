@@ -1,0 +1,88 @@
+//! A shared in-process sink the daemon reads decision events back from.
+//!
+//! The schedulers report *why* they admitted or rejected (reason,
+//! placement sites, dual cost) only through their [`TraceSink`]. The
+//! daemon needs that detail in every response line, so it constructs the
+//! scheduler with a clone of a [`DecisionTap`] and pops the event right
+//! after each `decide()` call. `Rc` keeps it single-threaded by
+//! construction — the tap lives entirely on the decide thread.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use mec_obs::{TraceEvent, TraceSink};
+
+/// A cloneable single-threaded FIFO of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTap {
+    events: Rc<RefCell<VecDeque<TraceEvent>>>,
+}
+
+impl DecisionTap {
+    /// Creates an empty tap.
+    pub fn new() -> Self {
+        DecisionTap::default()
+    }
+
+    /// Removes and returns the oldest recorded event.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        self.events.borrow_mut().pop_front()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether no event is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl TraceSink for DecisionTap {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.borrow_mut().push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_obs::{DecisionEvent, Outcome, RejectReason};
+
+    fn event(request: usize) -> TraceEvent {
+        TraceEvent::Decision(DecisionEvent {
+            request,
+            algorithm: "test".into(),
+            scheme: "on-site".into(),
+            slot: 0,
+            payment: 1.0,
+            outcome: Outcome::Reject {
+                reason: RejectReason::PaymentTest,
+                dual_cost: None,
+                margin: None,
+            },
+        })
+    }
+
+    #[test]
+    fn clones_share_the_queue_in_fifo_order() {
+        let tap = DecisionTap::new();
+        let mut writer = tap.clone();
+        writer.record(event(0));
+        writer.record(event(1));
+        assert_eq!(tap.len(), 2);
+        assert!(matches!(
+            tap.pop(),
+            Some(TraceEvent::Decision(DecisionEvent { request: 0, .. }))
+        ));
+        assert!(matches!(
+            tap.pop(),
+            Some(TraceEvent::Decision(DecisionEvent { request: 1, .. }))
+        ));
+        assert!(tap.is_empty());
+        assert!(tap.pop().is_none());
+    }
+}

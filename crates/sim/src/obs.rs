@@ -73,17 +73,24 @@ impl<'r> EngineMetrics<'r> {
         EngineMetrics { registry, ids }
     }
 
-    pub(crate) fn observe_decide(&self, seconds: f64) {
+    /// Records one decide() latency observation. Public so drivers
+    /// other than the batch engine (the `mec-serve` daemon) can feed
+    /// the same `vnfrel_decide_latency_seconds` series.
+    pub fn observe_decide(&self, seconds: f64) {
         self.registry.observe(self.ids.decide_latency, seconds);
     }
 
-    pub(crate) fn set_utilization(&self, cloudlet: usize, value: f64) {
+    /// Sets the utilization gauge of one cloudlet (out-of-range ids are
+    /// ignored). Public for the same reason as
+    /// [`EngineMetrics::observe_decide`].
+    pub fn set_utilization(&self, cloudlet: usize, value: f64) {
         if let Some(&id) = self.ids.utilization.get(cloudlet) {
             self.registry.set_gauge(id, value);
         }
     }
 
-    pub(crate) fn cloudlet_count(&self) -> usize {
+    /// Number of cloudlet utilization gauges registered.
+    pub fn cloudlet_count(&self) -> usize {
         self.ids.utilization.len()
     }
 }

@@ -1,0 +1,80 @@
+//! Shared helpers for the `mec-serve` integration tests: a deterministic
+//! scenario builder and an in-process daemon spawned on an ephemeral
+//! port. Not a test target itself — included via `#[path]`.
+
+#![allow(dead_code)]
+
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::thread;
+
+use mec_obs::MetricsRegistry;
+use mec_serve::{serve, DecisionTap, ServeConfig, ServeError, ServeMetricIds, ServeReport};
+use mec_topology::generators::{self, CloudletPlacement};
+use mec_workload::{Horizon, Request, RequestGenerator, VnfCatalog};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vnfrel::offsite::OffsitePrimalDual;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+use vnfrel::{OnlineScheduler, ProblemInstance};
+
+/// Deterministic scenario: a Waxman edge network plus a generated
+/// request stream, both derived from `seed`.
+pub fn scenario(requests: usize, seed: u64) -> (ProblemInstance, Vec<Request>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let placement = CloudletPlacement {
+        fraction: 0.6,
+        capacity: (20, 40),
+        reliability: (0.99, 0.9999),
+    };
+    let net = generators::waxman(12, 0.5, 0.3, &placement, &mut rng).unwrap();
+    let instance = ProblemInstance::new(net, VnfCatalog::standard(), Horizon::new(12)).unwrap();
+    let reqs = RequestGenerator::new(instance.horizon())
+        .generate(requests, instance.catalog(), &mut rng)
+        .unwrap();
+    (instance, reqs)
+}
+
+/// Which scheduler the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Algorithm 1 (on-site) with capacity enforcement.
+    Onsite,
+    /// Algorithm 2 (off-site).
+    Offsite,
+}
+
+/// Starts a daemon thread on `127.0.0.1:0` and returns the bound
+/// address plus the join handle yielding the final [`ServeReport`].
+pub fn spawn_daemon(
+    instance: ProblemInstance,
+    algo: Algo,
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    thread::JoinHandle<Result<ServeReport, ServeError>>,
+) {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let tap = DecisionTap::new();
+        let mut onsite;
+        let mut offsite;
+        let scheduler: &mut dyn OnlineScheduler = match algo {
+            Algo::Onsite => {
+                onsite =
+                    OnsitePrimalDual::with_sink(&instance, CapacityPolicy::Enforce, tap.clone())
+                        .unwrap();
+                &mut onsite
+            }
+            Algo::Offsite => {
+                offsite = OffsitePrimalDual::with_sink(&instance, tap.clone());
+                &mut offsite
+            }
+        };
+        let mut registry = MetricsRegistry::new();
+        let ids = ServeMetricIds::register(&mut registry, scheduler.ledger().cloudlet_count());
+        serve(scheduler, &tap, &registry, &ids, &config, Some(tx))
+    });
+    let addr = rx.recv().expect("daemon bound");
+    (addr, handle)
+}

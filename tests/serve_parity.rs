@@ -1,0 +1,78 @@
+//! Daemon ↔ batch parity: driving the daemon with the closed-loop load
+//! generator over a deterministic trace must reproduce the batch
+//! `Simulation` run of the same trace exactly — same admit/reject
+//! counts, bit-identical revenue — for both schemes. The daemon is the
+//! same schedulers behind a socket, not a reimplementation.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use common::{scenario, spawn_daemon, Algo};
+use mec_serve::{run_loadgen, LoadgenConfig, ServeConfig};
+use mec_sim::Simulation;
+use vnfrel::offsite::OffsitePrimalDual;
+use vnfrel::onsite::{CapacityPolicy, OnsitePrimalDual};
+
+fn check_parity(algo: Algo, requests: usize, seed: u64) {
+    let (instance, reqs) = scenario(requests, seed);
+
+    let sim = Simulation::new(&instance, &reqs).unwrap();
+    let batch = match algo {
+        Algo::Onsite => {
+            let mut alg = OnsitePrimalDual::new(&instance, CapacityPolicy::Enforce).unwrap();
+            sim.run(&mut alg).unwrap()
+        }
+        Algo::Offsite => {
+            let mut alg = OffsitePrimalDual::new(&instance);
+            sim.run(&mut alg).unwrap()
+        }
+    };
+
+    let (addr, daemon) = spawn_daemon(instance, algo, ServeConfig::new("127.0.0.1:0"));
+    let mut lg = LoadgenConfig::new(addr.to_string());
+    lg.shutdown_when_done = true;
+    let client = run_loadgen(&reqs, &lg).unwrap();
+    let report = daemon.join().unwrap().unwrap();
+
+    assert_eq!(client.sent, reqs.len());
+    assert_eq!(client.decided, reqs.len());
+    assert_eq!(client.overloaded, 0, "closed loop cannot overload");
+    assert_eq!(client.errors, 0);
+
+    // Client-side bookkeeping, daemon counters and the batch engine must
+    // all agree; revenue is a sum in identical order, so it is
+    // bit-identical, not approximately equal.
+    assert_eq!(client.admitted, batch.metrics.admitted);
+    assert_eq!(client.rejected, reqs.len() - batch.metrics.admitted);
+    assert_eq!(client.revenue.to_bits(), batch.metrics.revenue.to_bits());
+
+    assert_eq!(report.stats.decided as usize, reqs.len());
+    assert_eq!(report.stats.admitted as usize, batch.metrics.admitted);
+    assert_eq!(
+        report.stats.revenue.to_bits(),
+        batch.metrics.revenue.to_bits()
+    );
+    assert_eq!(report.next_id, reqs.len());
+
+    let final_stats = client.final_stats.expect("shutdown ack carries stats");
+    assert_eq!(final_stats.decided, report.stats.decided);
+    assert_eq!(final_stats.admitted, report.stats.admitted);
+}
+
+#[test]
+fn daemon_matches_batch_onsite() {
+    check_parity(Algo::Onsite, 2000, 7);
+}
+
+#[test]
+fn daemon_matches_batch_offsite() {
+    check_parity(Algo::Offsite, 2000, 7);
+}
+
+#[test]
+fn daemon_matches_batch_small_seeds() {
+    for seed in [1, 2, 3] {
+        check_parity(Algo::Onsite, 300, seed);
+        check_parity(Algo::Offsite, 300, seed);
+    }
+}

@@ -1,0 +1,211 @@
+//! Snapshot/restore determinism (golden-stream comparison, like
+//! `tests/equivalence.rs`): a daemon killed mid-trace and restored from
+//! its last snapshot must produce a decision stream that — concatenated
+//! with the pre-kill prefix — is byte-identical to an uninterrupted run.
+//!
+//! The "kill" loses work on purpose: the first daemon keeps deciding
+//! *after* the snapshot was taken, and those post-snapshot decisions are
+//! discarded. The restored daemon replays exactly those requests again;
+//! if restore were not bit-exact (prices, usage grid, Σδ), the replayed
+//! suffix would diverge from the golden stream.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+
+use common::{scenario, spawn_daemon, Algo};
+use mec_serve::{
+    encode_client, parse_server, ClientMsg, ControlAction, ServeConfig, ServerMsg, SubmitRequest,
+};
+use mec_workload::Request;
+
+/// Drives `requests` over one connection, returning the raw reply line
+/// per request (the golden decision stream).
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+            line: String::new(),
+        }
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> String {
+        let mut out = encode_client(msg);
+        out.push('\n');
+        self.writer.write_all(out.as_bytes()).unwrap();
+        self.line.clear();
+        assert!(self.reader.read_line(&mut self.line).unwrap() > 0);
+        self.line.trim().to_string()
+    }
+
+    fn submit_all(&mut self, requests: &[Request]) -> Vec<String> {
+        requests
+            .iter()
+            .map(|r| {
+                let line = self.send(&ClientMsg::Submit(SubmitRequest {
+                    id: r.id().index(),
+                    vnf: r.vnf().index(),
+                    reliability: r.reliability_requirement().value(),
+                    arrival: r.arrival(),
+                    duration: r.duration(),
+                    payment: r.payment(),
+                }));
+                assert!(
+                    matches!(parse_server(&line).unwrap(), ServerMsg::Decision(_)),
+                    "expected a decision line, got: {line}"
+                );
+                line
+            })
+            .collect()
+    }
+
+    fn control(&mut self, action: ControlAction) -> ServerMsg {
+        let line = self.send(&ClientMsg::Control(action));
+        parse_server(&line).unwrap()
+    }
+}
+
+fn check_restore(algo: Algo) {
+    let (instance, reqs) = scenario(1200, 11);
+    let cut = 500;
+    let lost = 120; // decided after the snapshot, then "lost" in the kill
+    let dir = std::env::temp_dir().join(format!("vnfrel-serve-restore-{algo:?}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let fingerprint = "restore-test:seed=11";
+
+    // Golden: one uninterrupted daemon over the whole trace.
+    let golden = {
+        let (addr, daemon) = spawn_daemon(instance.clone(), algo, {
+            let mut c = ServeConfig::new("127.0.0.1:0");
+            c.fingerprint = fingerprint.to_string();
+            c
+        });
+        let mut client = Client::connect(&addr.to_string());
+        let stream = client.submit_all(&reqs);
+        assert!(matches!(
+            client.control(ControlAction::Shutdown),
+            ServerMsg::Ack(_)
+        ));
+        daemon.join().unwrap().unwrap();
+        stream
+    };
+
+    // Interrupted: decide `cut`, snapshot, decide `lost` more, then die
+    // without using the newer state (the snapshot file from the explicit
+    // control is copied aside before the shutdown overwrites it).
+    let snap_live = dir.join("live.snap");
+    let snap_kept = dir.join("kept.snap");
+    let mut prefix = {
+        let (addr, daemon) = spawn_daemon(instance.clone(), algo, {
+            let mut c = ServeConfig::new("127.0.0.1:0");
+            c.fingerprint = fingerprint.to_string();
+            c.snapshot_path = Some(snap_live.clone());
+            c
+        });
+        let mut client = Client::connect(&addr.to_string());
+        let stream = client.submit_all(&reqs[..cut]);
+        assert!(matches!(
+            client.control(ControlAction::Snapshot),
+            ServerMsg::Ack(_)
+        ));
+        std::fs::copy(&snap_live, &snap_kept).unwrap();
+        // Work the kill will lose.
+        client.submit_all(&reqs[cut..cut + lost]);
+        assert!(matches!(
+            client.control(ControlAction::Shutdown),
+            ServerMsg::Ack(_)
+        ));
+        daemon.join().unwrap().unwrap();
+        stream
+    };
+
+    // Restored: a fresh daemon resumes from the kept snapshot and
+    // replays everything after the cut (including the lost work).
+    let suffix = {
+        let (addr, daemon) = spawn_daemon(instance, algo, {
+            let mut c = ServeConfig::new("127.0.0.1:0");
+            c.fingerprint = fingerprint.to_string();
+            c.snapshot_path = Some(snap_kept.clone());
+            c.resume = true;
+            c
+        });
+        let mut client = Client::connect(&addr.to_string());
+        let stream = client.submit_all(&reqs[cut..]);
+        assert!(matches!(
+            client.control(ControlAction::Shutdown),
+            ServerMsg::Ack(_)
+        ));
+        let report = daemon.join().unwrap().unwrap();
+        assert_eq!(report.next_id, reqs.len());
+        assert_eq!(report.stats.decided as usize, reqs.len());
+        stream
+    };
+
+    prefix.extend(suffix);
+    assert_eq!(prefix.len(), golden.len());
+    for (i, (a, b)) in golden.iter().zip(prefix.iter()).enumerate() {
+        assert_eq!(a, b, "decision stream diverged at request {i}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_restore_reproduces_decision_stream_onsite() {
+    check_restore(Algo::Onsite);
+}
+
+#[test]
+fn kill_restore_reproduces_decision_stream_offsite() {
+    check_restore(Algo::Offsite);
+}
+
+#[test]
+fn resume_refuses_mismatched_fingerprint() {
+    let (instance, reqs) = scenario(50, 3);
+    let dir = std::env::temp_dir().join("vnfrel-serve-restore-mismatch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("state.snap");
+
+    let (addr, daemon) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = ServeConfig::new("127.0.0.1:0");
+        c.fingerprint = "config-a".to_string();
+        c.snapshot_path = Some(snap.clone());
+        c
+    });
+    let mut client = Client::connect(&addr.to_string());
+    client.submit_all(&reqs);
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    daemon.join().unwrap().unwrap();
+
+    // A daemon with a different fingerprint must refuse the snapshot.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut c = ServeConfig::new("127.0.0.1:0");
+        c.fingerprint = "config-b".to_string();
+        c.snapshot_path = Some(snap.clone());
+        c.resume = true;
+        let (_addr, daemon) = spawn_daemon(instance, Algo::Onsite, c);
+        daemon.join().unwrap()
+    }));
+    match result {
+        Ok(Err(e)) => assert!(e.to_string().contains("does not match")),
+        Ok(Ok(_)) => panic!("resume with a mismatched fingerprint succeeded"),
+        // spawn_daemon panics waiting for the bound address if serve()
+        // errored before binding — also an acceptable refusal.
+        Err(_) => {}
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
