@@ -199,6 +199,19 @@ pub struct ServeArgs {
     /// Advance the virtual slot clock every this many milliseconds
     /// (`--tick-ms`); `None` advances only on `advance-slot` controls.
     pub tick_ms: Option<u64>,
+    /// Run as a passive standby awaiting replication (`--standby`).
+    pub standby: bool,
+    /// Stream the decision log to a standby at this address
+    /// (`--replicate-to`); primary role, mutually exclusive with
+    /// `--standby`.
+    pub replicate_to: Option<String>,
+    /// Never release a client ack before its frame reaches the standby
+    /// socket (`--repl-strict`).
+    pub repl_strict: bool,
+    /// Standby self-promotes after this many ms without hearing from a
+    /// primary it has seen (`--auto-promote-ms`); `None` promotes only
+    /// on an explicit `promote` control.
+    pub auto_promote_ms: Option<u64>,
 }
 
 impl Default for ServeArgs {
@@ -211,6 +224,10 @@ impl Default for ServeArgs {
             snapshot: None,
             resume: false,
             tick_ms: None,
+            standby: false,
+            replicate_to: None,
+            repl_strict: false,
+            auto_promote_ms: None,
         }
     }
 }
@@ -236,6 +253,10 @@ pub struct LoadgenArgs {
     /// Write the admission-latency histogram artifact here
     /// (`--hist-out`).
     pub hist_out: Option<String>,
+    /// Survive connection loss and `not-primary` refusals
+    /// (`--reconnect`): rotate through the comma-separated `--addr`
+    /// list with backoff and resubmit the in-flight request id.
+    pub reconnect: bool,
 }
 
 impl Default for LoadgenArgs {
@@ -247,6 +268,35 @@ impl Default for LoadgenArgs {
             start_at: 0,
             no_shutdown: false,
             hist_out: None,
+            reconnect: false,
+        }
+    }
+}
+
+/// Fully parsed `failover-drill` options: the scenario shared by the
+/// primary/standby pair plus the kill point and report target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverDrillArgs {
+    /// Scenario (same flags as `simulate`); `--requests` sets how many
+    /// requests the drill replays across the failover.
+    pub sim: SimulateArgs,
+    /// Kill the primary once it has accepted at least this many
+    /// submissions (`--kill-at`).
+    pub kill_at: usize,
+    /// Write the greppable drill report here as well as stdout
+    /// (`--out`).
+    pub out: Option<String>,
+}
+
+impl Default for FailoverDrillArgs {
+    fn default() -> Self {
+        FailoverDrillArgs {
+            sim: SimulateArgs {
+                requests: 120,
+                ..SimulateArgs::default()
+            },
+            kill_at: 40,
+            out: None,
         }
     }
 }
@@ -266,6 +316,17 @@ pub enum Command {
     Serve(ServeArgs),
     /// Drive a running daemon with the closed-loop load generator.
     Loadgen(LoadgenArgs),
+    /// Promote a standby daemon to primary (fenced failover).
+    Promote {
+        /// The standby's address.
+        addr: String,
+        /// Suppress the provenance note on stderr.
+        quiet: bool,
+    },
+    /// Run the kill-the-primary failover drill: primary + standby pair,
+    /// SIGKILL mid-load, promotion, and state-parity assertions against
+    /// a single-process golden run.
+    FailoverDrill(FailoverDrillArgs),
     /// Replay a recorded trace and explain one request's decision.
     Explain {
         /// The request id to explain.
@@ -311,6 +372,8 @@ USAGE:
                                 graceful degradation
   vnfrel serve [OPTIONS]        run the admission daemon (line-JSON over TCP)
   vnfrel loadgen [OPTIONS]      replay a generated trace against a daemon
+  vnfrel promote <ADDR>         promote a standby daemon to primary
+  vnfrel failover-drill [OPTIONS]  kill-the-primary replication drill
   vnfrel explain <ID> --trace <PATH>  replay a trace, explain one request
   vnfrel topo [OPTIONS]         describe a topology (--dot for Graphviz)
   vnfrel help                   show this text
@@ -377,8 +440,18 @@ loadgen side — plus):
   --tick-ms <N>         advance the virtual slot clock every N ms
                         (default: only on advance-slot control messages)
   --trace <PATH>        tee every decision to a JSONL trace
+  --replicate-to <ADDR> stream the decision log to a standby daemon;
+                        client acks wait for the frame to reach the
+                        standby socket (primary role)
+  --repl-strict         never release an ack unreplicated — no
+                        availability timeout (requires --replicate-to)
+  --standby             apply a primary's log and refuse submits with
+                        not-primary until promoted (vnfrel promote)
+  --auto-promote-ms <N> standby self-promotes after N ms of primary
+                        silence (requires --standby)
   (--algorithm primal-dual|greedy only; metrics are served over HTTP as
-  GET /metrics on the same port, not written to a file)
+  GET /metrics on the same port, not written to a file; a fenced daemon
+  — one whose standby was promoted behind its back — exits with code 7)
 
 LOADGEN OPTIONS (scenario flags as SIMULATE; --requests sets the trace
 length; plus):
@@ -388,6 +461,21 @@ length; plus):
                         partially served trace) [0]
   --no-shutdown         leave the daemon running when done
   --hist-out <PATH>     write the admission-latency histogram artifact
+  --reconnect           survive failover: --addr may list several
+                        daemons (comma-separated); connection loss and
+                        not-primary refusals rotate with backoff and
+                        resubmit the in-flight id (deduped server-side)
+
+PROMOTE OPTIONS:
+  vnfrel promote <ADDR> | --addr <ADDR>
+                        sends the promote control and waits for the new
+                        epoch's ack
+
+FAILOVER-DRILL OPTIONS (scenario flags as SIMULATE; --requests sets the
+trace length; plus):
+  --kill-at <N>         SIGKILL the primary once it has accepted N
+                        submissions (strictly inside the trace) [40]
+  --out <PATH>          also write the greppable drill report here
 
 EXPLAIN OPTIONS:
   --trace <PATH>        the JSONL trace to replay (required)
@@ -415,6 +503,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "degradation" => parse_degradation(rest),
         "serve" => parse_serve(rest),
         "loadgen" => parse_loadgen(rest),
+        "promote" => parse_promote(rest),
+        "failover-drill" => parse_failover_drill(rest),
         "explain" => parse_explain(rest),
         "topo" => parse_topo(rest),
         other => Err(ParseError(format!(
@@ -616,6 +706,15 @@ fn parse_serve(rest: &[String]) -> Result<Command, ParseError> {
             "--snapshot" => out.snapshot = Some(value("--snapshot")?),
             "--resume" => out.resume = true,
             "--tick-ms" => out.tick_ms = Some(parse_num(&value("--tick-ms")?, "--tick-ms")?),
+            "--standby" => out.standby = true,
+            "--replicate-to" => out.replicate_to = Some(value("--replicate-to")?),
+            "--repl-strict" => out.repl_strict = true,
+            "--auto-promote-ms" => {
+                out.auto_promote_ms = Some(parse_num(
+                    &value("--auto-promote-ms")?,
+                    "--auto-promote-ms",
+                )?)
+            }
             _ => {
                 if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
                     return Err(ParseError(format!("unknown option `{flag}`")));
@@ -625,6 +724,19 @@ fn parse_serve(rest: &[String]) -> Result<Command, ParseError> {
     }
     if out.queue == 0 {
         return Err(ParseError("--queue must be at least 1".into()));
+    }
+    if out.standby && out.replicate_to.is_some() {
+        return Err(ParseError(
+            "--standby and --replicate-to are mutually exclusive (chained replication is not \
+             supported)"
+                .into(),
+        ));
+    }
+    if out.repl_strict && out.replicate_to.is_none() {
+        return Err(ParseError("--repl-strict requires --replicate-to".into()));
+    }
+    if out.auto_promote_ms.is_some() && !out.standby {
+        return Err(ParseError("--auto-promote-ms requires --standby".into()));
     }
     if !matches!(
         out.sim.algorithm,
@@ -653,6 +765,7 @@ fn parse_loadgen(rest: &[String]) -> Result<Command, ParseError> {
             "--start-at" => out.start_at = parse_num(&value("--start-at")?, "--start-at")?,
             "--no-shutdown" => out.no_shutdown = true,
             "--hist-out" => out.hist_out = Some(value("--hist-out")?),
+            "--reconnect" => out.reconnect = true,
             _ => {
                 if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
                     return Err(ParseError(format!("unknown option `{flag}`")));
@@ -667,6 +780,67 @@ fn parse_loadgen(rest: &[String]) -> Result<Command, ParseError> {
     }
     check_sim(&out.sim)?;
     Ok(Command::Loadgen(out))
+}
+
+fn parse_promote(rest: &[String]) -> Result<Command, ParseError> {
+    let mut addr: Option<String> = None;
+    let mut quiet = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ParseError("--addr expects a value".into()))?;
+                addr = Some(v.clone());
+            }
+            "--quiet" | "-q" => quiet = true,
+            s if !s.starts_with('-') && addr.is_none() => addr = Some(s.to_string()),
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(Command::Promote {
+        addr: addr
+            .ok_or_else(|| ParseError("promote needs an address (vnfrel promote <ADDR>)".into()))?,
+        quiet,
+    })
+}
+
+fn parse_failover_drill(rest: &[String]) -> Result<Command, ParseError> {
+    let mut out = FailoverDrillArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} expects a value")))
+        };
+        match flag.as_str() {
+            "--kill-at" => out.kill_at = parse_num(&value("--kill-at")?, "--kill-at")?,
+            "--out" => out.out = Some(value("--out")?),
+            _ => {
+                if !apply_sim_flag(&mut out.sim, flag, &mut it)? {
+                    return Err(ParseError(format!("unknown option `{flag}`")));
+                }
+            }
+        }
+    }
+    if out.kill_at == 0 || out.kill_at >= out.sim.requests {
+        return Err(ParseError(format!(
+            "--kill-at must fall strictly inside the trace (1..{})",
+            out.sim.requests
+        )));
+    }
+    if !matches!(
+        out.sim.algorithm,
+        AlgorithmChoice::PrimalDual | AlgorithmChoice::Greedy
+    ) {
+        return Err(ParseError(
+            "failover-drill supports the primal-dual and greedy algorithms only".into(),
+        ));
+    }
+    check_sim(&out.sim)?;
+    Ok(Command::FailoverDrill(out))
 }
 
 fn parse_explain(rest: &[String]) -> Result<Command, ParseError> {
@@ -1153,6 +1327,93 @@ mod tests {
     }
 
     #[test]
+    fn serve_replication_flags() {
+        let Command::Serve(a) = parse(&sv(&[
+            "serve",
+            "--replicate-to",
+            "127.0.0.1:7071",
+            "--repl-strict",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.replicate_to.as_deref(), Some("127.0.0.1:7071"));
+        assert!(a.repl_strict);
+        assert!(!a.standby);
+
+        let Command::Serve(a) =
+            parse(&sv(&["serve", "--standby", "--auto-promote-ms", "750"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.standby);
+        assert_eq!(a.auto_promote_ms, Some(750));
+
+        // Role and knob combinations that make no sense are refused.
+        assert!(parse(&sv(&["serve", "--standby", "--replicate-to", "x:1"])).is_err());
+        assert!(parse(&sv(&["serve", "--repl-strict"])).is_err());
+        assert!(parse(&sv(&["serve", "--auto-promote-ms", "500"])).is_err());
+    }
+
+    #[test]
+    fn promote_parsing() {
+        let Command::Promote { addr, quiet } =
+            parse(&sv(&["promote", "127.0.0.1:7071", "-q"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:7071");
+        assert!(quiet);
+        let Command::Promote { addr, .. } =
+            parse(&sv(&["promote", "--addr", "10.0.0.2:9000"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "10.0.0.2:9000");
+        assert!(parse(&sv(&["promote"])).is_err());
+        assert!(parse(&sv(&["promote", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn failover_drill_parsing() {
+        let Command::FailoverDrill(a) = parse(&sv(&["failover-drill"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, FailoverDrillArgs::default());
+
+        let Command::FailoverDrill(a) = parse(&sv(&[
+            "failover-drill",
+            "--requests",
+            "200",
+            "--kill-at",
+            "77",
+            "--out",
+            "results/failover_drill.txt",
+            "--seed",
+            "5",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.sim.requests, 200);
+        assert_eq!(a.kill_at, 77);
+        assert_eq!(a.out.as_deref(), Some("results/failover_drill.txt"));
+        assert_eq!(a.sim.seed, 5);
+
+        // The kill point must fall strictly inside the trace.
+        assert!(parse(&sv(&["failover-drill", "--kill-at", "0"])).is_err());
+        assert!(parse(&sv(&[
+            "failover-drill",
+            "--requests",
+            "50",
+            "--kill-at",
+            "50"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&["failover-drill", "--algorithm", "random"])).is_err());
+    }
+
+    #[test]
     fn loadgen_defaults_and_flags() {
         let Command::Loadgen(a) = parse(&sv(&["loadgen"])).unwrap() else {
             panic!()
@@ -1186,5 +1447,17 @@ mod tests {
         assert!(parse(&sv(&["loadgen", "--rate", "-1"])).is_err());
         assert!(parse(&sv(&["loadgen", "--rate", "inf"])).is_err());
         assert!(parse(&sv(&["loadgen", "--bogus"])).is_err());
+
+        let Command::Loadgen(a) = parse(&sv(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:9000,127.0.0.1:9001",
+            "--reconnect",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(a.reconnect);
+        assert_eq!(a.addr, "127.0.0.1:9000,127.0.0.1:9001");
     }
 }

@@ -14,7 +14,7 @@ use mec_serve::ServeError;
 /// A CLI failure with a user-facing message and a stable exit code.
 ///
 /// Exit codes: `1` internal, `2` usage, `3` configuration, `4` file IO,
-/// `5` network, `6` snapshot. `0` is reserved for success.
+/// `5` network, `6` snapshot, `7` fenced. `0` is reserved for success.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line (unknown flag, missing value). Exit code 2.
@@ -31,6 +31,11 @@ pub enum CliError {
     /// A snapshot could not be read, parsed, validated or written.
     /// Exit code 6.
     Snapshot(String),
+    /// This daemon was fenced: a peer at a newer epoch exists (a
+    /// standby was promoted behind its back), so it stopped acking
+    /// decisions and exited. Do NOT restart it as a primary. Exit
+    /// code 7.
+    Fenced(String),
     /// Everything else — engine failures and violated internal
     /// invariants. Exit code 1.
     Internal(String),
@@ -46,6 +51,7 @@ impl CliError {
             CliError::Io(_) => 4,
             CliError::Net(_) => 5,
             CliError::Snapshot(_) => 6,
+            CliError::Fenced(_) => 7,
         }
     }
 
@@ -73,6 +79,7 @@ impl fmt::Display for CliError {
             | CliError::Io(m)
             | CliError::Net(m)
             | CliError::Snapshot(m)
+            | CliError::Fenced(m)
             | CliError::Internal(m) => write!(f, "{m}"),
         }
     }
@@ -90,6 +97,7 @@ impl From<ServeError> for CliError {
             ServeError::Io(_) | ServeError::Protocol(_) => CliError::Net(e.to_string()),
             ServeError::Config(_) => CliError::Config(e.to_string()),
             ServeError::State(_) => CliError::Internal(e.to_string()),
+            ServeError::Fenced { .. } => CliError::Fenced(e.to_string()),
         }
     }
 }
@@ -107,6 +115,7 @@ mod tests {
             CliError::Io("x".into()),
             CliError::Net("x".into()),
             CliError::Snapshot("x".into()),
+            CliError::Fenced("x".into()),
         ];
         let mut codes: Vec<u8> = all.iter().map(CliError::exit_code).collect();
         assert!(codes.iter().all(|&c| c != 0));
@@ -125,5 +134,7 @@ mod tests {
         assert_eq!(CliError::from(net).exit_code(), 5);
         let snap = ServeError::Snapshot("corrupt".into());
         assert_eq!(CliError::from(snap).exit_code(), 6);
+        let fenced = ServeError::Fenced { epoch: 1, by: 2 };
+        assert_eq!(CliError::from(fenced).exit_code(), 7);
     }
 }

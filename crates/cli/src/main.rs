@@ -3,8 +3,9 @@
 //!
 //! Failures exit with a typed code (see [`error::CliError`]): 1
 //! internal, 2 usage, 3 configuration, 4 file IO, 5 network, 6
-//! snapshot — so supervisors of `vnfrel serve` can tell a busy port
-//! from a corrupt snapshot without parsing stderr.
+//! snapshot, 7 fenced — so supervisors of `vnfrel serve` can tell a
+//! busy port from a corrupt snapshot (or a deposed primary that must
+//! not be restarted as-is) without parsing stderr.
 
 mod args;
 mod error;
@@ -56,6 +57,14 @@ fn main() -> ExitCode {
             *request,
             trace,
             &mut runner::Output::new(&mut stdout, &mut stderr, *quiet),
+        ),
+        args::Command::Promote { addr, quiet } => runner::promote(
+            addr,
+            &mut runner::Output::new(&mut stdout, &mut stderr, *quiet),
+        ),
+        args::Command::FailoverDrill(drill_args) => runner::failover_drill(
+            drill_args,
+            &mut runner::Output::new(&mut stdout, &mut stderr, drill_args.sim.quiet),
         ),
         args::Command::Topo {
             topology,

@@ -2,8 +2,8 @@
 
 use std::cell::RefCell;
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
-use std::path::PathBuf;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::mpsc;
 use std::time::Duration;
@@ -28,12 +28,13 @@ use vnfrel::onsite::{CapacityPolicy, OnsiteGreedy, OnsitePrimalDual};
 use vnfrel::{OnlineScheduler, ProblemInstance, Scheme};
 
 use mec_serve::{
-    run_loadgen, serve as serve_daemon, DecisionTap, LoadgenConfig, ServeConfig, ServeMetricIds,
+    encode_client, parse_server, run_loadgen, serve as serve_daemon, ClientMsg, ControlAck,
+    ControlAction, DecisionTap, LoadgenConfig, ServeConfig, ServeMetricIds, ServerMsg, Snapshot,
 };
 
 use crate::args::{
-    AlgorithmChoice, DegradationArgs, FailuresArgs, LoadgenArgs, ServeArgs, SimulateArgs,
-    TopologyChoice,
+    AlgorithmChoice, DegradationArgs, FailoverDrillArgs, FailuresArgs, LoadgenArgs, ServeArgs,
+    SimulateArgs, TopologyChoice,
 };
 use crate::error::CliError;
 
@@ -672,12 +673,29 @@ pub fn serve(args: &ServeArgs, io: &mut Output<'_>) -> Result<(), CliError> {
     config.fingerprint = scenario_fingerprint(&args.sim);
     config.trace_path = args.sim.trace.as_ref().map(PathBuf::from);
     config.install_signal_handlers = true;
+    config.standby = args.standby;
+    config.replicate_to = args.replicate_to.clone();
+    config.repl_strict = args.repl_strict;
+    config.auto_promote_after = args.auto_promote_ms.map(Duration::from_millis);
 
     io.note(format!("{instance}"))?;
     io.note(format!(
-        "serving {:?} {:?} (fingerprint {})",
-        args.sim.scheme, args.sim.algorithm, config.fingerprint
+        "serving {:?} {:?} as {} (fingerprint {})",
+        args.sim.scheme,
+        args.sim.algorithm,
+        if args.standby { "standby" } else { "primary" },
+        config.fingerprint
     ))?;
+    if let Some(peer) = &args.replicate_to {
+        io.note(format!(
+            "replicating the decision log to {peer}{}",
+            if args.repl_strict {
+                " (strict: acks wait for the standby)"
+            } else {
+                ""
+            }
+        ))?;
+    }
     // The daemon blocks this thread; announce the bound address from a
     // helper thread so `--addr 127.0.0.1:0` runs still print where they
     // actually listen.
@@ -698,13 +716,16 @@ pub fn serve(args: &ServeArgs, io: &mut Output<'_>) -> Result<(), CliError> {
     let report = result?;
 
     io.table(format!(
-        "served: revenue {:.2}, admitted {}/{} ({} rejected, {} overloads), final slot {}",
+        "served: revenue {:.2}, admitted {}/{} ({} rejected, {} overloads), final slot {}, \
+         epoch {}, role {}",
         report.stats.revenue,
         report.stats.admitted,
         report.stats.decided,
         report.stats.rejected,
         report.stats.overloaded,
-        report.slot
+        report.slot,
+        report.epoch,
+        report.role.as_str()
     ))?;
     if report.snapshot_written {
         io.note(format!(
@@ -745,13 +766,16 @@ pub fn loadgen(args: &LoadgenArgs, io: &mut Output<'_>) -> Result<(), CliError> 
     }
     config.start_at = args.start_at;
     config.shutdown_when_done = !args.no_shutdown;
+    config.reconnect = args.reconnect;
 
     io.note(format!(
         "replaying {} generated requests against {}",
         requests.len(),
         args.addr
     ))?;
-    wait_for_daemon(&args.addr);
+    if let Some(first) = args.addr.split(',').next() {
+        wait_for_daemon(first.trim());
+    }
     let report = run_loadgen(&requests, &config)?;
 
     io.table(format!(
@@ -773,6 +797,12 @@ pub fn loadgen(args: &LoadgenArgs, io: &mut Output<'_>) -> Result<(), CliError> 
         report.latency.p99 * 1e6,
         report.latency.max * 1e6
     ))?;
+    if args.reconnect {
+        io.table(format!(
+            "resilience: {} reconnects, {} resubmits, {} not-primary refusals absorbed",
+            report.reconnects, report.resubmits, report.not_primary
+        ))?;
+    }
     if let Some(stats) = &report.final_stats {
         io.table(format!(
             "daemon: revenue {:.2}, admitted {}/{} (clean drain-and-shutdown acked)",
@@ -917,7 +947,10 @@ pub fn explain(request: usize, trace_path: &str, io: &mut Output<'_>) -> Result<
             | TraceEvent::Cascade { .. }
             | TraceEvent::DegradedEnter { .. }
             | TraceEvent::DegradedExit { .. }
-            | TraceEvent::AuditViolation { .. } => {}
+            | TraceEvent::AuditViolation { .. }
+            | TraceEvent::Promotion { .. }
+            | TraceEvent::Fenced { .. }
+            | TraceEvent::ReplCatchup { .. } => {}
         }
     }
     if mismatches > 0 {
@@ -973,6 +1006,523 @@ pub fn topo(
         writeln!(out, "{}", NetworkStats::compute(&network)).map_err(CliError::io)?;
     }
     Ok(())
+}
+
+/// Opens one connection, sends one control message, and returns the
+/// daemon's ack. Used by `promote` and the failover drill; a control is
+/// one request/one reply, so a throwaway connection keeps it simple.
+fn send_control(addr: &str, action: ControlAction) -> Result<ControlAck, CliError> {
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Net(format!("failed to connect to {addr}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::Net(format!("failed to clone the connection to {addr}: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(encode_client(&ClientMsg::Control(action)).as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| CliError::Net(format!("failed to send the control to {addr}: {e}")))?;
+    let mut reply = String::new();
+    let n = reader
+        .read_line(&mut reply)
+        .map_err(|e| CliError::Net(format!("failed to read the ack from {addr}: {e}")))?;
+    if n == 0 {
+        return Err(CliError::Net(format!(
+            "{addr} closed the connection before acking the control"
+        )));
+    }
+    match parse_server(reply.trim_end()).map_err(CliError::from)? {
+        ServerMsg::Ack(ack) => Ok(ack),
+        ServerMsg::Error(e) => Err(CliError::Net(format!("{addr} refused the control: {e}"))),
+        other => Err(CliError::Net(format!(
+            "unexpected reply to the control from {addr}: {other:?}"
+        ))),
+    }
+}
+
+/// Runs the `promote` command: asks a standby daemon to promote itself
+/// to primary. The daemon drains its replication channel first, so the
+/// ack arriving means every decision the old primary managed to stream
+/// is already applied.
+///
+/// # Errors
+///
+/// [`CliError::Net`] when the standby is unreachable or refuses (it is
+/// already mid-promotion, or the address points at something else).
+pub fn promote(addr: &str, io: &mut Output<'_>) -> Result<(), CliError> {
+    io.note(format!("requesting promotion of {addr}"))?;
+    let ack = send_control(addr, ControlAction::Promote)?;
+    io.table(format!(
+        "promoted: {addr} is now {} at epoch {} (slot {}, {} decided, revenue {:.2})",
+        ack.role, ack.epoch, ack.slot, ack.stats.decided, ack.stats.revenue
+    ))?;
+    Ok(())
+}
+
+/// A daemon subprocess that is SIGKILLed (and reaped) when dropped, so
+/// a failing drill never leaks daemons.
+struct ChildGuard {
+    child: std::process::Child,
+    name: &'static str,
+}
+
+impl ChildGuard {
+    /// Kills the child with SIGKILL — no signal handler runs, no drain,
+    /// no snapshot. This IS the drill's failure injection.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Waits (bounded) for the child to exit on its own and returns its
+    /// exit code.
+    fn wait_exit(&mut self, timeout: Duration) -> Result<Option<i32>, CliError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return Ok(status.code()),
+                Ok(None) if std::time::Instant::now() >= deadline => {
+                    return Err(CliError::Internal(format!(
+                        "the {} did not exit within {timeout:?}",
+                        self.name
+                    )));
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => {
+                    return Err(CliError::Internal(format!(
+                        "waiting on the {}: {e}",
+                        self.name
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Reserves a free loopback port by binding to port 0 and immediately
+/// releasing it. A daemon spawned right after re-binds the same port;
+/// the race window is acceptable for a drill on loopback.
+fn free_addr() -> Result<String, CliError> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| CliError::Net(format!("failed to reserve a loopback port: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::Net(format!("failed to read the reserved port: {e}")))?;
+    Ok(addr.to_string())
+}
+
+/// Renders a [`TopologyChoice`] back into the `--topology` syntax.
+fn topology_flag(t: &TopologyChoice) -> String {
+    match t {
+        TopologyChoice::Zoo(name) => name.clone(),
+        TopologyChoice::ErdosRenyi { n, p } => format!("er:{n}:{p}"),
+        TopologyChoice::BarabasiAlbert { n, m } => format!("ba:{n}:{m}"),
+        TopologyChoice::Grid { rows, cols } => format!("grid:{rows}:{cols}"),
+    }
+}
+
+/// Renders the scenario-defining simulate flags for a daemon
+/// subprocess. `f64` `Display` round-trips exactly, so the subprocess
+/// parses back bit-identical values and computes the same scenario
+/// fingerprint.
+fn sim_flags(sim: &SimulateArgs) -> Vec<String> {
+    let algorithm = match sim.algorithm {
+        AlgorithmChoice::PrimalDual => "primal-dual",
+        AlgorithmChoice::Greedy => "greedy",
+        AlgorithmChoice::Random => "random",
+        AlgorithmChoice::Density => "density",
+    };
+    let scheme = match sim.scheme {
+        Scheme::OnSite => "on-site",
+        Scheme::OffSite => "off-site",
+    };
+    [
+        "--topology",
+        &topology_flag(&sim.topology),
+        "--requests",
+        &sim.requests.to_string(),
+        "--scheme",
+        scheme,
+        "--algorithm",
+        algorithm,
+        "--seed",
+        &sim.seed.to_string(),
+        "--horizon",
+        &sim.horizon.to_string(),
+        "--capacity",
+        &format!("{}:{}", sim.capacity.0, sim.capacity.1),
+        "--cloudlet-rel",
+        &format!(
+            "{}:{}",
+            sim.cloudlet_reliability.0, sim.cloudlet_reliability.1
+        ),
+        "--requirement",
+        &format!("{}:{}", sim.requirement.0, sim.requirement.1),
+        "--payment",
+        &format!("{}:{}", sim.payment_rate.0, sim.payment_rate.1),
+        "--fraction",
+        &sim.cloudlet_fraction.to_string(),
+        "--quiet",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Spawns `vnfrel serve` as a subprocess with this scenario, an
+/// address, and role-specific extra flags, logging both streams to
+/// `log` for post-mortems.
+fn spawn_daemon(
+    exe: &Path,
+    flags: &[String],
+    addr: &str,
+    extra: &[&str],
+    log: &Path,
+    name: &'static str,
+) -> Result<ChildGuard, CliError> {
+    let log_file = File::create(log)
+        .map_err(|e| CliError::Io(format!("failed to create {}: {e}", log.display())))?;
+    let err_file = log_file
+        .try_clone()
+        .map_err(|e| CliError::Io(format!("failed to clone the log handle: {e}")))?;
+    let child = std::process::Command::new(exe)
+        .arg("serve")
+        .args(flags)
+        .arg("--addr")
+        .arg(addr)
+        .args(extra)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::from(log_file))
+        .stderr(std::process::Stdio::from(err_file))
+        .spawn()
+        .map_err(|e| CliError::Internal(format!("failed to spawn the {name}: {e}")))?;
+    Ok(ChildGuard { child, name })
+}
+
+/// Runs the `failover-drill` command: a deterministic kill-the-primary
+/// exercise that must end bit-identical to a run where nothing failed.
+///
+/// Phases:
+/// 1. **Golden**: one daemon, no replication, serve every request,
+///    clean shutdown — its snapshot is the reference answer.
+/// 2. **Pair**: a standby and a strict-replication primary. Replay the
+///    first `--kill-at` requests, start the rest on a reconnecting
+///    load generator, then SIGKILL the primary mid-load.
+/// 3. **Promote**: ask the standby to promote (it drains the
+///    replication channel first); the load generator rides the
+///    `not-primary` refusals until the ack and finishes the stream.
+/// 4. **Fence**: boot a stale epoch-1 "deposed primary" pointed at the
+///    survivor and assert it exits with code 7 without acking anything.
+/// 5. **Parity**: shut the survivor down and compare its snapshot with
+///    the golden one — scheduler state byte-equal, same next id, slot
+///    and counters. The epochs differ by exactly the one promotion.
+///
+/// # Errors
+///
+/// [`CliError::Internal`] with a `failover-drill: FAIL` report when any
+/// invariant does not hold; spawn/connect problems map to their usual
+/// categories.
+pub fn failover_drill(args: &FailoverDrillArgs, io: &mut Output<'_>) -> Result<(), CliError> {
+    let (instance, requests, _rng) = build_setup(&args.sim)?;
+    if args.kill_at == 0 || args.kill_at >= requests.len() {
+        return Err(CliError::Usage(format!(
+            "--kill-at must be in 1..{} (got {})",
+            requests.len(),
+            args.kill_at
+        )));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Internal(format!("failed to locate the vnfrel binary: {e}")))?;
+    let dir = std::env::temp_dir().join(format!("vnfrel-drill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::Io(format!("failed to create {}: {e}", dir.display())))?;
+    let flags = sim_flags(&args.sim);
+    io.note(format!("{instance}"))?;
+    io.note(format!(
+        "drill scratch dir {} (kept on failure for the daemon logs)",
+        dir.display()
+    ))?;
+
+    let mut report: Vec<String> = Vec::new();
+    report.push(format!(
+        "failover-drill: scenario {:?} {:?} seed {} requests {} kill-at {}",
+        args.sim.scheme,
+        args.sim.algorithm,
+        args.sim.seed,
+        requests.len(),
+        args.kill_at
+    ));
+
+    // Phase 1 — golden run: the answer a failure-free daemon produces.
+    let golden_snap = dir.join("golden.snap");
+    let golden_addr = free_addr()?;
+    {
+        let mut golden = spawn_daemon(
+            &exe,
+            &flags,
+            &golden_addr,
+            &["--snapshot", &golden_snap.to_string_lossy()],
+            &dir.join("golden.log"),
+            "golden daemon",
+        )?;
+        wait_for_daemon(&golden_addr);
+        let mut config = LoadgenConfig::new(golden_addr.clone());
+        config.shutdown_when_done = true;
+        let golden_report = run_loadgen(&requests, &config)?;
+        report.push(format!(
+            "failover-drill: golden revenue {:.2} admitted {}/{}",
+            golden_report.revenue, golden_report.admitted, golden_report.sent
+        ));
+        let code = golden.wait_exit(Duration::from_secs(20))?;
+        if code != Some(0) {
+            return drill_fail(
+                args,
+                io,
+                dir,
+                report,
+                format!("the golden daemon exited with {code:?} instead of 0"),
+            );
+        }
+    }
+    let golden = Snapshot::load(&golden_snap)?;
+
+    // Phase 2 — the replicated pair. Standby first: the primary dials
+    // it on boot.
+    let standby_snap = dir.join("standby.snap");
+    let standby_addr = free_addr()?;
+    let primary_addr = free_addr()?;
+    let mut standby = spawn_daemon(
+        &exe,
+        &flags,
+        &standby_addr,
+        &["--standby", "--snapshot", &standby_snap.to_string_lossy()],
+        &dir.join("standby.log"),
+        "standby daemon",
+    )?;
+    wait_for_daemon(&standby_addr);
+    let mut primary = spawn_daemon(
+        &exe,
+        &flags,
+        &primary_addr,
+        &["--replicate-to", &standby_addr, "--repl-strict"],
+        &dir.join("primary.log"),
+        "primary daemon",
+    )?;
+    wait_for_daemon(&primary_addr);
+
+    // Replay [0, kill_at) so the kill lands on a warmed-up pair.
+    let mut phase1_cfg = LoadgenConfig::new(primary_addr.clone());
+    phase1_cfg.shutdown_when_done = false;
+    let phase1 = run_loadgen(&requests[..args.kill_at], &phase1_cfg)?;
+    if phase1.decided != args.kill_at {
+        return drill_fail(
+            args,
+            io,
+            dir,
+            report,
+            format!(
+                "phase 1 decided {}/{} requests before the kill",
+                phase1.decided, args.kill_at
+            ),
+        );
+    }
+
+    // Phase 3 — the remaining requests on a reconnecting generator that
+    // knows both addresses, then SIGKILL the primary mid-load and
+    // promote the standby underneath it.
+    let mut phase2_cfg = LoadgenConfig::new(format!("{primary_addr},{standby_addr}"));
+    phase2_cfg.start_at = args.kill_at;
+    phase2_cfg.shutdown_when_done = false;
+    phase2_cfg.reconnect = true;
+    // Full speed on loopback would finish the whole tail before the
+    // kill lands; pace the sends so the stream spans the failover and
+    // the SIGKILL interrupts live traffic.
+    phase2_cfg.rate = 400.0;
+    let (phase2, promote_ack, promote_time) = std::thread::scope(|scope| -> Result<_, CliError> {
+        let loadgen = scope.spawn(|| run_loadgen(&requests, &phase2_cfg));
+        // Let a handful of post-kill_at requests through so the kill
+        // interrupts live traffic, not an idle daemon.
+        std::thread::sleep(Duration::from_millis(50));
+        primary.kill();
+        let started = std::time::Instant::now();
+        let ack = send_control(&standby_addr, ControlAction::Promote)?;
+        let promote_time = started.elapsed();
+        let phase2 = loadgen
+            .join()
+            .map_err(|_| CliError::Internal("the phase-2 load generator panicked".into()))??;
+        Ok((phase2, ack, promote_time))
+    })?;
+    report.push(format!(
+        "failover-drill: killed the primary (SIGKILL) after {} acked submissions",
+        args.kill_at
+    ));
+    report.push(format!(
+        "failover-drill: promoted the standby in {:.1}ms -> role {} epoch {}",
+        promote_time.as_secs_f64() * 1e3,
+        promote_ack.role,
+        promote_ack.epoch
+    ));
+    report.push(format!(
+        "failover-drill: survivor absorbed {} reconnects, {} resubmits, {} not-primary refusals",
+        phase2.reconnects, phase2.resubmits, phase2.not_primary
+    ));
+    if promote_ack.role != "primary" || promote_ack.epoch != 2 {
+        return drill_fail(
+            args,
+            io,
+            dir,
+            report,
+            format!(
+                "promotion acked role {} epoch {} (wanted primary at epoch 2)",
+                promote_ack.role, promote_ack.epoch
+            ),
+        );
+    }
+    if phase2.decided != requests.len() - args.kill_at {
+        return drill_fail(
+            args,
+            io,
+            dir,
+            report,
+            format!(
+                "phase 2 decided {}/{} requests across the failover",
+                phase2.decided,
+                requests.len() - args.kill_at
+            ),
+        );
+    }
+
+    // Phase 4 — fencing: a deposed primary at the old epoch must shoot
+    // itself (exit 7) the moment the promoted survivor answers it.
+    let fence_addr = free_addr()?;
+    let mut deposed = spawn_daemon(
+        &exe,
+        &flags,
+        &fence_addr,
+        &["--replicate-to", &standby_addr, "--repl-strict"],
+        &dir.join("deposed.log"),
+        "deposed primary",
+    )?;
+    let fence_code = deposed.wait_exit(Duration::from_secs(20))?;
+    report.push(format!(
+        "failover-drill: deposed epoch-1 primary exited with code {}",
+        fence_code.map_or_else(|| "<signal>".into(), |c| c.to_string())
+    ));
+    if fence_code != Some(7) {
+        return drill_fail(
+            args,
+            io,
+            dir,
+            report,
+            format!("the deposed primary exited with {fence_code:?}, not the fenced code 7"),
+        );
+    }
+
+    // Phase 5 — drain the survivor and compare snapshots.
+    let final_ack = send_control(&standby_addr, ControlAction::Shutdown)?;
+    let survivor_code = standby.wait_exit(Duration::from_secs(20))?;
+    if survivor_code != Some(0) {
+        return drill_fail(
+            args,
+            io,
+            dir,
+            report,
+            format!("the survivor exited with {survivor_code:?} instead of 0"),
+        );
+    }
+    let survivor = Snapshot::load(&standby_snap)?;
+    let checks = [
+        ("state", golden.state == survivor.state),
+        ("next-id", golden.next_id == survivor.next_id),
+        ("slot", golden.slot == survivor.slot),
+        ("stats", golden.stats == survivor.stats),
+        ("fingerprint", golden.config == survivor.config),
+        ("golden-epoch", golden.epoch == 1),
+        ("survivor-epoch", survivor.epoch == 2),
+        (
+            "acked-admits-preserved",
+            final_ack.stats.decided as usize == requests.len(),
+        ),
+        // The kill must have interrupted live traffic: the generator
+        // either lost a connection or was told `not-primary` at least
+        // once. All-zero means the tail finished before the SIGKILL and
+        // the drill exercised nothing.
+        (
+            "failover-crossed-live-traffic",
+            phase2.reconnects + phase2.not_primary > 0,
+        ),
+    ];
+    let verdicts: Vec<String> = checks
+        .iter()
+        .map(|(name, ok)| format!("{name}={}", if *ok { "ok" } else { "MISMATCH" }))
+        .collect();
+    report.push(format!("failover-drill: parity {}", verdicts.join(" ")));
+    report.push(format!(
+        "failover-drill: survivor revenue {:.2} admitted {}/{} (golden revenue {:.2})",
+        survivor.stats.revenue,
+        survivor.stats.admitted,
+        survivor.stats.decided,
+        golden.stats.revenue
+    ));
+    if let Some((name, _)) = checks.iter().find(|(_, ok)| !ok) {
+        return drill_fail(
+            args,
+            io,
+            dir,
+            report,
+            format!("parity check `{name}` failed (survivor diverged from the golden run)"),
+        );
+    }
+
+    report.push("failover-drill: PASS".into());
+    emit_drill_report(args, io, &report)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Prints (and optionally writes) the drill report lines.
+fn emit_drill_report(
+    args: &FailoverDrillArgs,
+    io: &mut Output<'_>,
+    report: &[String],
+) -> Result<(), CliError> {
+    for line in report {
+        io.table(line)?;
+    }
+    if let Some(path) = &args.out {
+        let mut text = report.join("\n");
+        text.push('\n');
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Io(format!("failed to write {path}: {e}")))?;
+        io.note(format!("drill report -> {path}"))?;
+    }
+    Ok(())
+}
+
+/// Finishes a failed drill: appends the FAIL line, emits the report
+/// (keeping the scratch dir with the daemon logs), and returns the
+/// typed error.
+fn drill_fail(
+    args: &FailoverDrillArgs,
+    io: &mut Output<'_>,
+    dir: PathBuf,
+    mut report: Vec<String>,
+    why: String,
+) -> Result<(), CliError> {
+    report.push(format!("failover-drill: FAIL ({why})"));
+    emit_drill_report(args, io, &report)?;
+    Err(CliError::Internal(format!(
+        "failover drill failed: {why} (daemon logs in {})",
+        dir.display()
+    )))
 }
 
 #[cfg(test)]

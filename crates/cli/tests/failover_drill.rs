@@ -1,0 +1,44 @@
+//! End-to-end failover drill through the installed binary: golden run,
+//! primary+standby pair, SIGKILL mid-load, promotion, fencing, and the
+//! state-parity verdict — the whole thing must PASS and write its
+//! report file.
+
+use std::process::Command;
+
+#[test]
+fn failover_drill_passes_and_writes_report() {
+    let out = std::env::temp_dir().join(format!("vnfrel-drill-report-{}.txt", std::process::id()));
+    let result = Command::new(env!("CARGO_BIN_EXE_vnfrel"))
+        .args([
+            "failover-drill",
+            "--requests",
+            "120",
+            "--kill-at",
+            "40",
+            "--out",
+        ])
+        .arg(&out)
+        .output()
+        .expect("failover-drill spawns");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(
+        result.status.success(),
+        "drill failed ({:?})\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        result.status.code()
+    );
+    assert!(
+        stdout.contains("failover-drill: PASS"),
+        "no PASS verdict in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("exited with code 7"),
+        "deposed primary's fenced exit not reported in:\n{stdout}"
+    );
+    let report = std::fs::read_to_string(&out).expect("report file written");
+    assert!(
+        report.contains("failover-drill: PASS"),
+        "report file lacks the verdict:\n{report}"
+    );
+    let _ = std::fs::remove_file(&out);
+}

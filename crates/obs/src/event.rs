@@ -238,6 +238,30 @@ pub enum TraceEvent {
         /// Human-readable detail.
         detail: String,
     },
+    /// A standby admission daemon was promoted to primary: it drained
+    /// the replication channel and opened a new fencing epoch.
+    Promotion {
+        /// The new (post-promotion) epoch.
+        epoch: u64,
+        /// Replication log entries applied before promotion.
+        seq: u64,
+    },
+    /// A replication peer with a stale epoch was refused (fencing): its
+    /// frames were not applied and it must stop acking admissions.
+    Fenced {
+        /// The refusing node's current epoch.
+        epoch: u64,
+        /// The stale epoch the refused peer presented.
+        stale_epoch: u64,
+    },
+    /// A follower imported a full state snapshot to catch up with the
+    /// primary's replication stream.
+    ReplCatchup {
+        /// Epoch of the snapshot.
+        epoch: u64,
+        /// Replication log position the snapshot covers.
+        seq: u64,
+    },
 }
 
 impl TraceEvent {
@@ -257,6 +281,9 @@ impl TraceEvent {
             TraceEvent::DegradedEnter { .. } => "degraded-enter",
             TraceEvent::DegradedExit { .. } => "degraded-exit",
             TraceEvent::AuditViolation { .. } => "audit-violation",
+            TraceEvent::Promotion { .. } => "promotion",
+            TraceEvent::Fenced { .. } => "fenced",
+            TraceEvent::ReplCatchup { .. } => "repl-catchup",
         }
     }
 
@@ -275,7 +302,10 @@ impl TraceEvent {
             | TraceEvent::Cascade { .. }
             | TraceEvent::DegradedEnter { .. }
             | TraceEvent::DegradedExit { .. }
-            | TraceEvent::AuditViolation { .. } => None,
+            | TraceEvent::AuditViolation { .. }
+            | TraceEvent::Promotion { .. }
+            | TraceEvent::Fenced { .. }
+            | TraceEvent::ReplCatchup { .. } => None,
         }
     }
 }

@@ -230,6 +230,24 @@ pub fn to_json(event: &TraceEvent) -> String {
             push_str(&mut out, detail);
             out.push('}');
         }
+        TraceEvent::Promotion { epoch, seq } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"promotion\",\"epoch\":{epoch},\"seq\":{seq}}}"
+            );
+        }
+        TraceEvent::Fenced { epoch, stale_epoch } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"fenced\",\"epoch\":{epoch},\"stale_epoch\":{stale_epoch}}}"
+            );
+        }
+        TraceEvent::ReplCatchup { epoch, seq } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"repl-catchup\",\"epoch\":{epoch},\"seq\":{seq}}}"
+            );
+        }
     }
     out
 }
@@ -771,6 +789,18 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
             invariant: as_str(required(&value, "invariant")?, "invariant")?.to_string(),
             detail: as_str(required(&value, "detail")?, "detail")?.to_string(),
         }),
+        "promotion" => Ok(TraceEvent::Promotion {
+            epoch: as_usize(required(&value, "epoch")?, "epoch")? as u64,
+            seq: as_usize(required(&value, "seq")?, "seq")? as u64,
+        }),
+        "fenced" => Ok(TraceEvent::Fenced {
+            epoch: as_usize(required(&value, "epoch")?, "epoch")? as u64,
+            stale_epoch: as_usize(required(&value, "stale_epoch")?, "stale_epoch")? as u64,
+        }),
+        "repl-catchup" => Ok(TraceEvent::ReplCatchup {
+            epoch: as_usize(required(&value, "epoch")?, "epoch")? as u64,
+            seq: as_usize(required(&value, "seq")?, "seq")? as u64,
+        }),
         other => Err(fail(format!("unknown event type '{other}'"))),
     }
 }
@@ -914,6 +944,39 @@ mod tests {
         assert_eq!(
             TraceEvent::DegradedEnter { slot: 0 }.kind(),
             "degraded-enter"
+        );
+    }
+
+    #[test]
+    fn replication_events_round_trip() {
+        let events = vec![
+            TraceEvent::Promotion { epoch: 2, seq: 417 },
+            TraceEvent::Fenced {
+                epoch: 3,
+                stale_epoch: 1,
+            },
+            TraceEvent::ReplCatchup { epoch: 1, seq: 96 },
+        ];
+        for ev in events {
+            let line = to_json(&ev);
+            assert_eq!(parse_line(&line).unwrap(), ev, "line: {line}");
+            assert_eq!(parse_line(&line).unwrap().request(), None);
+        }
+        assert_eq!(
+            TraceEvent::Promotion { epoch: 2, seq: 0 }.kind(),
+            "promotion"
+        );
+        assert_eq!(
+            TraceEvent::Fenced {
+                epoch: 2,
+                stale_epoch: 1
+            }
+            .kind(),
+            "fenced"
+        );
+        assert_eq!(
+            TraceEvent::ReplCatchup { epoch: 1, seq: 0 }.kind(),
+            "repl-catchup"
         );
     }
 

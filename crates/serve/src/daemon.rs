@@ -18,28 +18,39 @@
 //! batch engine's `decide()` with no locking. Workers block on socket
 //! reads with a short timeout so every thread observes shutdown promptly.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead as _, BufReader, BufWriter, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use mec_obs::{JsonlSink, MetricsRegistry, MetricsSink, TraceEvent, TraceSink};
+use mec_obs::{DecisionEvent, JsonlSink, MetricsRegistry, MetricsSink, TraceEvent, TraceSink};
 use mec_sim::obs::EngineMetrics;
 use mec_topology::{CloudletId, Reliability};
 use mec_workload::{Horizon, Request, RequestId, VnfTypeId};
 use vnfrel::OnlineScheduler;
 
+use crate::epoch::{Epoch, FenceCheck};
 use crate::error::ServeError;
 use crate::metrics::ServeMetricIds;
 use crate::pool::{BoundedQueue, PopTimeout};
 use crate::protocol::{
-    encode_server, parse_client, ClientMsg, ControlAck, ControlAction, OverloadReject, ServeStats,
-    ServerMsg, SubmitRequest,
+    encode_client, encode_server, parse_client, parse_server, ClientMsg, ControlAck, ControlAction,
+    OverloadReject, ServeStats, ServerMsg, SubmitRequest, MAX_LINE_BYTES,
+};
+use crate::replica::{
+    encode_repl, is_repl_line, parse_repl, run_repl_sender, PendingReply, ReplHandle, ReplItem,
+    ReplMsg, ReplSenderConfig,
 };
 use crate::snapshot::Snapshot;
 use crate::tap::DecisionTap;
+
+/// How long a promoting standby waits for the replication connection to
+/// drain naturally (EOF from a dead primary) before force-closing it —
+/// the split-brain guard for promotions against a still-live primary.
+const PROMOTE_DRAIN_GRACE: Duration = Duration::from_millis(500);
 
 /// How the daemon listens, queues, ticks and persists.
 #[derive(Debug, Clone)]
@@ -67,6 +78,23 @@ pub struct ServeConfig {
     /// Install SIGINT/SIGTERM handlers that trigger drain-then-snapshot
     /// (process-global; leave off in tests).
     pub install_signal_handlers: bool,
+    /// Run as a passive standby: refuse submits with `not-primary`,
+    /// apply replication frames from a primary, and wait for promotion.
+    pub standby: bool,
+    /// Stream the decision log to a standby at this address (primary
+    /// role). Mutually exclusive with `standby`.
+    pub replicate_to: Option<String>,
+    /// Never release a client reply before the standby has acknowledged
+    /// its frame — no availability escape hatch. Only meaningful with
+    /// `replicate_to`.
+    pub repl_strict: bool,
+    /// Auto-promote a standby that has seen a primary but heard nothing
+    /// from it for this long; `None` promotes only on an explicit
+    /// `promote` control message.
+    pub auto_promote_after: Option<Duration>,
+    /// How many recent decisions to remember for idempotent resubmits
+    /// (dedupe by request id after a client reconnects).
+    pub dedupe_window: usize,
 }
 
 impl ServeConfig {
@@ -82,6 +110,30 @@ impl ServeConfig {
             fingerprint: String::new(),
             trace_path: None,
             install_signal_handlers: false,
+            standby: false,
+            replicate_to: None,
+            repl_strict: false,
+            auto_promote_after: None,
+            dedupe_window: 1024,
+        }
+    }
+}
+
+/// Whether a node currently accepts submits or follows a primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Decides submits and (optionally) streams its log to a standby.
+    Primary,
+    /// Applies the primary's log and refuses submits until promoted.
+    Standby,
+}
+
+impl Role {
+    /// Stable wire name, as carried in control acks.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Standby => "standby",
         }
     }
 }
@@ -99,6 +151,10 @@ pub struct ServeReport {
     pub next_id: usize,
     /// Whether a final snapshot was written.
     pub snapshot_written: bool,
+    /// Fencing epoch at exit.
+    pub epoch: u64,
+    /// Role at exit (a standby that was promoted reports `Primary`).
+    pub role: Role,
 }
 
 enum WorkItem {
@@ -110,6 +166,16 @@ enum WorkItem {
     Control {
         action: ControlAction,
         conn: Option<Arc<Mutex<TcpStream>>>,
+    },
+    Repl {
+        msg: ReplMsg,
+        conn: Arc<Mutex<TcpStream>>,
+    },
+    // The connection that carried replication frames closed; FIFO
+    // ordering guarantees every frame it delivered is already ahead of
+    // this marker, which is what lets promotion drain before flipping.
+    ReplEof {
+        conn: Arc<Mutex<TcpStream>>,
     },
 }
 
@@ -182,6 +248,12 @@ pub fn serve(
     config: &ServeConfig,
     on_bound: Option<mpsc::Sender<SocketAddr>>,
 ) -> Result<ServeReport, ServeError> {
+    if config.standby && config.replicate_to.is_some() {
+        return Err(ServeError::Config(
+            "a standby cannot also replicate onward (chained replication is not supported)"
+                .to_string(),
+        ));
+    }
     let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Net {
         action: "bind",
         addr: config.addr.clone(),
@@ -189,6 +261,20 @@ pub fn serve(
     })?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+
+    let (repl, repl_rx) = match &config.replicate_to {
+        Some(_) => {
+            let (tx, rx) = mpsc::channel();
+            (
+                Some(ReplLink {
+                    tx: Some(tx),
+                    handle: Arc::new(ReplHandle::default()),
+                }),
+                Some(rx),
+            )
+        }
+        None => (None, None),
+    };
 
     let mut driver = Driver {
         scheduler,
@@ -210,6 +296,20 @@ pub fn serve(
         next_id: 0,
         slot: 0,
         pending_shutdown: None,
+        epoch: Epoch::INITIAL,
+        role: if config.standby {
+            Role::Standby
+        } else {
+            Role::Primary
+        },
+        seq: 0,
+        repl,
+        recent: VecDeque::new(),
+        promoting: None,
+        promote_deadline: None,
+        repl_conn: None,
+        last_heard: None,
+        seen_hello: false,
     };
     driver.horizon = driver.scheduler.ledger().horizon();
 
@@ -225,9 +325,21 @@ pub fn serve(
             driver.stats = snap.stats;
             driver.next_id = snap.next_id;
             driver.slot = snap.slot;
+            driver.epoch = Epoch(snap.epoch);
+            driver.seq = snap.seq;
+            driver.recent = decode_recent(&snap.recent)?;
         }
     }
     registry.set_gauge(ids.slot, driver.slot as f64);
+    registry.set_gauge(ids.epoch, driver.epoch.0 as f64);
+    registry.set_gauge(
+        ids.is_primary,
+        if driver.role == Role::Primary {
+            1.0
+        } else {
+            0.0
+        },
+    );
 
     if config.install_signal_handlers {
         signal::install();
@@ -249,6 +361,23 @@ pub fn serve(
             let (ingress, stop) = (&ingress, &stop);
             scope.spawn(move || ticker_loop(tick, ingress, stop));
         }
+        if let Some(rx) = repl_rx {
+            let sender_cfg = ReplSenderConfig {
+                peer: config
+                    .replicate_to
+                    .clone()
+                    .expect("repl_rx exists only with replicate_to"),
+                strict: config.repl_strict,
+                availability_timeout: Duration::from_secs(1),
+            };
+            let handle = driver
+                .repl
+                .as_ref()
+                .map(|link| Arc::clone(&link.handle))
+                .expect("repl_rx exists only with a replication link");
+            let stop = &stop;
+            scope.spawn(move || run_repl_sender(&sender_cfg, &handle, &rx, stop));
+        }
 
         let result = driver.run(&ingress, &stop);
         stop.store(true, Ordering::Release);
@@ -264,7 +393,38 @@ pub fn serve(
         slot: driver.slot,
         next_id: driver.next_id,
         snapshot_written,
+        epoch: driver.epoch.0,
+        role: driver.role,
     })
+}
+
+// The epoch stamped on a replication frame (every variant carries one).
+fn repl_epoch(msg: &ReplMsg) -> u64 {
+    match msg {
+        ReplMsg::Hello { epoch, .. }
+        | ReplMsg::State { epoch, .. }
+        | ReplMsg::Snapshot { epoch, .. }
+        | ReplMsg::Frame { epoch, .. }
+        | ReplMsg::Advance { epoch, .. }
+        | ReplMsg::Heartbeat { epoch, .. }
+        | ReplMsg::Ack { epoch, .. }
+        | ReplMsg::Refused { epoch, .. }
+        | ReplMsg::Fenced { epoch, .. } => *epoch,
+    }
+}
+
+/// Rebuilds the idempotent-resubmit ring from a snapshot's stored
+/// decision lines.
+fn decode_recent(lines: &[String]) -> Result<VecDeque<DecisionEvent>, ServeError> {
+    lines
+        .iter()
+        .map(|line| match parse_server(line)? {
+            ServerMsg::Decision(event) => Ok(event),
+            other => Err(ServeError::Snapshot(format!(
+                "snapshot 'recent' entry is not a decision line: {other:?}"
+            ))),
+        })
+        .collect()
 }
 
 fn accept_loop(listener: &TcpListener, conns: &BoundedQueue<TcpStream>, stop: &AtomicBool) {
@@ -321,36 +481,109 @@ fn handle_conn(
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     let mut first = true;
-    loop {
+    let mut is_repl = false;
+    let result = loop {
         if stop.load(Ordering::Acquire) {
-            return Ok(());
+            break Ok(());
         }
         // On a read timeout any partial line stays in `line` and the next
-        // read_line call appends the rest — lines are never torn.
+        // read_line call appends the rest — slow peers never tear lines.
         match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()),
-            Ok(_) => {}
-            Err(e) if is_timeout(&e) => continue,
-            Err(e) => return Err(e),
+            Ok(0) => break Ok(()),
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // read_line returned without a newline and without
+                    // EOF-as-zero: the peer closed (or was killed)
+                    // mid-line. The fragment is a torn frame — reply
+                    // with a typed error (best effort; the peer is
+                    // likely gone) and never let it near the parser.
+                    registry.inc(ids.protocol_errors);
+                    let reply = ServerMsg::Error(format!(
+                        "torn frame: connection closed mid-line after {} bytes",
+                        line.len()
+                    ));
+                    let _ = write_line(&writer, encode_server(&reply));
+                    break Ok(());
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                if line.len() > MAX_LINE_BYTES {
+                    break oversized(&writer, line.len(), registry, ids);
+                }
+                continue;
+            }
+            Err(e) => break Err(e),
+        }
+        if line.len() > MAX_LINE_BYTES {
+            break oversized(&writer, line.len(), registry, ids);
         }
         if first && line.starts_with("GET ") {
             return serve_http(&line, reader, &writer, registry);
         }
         first = false;
-        handle_line(line.trim(), ingress, &writer, registry, ids);
+        is_repl |= handle_line(line.trim(), ingress, &writer, registry, ids);
         line.clear();
+    };
+    if is_repl {
+        // Tell the decide thread the replication stream ended. FIFO
+        // ordering puts this marker behind every frame the connection
+        // delivered, so a pending promotion drains before flipping.
+        let _ = ingress.push(WorkItem::ReplEof {
+            conn: Arc::clone(&writer),
+        });
     }
+    result
 }
 
+// An oversized line cannot be resynchronized (the frame boundary is
+// lost), so the connection is dropped after a typed error.
+fn oversized(
+    writer: &Arc<Mutex<TcpStream>>,
+    len: usize,
+    registry: &MetricsRegistry,
+    ids: &ServeMetricIds,
+) -> io::Result<()> {
+    registry.inc(ids.protocol_errors);
+    let reply = ServerMsg::Error(format!(
+        "oversized frame: {len} bytes exceeds the {MAX_LINE_BYTES} byte line limit"
+    ));
+    let _ = write_line(writer, encode_server(&reply));
+    Ok(())
+}
+
+// Returns true when the line was a replication frame (the caller then
+// owes the decide thread a ReplEof marker when the connection ends).
 fn handle_line(
     line: &str,
     ingress: &BoundedQueue<WorkItem>,
     writer: &Arc<Mutex<TcpStream>>,
     registry: &MetricsRegistry,
     ids: &ServeMetricIds,
-) {
+) -> bool {
     if line.is_empty() {
-        return;
+        return false;
+    }
+    if is_repl_line(line) {
+        match parse_repl(line) {
+            Ok(msg) => {
+                let item = WorkItem::Repl {
+                    msg,
+                    conn: Arc::clone(writer),
+                };
+                // Replication frames are never dropped by backpressure;
+                // block like controls do.
+                if ingress.push(item).is_err() {
+                    let reply = ServerMsg::Error("daemon is shutting down".to_string());
+                    let _ = write_line(writer, encode_server(&reply));
+                }
+                return true;
+            }
+            Err(e) => {
+                registry.inc(ids.protocol_errors);
+                let _ = write_line(writer, encode_server(&ServerMsg::Error(e.to_string())));
+                return false;
+            }
+        }
     }
     match parse_client(line) {
         Ok(ClientMsg::Submit(msg)) => {
@@ -389,6 +622,7 @@ fn handle_line(
             let _ = write_line(writer, encode_server(&ServerMsg::Error(e.to_string())));
         }
     }
+    false
 }
 
 fn serve_http(
@@ -443,6 +677,13 @@ fn ticker_loop(tick: Duration, ingress: &BoundedQueue<WorkItem>, stop: &AtomicBo
     }
 }
 
+// The decide thread's half of the replication sender: the item channel
+// and the shared flags.
+struct ReplLink {
+    tx: Option<mpsc::Sender<ReplItem>>,
+    handle: Arc<ReplHandle>,
+}
+
 /// The decide thread's state: the only place scheduler state mutates.
 struct Driver<'a> {
     scheduler: &'a mut dyn OnlineScheduler,
@@ -458,10 +699,40 @@ struct Driver<'a> {
     next_id: usize,
     slot: usize,
     pending_shutdown: Option<Option<Arc<Mutex<TcpStream>>>>,
+    epoch: Epoch,
+    role: Role,
+    // Replication log position: one entry per decision or slot advance.
+    seq: u64,
+    // Primary side: the sender thread link (None when not replicating).
+    repl: Option<ReplLink>,
+    // Recent decisions, oldest first, for idempotent resubmits.
+    recent: VecDeque<DecisionEvent>,
+    // A promotion in progress: Some(ack connection) until the
+    // replication channel drains (ReplEof) or the drain grace expires.
+    promoting: Option<Option<Arc<Mutex<TcpStream>>>>,
+    promote_deadline: Option<Instant>,
+    // Standby side: the connection currently carrying frames.
+    repl_conn: Option<Arc<Mutex<TcpStream>>>,
+    last_heard: Option<Instant>,
+    seen_hello: bool,
 }
 
 impl Driver<'_> {
     fn run(
+        &mut self,
+        ingress: &BoundedQueue<WorkItem>,
+        stop: &AtomicBool,
+    ) -> Result<(), ServeError> {
+        let result = self.run_inner(ingress, stop);
+        // Disconnect the sender thread's channel so it drains its
+        // outbox and exits (it is joined by the caller's thread scope).
+        if let Some(link) = &mut self.repl {
+            link.tx = None;
+        }
+        result
+    }
+
+    fn run_inner(
         &mut self,
         ingress: &BoundedQueue<WorkItem>,
         stop: &AtomicBool,
@@ -473,6 +744,7 @@ impl Driver<'_> {
             if stop.load(Ordering::Acquire) || self.pending_shutdown.is_some() {
                 break;
             }
+            self.repl_tick()?;
             match ingress.pop_timeout(Duration::from_millis(50)) {
                 PopTimeout::Item(item) => self.handle(item)?,
                 PopTimeout::TimedOut => {}
@@ -482,6 +754,86 @@ impl Driver<'_> {
         // Drain: decide everything already queued, in order.
         while let Some(item) = ingress.try_pop() {
             self.handle(item)?;
+        }
+        // One last look at the sender's flags so a snapshot request
+        // raised during the drain is answered before the channel drops.
+        self.repl_tick()?;
+        Ok(())
+    }
+
+    // Per-iteration replication housekeeping: fencing, snapshot
+    // requests, lag gauges, auto-promotion, and the promote drain
+    // deadline.
+    fn repl_tick(&mut self) -> Result<(), ServeError> {
+        if let Some(link) = &self.repl {
+            link.handle.epoch.store(self.epoch.0, Ordering::Release);
+            if link.handle.fenced.load(Ordering::Acquire) {
+                let by = link.handle.fenced_by.load(Ordering::Acquire);
+                // A standby at a newer epoch exists: this node must
+                // never ack another decision. The error skips the
+                // final snapshot and maps to exit code 7.
+                return Err(ServeError::Fenced {
+                    epoch: self.epoch.0,
+                    by,
+                });
+            }
+            if link.handle.need_snapshot.swap(false, Ordering::AcqRel) {
+                let frame = ReplMsg::Snapshot {
+                    epoch: self.epoch.0,
+                    seq: self.seq,
+                    data: self.snapshot_value().encode(),
+                };
+                let item = ReplItem {
+                    line: encode_repl(&frame),
+                    seq: self.seq,
+                    is_snapshot: true,
+                    reply: None,
+                };
+                if let Some(tx) = &link.tx {
+                    let _ = tx.send(item);
+                }
+                self.registry.inc(self.ids.repl_snapshots);
+            }
+            let sent = link.handle.sent_seq.load(Ordering::Acquire);
+            let acked = link.handle.acked_seq.load(Ordering::Acquire);
+            self.registry.set_gauge(self.ids.repl_sent_seq, sent as f64);
+            self.registry
+                .set_gauge(self.ids.repl_acked_seq, acked as f64);
+            self.registry
+                .set_gauge(self.ids.repl_lag, sent.saturating_sub(acked) as f64);
+            self.registry.set_gauge(
+                self.ids.repl_reconnects,
+                link.handle.reconnects.load(Ordering::Relaxed) as f64,
+            );
+            self.registry.set_gauge(
+                self.ids.unreplicated_acks,
+                link.handle.unreplicated_acks.load(Ordering::Relaxed) as f64,
+            );
+        }
+        if self.role == Role::Standby {
+            if self.promoting.is_none() {
+                if let (Some(after), Some(heard)) =
+                    (self.config.auto_promote_after, self.last_heard)
+                {
+                    if self.seen_hello && heard.elapsed() >= after {
+                        self.begin_promotion(None);
+                    }
+                }
+            }
+            if let Some(deadline) = self.promote_deadline {
+                if Instant::now() >= deadline {
+                    // The primary did not EOF within the grace window —
+                    // it is probably still alive (split brain). Force
+                    // the connection closed; its worker delivers the
+                    // ReplEof that completes the promotion.
+                    self.promote_deadline = None;
+                    if let Some(rc) = &self.repl_conn {
+                        if let Ok(s) = rc.lock() {
+                            let _ = s.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -494,6 +846,24 @@ impl Driver<'_> {
                 enqueued,
             } => self.handle_submit(msg, &conn, enqueued),
             WorkItem::Control { action, conn } => self.handle_control(action, conn),
+            WorkItem::Repl { msg, conn } => self.handle_repl(msg, &conn),
+            WorkItem::ReplEof { conn } => {
+                let current = self
+                    .repl_conn
+                    .as_ref()
+                    .is_some_and(|rc| Arc::ptr_eq(rc, &conn));
+                if current {
+                    self.repl_conn = None;
+                    // Keep the loss-detection clock running: a dead
+                    // primary's EOF is when auto-promotion starts
+                    // counting, not when it stops.
+                    self.last_heard = Some(Instant::now());
+                    if self.promoting.is_some() {
+                        self.complete_promotion();
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -503,7 +873,28 @@ impl Driver<'_> {
         conn: &Arc<Mutex<TcpStream>>,
         enqueued: Instant,
     ) -> Result<(), ServeError> {
+        if self.role == Role::Standby {
+            self.registry.inc(self.ids.not_primary);
+            let _ = write_line(
+                conn,
+                encode_server(&ServerMsg::NotPrimary {
+                    epoch: self.epoch.0,
+                    id: msg.id,
+                }),
+            );
+            return Ok(());
+        }
         if msg.id != self.next_id {
+            // A reconnecting client may resubmit a request whose reply it
+            // never saw: answer it from the recent-decision ring instead
+            // of re-deciding (idempotent resubmit).
+            if msg.id < self.next_id {
+                if let Some(event) = self.recent.iter().find(|e| e.request == msg.id) {
+                    self.registry.inc(self.ids.dedupe_hits);
+                    let _ = write_line(conn, encode_server(&ServerMsg::Decision(event.clone())));
+                    return Ok(());
+                }
+            }
             self.reply_error(
                 conn,
                 format!(
@@ -531,10 +922,7 @@ impl Driver<'_> {
                 ))
             }
         };
-        self.decisions.record(TraceEvent::Decision(event.clone()));
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent::Decision(event.clone()));
-        }
+        self.record_event(event.clone());
         self.stats.decided += 1;
         if decision.is_admit() {
             self.stats.admitted += 1;
@@ -542,11 +930,72 @@ impl Driver<'_> {
         } else {
             self.stats.rejected += 1;
         }
+        let reply = encode_server(&ServerMsg::Decision(event.clone()));
+        self.recent_push(event);
         self.next_id += 1;
-        let _ = write_line(conn, encode_server(&ServerMsg::Decision(event)));
+        match self.repl.as_ref().and_then(|link| link.tx.clone()) {
+            Some(tx) => {
+                // Semi-synchronous replication: the reply travels to the
+                // sender thread, which releases it only after the frame
+                // reached the standby — in strict mode once the
+                // standby's ack covers this sequence (the decision is
+                // *applied* over there), in non-strict mode once the
+                // frame is written to the standby socket (or, past the
+                // availability timeout, unreplicated and counted in
+                // `unreplicated_acks`).
+                self.seq += 1;
+                let frame = ReplMsg::Frame {
+                    epoch: self.epoch.0,
+                    seq: self.seq,
+                    submit: encode_client(&ClientMsg::Submit(msg)),
+                    decision: reply.clone(),
+                };
+                let item = ReplItem {
+                    line: encode_repl(&frame),
+                    seq: self.seq,
+                    is_snapshot: false,
+                    reply: Some(PendingReply {
+                        conn: Arc::clone(conn),
+                        line: reply,
+                    }),
+                };
+                // A closed channel means the sender exited (fenced or
+                // shutting down): the reply is deliberately dropped, so
+                // nothing unreplicated is ever acked.
+                let _ = tx.send(item);
+            }
+            None => {
+                let _ = write_line(conn, reply);
+            }
+        }
         self.registry
             .observe(self.ids.admission_latency, enqueued.elapsed().as_secs_f64());
         Ok(())
+    }
+
+    // Records a decision on the metrics sink and the trace file.
+    fn record_event(&mut self, event: DecisionEvent) {
+        self.decisions.record(TraceEvent::Decision(event.clone()));
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::Decision(event));
+        }
+    }
+
+    // Trace-only events (promotion, fencing, catch-up).
+    fn record_trace(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(event);
+        }
+    }
+
+    fn recent_push(&mut self, event: DecisionEvent) {
+        if self.config.dedupe_window == 0 {
+            return;
+        }
+        while self.recent.len() >= self.config.dedupe_window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(event);
     }
 
     fn build_request(&self, msg: &SubmitRequest) -> Result<Request, String> {
@@ -571,9 +1020,48 @@ impl Driver<'_> {
     ) -> Result<(), ServeError> {
         match action {
             ControlAction::AdvanceSlot => {
+                if self.role == Role::Standby {
+                    // The slot clock is replicated state: only the
+                    // primary advances it, via `repl-advance` frames.
+                    if let Some(c) = conn.as_ref() {
+                        self.reply_error(
+                            c,
+                            "standby: the slot clock advances via replication".to_string(),
+                        );
+                    }
+                    return Ok(());
+                }
                 self.slot += 1;
                 self.registry.set_gauge(self.ids.slot, self.slot as f64);
+                if let Some(tx) = self.repl.as_ref().and_then(|link| link.tx.clone()) {
+                    self.seq += 1;
+                    let frame = ReplMsg::Advance {
+                        epoch: self.epoch.0,
+                        seq: self.seq,
+                        slot: self.slot,
+                    };
+                    let _ = tx.send(ReplItem {
+                        line: encode_repl(&frame),
+                        seq: self.seq,
+                        is_snapshot: false,
+                        reply: None,
+                    });
+                }
                 self.ack(conn.as_ref(), action);
+            }
+            ControlAction::Promote => {
+                if self.role == Role::Primary {
+                    // Idempotent: promoting a primary is a no-op ack
+                    // (the ack carries epoch + role, so the caller can
+                    // tell nothing changed).
+                    self.ack(conn.as_ref(), action);
+                } else if self.promoting.is_some() {
+                    if let Some(c) = conn.as_ref() {
+                        self.reply_error(c, "promotion already in progress".to_string());
+                    }
+                } else {
+                    self.begin_promotion(conn);
+                }
             }
             ControlAction::Stats => self.ack(conn.as_ref(), action),
             ControlAction::Snapshot => match self.write_snapshot() {
@@ -604,15 +1092,17 @@ impl Driver<'_> {
                 action,
                 slot: self.slot,
                 stats: self.stats,
+                epoch: self.epoch.0,
+                role: self.role.as_str().to_string(),
             });
             let _ = write_line(c, encode_server(&msg));
         }
     }
 
-    fn write_snapshot(&self) -> Result<bool, ServeError> {
-        let Some(path) = &self.config.snapshot_path else {
-            return Ok(false);
-        };
+    // The full durable/replicable state of this node, as one value:
+    // written to disk by `write_snapshot` and shipped over the wire for
+    // follower catch-up.
+    fn snapshot_value(&self) -> Snapshot {
         Snapshot {
             algorithm: self.scheduler.name().to_string(),
             config: self.config.fingerprint.clone(),
@@ -620,9 +1110,244 @@ impl Driver<'_> {
             slot: self.slot,
             stats: self.stats,
             state: self.scheduler.export_state(),
+            epoch: self.epoch.0,
+            seq: self.seq,
+            recent: self
+                .recent
+                .iter()
+                .map(|e| encode_server(&ServerMsg::Decision(e.clone())))
+                .collect(),
         }
-        .save(path)?;
+    }
+
+    fn write_snapshot(&self) -> Result<bool, ServeError> {
+        let Some(path) = &self.config.snapshot_path else {
+            return Ok(false);
+        };
+        self.snapshot_value().save(path)?;
         Ok(true)
+    }
+
+    // ---- Standby / replication receive path -------------------------
+
+    fn handle_repl(
+        &mut self,
+        msg: ReplMsg,
+        conn: &Arc<Mutex<TcpStream>>,
+    ) -> Result<(), ServeError> {
+        let frame_epoch = repl_epoch(&msg);
+        if self.epoch.check(Epoch(frame_epoch)) == FenceCheck::Stale {
+            // A deposed primary is still streaming: refuse, and tell it
+            // so it exits (code 7) instead of acking admissions.
+            self.registry.inc(self.ids.fenced_peers);
+            self.record_trace(TraceEvent::Fenced {
+                epoch: self.epoch.0,
+                stale_epoch: frame_epoch,
+            });
+            let _ = write_line(
+                conn,
+                encode_repl(&ReplMsg::Fenced {
+                    epoch: self.epoch.0,
+                    stale_epoch: frame_epoch,
+                }),
+            );
+            return Ok(());
+        }
+        if self.role == Role::Primary {
+            // An equal-or-newer-epoch peer streaming at a primary is a
+            // topology error (two primaries configured at each other):
+            // never apply, answer with a plain error.
+            self.registry.inc(self.ids.protocol_errors);
+            let _ = write_line(
+                conn,
+                encode_server(&ServerMsg::Error(
+                    "not a standby: replication frames refused".to_string(),
+                )),
+            );
+            return Ok(());
+        }
+        if frame_epoch > self.epoch.0 {
+            self.epoch = self.epoch.merge(Epoch(frame_epoch));
+            self.registry.set_gauge(self.ids.epoch, self.epoch.0 as f64);
+        }
+        self.last_heard = Some(Instant::now());
+        match msg {
+            ReplMsg::Hello { .. } => {
+                self.repl_conn = Some(Arc::clone(conn));
+                self.seen_hello = true;
+                let _ = write_line(
+                    conn,
+                    encode_repl(&ReplMsg::State {
+                        epoch: self.epoch.0,
+                        seq: self.seq,
+                    }),
+                );
+            }
+            ReplMsg::Snapshot { epoch, seq, data } => {
+                let snap = Snapshot::decode(&data)?;
+                snap.validate(self.scheduler.name(), &self.config.fingerprint)?;
+                self.scheduler.import_state(&snap.state)?;
+                self.stats = snap.stats;
+                self.next_id = snap.next_id;
+                self.slot = snap.slot;
+                self.registry.set_gauge(self.ids.slot, self.slot as f64);
+                self.recent = decode_recent(&snap.recent)?;
+                self.seq = seq;
+                self.registry.inc(self.ids.repl_snapshots);
+                self.record_trace(TraceEvent::ReplCatchup { epoch, seq });
+                self.repl_ack(conn);
+            }
+            ReplMsg::Frame {
+                seq,
+                submit,
+                decision,
+                ..
+            } => {
+                if seq <= self.seq {
+                    // Duplicate (e.g. covered by the snapshot that just
+                    // caught us up): acknowledge, don't re-apply.
+                    self.repl_ack(conn);
+                } else if seq != self.seq + 1 {
+                    self.registry.inc(self.ids.repl_refusals);
+                    let _ = write_line(
+                        conn,
+                        encode_repl(&ReplMsg::Refused {
+                            epoch: self.epoch.0,
+                            expected: self.seq + 1,
+                            got: seq,
+                        }),
+                    );
+                } else {
+                    self.apply_frame(&submit, &decision)?;
+                    self.seq = seq;
+                    self.registry.inc(self.ids.repl_applied);
+                    self.repl_ack(conn);
+                }
+            }
+            ReplMsg::Advance { seq, slot, .. } => {
+                if seq <= self.seq {
+                    self.repl_ack(conn);
+                } else if seq != self.seq + 1 {
+                    self.registry.inc(self.ids.repl_refusals);
+                    let _ = write_line(
+                        conn,
+                        encode_repl(&ReplMsg::Refused {
+                            epoch: self.epoch.0,
+                            expected: self.seq + 1,
+                            got: seq,
+                        }),
+                    );
+                } else {
+                    self.slot = slot;
+                    self.registry.set_gauge(self.ids.slot, self.slot as f64);
+                    self.seq = seq;
+                    self.registry.inc(self.ids.repl_applied);
+                    self.repl_ack(conn);
+                }
+            }
+            ReplMsg::Heartbeat { .. } => self.repl_ack(conn),
+            // Standby→primary messages have no business arriving on the
+            // daemon's ingress; count and ignore.
+            ReplMsg::State { .. }
+            | ReplMsg::Ack { .. }
+            | ReplMsg::Refused { .. }
+            | ReplMsg::Fenced { .. } => {
+                self.registry.inc(self.ids.protocol_errors);
+            }
+        }
+        Ok(())
+    }
+
+    // Re-decides a replicated submit locally and insists the outcome is
+    // byte-identical to the primary's. Any divergence is fatal: a
+    // follower with different state must not be promoted.
+    fn apply_frame(&mut self, submit: &str, decision: &str) -> Result<(), ServeError> {
+        let msg = match parse_client(submit)? {
+            ClientMsg::Submit(m) => m,
+            ClientMsg::Control(_) => {
+                return Err(ServeError::Protocol(
+                    "replication frame payload is not a submit line".to_string(),
+                ))
+            }
+        };
+        if msg.id != self.next_id {
+            return Err(ServeError::Protocol(format!(
+                "replication divergence: frame carries submit id {} but this follower expects {}",
+                msg.id, self.next_id
+            )));
+        }
+        let request = self.build_request(&msg).map_err(|text| {
+            ServeError::Protocol(format!(
+                "replication divergence: the primary admitted a request this follower rejects: {text}"
+            ))
+        })?;
+        let t0 = Instant::now();
+        let d = self.scheduler.decide(&request);
+        self.engine.observe_decide(t0.elapsed().as_secs_f64());
+        let event = match self.tap.pop() {
+            Some(TraceEvent::Decision(ev)) => ev,
+            _ => {
+                return Err(ServeError::Config(
+                    "scheduler was not constructed with the daemon's DecisionTap sink".to_string(),
+                ))
+            }
+        };
+        let local = encode_server(&ServerMsg::Decision(event.clone()));
+        if local != decision {
+            return Err(ServeError::Protocol(format!(
+                "replication divergence on request {}: the follower's decision differs from the \
+                 primary's\n  primary:  {decision}\n  follower: {local}",
+                msg.id
+            )));
+        }
+        self.record_event(event.clone());
+        self.stats.decided += 1;
+        if d.is_admit() {
+            self.stats.admitted += 1;
+            self.stats.revenue += request.payment();
+        } else {
+            self.stats.rejected += 1;
+        }
+        self.recent_push(event);
+        self.next_id += 1;
+        Ok(())
+    }
+
+    fn repl_ack(&self, conn: &Arc<Mutex<TcpStream>>) {
+        let _ = write_line(
+            conn,
+            encode_repl(&ReplMsg::Ack {
+                epoch: self.epoch.0,
+                seq: self.seq,
+            }),
+        );
+    }
+
+    // Starts a promotion: the role flips only after the replication
+    // connection drains (its ReplEof marker arrives behind every frame
+    // it delivered), so no already-received decision is lost.
+    fn begin_promotion(&mut self, conn: Option<Arc<Mutex<TcpStream>>>) {
+        if self.repl_conn.is_some() {
+            self.promoting = Some(conn);
+            self.promote_deadline = Some(Instant::now() + PROMOTE_DRAIN_GRACE);
+        } else {
+            self.promoting = Some(conn);
+            self.complete_promotion();
+        }
+    }
+
+    fn complete_promotion(&mut self) {
+        let conn = self.promoting.take().flatten();
+        self.promote_deadline = None;
+        self.epoch = self.epoch.next();
+        self.role = Role::Primary;
+        self.registry.set_gauge(self.ids.epoch, self.epoch.0 as f64);
+        self.registry.set_gauge(self.ids.is_primary, 1.0);
+        self.record_trace(TraceEvent::Promotion {
+            epoch: self.epoch.0,
+            seq: self.seq,
+        });
+        self.ack(conn.as_ref(), ControlAction::Promote);
     }
 
     /// Final snapshot, utilization gauges, trace flush and (if a client

@@ -35,6 +35,14 @@ pub enum ServeError {
     Config(String),
     /// Restoring scheduler state from a snapshot failed.
     State(VnfrelError),
+    /// This node was fenced: a peer at a newer epoch exists (a standby
+    /// was promoted), so this node must stop acking decisions and exit.
+    Fenced {
+        /// This node's (stale) epoch.
+        epoch: u64,
+        /// The newer epoch that fenced it.
+        by: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -53,6 +61,11 @@ impl fmt::Display for ServeError {
             }
             ServeError::Config(msg) => write!(f, "serve configuration error: {msg}"),
             ServeError::State(e) => write!(f, "state restore failed: {e}"),
+            ServeError::Fenced { epoch, by } => write!(
+                f,
+                "fenced: this node's epoch {epoch} was superseded by epoch {by}; \
+                 a standby was promoted and this node must not ack further decisions"
+            ),
         }
     }
 }

@@ -20,22 +20,26 @@
 #![warn(missing_debug_implementations)]
 
 pub mod daemon;
+pub mod epoch;
 mod error;
 pub mod loadgen;
 pub mod pool;
 pub mod protocol;
+pub mod replica;
 pub mod snapshot;
 mod tap;
 
 pub mod metrics;
 
-pub use daemon::{serve, ServeConfig, ServeReport};
+pub use daemon::{serve, Role, ServeConfig, ServeReport};
+pub use epoch::{Epoch, FenceCheck};
 pub use error::ServeError;
 pub use loadgen::{run_loadgen, LatencySummary, LoadgenConfig, LoadgenReport};
 pub use metrics::ServeMetricIds;
 pub use protocol::{
     encode_client, encode_server, parse_client, parse_server, ClientMsg, ControlAck, ControlAction,
-    OverloadReject, ServeStats, ServerMsg, SubmitRequest, PROTOCOL_VERSION,
+    OverloadReject, ServeStats, ServerMsg, SubmitRequest, MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
+pub use replica::{encode_repl, parse_repl, ReplMsg};
 pub use snapshot::{Snapshot, SNAPSHOT_VERSION};
 pub use tap::DecisionTap;

@@ -8,8 +8,17 @@
 //! daemon's decision stream comparable (and byte-identical) to a batch
 //! `Simulation` run of the same trace. `rate` paces *send* times but
 //! never reorders.
+//!
+//! With [`LoadgenConfig::reconnect`] the generator survives daemon
+//! failover: `addr` may list several daemons (comma-separated), a
+//! dropped connection or `not-primary` refusal rotates to the next
+//! address with exponential backoff plus deterministic jitter, and the
+//! in-flight request is resubmitted under the same id. The daemon's
+//! recent-decision ring makes the resubmit idempotent — if the original
+//! submit was decided but its reply lost, the stored decision comes
+//! back — so no request is ever lost or decided twice.
 
-use std::io::{BufRead as _, BufReader, Write as _};
+use std::io::{self, BufRead as _, BufReader, Write as _};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -20,10 +29,17 @@ use crate::protocol::{
     encode_client, parse_server, ClientMsg, ControlAction, ServeStats, ServerMsg, SubmitRequest,
 };
 
+/// Base delay of the reconnect backoff schedule.
+const BACKOFF_MIN: Duration = Duration::from_millis(25);
+/// Ceiling of the reconnect backoff schedule.
+const BACKOFF_MAX: Duration = Duration::from_secs(1);
+
 /// How the load generator drives the daemon.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Daemon address, e.g. `"127.0.0.1:7070"`.
+    /// Daemon address, e.g. `"127.0.0.1:7070"`. With
+    /// [`LoadgenConfig::reconnect`], a comma-separated list of addresses
+    /// to rotate through (primary first, then standbys).
     pub addr: String,
     /// Target arrival rate in requests/second; `f64::INFINITY` (the
     /// default) sends as fast as the closed loop allows.
@@ -33,6 +49,14 @@ pub struct LoadgenConfig {
     /// Send a `shutdown` control after the last request and wait for the
     /// drain-then-snapshot ack.
     pub shutdown_when_done: bool,
+    /// Survive connection loss and `not-primary` refusals: rotate
+    /// through the addresses with backoff and resubmit the in-flight
+    /// request under the same id.
+    pub reconnect: bool,
+    /// Give up on a single request after this many delivery attempts
+    /// (reconnect mode only; the backoff schedule makes the default
+    /// roughly two minutes of unavailability).
+    pub max_attempts: u32,
 }
 
 impl LoadgenConfig {
@@ -43,6 +67,8 @@ impl LoadgenConfig {
             rate: f64::INFINITY,
             start_at: 0,
             shutdown_when_done: false,
+            reconnect: false,
+            max_attempts: 200,
         }
     }
 }
@@ -153,6 +179,13 @@ pub struct LoadgenReport {
     /// The daemon's own counters from the final ack, when
     /// `shutdown_when_done` was set.
     pub final_stats: Option<ServeStats>,
+    /// Connections (re-)established after the first (reconnect mode).
+    pub reconnects: usize,
+    /// Requests resubmitted after a connection loss or `not-primary`
+    /// refusal (each deduplicated server-side by id).
+    pub resubmits: usize,
+    /// `not-primary` refusals absorbed while waiting for a promotion.
+    pub not_primary: usize,
 }
 
 impl LoadgenReport {
@@ -167,12 +200,14 @@ impl LoadgenReport {
     }
 }
 
-fn read_reply(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> Result<ServerMsg, ServeError> {
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn read_reply(conn: &mut Conn, line: &mut String) -> Result<ServerMsg, ServeError> {
     line.clear();
-    let n = reader.read_line(line)?;
+    let n = conn.reader.read_line(line)?;
     if n == 0 {
         return Err(ServeError::Protocol(
             "daemon closed the connection".to_string(),
@@ -181,25 +216,57 @@ fn read_reply(
     parse_server(line.trim())
 }
 
+fn connect_one(addr: &str) -> io::Result<Conn> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let writer = stream.try_clone()?;
+    Ok(Conn {
+        writer,
+        reader: BufReader::new(stream),
+    })
+}
+
+// Deterministic jitter in [0, 1): splitmix64 of the attempt counter, so
+// reruns of the drill take identical backoff schedules but concurrent
+// clients (different counters) still de-synchronize.
+fn jitter_frac(seed: u64) -> f64 {
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn backoff_delay(attempt: u32) -> Duration {
+    let exp = BACKOFF_MIN.saturating_mul(1u32 << attempt.min(6));
+    let capped = exp.min(BACKOFF_MAX);
+    capped.mul_f64(0.5 + 0.5 * jitter_frac(u64::from(attempt)))
+}
+
 /// Replays `requests` (dense-id arrival order) against the daemon.
 ///
 /// # Errors
 ///
 /// [`ServeError::Net`] if the daemon is unreachable, [`ServeError::Io`] /
 /// [`ServeError::Protocol`] if the connection drops or replies are
-/// malformed.
+/// malformed. In reconnect mode connection loss and `not-primary` are
+/// absorbed (up to [`LoadgenConfig::max_attempts`] per request) instead.
 pub fn run_loadgen(
     requests: &[Request],
     config: &LoadgenConfig,
 ) -> Result<LoadgenReport, ServeError> {
-    let stream = TcpStream::connect(&config.addr).map_err(|source| ServeError::Net {
-        action: "connect",
-        addr: config.addr.clone(),
-        source,
-    })?;
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let addrs: Vec<&str> = config
+        .addr
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err(ServeError::Config("no daemon address given".to_string()));
+    }
+    let mut addr_idx = 0usize;
+    let mut conn: Option<Conn> = None;
+    let mut ever_connected = false;
     let mut line = String::new();
 
     let mut report = LoadgenReport {
@@ -213,6 +280,9 @@ pub fn run_loadgen(
         elapsed: Duration::ZERO,
         latency: LatencySummary::default(),
         final_stats: None,
+        reconnects: 0,
+        resubmits: 0,
+        not_primary: 0,
     };
     let mut samples = Vec::with_capacity(requests.len());
     let started = Instant::now();
@@ -239,26 +309,101 @@ pub fn run_loadgen(
         });
         let mut out = encode_client(&msg);
         out.push('\n');
-        let sent_at = Instant::now();
-        writer.write_all(out.as_bytes())?;
+
+        let mut attempt = 0u32;
         report.sent += 1;
-        match read_reply(&mut reader, &mut line)? {
-            ServerMsg::Decision(event) => {
-                samples.push(sent_at.elapsed().as_secs_f64());
-                report.decided += 1;
-                if event.outcome.is_admit() {
-                    report.admitted += 1;
-                    report.revenue += request.payment();
-                } else {
-                    report.rejected += 1;
+        loop {
+            if attempt > 0 {
+                if !config.reconnect {
+                    unreachable!("retries only happen in reconnect mode");
                 }
+                if attempt >= config.max_attempts {
+                    return Err(ServeError::Protocol(format!(
+                        "gave up on request {} after {} delivery attempts",
+                        request.id().index(),
+                        attempt
+                    )));
+                }
+                std::thread::sleep(backoff_delay(attempt - 1));
+                report.resubmits += 1;
             }
-            ServerMsg::Overload(_) => report.overloaded += 1,
-            ServerMsg::Error(_) => report.errors += 1,
-            ServerMsg::Ack(_) => {
-                return Err(ServeError::Protocol(
-                    "unexpected ack while awaiting a decision".to_string(),
-                ))
+            let c = match ensure_conn(
+                &mut conn,
+                &addrs,
+                &mut addr_idx,
+                &mut ever_connected,
+                &mut report,
+                config,
+            )? {
+                Some(c) => c,
+                None => {
+                    attempt += 1;
+                    continue;
+                }
+            };
+            let sent_at = Instant::now();
+            let outcome = c
+                .writer
+                .write_all(out.as_bytes())
+                .map_err(ServeError::Io)
+                .and_then(|()| read_reply(c, &mut line));
+            match outcome {
+                Ok(ServerMsg::Decision(event)) => {
+                    if event.request != request.id().index() {
+                        return Err(ServeError::Protocol(format!(
+                            "decision for request {} while awaiting {}",
+                            event.request,
+                            request.id().index()
+                        )));
+                    }
+                    samples.push(sent_at.elapsed().as_secs_f64());
+                    report.decided += 1;
+                    if event.outcome.is_admit() {
+                        report.admitted += 1;
+                        report.revenue += request.payment();
+                    } else {
+                        report.rejected += 1;
+                    }
+                    break;
+                }
+                Ok(ServerMsg::Overload(_)) => {
+                    report.overloaded += 1;
+                    break;
+                }
+                Ok(ServerMsg::Error(_)) => {
+                    report.errors += 1;
+                    break;
+                }
+                Ok(ServerMsg::NotPrimary { .. }) => {
+                    // A standby: rotate to the next address and wait for
+                    // the promotion with backoff.
+                    if !config.reconnect {
+                        return Err(ServeError::Protocol(
+                            "daemon is a standby (not-primary); it does not accept submits"
+                                .to_string(),
+                        ));
+                    }
+                    report.not_primary += 1;
+                    conn = None;
+                    addr_idx = (addr_idx + 1) % addrs.len();
+                    attempt += 1;
+                }
+                Ok(ServerMsg::Ack(_)) => {
+                    return Err(ServeError::Protocol(
+                        "unexpected ack while awaiting a decision".to_string(),
+                    ))
+                }
+                Err(e) => {
+                    // Connection lost mid-request. The submit may or may
+                    // not have been decided; resubmitting under the same
+                    // id is safe because the daemon's recent-decision
+                    // ring answers duplicates with the stored decision.
+                    if !config.reconnect {
+                        return Err(e);
+                    }
+                    conn = None;
+                    attempt += 1;
+                }
             }
         }
     }
@@ -266,13 +411,52 @@ pub fn run_loadgen(
     if config.shutdown_when_done {
         let mut out = encode_client(&ClientMsg::Control(ControlAction::Shutdown));
         out.push('\n');
-        writer.write_all(out.as_bytes())?;
-        match read_reply(&mut reader, &mut line)? {
-            ServerMsg::Ack(ack) => report.final_stats = Some(ack.stats),
-            other => {
-                return Err(ServeError::Protocol(format!(
-                    "expected a shutdown ack, got {other:?}"
-                )))
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                if !config.reconnect || attempt >= config.max_attempts {
+                    return Err(ServeError::Protocol(
+                        "could not deliver the shutdown control".to_string(),
+                    ));
+                }
+                std::thread::sleep(backoff_delay(attempt - 1));
+            }
+            let c = match ensure_conn(
+                &mut conn,
+                &addrs,
+                &mut addr_idx,
+                &mut ever_connected,
+                &mut report,
+                config,
+            )? {
+                Some(c) => c,
+                None => {
+                    attempt += 1;
+                    continue;
+                }
+            };
+            let outcome = c
+                .writer
+                .write_all(out.as_bytes())
+                .map_err(ServeError::Io)
+                .and_then(|()| read_reply(c, &mut line));
+            match outcome {
+                Ok(ServerMsg::Ack(ack)) => {
+                    report.final_stats = Some(ack.stats);
+                    break;
+                }
+                Ok(other) => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected a shutdown ack, got {other:?}"
+                    )))
+                }
+                Err(e) => {
+                    if !config.reconnect {
+                        return Err(e);
+                    }
+                    conn = None;
+                    attempt += 1;
+                }
             }
         }
     }
@@ -280,6 +464,42 @@ pub fn run_loadgen(
     report.elapsed = started.elapsed();
     report.latency = LatencySummary::from_samples(samples);
     Ok(report)
+}
+
+// Returns the live connection, dialing the current address if there is
+// none. `Ok(None)` means the dial failed in reconnect mode: the caller
+// backs off and retries (the address cursor has already rotated).
+fn ensure_conn<'a>(
+    conn: &'a mut Option<Conn>,
+    addrs: &[&str],
+    addr_idx: &mut usize,
+    ever_connected: &mut bool,
+    report: &mut LoadgenReport,
+    config: &LoadgenConfig,
+) -> Result<Option<&'a mut Conn>, ServeError> {
+    if conn.is_none() {
+        match connect_one(addrs[*addr_idx]) {
+            Ok(c) => {
+                if *ever_connected {
+                    report.reconnects += 1;
+                }
+                *ever_connected = true;
+                *conn = Some(c);
+            }
+            Err(source) => {
+                if !config.reconnect {
+                    return Err(ServeError::Net {
+                        action: "connect",
+                        addr: addrs[*addr_idx].to_string(),
+                        source,
+                    });
+                }
+                *addr_idx = (*addr_idx + 1) % addrs.len();
+                return Ok(None);
+            }
+        }
+    }
+    Ok(conn.as_mut())
 }
 
 #[cfg(test)]

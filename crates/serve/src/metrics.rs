@@ -36,6 +36,42 @@ pub struct ServeMetricIds {
     pub queue_depth: MetricId,
     /// `vnfrel_serve_admission_latency_seconds`: enqueue → reply written.
     pub admission_latency: MetricId,
+    /// `vnfrel_serve_epoch`: current fencing epoch (gauge).
+    pub epoch: MetricId,
+    /// `vnfrel_serve_is_primary`: 1 when primary, 0 when standby (gauge).
+    pub is_primary: MetricId,
+    /// `vnfrel_serve_repl_sent_seq`: highest log position written to the
+    /// standby socket (gauge, primary side).
+    pub repl_sent_seq: MetricId,
+    /// `vnfrel_serve_repl_acked_seq`: highest log position the standby
+    /// acknowledged (gauge, primary side).
+    pub repl_acked_seq: MetricId,
+    /// `vnfrel_serve_repl_lag`: `sent_seq − acked_seq` (gauge).
+    pub repl_lag: MetricId,
+    /// `vnfrel_serve_repl_applied_total`: replication frames applied
+    /// (standby side).
+    pub repl_applied: MetricId,
+    /// `vnfrel_serve_repl_snapshots_total`: full-state catch-up
+    /// snapshots sent or imported.
+    pub repl_snapshots: MetricId,
+    /// `vnfrel_serve_repl_refusals_total`: frames refused for a
+    /// sequence gap.
+    pub repl_refusals: MetricId,
+    /// `vnfrel_serve_repl_reconnects`: successful re-handshakes after
+    /// the first connect (gauge, mirrored from the sender).
+    pub repl_reconnects: MetricId,
+    /// `vnfrel_serve_fenced_total`: stale-epoch peers refused.
+    pub fenced_peers: MetricId,
+    /// `vnfrel_serve_dedupe_hits_total`: resubmits answered from the
+    /// recent-decision ring instead of re-deciding.
+    pub dedupe_hits: MetricId,
+    /// `vnfrel_serve_not_primary_total`: submits refused because this
+    /// node is a standby.
+    pub not_primary: MetricId,
+    /// `vnfrel_serve_unreplicated_acks`: replies released by the
+    /// availability timeout before replication (gauge, mirrored from
+    /// the sender; always 0 in strict mode).
+    pub unreplicated_acks: MetricId,
 }
 
 impl ServeMetricIds {
@@ -71,6 +107,55 @@ impl ServeMetricIds {
                 "End-to-end latency from socket read to decision written",
                 &ADMISSION_LATENCY_BUCKETS,
             ),
+            epoch: reg.register_gauge("vnfrel_serve_epoch", "Current fencing epoch"),
+            is_primary: reg.register_gauge(
+                "vnfrel_serve_is_primary",
+                "1 when this node is primary, 0 when standby",
+            ),
+            repl_sent_seq: reg.register_gauge(
+                "vnfrel_serve_repl_sent_seq",
+                "Highest replication log position written to the standby socket",
+            ),
+            repl_acked_seq: reg.register_gauge(
+                "vnfrel_serve_repl_acked_seq",
+                "Highest replication log position acknowledged by the standby",
+            ),
+            repl_lag: reg.register_gauge(
+                "vnfrel_serve_repl_lag",
+                "Replication lag in log entries (sent minus acked)",
+            ),
+            repl_applied: reg.register_counter(
+                "vnfrel_serve_repl_applied_total",
+                "Replication frames applied against local state",
+            ),
+            repl_snapshots: reg.register_counter(
+                "vnfrel_serve_repl_snapshots_total",
+                "Full-state catch-up snapshots sent or imported",
+            ),
+            repl_refusals: reg.register_counter(
+                "vnfrel_serve_repl_refusals_total",
+                "Replication frames refused for a sequence gap",
+            ),
+            repl_reconnects: reg.register_gauge(
+                "vnfrel_serve_repl_reconnects",
+                "Successful replication re-handshakes after the first connect",
+            ),
+            fenced_peers: reg.register_counter(
+                "vnfrel_serve_fenced_total",
+                "Stale-epoch replication peers refused",
+            ),
+            dedupe_hits: reg.register_counter(
+                "vnfrel_serve_dedupe_hits_total",
+                "Resubmits answered from the recent-decision ring",
+            ),
+            not_primary: reg.register_counter(
+                "vnfrel_serve_not_primary_total",
+                "Submits refused because this node is a standby",
+            ),
+            unreplicated_acks: reg.register_gauge(
+                "vnfrel_serve_unreplicated_acks",
+                "Replies released by the availability timeout before replication",
+            ),
         }
     }
 }
@@ -98,6 +183,19 @@ mod tests {
             "vnfrel_serve_slot",
             "vnfrel_serve_queue_depth",
             "vnfrel_serve_admission_latency_seconds",
+            "vnfrel_serve_epoch",
+            "vnfrel_serve_is_primary",
+            "vnfrel_serve_repl_sent_seq",
+            "vnfrel_serve_repl_acked_seq",
+            "vnfrel_serve_repl_lag",
+            "vnfrel_serve_repl_applied_total",
+            "vnfrel_serve_repl_snapshots_total",
+            "vnfrel_serve_repl_refusals_total",
+            "vnfrel_serve_repl_reconnects",
+            "vnfrel_serve_fenced_total",
+            "vnfrel_serve_dedupe_hits_total",
+            "vnfrel_serve_not_primary_total",
+            "vnfrel_serve_unreplicated_acks",
         ] {
             assert!(text.contains(name), "missing series {name} in:\n{text}");
         }

@@ -10,25 +10,44 @@
 //! Client → server:
 //!
 //! ```text
-//! {"type":"submit","v":1,"id":0,"vnf":2,"reliability":0.95,"arrival":3,"duration":4,"payment":6.5}
-//! {"type":"control","v":1,"action":"advance-slot"}   // also: snapshot | stats | shutdown
+//! {"type":"submit","v":2,"id":0,"vnf":2,"reliability":0.95,"arrival":3,"duration":4,"payment":6.5}
+//! {"type":"control","v":2,"action":"advance-slot"}   // also: snapshot | stats | shutdown | promote
 //! ```
 //!
 //! Server → client (one line per submit, in submission order):
 //!
 //! ```text
 //! {"type":"decision", ...}                            // full DecisionEvent
-//! {"type":"overload","v":1,"id":7,"queue_depth":128,"limit":128}
-//! {"type":"ack","v":1,"action":"stats","slot":3,"stats":{...}}
-//! {"type":"error","v":1,"message":"..."}
+//! {"type":"overload","v":2,"id":7,"queue_depth":128,"limit":128}
+//! {"type":"ack","v":2,"action":"stats","slot":3,"epoch":1,"role":"primary","stats":{...}}
+//! {"type":"not-primary","v":2,"epoch":1,"id":7}
+//! {"type":"error","v":2,"message":"..."}
 //! ```
+//!
+//! Version 2 adds the `promote` control verb, the `not-primary`
+//! rejection a standby sends for submits, and the `epoch`/`role`
+//! fields on acks (see [`crate::epoch`]). Parsers accept v1 lines and
+//! fill the v2 fields with their pre-replication defaults
+//! (`epoch = 1`, `role = "primary"`), so v1 clients and recorded
+//! streams keep working.
 
 use mec_obs::{parse_line, parse_value, to_json, DecisionEvent, JsonValue, TraceEvent};
 
 use crate::error::ServeError;
 
 /// Wire schema version of the serve-specific message types.
-pub const PROTOCOL_VERSION: usize = 1;
+pub const PROTOCOL_VERSION: usize = 2;
+
+/// Oldest wire schema version parsers still accept.
+pub const MIN_PROTOCOL_VERSION: usize = 1;
+
+/// Hard cap on one protocol line, in bytes, including the newline.
+///
+/// Anything longer is a torn or hostile frame: the largest legitimate
+/// line (a full-state replication snapshot for a big topology) stays
+/// far below this, so readers can reject oversized input with a typed
+/// error instead of buffering without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// A request submission: the client-side view of one
 /// [`mec_workload::Request`], before validation against the daemon's
@@ -61,6 +80,10 @@ pub enum ControlAction {
     Stats,
     /// Drain the ingress queue, snapshot, and exit.
     Shutdown,
+    /// Promote a standby to primary: drain the replication channel,
+    /// open a new fencing epoch, and start accepting submits. A no-op
+    /// acknowledgement on a node that is already primary.
+    Promote,
 }
 
 impl ControlAction {
@@ -71,6 +94,7 @@ impl ControlAction {
             ControlAction::Snapshot => "snapshot",
             ControlAction::Stats => "stats",
             ControlAction::Shutdown => "shutdown",
+            ControlAction::Promote => "promote",
         }
     }
 
@@ -81,6 +105,7 @@ impl ControlAction {
             "snapshot" => Some(ControlAction::Snapshot),
             "stats" => Some(ControlAction::Stats),
             "shutdown" => Some(ControlAction::Shutdown),
+            "promote" => Some(ControlAction::Promote),
             _ => None,
         }
     }
@@ -129,6 +154,11 @@ pub struct ControlAck {
     pub action: ControlAction,
     /// Current virtual slot.
     pub slot: usize,
+    /// Current fencing epoch (1 on a never-failed-over primary; v1
+    /// lines parse as 1).
+    pub epoch: u64,
+    /// `"primary"` or `"standby"` (v1 lines parse as `"primary"`).
+    pub role: String,
     /// Live counters at acknowledgement time.
     pub stats: ServeStats,
 }
@@ -142,6 +172,14 @@ pub enum ServerMsg {
     Overload(OverloadReject),
     /// Control acknowledgement.
     Ack(ControlAck),
+    /// The node is a standby (or a fenced ex-primary) and refuses the
+    /// submit; the client should retry against the current primary.
+    NotPrimary {
+        /// The refusing node's fencing epoch.
+        epoch: u64,
+        /// Id of the refused submission.
+        id: usize,
+    },
     /// The line could not be honored (parse failure, invalid request
     /// fields, out-of-order id); the daemon keeps serving.
     Error(String),
@@ -161,7 +199,7 @@ pub fn encode_client(msg: &ClientMsg) -> String {
     let mut out = String::with_capacity(128);
     match msg {
         ClientMsg::Submit(s) => {
-            out.push_str("{\"type\":\"submit\",\"v\":1,\"id\":");
+            out.push_str("{\"type\":\"submit\",\"v\":2,\"id\":");
             uint(&mut out, s.id);
             out.push_str(",\"vnf\":");
             uint(&mut out, s.vnf);
@@ -176,7 +214,7 @@ pub fn encode_client(msg: &ClientMsg) -> String {
             out.push('}');
         }
         ClientMsg::Control(a) => {
-            out.push_str("{\"type\":\"control\",\"v\":1,\"action\":\"");
+            out.push_str("{\"type\":\"control\",\"v\":2,\"action\":\"");
             out.push_str(a.as_str());
             out.push_str("\"}");
         }
@@ -204,7 +242,7 @@ pub fn encode_server(msg: &ServerMsg) -> String {
         ServerMsg::Decision(d) => to_json(&TraceEvent::Decision(d.clone())),
         ServerMsg::Overload(o) => {
             let mut out = String::with_capacity(80);
-            out.push_str("{\"type\":\"overload\",\"v\":1,\"id\":");
+            out.push_str("{\"type\":\"overload\",\"v\":2,\"id\":");
             uint(&mut out, o.id);
             out.push_str(",\"queue_depth\":");
             uint(&mut out, o.queue_depth);
@@ -214,19 +252,32 @@ pub fn encode_server(msg: &ServerMsg) -> String {
             out
         }
         ServerMsg::Ack(a) => {
-            let mut out = String::with_capacity(160);
-            out.push_str("{\"type\":\"ack\",\"v\":1,\"action\":\"");
+            let mut out = String::with_capacity(200);
+            out.push_str("{\"type\":\"ack\",\"v\":2,\"action\":\"");
             out.push_str(a.action.as_str());
             out.push_str("\",\"slot\":");
             uint(&mut out, a.slot);
-            out.push_str(",\"stats\":");
+            out.push_str(",\"epoch\":");
+            uint(&mut out, a.epoch as usize);
+            out.push_str(",\"role\":\"");
+            out.push_str(&a.role);
+            out.push_str("\",\"stats\":");
             encode_stats(&mut out, &a.stats);
+            out.push('}');
+            out
+        }
+        ServerMsg::NotPrimary { epoch, id } => {
+            let mut out = String::with_capacity(64);
+            out.push_str("{\"type\":\"not-primary\",\"v\":2,\"epoch\":");
+            uint(&mut out, *epoch as usize);
+            out.push_str(",\"id\":");
+            uint(&mut out, *id);
             out.push('}');
             out
         }
         ServerMsg::Error(m) => {
             let mut out = String::with_capacity(48 + m.len());
-            out.push_str("{\"type\":\"error\",\"v\":1,\"message\":");
+            out.push_str("{\"type\":\"error\",\"v\":2,\"message\":");
             JsonValue::Str(m.clone()).encode_into(&mut out);
             out.push('}');
             out
@@ -262,14 +313,15 @@ fn field_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ServeError> {
         .ok_or_else(|| perr(format!("field '{key}' must be a string")))
 }
 
-fn check_version(v: &JsonValue) -> Result<(), ServeError> {
+fn check_version(v: &JsonValue) -> Result<usize, ServeError> {
     let version = field_usize(v, "v")?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(perr(format!(
-            "unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+            "unsupported protocol version {version} \
+             (expected {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 /// Parses one client line.
@@ -339,15 +391,32 @@ pub fn parse_server(line: &str) -> Result<ServerMsg, ServeError> {
             }))
         }
         "ack" => {
-            check_version(&v)?;
+            let version = check_version(&v)?;
             let action = field_str(&v, "action")?;
             let action = ControlAction::from_wire(action)
                 .ok_or_else(|| perr(format!("unknown ack action '{action}'")))?;
+            let (epoch, role) = if version >= 2 {
+                (
+                    field_usize(&v, "epoch")? as u64,
+                    field_str(&v, "role")?.to_string(),
+                )
+            } else {
+                (1, "primary".to_string())
+            };
             Ok(ServerMsg::Ack(ControlAck {
                 action,
                 slot: field_usize(&v, "slot")?,
+                epoch,
+                role,
                 stats: parse_stats(field(&v, "stats")?)?,
             }))
+        }
+        "not-primary" => {
+            check_version(&v)?;
+            Ok(ServerMsg::NotPrimary {
+                epoch: field_usize(&v, "epoch")? as u64,
+                id: field_usize(&v, "id")?,
+            })
         }
         "error" => {
             check_version(&v)?;
@@ -373,7 +442,7 @@ mod tests {
             payment: 12.25,
         });
         let line = encode_client(&msg);
-        assert!(line.starts_with("{\"type\":\"submit\",\"v\":1,"));
+        assert!(line.starts_with("{\"type\":\"submit\",\"v\":2,"));
         assert_eq!(parse_client(&line).unwrap(), msg);
     }
 
@@ -384,6 +453,7 @@ mod tests {
             ControlAction::Snapshot,
             ControlAction::Stats,
             ControlAction::Shutdown,
+            ControlAction::Promote,
         ] {
             let msg = ClientMsg::Control(action);
             assert_eq!(parse_client(&encode_client(&msg)).unwrap(), msg);
@@ -416,6 +486,8 @@ mod tests {
         let ack = ServerMsg::Ack(ControlAck {
             action: ControlAction::Stats,
             slot: 3,
+            epoch: 2,
+            role: "standby".into(),
             stats: ServeStats {
                 decided: 10,
                 admitted: 6,
@@ -424,9 +496,31 @@ mod tests {
                 revenue: 33.5,
             },
         });
+        let not_primary = ServerMsg::NotPrimary { epoch: 3, id: 12 };
         let error = ServerMsg::Error("bad line: \"quoted\"".into());
-        for msg in [decision, overload, ack, error] {
+        for msg in [decision, overload, ack, not_primary, error] {
             assert_eq!(parse_server(&encode_server(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn v1_lines_still_parse_with_defaults() {
+        let submit = "{\"type\":\"submit\",\"v\":1,\"id\":0,\"vnf\":1,\"reliability\":0.9,\
+                      \"arrival\":0,\"duration\":1,\"payment\":2.5}";
+        assert!(matches!(
+            parse_client(submit).unwrap(),
+            ClientMsg::Submit(SubmitRequest { id: 0, .. })
+        ));
+        // A v1 ack has no epoch/role; they default to the
+        // pre-replication values.
+        let ack = "{\"type\":\"ack\",\"v\":1,\"action\":\"stats\",\"slot\":3,\"stats\":\
+                   {\"decided\":1,\"admitted\":1,\"rejected\":0,\"overloaded\":0,\"revenue\":2.5}}";
+        match parse_server(ack).unwrap() {
+            ServerMsg::Ack(a) => {
+                assert_eq!(a.epoch, 1);
+                assert_eq!(a.role, "primary");
+            }
+            other => panic!("expected ack, got {other:?}"),
         }
     }
 
@@ -449,10 +543,11 @@ mod tests {
 
     #[test]
     fn version_and_type_are_enforced() {
-        assert!(parse_client("{\"type\":\"submit\",\"v\":2,\"id\":0}").is_err());
-        assert!(parse_client("{\"type\":\"nope\",\"v\":1}").is_err());
-        assert!(parse_client("{\"type\":\"control\",\"v\":1,\"action\":\"dance\"}").is_err());
+        assert!(parse_client("{\"type\":\"submit\",\"v\":3,\"id\":0}").is_err());
+        assert!(parse_client("{\"type\":\"submit\",\"v\":0,\"id\":0}").is_err());
+        assert!(parse_client("{\"type\":\"nope\",\"v\":2}").is_err());
+        assert!(parse_client("{\"type\":\"control\",\"v\":2,\"action\":\"dance\"}").is_err());
         assert!(parse_client("not json").is_err());
-        assert!(parse_server("{\"type\":\"ack\",\"v\":1,\"action\":\"stats\"}").is_err());
+        assert!(parse_server("{\"type\":\"ack\",\"v\":2,\"action\":\"stats\"}").is_err());
     }
 }

@@ -1,0 +1,817 @@
+//! Active-standby replication: frame codec and the primary-side sender.
+//!
+//! The primary streams its decision log to one standby over a second
+//! TCP connection (it *dials* the standby's normal listen address and
+//! announces itself with a `repl-hello` line). Frames reuse the
+//! line-delimited JSON layer of [`crate::protocol`]:
+//!
+//! ```text
+//! primary → standby
+//!   {"type":"repl-hello","v":2,"epoch":1,"seq":42}
+//!   {"type":"repl-snapshot","v":2,"epoch":1,"seq":42,"data":"{\"type\":\"snapshot\",…}"}
+//!   {"type":"repl-frame","v":2,"epoch":1,"seq":43,"submit":"{…}","decision":"{…}"}
+//!   {"type":"repl-advance","v":2,"epoch":1,"seq":44,"slot":3}
+//!   {"type":"repl-heartbeat","v":2,"epoch":1,"seq":44}
+//!
+//! standby → primary
+//!   {"type":"repl-state","v":2,"epoch":1,"seq":40}
+//!   {"type":"repl-ack","v":2,"epoch":1,"seq":43}
+//!   {"type":"repl-refused","v":2,"epoch":1,"expected":44,"got":46}
+//!   {"type":"repl-fenced","v":2,"epoch":2,"stale_epoch":1}
+//! ```
+//!
+//! A `repl-frame` embeds the canonical submit line and the decision
+//! line the primary produced, both as JSON string payloads: the standby
+//! re-runs `decide()` on the submit against its own dual prices and
+//! ledger and asserts its encoded decision is byte-identical — state
+//! machine replication with a built-in divergence check.
+//!
+//! **Catch-up is always snapshot-first.** On every (re)connect the
+//! sender raises [`ReplHandle::need_snapshot`]; the decide thread
+//! answers with a full-state `repl-snapshot` at its current log
+//! position, and already-queued frames at or below that position are
+//! skipped by the standby's sequence check. This makes a freshly
+//! started follower, a lagging follower and a follower that refused a
+//! gap all the same code path.
+//!
+//! **Ack ordering is the safety invariant.** For a replicated submit
+//! the client's decision reply is *withheld* by the sender. In strict
+//! mode it is released only once the standby's `repl-ack` covers the
+//! frame's sequence number — a write alone is not enough, because a
+//! freshly promoted standby force-closes the replication connection and
+//! the kernel happily accepts writes into a dead socket until the RST
+//! arrives. A strict-mode ack therefore means the decision is *applied*
+//! on the standby, and a deposed primary can never ack a decision the
+//! survivor does not carry. In non-strict mode the reply is released as
+//! soon as the frame is written (the kernel owns both buffers from then
+//! on), and availability wins over an unreachable standby after
+//! [`ReplSenderConfig::availability_timeout`]: held replies go out
+//! unreplicated (and are counted).
+
+use std::collections::VecDeque;
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mec_obs::{parse_value, JsonValue};
+
+use crate::error::ServeError;
+use crate::protocol::MAX_LINE_BYTES;
+
+/// One typed frame on the replication channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplMsg {
+    /// Primary announces itself: its epoch and next sequence number.
+    Hello {
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// Sender's replication log position (last assigned seq).
+        seq: u64,
+    },
+    /// Standby's handshake reply: its epoch and applied position.
+    State {
+        /// Receiver's highest-seen epoch.
+        epoch: u64,
+        /// Receiver's applied replication log position.
+        seq: u64,
+    },
+    /// Full state transfer: an encoded [`crate::snapshot::Snapshot`]
+    /// line as a string payload, stamped with the log position it
+    /// covers.
+    Snapshot {
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// Log position the snapshot covers (frames ≤ `seq` are in it).
+        seq: u64,
+        /// The snapshot line, JSON-escaped.
+        data: String,
+    },
+    /// One replicated decision: the submit line and the decision line.
+    Frame {
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// This frame's log position.
+        seq: u64,
+        /// Canonical client submit line, JSON-escaped.
+        submit: String,
+        /// The primary's decision line, JSON-escaped (the standby must
+        /// reproduce it byte-for-byte).
+        decision: String,
+    },
+    /// A replicated slot-clock advance.
+    Advance {
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// This frame's log position.
+        seq: u64,
+        /// The slot value after the advance.
+        slot: usize,
+    },
+    /// Idle keepalive; also drives primary-loss detection on the
+    /// standby.
+    Heartbeat {
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// Sender's last assigned log position.
+        seq: u64,
+    },
+    /// Cumulative acknowledgement of the standby's applied position.
+    Ack {
+        /// Receiver's epoch.
+        epoch: u64,
+        /// Highest contiguously applied log position.
+        seq: u64,
+    },
+    /// The standby saw a sequence gap and wants a fresh snapshot.
+    Refused {
+        /// Receiver's epoch.
+        epoch: u64,
+        /// The position the receiver expected next.
+        expected: u64,
+        /// The position that actually arrived.
+        got: u64,
+    },
+    /// Fencing refusal: the sender's epoch is stale and it must stop
+    /// acking decisions (exit code 7 at the CLI).
+    Fenced {
+        /// The refusing node's (newer) epoch.
+        epoch: u64,
+        /// The stale epoch that was refused.
+        stale_epoch: u64,
+    },
+}
+
+fn uint(out: &mut String, v: u64) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{v}");
+}
+
+/// Encodes one replication frame as a line (no trailing newline).
+pub fn encode_repl(msg: &ReplMsg) -> String {
+    let mut out = String::with_capacity(96);
+    let head = |out: &mut String, kind: &str, epoch: u64, seq_key: &str, seq: u64| {
+        out.push_str("{\"type\":\"");
+        out.push_str(kind);
+        out.push_str("\",\"v\":2,\"epoch\":");
+        uint(out, epoch);
+        out.push_str(",\"");
+        out.push_str(seq_key);
+        out.push_str("\":");
+        uint(out, seq);
+    };
+    match msg {
+        ReplMsg::Hello { epoch, seq } => head(&mut out, "repl-hello", *epoch, "seq", *seq),
+        ReplMsg::State { epoch, seq } => head(&mut out, "repl-state", *epoch, "seq", *seq),
+        ReplMsg::Snapshot { epoch, seq, data } => {
+            head(&mut out, "repl-snapshot", *epoch, "seq", *seq);
+            out.push_str(",\"data\":");
+            JsonValue::Str(data.clone()).encode_into(&mut out);
+        }
+        ReplMsg::Frame {
+            epoch,
+            seq,
+            submit,
+            decision,
+        } => {
+            head(&mut out, "repl-frame", *epoch, "seq", *seq);
+            out.push_str(",\"submit\":");
+            JsonValue::Str(submit.clone()).encode_into(&mut out);
+            out.push_str(",\"decision\":");
+            JsonValue::Str(decision.clone()).encode_into(&mut out);
+        }
+        ReplMsg::Advance { epoch, seq, slot } => {
+            head(&mut out, "repl-advance", *epoch, "seq", *seq);
+            out.push_str(",\"slot\":");
+            uint(&mut out, *slot as u64);
+        }
+        ReplMsg::Heartbeat { epoch, seq } => head(&mut out, "repl-heartbeat", *epoch, "seq", *seq),
+        ReplMsg::Ack { epoch, seq } => head(&mut out, "repl-ack", *epoch, "seq", *seq),
+        ReplMsg::Refused {
+            epoch,
+            expected,
+            got,
+        } => {
+            head(&mut out, "repl-refused", *epoch, "expected", *expected);
+            out.push_str(",\"got\":");
+            uint(&mut out, *got);
+        }
+        ReplMsg::Fenced { epoch, stale_epoch } => {
+            head(&mut out, "repl-fenced", *epoch, "stale_epoch", *stale_epoch);
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn perr(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Result<u64, ServeError> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .map(|n| n as u64)
+        .ok_or_else(|| {
+            perr(format!(
+                "replication field '{key}' must be a non-negative integer"
+            ))
+        })
+}
+
+fn get_str(v: &JsonValue, key: &str) -> Result<String, ServeError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| perr(format!("replication field '{key}' must be a string")))
+}
+
+/// True when a line looks like a replication frame (used by the daemon
+/// to route connections into replication mode).
+pub fn is_repl_line(line: &str) -> bool {
+    line.starts_with("{\"type\":\"repl-")
+}
+
+/// Parses one replication frame line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed JSON, unknown type, version
+/// mismatch, or missing/mistyped fields.
+pub fn parse_repl(line: &str) -> Result<ReplMsg, ServeError> {
+    let v = parse_value(line).map_err(|e| perr(e.to_string()))?;
+    let kind = v
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| perr("replication frame is missing 'type'"))?
+        .to_string();
+    let version = get_u64(&v, "v")?;
+    if version != 2 {
+        return Err(perr(format!(
+            "unsupported replication protocol version {version} (expected 2)"
+        )));
+    }
+    let epoch = get_u64(&v, "epoch")?;
+    Ok(match kind.as_str() {
+        "repl-hello" => ReplMsg::Hello {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+        },
+        "repl-state" => ReplMsg::State {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+        },
+        "repl-snapshot" => ReplMsg::Snapshot {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+            data: get_str(&v, "data")?,
+        },
+        "repl-frame" => ReplMsg::Frame {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+            submit: get_str(&v, "submit")?,
+            decision: get_str(&v, "decision")?,
+        },
+        "repl-advance" => ReplMsg::Advance {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+            slot: get_u64(&v, "slot")? as usize,
+        },
+        "repl-heartbeat" => ReplMsg::Heartbeat {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+        },
+        "repl-ack" => ReplMsg::Ack {
+            epoch,
+            seq: get_u64(&v, "seq")?,
+        },
+        "repl-refused" => ReplMsg::Refused {
+            epoch,
+            expected: get_u64(&v, "expected")?,
+            got: get_u64(&v, "got")?,
+        },
+        "repl-fenced" => ReplMsg::Fenced {
+            epoch,
+            stale_epoch: get_u64(&v, "stale_epoch")?,
+        },
+        other => return Err(perr(format!("unknown replication frame type '{other}'"))),
+    })
+}
+
+/// A client reply withheld until its frame reaches the standby socket.
+#[derive(Debug)]
+pub struct PendingReply {
+    /// The client connection the reply belongs to.
+    pub conn: Arc<Mutex<TcpStream>>,
+    /// The encoded reply line (no trailing newline).
+    pub line: String,
+}
+
+impl PendingReply {
+    /// Writes the reply to the client (best effort — a vanished client
+    /// is its own problem).
+    pub fn flush(self) {
+        let mut line = self.line;
+        line.push('\n');
+        if let Ok(mut s) = self.conn.lock() {
+            let _ = s.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// One unit of work the decide thread hands to the replication sender.
+#[derive(Debug)]
+pub struct ReplItem {
+    /// Fully encoded replication frame line (no trailing newline).
+    pub line: String,
+    /// The frame's log position (used for lag metrics).
+    pub seq: u64,
+    /// True for `repl-snapshot` frames — they end catch-up mode.
+    pub is_snapshot: bool,
+    /// Client reply to release once the frame is on the peer socket.
+    pub reply: Option<PendingReply>,
+}
+
+/// Shared state between the decide thread and the replication sender.
+#[derive(Debug)]
+pub struct ReplHandle {
+    /// Sender's current epoch (the decide thread keeps it updated; read
+    /// for hellos and heartbeats).
+    pub epoch: AtomicU64,
+    /// Raised by the sender on every (re)connect or `repl-refused`; the
+    /// decide thread answers with a `ReplItem` snapshot and clears it.
+    pub need_snapshot: AtomicBool,
+    /// Set when a peer at a newer epoch refused us: the daemon must
+    /// stop acking and exit.
+    pub fenced: AtomicBool,
+    /// The epoch that fenced us (valid once `fenced` is set).
+    pub fenced_by: AtomicU64,
+    /// Whether a replication connection is currently established.
+    pub connected: AtomicBool,
+    /// Highest log position written to the peer socket.
+    pub sent_seq: AtomicU64,
+    /// Highest log position the standby has acknowledged.
+    pub acked_seq: AtomicU64,
+    /// Successful re-handshakes after the first connect.
+    pub reconnects: AtomicU64,
+    /// Replies released by the availability timeout before their frame
+    /// was replicated (non-strict mode only).
+    pub unreplicated_acks: AtomicU64,
+}
+
+impl Default for ReplHandle {
+    fn default() -> Self {
+        ReplHandle {
+            epoch: AtomicU64::new(1),
+            need_snapshot: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
+            fenced_by: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+            sent_seq: AtomicU64::new(0),
+            acked_seq: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            unreplicated_acks: AtomicU64::new(0),
+        }
+    }
+}
+
+fn store_max(cell: &AtomicU64, v: u64) {
+    cell.fetch_max(v, Ordering::AcqRel);
+}
+
+/// How the primary-side sender connects and trades off safety vs
+/// availability.
+#[derive(Debug, Clone)]
+pub struct ReplSenderConfig {
+    /// The standby's listen address (the sender dials it).
+    pub peer: String,
+    /// Hold client replies until the standby's ack covers their frame,
+    /// with no availability escape hatch. The failover drill runs
+    /// strict so "acked" always implies "applied on the standby".
+    pub strict: bool,
+    /// In non-strict mode, release a held reply after this long even if
+    /// the standby is unreachable (availability over replication).
+    pub availability_timeout: Duration,
+}
+
+const BACKOFF_MIN: Duration = Duration::from_millis(50);
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+const CLOSE_GRACE: Duration = Duration::from_secs(2);
+
+struct Peer {
+    stream: TcpStream,
+    inbox: Vec<u8>,
+}
+
+struct OutItem {
+    line: String,
+    seq: u64,
+    is_snapshot: bool,
+    reply: Option<PendingReply>,
+    queued: Instant,
+}
+
+enum Shake {
+    Connected(Peer),
+    Fenced { by: u64 },
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn handshake(config: &ReplSenderConfig, handle: &ReplHandle) -> Result<Shake, ServeError> {
+    let addr = config
+        .peer
+        .to_socket_addrs()
+        .map_err(|source| ServeError::Net {
+            action: "resolve",
+            addr: config.peer.clone(),
+            source,
+        })?
+        .next()
+        .ok_or_else(|| ServeError::Config(format!("peer '{}' resolves to nothing", config.peer)))?;
+    let mut stream =
+        TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).map_err(|source| ServeError::Net {
+            action: "connect",
+            addr: config.peer.clone(),
+            source,
+        })?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    let hello = ReplMsg::Hello {
+        epoch: handle.epoch.load(Ordering::Acquire),
+        seq: handle.sent_seq.load(Ordering::Acquire),
+    };
+    let mut line = encode_repl(&hello);
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut inbox: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        if let Some(pos) = inbox.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = inbox.drain(..=pos).collect();
+            let text = std::str::from_utf8(&line)
+                .map_err(|_| perr("replication handshake reply is not UTF-8"))?;
+            return match parse_repl(text.trim())? {
+                ReplMsg::State { .. } => Ok(Shake::Connected(Peer { stream, inbox })),
+                ReplMsg::Fenced { epoch, .. } => Ok(Shake::Fenced { by: epoch }),
+                other => Err(perr(format!(
+                    "unexpected replication handshake reply {other:?}"
+                ))),
+            };
+        }
+        if Instant::now() > deadline {
+            return Err(perr("replication handshake timed out"));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(perr("peer closed during replication handshake")),
+            Ok(n) => inbox.extend_from_slice(&buf[..n]),
+            Err(e) if is_timeout(&e) => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+        if inbox.len() > MAX_LINE_BYTES {
+            return Err(perr("oversized replication handshake reply"));
+        }
+    }
+}
+
+/// Drains whatever the standby has sent; returns true on a connection
+/// error (EOF, I/O failure, garbage).
+fn pump_incoming(peer: &mut Peer, handle: &ReplHandle, awaiting_snapshot: &mut bool) -> bool {
+    let _ = peer.stream.set_read_timeout(Some(Duration::from_millis(1)));
+    let mut buf = [0u8; 4096];
+    loop {
+        match peer.stream.read(&mut buf) {
+            Ok(0) => return true,
+            Ok(n) => {
+                peer.inbox.extend_from_slice(&buf[..n]);
+                if n < buf.len() {
+                    break;
+                }
+            }
+            Err(e) if is_timeout(&e) => break,
+            Err(_) => return true,
+        }
+        if peer.inbox.len() > MAX_LINE_BYTES {
+            return true;
+        }
+    }
+    while let Some(pos) = peer.inbox.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = peer.inbox.drain(..=pos).collect();
+        let Ok(text) = std::str::from_utf8(&line) else {
+            return true;
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match parse_repl(text) {
+            Ok(ReplMsg::Ack { seq, .. }) => store_max(&handle.acked_seq, seq),
+            Ok(ReplMsg::Refused { .. }) => {
+                // The standby saw a gap: start over from a snapshot.
+                handle.need_snapshot.store(true, Ordering::Release);
+                *awaiting_snapshot = true;
+            }
+            Ok(ReplMsg::Fenced { epoch, .. }) => {
+                handle.fenced_by.store(epoch, Ordering::Release);
+                handle.fenced.store(true, Ordering::Release);
+            }
+            Ok(_) => {}
+            Err(_) => return true,
+        }
+    }
+    false
+}
+
+/// Runs the primary-side replication sender until the decide thread
+/// drops its `ReplItem` channel (normal shutdown) or the node is
+/// fenced.
+///
+/// Owns the connection to the standby: dial + handshake with
+/// exponential backoff, snapshot-first catch-up, frame streaming with
+/// withheld client replies (released on write in non-strict mode, on
+/// the standby's covering ack in strict mode), heartbeats when idle,
+/// and ack/refusal/fence processing. On channel close it makes a
+/// bounded best effort to finish replicating, then releases (non-strict)
+/// or drops (strict) any still-held replies — and never releases after
+/// fencing.
+pub fn run_repl_sender(
+    config: &ReplSenderConfig,
+    handle: &ReplHandle,
+    rx: &mpsc::Receiver<ReplItem>,
+    stop: &AtomicBool,
+) {
+    let mut outbox: VecDeque<OutItem> = VecDeque::new();
+    // Strict mode: replies for frames already written, waiting for the
+    // standby's ack to cover their sequence number. Kept in write order,
+    // so sequence numbers are non-decreasing front to back.
+    let mut held: VecDeque<(u64, PendingReply)> = VecDeque::new();
+    let mut peer: Option<Peer> = None;
+    let mut awaiting_snapshot = false;
+    let mut backoff = BACKOFF_MIN;
+    let mut next_attempt = Instant::now();
+    let mut last_sent = Instant::now();
+    let mut rx_open = true;
+    let mut ever_connected = false;
+    let mut close_deadline: Option<Instant> = None;
+
+    loop {
+        if handle.fenced.load(Ordering::Acquire) {
+            // A newer epoch exists. Never ack again: held replies are
+            // dropped, clients see the connection close and retry
+            // against the promoted primary.
+            return;
+        }
+
+        if rx_open {
+            match rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(item) => {
+                    let mut push = |item: ReplItem| {
+                        outbox.push_back(OutItem {
+                            line: item.line,
+                            seq: item.seq,
+                            is_snapshot: item.is_snapshot,
+                            reply: item.reply,
+                            queued: Instant::now(),
+                        });
+                    };
+                    push(item);
+                    while let Ok(more) = rx.try_recv() {
+                        push(more);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    rx_open = false;
+                    close_deadline = Some(Instant::now() + CLOSE_GRACE);
+                }
+            }
+        }
+
+        if peer.is_none() && Instant::now() >= next_attempt {
+            match handshake(config, handle) {
+                Ok(Shake::Connected(p)) => {
+                    if ever_connected {
+                        handle.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ever_connected = true;
+                    peer = Some(p);
+                    handle.connected.store(true, Ordering::Release);
+                    // Catch-up is always snapshot-first: ask the decide
+                    // thread for a fresh full-state frame.
+                    handle.need_snapshot.store(true, Ordering::Release);
+                    awaiting_snapshot = true;
+                    backoff = BACKOFF_MIN;
+                }
+                Ok(Shake::Fenced { by }) => {
+                    handle.fenced_by.store(by, Ordering::Release);
+                    handle.fenced.store(true, Ordering::Release);
+                    continue;
+                }
+                Err(_) => {
+                    next_attempt = Instant::now() + backoff;
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                }
+            }
+        }
+
+        if !config.strict {
+            // Availability over replication: a reply held longer than
+            // the timeout goes out unreplicated.
+            for item in outbox.iter_mut() {
+                if item.reply.is_some() && item.queued.elapsed() >= config.availability_timeout {
+                    if let Some(reply) = item.reply.take() {
+                        reply.flush();
+                        handle.unreplicated_acks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        let mut io_err = false;
+        if let Some(p) = peer.as_mut() {
+            while let Some(front) = outbox.front() {
+                if awaiting_snapshot && !front.is_snapshot {
+                    // The snapshot answering this catch-up may have been
+                    // queued *behind* frames decided while the handshake
+                    // raced — pull it forward or the queue deadlocks.
+                    // The frames it covers still go out afterwards (the
+                    // standby dup-skips them by seq) so their withheld
+                    // replies are released as usual.
+                    if let Some(pos) = outbox.iter().position(|item| item.is_snapshot) {
+                        let snap = outbox.remove(pos).expect("position just found");
+                        outbox.push_front(snap);
+                        continue;
+                    }
+                    // No snapshot queued yet: hold until the decide
+                    // thread produces one.
+                    break;
+                }
+                let mut line = front.line.clone();
+                line.push('\n');
+                if p.stream.write_all(line.as_bytes()).is_err() {
+                    io_err = true;
+                    break;
+                }
+                let mut item = outbox.pop_front().expect("front() just succeeded");
+                if item.is_snapshot {
+                    awaiting_snapshot = false;
+                }
+                store_max(&handle.sent_seq, item.seq);
+                if let Some(reply) = item.reply.take() {
+                    if config.strict {
+                        // Strict: the write is necessary but not
+                        // sufficient — the reply waits for the
+                        // standby's ack to cover this sequence.
+                        held.push_back((item.seq, reply));
+                    } else {
+                        // The frame is on the standby socket — the
+                        // client may learn the decision now.
+                        reply.flush();
+                    }
+                }
+                last_sent = Instant::now();
+            }
+            if !io_err && !awaiting_snapshot && last_sent.elapsed() >= HEARTBEAT_EVERY {
+                let hb = ReplMsg::Heartbeat {
+                    epoch: handle.epoch.load(Ordering::Acquire),
+                    seq: handle.sent_seq.load(Ordering::Acquire),
+                };
+                let mut line = encode_repl(&hb);
+                line.push('\n');
+                if p.stream.write_all(line.as_bytes()).is_err() {
+                    io_err = true;
+                } else {
+                    last_sent = Instant::now();
+                }
+            }
+            if !io_err {
+                io_err = pump_incoming(p, handle, &mut awaiting_snapshot);
+            }
+        }
+        if config.strict && !held.is_empty() && !handle.fenced.load(Ordering::Acquire) {
+            // Release every reply the standby has acknowledged (a
+            // snapshot ack covers all frames it subsumes). After a
+            // disconnect the held replies simply wait: reconnect is
+            // snapshot-first, and that snapshot's ack covers them.
+            let acked = handle.acked_seq.load(Ordering::Acquire);
+            while held.front().is_some_and(|(seq, _)| *seq <= acked) {
+                let (_, reply) = held.pop_front().expect("front() just matched");
+                reply.flush();
+            }
+        }
+        if io_err {
+            peer = None;
+            handle.connected.store(false, Ordering::Release);
+            next_attempt = Instant::now() + backoff;
+            backoff = (backoff * 2).min(BACKOFF_MAX);
+        }
+
+        // `stop` is only raised after the decide thread has exited, so
+        // either way no more items are coming: finish up within grace.
+        if stop.load(Ordering::Acquire) && close_deadline.is_none() {
+            close_deadline = Some(Instant::now() + CLOSE_GRACE);
+        }
+        if !rx_open || stop.load(Ordering::Acquire) {
+            let grace_over = close_deadline.is_some_and(|d| Instant::now() >= d);
+            if (outbox.is_empty() && held.is_empty()) || grace_over {
+                if handle.fenced.load(Ordering::Acquire) {
+                    // Fencing raced the farewell: never ack.
+                    return;
+                }
+                if !config.strict {
+                    // Bounded farewell: release whatever is still held
+                    // so no client hangs on a daemon that is exiting
+                    // anyway. Strict mode instead drops the replies —
+                    // the client sees the connection close and retries
+                    // (idempotent resubmit) against whoever is primary.
+                    for item in outbox.drain(..) {
+                        if let Some(reply) = item.reply {
+                            reply.flush();
+                        }
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repl_frames_round_trip() {
+        let frames = [
+            ReplMsg::Hello { epoch: 1, seq: 42 },
+            ReplMsg::State { epoch: 2, seq: 40 },
+            ReplMsg::Snapshot {
+                epoch: 1,
+                seq: 42,
+                data: "{\"type\":\"snapshot\",\"v\":2}".to_string(),
+            },
+            ReplMsg::Frame {
+                epoch: 1,
+                seq: 43,
+                submit: "{\"type\":\"submit\",\"v\":2,\"id\":7}".to_string(),
+                decision: "{\"type\":\"decision\",\"request\":7}".to_string(),
+            },
+            ReplMsg::Advance {
+                epoch: 1,
+                seq: 44,
+                slot: 3,
+            },
+            ReplMsg::Heartbeat { epoch: 1, seq: 44 },
+            ReplMsg::Ack { epoch: 1, seq: 43 },
+            ReplMsg::Refused {
+                epoch: 1,
+                expected: 44,
+                got: 46,
+            },
+            ReplMsg::Fenced {
+                epoch: 2,
+                stale_epoch: 1,
+            },
+        ];
+        for frame in frames {
+            let line = encode_repl(&frame);
+            assert!(is_repl_line(&line), "{line}");
+            assert_eq!(parse_repl(&line).unwrap(), frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn embedded_payloads_survive_escaping() {
+        let frame = ReplMsg::Frame {
+            epoch: 1,
+            seq: 9,
+            submit: "{\"quotes\":\"\\\"nested\\\"\",\"newline\":\"a\\nb\"}".to_string(),
+            decision: "{\"backslash\":\"c:\\\\path\"}".to_string(),
+        };
+        let line = encode_repl(&frame);
+        assert!(!line.contains('\n'), "escaped payloads must stay one line");
+        assert_eq!(parse_repl(&line).unwrap(), frame);
+    }
+
+    #[test]
+    fn parse_rejects_bad_frames() {
+        assert!(parse_repl("{\"type\":\"repl-nope\",\"v\":2,\"epoch\":1}").is_err());
+        assert!(parse_repl("{\"type\":\"repl-hello\",\"v\":1,\"epoch\":1,\"seq\":0}").is_err());
+        assert!(parse_repl("{\"type\":\"repl-hello\",\"v\":2,\"seq\":0}").is_err());
+        assert!(parse_repl("{\"type\":\"repl-frame\",\"v\":2,\"epoch\":1,\"seq\":1}").is_err());
+        assert!(parse_repl("not json").is_err());
+        assert!(!is_repl_line("{\"type\":\"submit\",\"v\":2}"));
+    }
+}

@@ -12,6 +12,14 @@
 //! intact. Loading validates the schema version, the algorithm name and
 //! a caller-supplied configuration fingerprint before any state touches
 //! the scheduler, so a snapshot from a different scenario fails cleanly.
+//!
+//! Version 2 appends an FNV-1a 64-bit checksum as the final `crc`
+//! field (computed over every byte before it), plus the replication
+//! epoch/seq position and the recent-decision ring used for idempotent
+//! resubmits after a failover. Version 1 files still load, with the
+//! pre-replication defaults and no checksum to verify; any corruption
+//! of a v2 file — a flipped byte, a truncation — fails decode with a
+//! typed [`ServeError::Snapshot`] (exit code 6 at the CLI).
 
 use std::fs;
 use std::io::Write as _;
@@ -24,7 +32,21 @@ use crate::error::ServeError;
 use crate::protocol::ServeStats;
 
 /// Snapshot schema version.
-pub const SNAPSHOT_VERSION: usize = 1;
+pub const SNAPSHOT_VERSION: usize = 2;
+
+/// Oldest snapshot schema version that still loads.
+pub const MIN_SNAPSHOT_VERSION: usize = 1;
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and plenty to catch
+/// torn writes and bit rot (this is an integrity check, not a MAC).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// One persisted serving state.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +64,14 @@ pub struct Snapshot {
     pub stats: ServeStats,
     /// The scheduler's mutable state.
     pub state: SchedulerState,
+    /// Fencing epoch at snapshot time (v1 files load as 1).
+    pub epoch: u64,
+    /// Replication log position the snapshot covers (v1 files load as
+    /// `next_id`: one log entry per decision, no advances).
+    pub seq: u64,
+    /// Recent decision lines, oldest first, for the idempotent-resubmit
+    /// ring (v1 files load empty).
+    pub recent: Vec<String>,
 }
 
 fn arr_f64(values: &[f64]) -> JsonValue {
@@ -93,9 +123,10 @@ fn field_f64_arr(v: &JsonValue, key: &str) -> Result<Vec<f64>, ServeError> {
 }
 
 impl Snapshot {
-    /// Encodes the snapshot as one JSON line (no trailing newline).
+    /// Encodes the snapshot as one JSON line (no trailing newline),
+    /// ending in the `crc` checksum field.
     pub fn encode(&self) -> String {
-        obj(vec![
+        let mut body = obj(vec![
             ("type", JsonValue::Str("snapshot".into())),
             ("v", JsonValue::Num(SNAPSHOT_VERSION as f64)),
             ("algorithm", JsonValue::Str(self.algorithm.clone())),
@@ -120,8 +151,26 @@ impl Snapshot {
                         .collect(),
                 ),
             ),
+            ("epoch", JsonValue::Num(self.epoch as f64)),
+            ("seq", JsonValue::Num(self.seq as f64)),
+            (
+                "recent",
+                JsonValue::Arr(
+                    self.recent
+                        .iter()
+                        .map(|line| JsonValue::Str(line.clone()))
+                        .collect(),
+                ),
+            ),
         ])
-        .encode()
+        .encode();
+        // The checksum covers every byte before the crc field itself:
+        // strip the closing brace, hash, re-append as the last field.
+        use std::fmt::Write as _;
+        body.pop();
+        let crc = fnv1a64(body.as_bytes());
+        let _ = write!(body, ",\"crc\":\"{crc:016x}\"}}");
+        body
     }
 
     /// Decodes a snapshot line.
@@ -131,7 +180,8 @@ impl Snapshot {
     /// [`ServeError::Snapshot`] on malformed JSON, wrong `type`, or an
     /// unsupported schema version.
     pub fn decode(text: &str) -> Result<Self, ServeError> {
-        let v = mec_obs::parse_value(text.trim()).map_err(|e| serr(e.to_string()))?;
+        let text = text.trim();
+        let v = mec_obs::parse_value(text).map_err(|e| serr(e.to_string()))?;
         let ty = field(&v, "type")?
             .as_str()
             .ok_or_else(|| serr("field 'type' must be a string"))?;
@@ -139,10 +189,27 @@ impl Snapshot {
             return Err(serr(format!("expected a snapshot line, got '{ty}'")));
         }
         let version = field_usize(&v, "v")?;
-        if version != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(serr(format!(
-                "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+                "unsupported snapshot version {version} \
+                 (expected {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})"
             )));
+        }
+        if version >= 2 {
+            let want = field(&v, "crc")?
+                .as_str()
+                .ok_or_else(|| serr("field 'crc' must be a string"))?
+                .to_string();
+            let prefix_len = text
+                .rfind(",\"crc\":\"")
+                .ok_or_else(|| serr("v2 snapshot must end in the crc field"))?;
+            let got = format!("{:016x}", fnv1a64(&text.as_bytes()[..prefix_len]));
+            if got != want {
+                return Err(serr(format!(
+                    "snapshot checksum mismatch (stored {want}, computed {got}): \
+                     the file is corrupt or truncated"
+                )));
+            }
         }
         let counters = field(&v, "counters")?
             .as_array()
@@ -154,6 +221,26 @@ impl Snapshot {
                     .ok_or_else(|| serr("field 'counters' must contain non-negative integers"))
             })
             .collect::<Result<Vec<u64>, ServeError>>()?;
+        let next_id = field_usize(&v, "next_id")?;
+        let (epoch, seq, recent) = if version >= 2 {
+            let recent = field(&v, "recent")?
+                .as_array()
+                .ok_or_else(|| serr("field 'recent' must be an array"))?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| serr("field 'recent' must contain only strings"))
+                })
+                .collect::<Result<Vec<String>, ServeError>>()?;
+            (
+                field_usize(&v, "epoch")? as u64,
+                field_usize(&v, "seq")? as u64,
+                recent,
+            )
+        } else {
+            (1, next_id as u64, Vec::new())
+        };
         Ok(Snapshot {
             algorithm: field(&v, "algorithm")?
                 .as_str()
@@ -163,7 +250,7 @@ impl Snapshot {
                 .as_str()
                 .ok_or_else(|| serr("field 'config' must be a string"))?
                 .to_string(),
-            next_id: field_usize(&v, "next_id")?,
+            next_id,
             slot: field_usize(&v, "slot")?,
             stats: ServeStats {
                 decided: field_usize(&v, "decided")? as u64,
@@ -178,6 +265,9 @@ impl Snapshot {
                 sum_delta: field_f64(&v, "sum_delta")?,
                 counters,
             },
+            epoch,
+            seq,
+            recent,
         })
     }
 
@@ -262,6 +352,12 @@ mod tests {
                 sum_delta: 42.125,
                 counters: vec![3, 0, 3],
             },
+            epoch: 2,
+            seq: 19,
+            recent: vec![
+                "{\"type\":\"decision\",\"request\":15}".to_string(),
+                "{\"type\":\"decision\",\"request\":16}".to_string(),
+            ],
         }
     }
 
@@ -302,9 +398,42 @@ mod tests {
     fn decode_rejects_corruption() {
         assert!(Snapshot::decode("{").is_err());
         assert!(Snapshot::decode("{\"type\":\"decision\"}").is_err());
-        let wrong_version = sample().encode().replace("\"v\":1", "\"v\":9");
+        let wrong_version = sample().encode().replace("\"v\":2", "\"v\":9");
         assert!(Snapshot::decode(&wrong_version).is_err());
         let truncated = &sample().encode()[..40];
         assert!(Snapshot::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_a_single_flipped_byte() {
+        let encoded = sample().encode();
+        assert!(encoded.contains("\"crc\":\""), "v2 must carry a checksum");
+        // Flip one byte of a numeric payload: the result is still valid
+        // JSON with a plausible value, so only the checksum can tell.
+        let flipped = encoded.replace("42.125", "42.126");
+        assert_ne!(flipped, encoded, "the flip must land");
+        let err = Snapshot::decode(&flipped).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "expected a checksum error, got: {err}"
+        );
+        // Truncation that still ends at a field boundary is caught too.
+        let cut = format!("{}\"}}", &encoded[..encoded.len() - 20]);
+        assert!(Snapshot::decode(&cut).is_err());
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_defaults() {
+        // A v1 line as PR 2 wrote it: no epoch/seq/recent, no crc.
+        let v1 = "{\"type\":\"snapshot\",\"v\":1,\"algorithm\":\"alg1-primal-dual\",\
+                  \"config\":\"zoo:seed=42\",\"next_id\":17,\"slot\":4,\"decided\":17,\
+                  \"admitted\":11,\"rejected\":6,\"overloaded\":2,\"revenue\":123.5,\
+                  \"sum_delta\":42.125,\"used\":[0.0,1.5],\"lambda\":[0.25,0.0],\
+                  \"counters\":[3,0,3]}";
+        let snap = Snapshot::decode(v1).unwrap();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.seq, 17, "v1 seq defaults to next_id");
+        assert!(snap.recent.is_empty());
+        assert_eq!(snap.next_id, 17);
     }
 }

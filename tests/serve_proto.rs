@@ -10,11 +10,12 @@ use mec_serve::{
 };
 use proptest::prelude::*;
 
-const ACTIONS: [ControlAction; 4] = [
+const ACTIONS: [ControlAction; 5] = [
     ControlAction::AdvanceSlot,
     ControlAction::Snapshot,
     ControlAction::Stats,
     ControlAction::Shutdown,
+    ControlAction::Promote,
 ];
 
 const REASONS: [RejectReason; 5] = RejectReason::ALL;
@@ -40,7 +41,7 @@ proptest! {
     }
 
     #[test]
-    fn control_round_trips(which in 0usize..4) {
+    fn control_round_trips(which in 0usize..5) {
         let msg = ClientMsg::Control(ACTIONS[which]);
         prop_assert_eq!(parse_client(&encode_client(&msg)).unwrap(), msg);
     }
@@ -115,12 +116,14 @@ proptest! {
 
     #[test]
     fn ack_round_trips(
-        which in 0usize..4,
+        which in 0usize..5,
         slot in 0usize..100_000,
         decided in 0usize..1_000_000,
         admitted in 0usize..1_000_000,
         overloaded in 0usize..1_000,
         revenue in 0.0f64..1e7,
+        epoch in 1u64..1_000,
+        standby in 0usize..2,
     ) {
         let admitted = admitted.min(decided);
         let msg = ServerMsg::Ack(ControlAck {
@@ -133,7 +136,18 @@ proptest! {
                 overloaded: overloaded as u64,
                 revenue,
             },
+            epoch,
+            role: if standby == 1 { "standby" } else { "primary" }.to_string(),
         });
+        prop_assert_eq!(parse_server(&encode_server(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn not_primary_round_trips(
+        epoch in 1u64..1_000,
+        id in 0usize..1_000_000,
+    ) {
+        let msg = ServerMsg::NotPrimary { epoch, id };
         prop_assert_eq!(parse_server(&encode_server(&msg)).unwrap(), msg);
     }
 

@@ -1,0 +1,718 @@
+//! Replication edge cases: clean handover parity, mid-stream join via
+//! snapshot catch-up, duplicate/out-of-order frame rejection, divergence
+//! detection, auto-promotion, and fencing — including a property test
+//! that a deposed primary can never ack a submit after its standby was
+//! promoted, regardless of where in the stream the split happened.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use common::{scenario, spawn_daemon, Algo};
+use mec_serve::{
+    encode_client, encode_repl, parse_repl, parse_server, ClientMsg, ControlAction, ReplMsg, Role,
+    ServeConfig, ServeError, ServerMsg, SubmitRequest,
+};
+use mec_workload::Request;
+use proptest::prelude::*;
+
+fn submit_msg(r: &Request) -> ClientMsg {
+    ClientMsg::Submit(SubmitRequest {
+        id: r.id().index(),
+        vnf: r.vnf().index(),
+        reliability: r.reliability_requirement().value(),
+        arrival: r.arrival(),
+        duration: r.duration(),
+        payment: r.payment(),
+    })
+}
+
+fn base_config(fingerprint: &str) -> ServeConfig {
+    let mut c = ServeConfig::new("127.0.0.1:0");
+    c.fingerprint = fingerprint.to_string();
+    c
+}
+
+/// Reserves a loopback address that nothing listens on yet — lets a
+/// primary be configured to replicate to a standby that only boots
+/// later (the mid-stream join).
+fn reserve_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().to_string()
+}
+
+/// A line client speaking the admission protocol (and, for the fake
+/// primary, raw replication lines).
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+            line: String::new(),
+        }
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        let mut out = line.to_string();
+        out.push('\n');
+        self.writer.write_all(out.as_bytes()).unwrap();
+    }
+
+    fn read_reply(&mut self) -> String {
+        self.line.clear();
+        assert!(
+            self.reader.read_line(&mut self.line).unwrap() > 0,
+            "daemon closed the connection"
+        );
+        self.line.trim().to_string()
+    }
+
+    fn send(&mut self, msg: &ClientMsg) -> String {
+        self.send_raw(&encode_client(msg));
+        self.read_reply()
+    }
+
+    fn submit_all(&mut self, requests: &[Request]) -> Vec<String> {
+        requests
+            .iter()
+            .map(|r| {
+                let line = self.send(&submit_msg(r));
+                assert!(
+                    matches!(parse_server(&line).unwrap(), ServerMsg::Decision(_)),
+                    "expected a decision line, got: {line}"
+                );
+                line
+            })
+            .collect()
+    }
+
+    /// Writes every submit first, then reads every reply — used when
+    /// replies are withheld by the availability timeout so the holds
+    /// overlap instead of serializing.
+    fn submit_pipelined(&mut self, requests: &[Request]) -> Vec<String> {
+        let mut buf = String::new();
+        for r in requests {
+            buf.push_str(&encode_client(&submit_msg(r)));
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes()).unwrap();
+        (0..requests.len())
+            .map(|_| {
+                let line = self.read_reply();
+                assert!(
+                    matches!(parse_server(&line).unwrap(), ServerMsg::Decision(_)),
+                    "expected a decision line, got: {line}"
+                );
+                line
+            })
+            .collect()
+    }
+
+    fn control(&mut self, action: ControlAction) -> ServerMsg {
+        let line = self.send(&ClientMsg::Control(action));
+        parse_server(&line).unwrap()
+    }
+
+    fn repl(&mut self, msg: &ReplMsg) -> ReplMsg {
+        self.send_raw(&encode_repl(msg));
+        parse_repl(&self.read_reply()).unwrap()
+    }
+}
+
+/// The uninterrupted single-daemon decision stream for `reqs`.
+fn golden_stream(
+    instance: &vnfrel::ProblemInstance,
+    algo: Algo,
+    fingerprint: &str,
+    reqs: &[Request],
+) -> Vec<String> {
+    let (addr, daemon) = spawn_daemon(instance.clone(), algo, base_config(fingerprint));
+    let mut client = Client::connect(&addr.to_string());
+    let stream = client.submit_all(reqs);
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    daemon.join().unwrap().unwrap();
+    stream
+}
+
+/// Polls the daemon's stats control until `pred` holds on the ack.
+fn wait_for_ack(
+    addr: &str,
+    timeout: Duration,
+    pred: impl Fn(&mec_serve::ControlAck) -> bool,
+) -> mec_serve::ControlAck {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let mut c = Client::connect(addr);
+        if let ServerMsg::Ack(ack) = c.control(ControlAction::Stats) {
+            if pred(&ack) {
+                return ack;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "condition not reached before the deadline; last ack: role {} epoch {} decided {}",
+                ack.role,
+                ack.epoch,
+                ack.stats.decided
+            );
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handover parity: primary + strict standby, clean primary exit,
+// promote, finish the stream on the survivor — byte-identical to the
+// uninterrupted run.
+// ---------------------------------------------------------------------
+
+fn check_handover(algo: Algo) {
+    let (instance, reqs) = scenario(260, 21);
+    let cut = 110;
+    let fp = format!("repl-handover:{algo:?}");
+    let golden = golden_stream(&instance, algo, &fp, &reqs);
+
+    let (standby_addr, standby) = spawn_daemon(instance.clone(), algo, {
+        let mut c = base_config(&fp);
+        c.standby = true;
+        c
+    });
+    let (primary_addr, primary) = spawn_daemon(instance.clone(), algo, {
+        let mut c = base_config(&fp);
+        c.replicate_to = Some(standby_addr.to_string());
+        c.repl_strict = true;
+        c
+    });
+
+    let mut client = Client::connect(&primary_addr.to_string());
+    let mut stream = client.submit_all(&reqs[..cut]);
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    let report = primary.join().unwrap().unwrap();
+    assert_eq!(report.role, Role::Primary);
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.stats.decided as usize, cut);
+
+    let mut sc = Client::connect(&standby_addr.to_string());
+    match sc.control(ControlAction::Promote) {
+        ServerMsg::Ack(ack) => {
+            assert_eq!(ack.role, "primary");
+            assert_eq!(ack.epoch, 2);
+            // Every decision the primary acked survived the handover.
+            assert_eq!(ack.stats.decided as usize, cut);
+        }
+        other => panic!("promote refused: {other:?}"),
+    }
+    stream.extend(sc.submit_all(&reqs[cut..]));
+    assert!(matches!(
+        sc.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    let survivor = standby.join().unwrap().unwrap();
+    assert_eq!(survivor.role, Role::Primary);
+    assert_eq!(survivor.epoch, 2);
+    assert_eq!(survivor.stats.decided as usize, reqs.len());
+
+    assert_eq!(stream.len(), golden.len());
+    for (i, (a, b)) in golden.iter().zip(stream.iter()).enumerate() {
+        assert_eq!(a, b, "decision stream diverged at request {i}");
+    }
+}
+
+#[test]
+fn handover_preserves_decision_stream_onsite() {
+    check_handover(Algo::Onsite);
+}
+
+#[test]
+fn handover_preserves_decision_stream_offsite() {
+    check_handover(Algo::Offsite);
+}
+
+// ---------------------------------------------------------------------
+// Mid-stream join: the standby boots only after the primary has decided
+// a prefix. Catch-up must go snapshot-first, then frames, and the
+// handover must still be byte-identical.
+// ---------------------------------------------------------------------
+
+#[test]
+fn standby_joining_mid_stream_catches_up_via_snapshot() {
+    let (instance, reqs) = scenario(180, 22);
+    let (cut_a, cut_b) = (70, 130);
+    let fp = "repl-midjoin";
+    let golden = golden_stream(&instance, Algo::Onsite, fp, &reqs);
+
+    // The primary is told to replicate to an address nothing listens on
+    // yet. Non-strict: the availability timeout releases the prefix
+    // replies unreplicated (pipelined, so the holds overlap).
+    let standby_addr = reserve_addr();
+    let (primary_addr, primary) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.replicate_to = Some(standby_addr.clone());
+        c.repl_strict = false;
+        c
+    });
+    let mut client = Client::connect(&primary_addr.to_string());
+    let mut stream = client.submit_pipelined(&reqs[..cut_a]);
+
+    // Boot the standby on the reserved address; the sender's reconnect
+    // loop finds it and catches it up with a snapshot covering the
+    // prefix.
+    let (bound, standby) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.addr = standby_addr.clone();
+        c.standby = true;
+        c
+    });
+    assert_eq!(bound.to_string(), standby_addr);
+    let caught_up = wait_for_ack(&standby_addr, Duration::from_secs(10), |ack| {
+        ack.stats.decided as usize >= cut_a
+    });
+    assert_eq!(caught_up.role, "standby");
+
+    // Live frames from here on.
+    stream.extend(client.submit_all(&reqs[cut_a..cut_b]));
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    primary.join().unwrap().unwrap();
+
+    let mut sc = Client::connect(&standby_addr);
+    match sc.control(ControlAction::Promote) {
+        ServerMsg::Ack(ack) => {
+            assert_eq!(ack.role, "primary");
+            assert_eq!(ack.epoch, 2);
+            assert_eq!(ack.stats.decided as usize, cut_b);
+        }
+        other => panic!("promote refused: {other:?}"),
+    }
+    stream.extend(sc.submit_all(&reqs[cut_b..]));
+    assert!(matches!(
+        sc.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    let survivor = standby.join().unwrap().unwrap();
+    assert_eq!(survivor.stats.decided as usize, reqs.len());
+
+    assert_eq!(stream.len(), golden.len());
+    for (i, (a, b)) in golden.iter().zip(stream.iter()).enumerate() {
+        assert_eq!(a, b, "decision stream diverged at request {i}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame-level protocol: duplicates are acked without re-applying,
+// sequence gaps are refused, and a tampered decision is fatal.
+// ---------------------------------------------------------------------
+
+/// Captures the canonical submit and decision lines for the first two
+/// requests of a scenario by running them through a throwaway daemon.
+fn capture_frames(
+    instance: &vnfrel::ProblemInstance,
+    fp: &str,
+    reqs: &[Request],
+) -> Vec<(String, String)> {
+    let (addr, daemon) = spawn_daemon(instance.clone(), Algo::Onsite, base_config(fp));
+    let mut client = Client::connect(&addr.to_string());
+    let decisions = client.submit_all(&reqs[..2]);
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    daemon.join().unwrap().unwrap();
+    reqs[..2]
+        .iter()
+        .zip(decisions)
+        .map(|(r, d)| (encode_client(&submit_msg(r)), d))
+        .collect()
+}
+
+#[test]
+fn standby_rejects_duplicate_and_out_of_order_frames() {
+    let (instance, reqs) = scenario(4, 23);
+    let fp = "repl-dup";
+    let frames = capture_frames(&instance, fp, &reqs);
+
+    let (addr, standby) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.standby = true;
+        c
+    });
+    let addr = addr.to_string();
+    let mut fake = Client::connect(&addr);
+    assert_eq!(
+        fake.repl(&ReplMsg::Hello { epoch: 1, seq: 0 }),
+        ReplMsg::State { epoch: 1, seq: 0 }
+    );
+    let frame1 = ReplMsg::Frame {
+        epoch: 1,
+        seq: 1,
+        submit: frames[0].0.clone(),
+        decision: frames[0].1.clone(),
+    };
+    assert_eq!(fake.repl(&frame1), ReplMsg::Ack { epoch: 1, seq: 1 });
+    // Exact duplicate: acked at the applied position, not re-applied.
+    assert_eq!(fake.repl(&frame1), ReplMsg::Ack { epoch: 1, seq: 1 });
+    // Gap: seq 3 when 2 is expected — refused, nothing applied.
+    assert_eq!(
+        fake.repl(&ReplMsg::Frame {
+            epoch: 1,
+            seq: 3,
+            submit: frames[1].0.clone(),
+            decision: frames[1].1.clone(),
+        }),
+        ReplMsg::Refused {
+            epoch: 1,
+            expected: 2,
+            got: 3
+        }
+    );
+    // The in-order frame still applies after the refusal.
+    assert_eq!(
+        fake.repl(&ReplMsg::Frame {
+            epoch: 1,
+            seq: 2,
+            submit: frames[1].0.clone(),
+            decision: frames[1].1.clone(),
+        }),
+        ReplMsg::Ack { epoch: 1, seq: 2 }
+    );
+
+    // The duplicate must not have double-counted: exactly two decisions.
+    let ack = wait_for_ack(&addr, Duration::from_secs(5), |ack| ack.stats.decided == 2);
+    assert_eq!(ack.role, "standby");
+    assert_eq!(ack.epoch, 1);
+
+    drop(fake);
+    let mut c = Client::connect(&addr);
+    // A standby accepts promote-then-shutdown; promotion is immediate
+    // once the (closed) replication connection's EOF is processed.
+    match c.control(ControlAction::Promote) {
+        ServerMsg::Ack(ack) => assert_eq!(ack.epoch, 2),
+        other => panic!("promote refused: {other:?}"),
+    }
+    assert!(matches!(
+        c.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    let report = standby.join().unwrap().unwrap();
+    assert_eq!(report.stats.decided, 2);
+}
+
+#[test]
+fn tampered_decision_line_is_fatal_divergence() {
+    let (instance, reqs) = scenario(4, 24);
+    let fp = "repl-diverge";
+    let frames = capture_frames(&instance, fp, &reqs);
+
+    let (addr, standby) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.standby = true;
+        c
+    });
+    let mut fake = Client::connect(&addr.to_string());
+    assert_eq!(
+        fake.repl(&ReplMsg::Hello { epoch: 1, seq: 0 }),
+        ReplMsg::State { epoch: 1, seq: 0 }
+    );
+    // Request 0's submit paired with request 1's decision: the follower
+    // re-decides, sees a different byte stream, and must refuse to
+    // continue as a replica that could later be promoted.
+    fake.send_raw(&encode_repl(&ReplMsg::Frame {
+        epoch: 1,
+        seq: 1,
+        submit: frames[0].0.clone(),
+        decision: frames[1].1.clone(),
+    }));
+    match standby.join().unwrap() {
+        Err(ServeError::Protocol(msg)) => {
+            assert!(msg.contains("divergence"), "unexpected error: {msg}")
+        }
+        other => panic!("divergence was not fatal: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fencing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stale_hello_after_promotion_is_fenced() {
+    let (instance, reqs) = scenario(8, 25);
+    let fp = "repl-fence-hello";
+    let frames = capture_frames(&instance, fp, &reqs);
+
+    let (addr, standby) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.standby = true;
+        c
+    });
+    let addr = addr.to_string();
+    let mut fake = Client::connect(&addr);
+    assert_eq!(
+        fake.repl(&ReplMsg::Hello { epoch: 1, seq: 0 }),
+        ReplMsg::State { epoch: 1, seq: 0 }
+    );
+    assert_eq!(
+        fake.repl(&ReplMsg::Frame {
+            epoch: 1,
+            seq: 1,
+            submit: frames[0].0.clone(),
+            decision: frames[0].1.clone(),
+        }),
+        ReplMsg::Ack { epoch: 1, seq: 1 }
+    );
+    // Drop the "primary" and promote the standby.
+    drop(fake);
+    let mut c = Client::connect(&addr);
+    match c.control(ControlAction::Promote) {
+        ServerMsg::Ack(ack) => assert_eq!((ack.epoch, ack.role.as_str()), (2, "primary")),
+        other => panic!("promote refused: {other:?}"),
+    }
+    // The deposed primary reconnects at its stale epoch: fenced, and
+    // nothing it streams is applied.
+    let mut stale = Client::connect(&addr);
+    assert_eq!(
+        stale.repl(&ReplMsg::Hello { epoch: 1, seq: 1 }),
+        ReplMsg::Fenced {
+            epoch: 2,
+            stale_epoch: 1
+        }
+    );
+    assert_eq!(
+        stale.repl(&ReplMsg::Frame {
+            epoch: 1,
+            seq: 2,
+            submit: frames[1].0.clone(),
+            decision: frames[1].1.clone(),
+        }),
+        ReplMsg::Fenced {
+            epoch: 2,
+            stale_epoch: 1
+        }
+    );
+    let ack = wait_for_ack(&addr, Duration::from_secs(5), |ack| ack.stats.decided == 1);
+    assert_eq!(ack.epoch, 2);
+    assert!(matches!(
+        c.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    standby.join().unwrap().unwrap();
+}
+
+/// One split-brain case: promote the standby while the primary is still
+/// alive after `k` replicated decisions, then prove the deposed primary
+/// can never ack another submit (strict mode: the held reply dies with
+/// the fencing) and exits with the typed fenced error.
+fn deposed_primary_never_acks_case(k: usize) {
+    let (instance, reqs) = scenario(16, 26);
+    let fp = format!("repl-fence-{k}");
+    let (standby_addr, standby) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(&fp);
+        c.standby = true;
+        c
+    });
+    let (primary_addr, primary) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(&fp);
+        c.replicate_to = Some(standby_addr.to_string());
+        c.repl_strict = true;
+        c
+    });
+    let mut client = Client::connect(&primary_addr.to_string());
+    client.submit_all(&reqs[..k]);
+
+    // Split brain on purpose: promote while the primary lives. The
+    // standby force-closes the replication connection after its drain
+    // grace, so the promote ack itself proves the promotion completed.
+    let mut sc = Client::connect(&standby_addr.to_string());
+    match sc.control(ControlAction::Promote) {
+        ServerMsg::Ack(ack) => {
+            assert_eq!((ack.epoch, ack.role.as_str()), (2, "primary"));
+            assert_eq!(ack.stats.decided as usize, k);
+        }
+        other => panic!("promote refused: {other:?}"),
+    }
+
+    // The deposed primary must never ack this submit: acceptable fates
+    // are an error line, a closed connection, or silence — never a
+    // decision.
+    client
+        .writer
+        .set_write_timeout(Some(Duration::from_secs(1)))
+        .unwrap();
+    let mut line = encode_client(&submit_msg(&reqs[k]));
+    line.push('\n');
+    let _ = client.writer.write_all(line.as_bytes());
+    client
+        .reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    let mut reply = String::new();
+    match client.reader.read_line(&mut reply) {
+        Ok(0) => {} // daemon exited
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected read error: {e}"
+        ),
+        Ok(_) => {
+            let msg = parse_server(reply.trim()).unwrap();
+            assert!(
+                !matches!(msg, ServerMsg::Decision(_)),
+                "deposed primary acked a decision after the promotion: {reply}"
+            );
+        }
+    }
+
+    // The deposed primary exits with the typed fenced error (exit code
+    // 7 at the CLI).
+    match primary.join().unwrap() {
+        Err(ServeError::Fenced { epoch, by }) => {
+            assert_eq!(epoch, 1);
+            assert_eq!(by, 2);
+        }
+        other => panic!("deposed primary did not fence itself: {other:?}"),
+    }
+
+    // The survivor still serves and lost nothing it acked.
+    let tail = sc.submit_all(&reqs[k..]);
+    assert_eq!(tail.len(), reqs.len() - k);
+    assert!(matches!(
+        sc.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    let report = standby.join().unwrap().unwrap();
+    assert_eq!(report.epoch, 2);
+    assert_eq!(report.stats.decided as usize, reqs.len());
+}
+
+proptest! {
+    // Each case boots two daemons and rides out the promote drain
+    // grace, so keep the case count small; the kill point is the only
+    // dimension that matters.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn deposed_primary_never_acks(k in 0usize..12) {
+        deposed_primary_never_acks_case(k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Standby behavior and auto-promotion.
+// ---------------------------------------------------------------------
+
+#[test]
+fn standby_refuses_submits_with_not_primary() {
+    let (instance, reqs) = scenario(4, 27);
+    let (addr, standby) = spawn_daemon(instance, Algo::Onsite, {
+        let mut c = base_config("repl-refuse");
+        c.standby = true;
+        c
+    });
+    let mut client = Client::connect(&addr.to_string());
+    let line = client.send(&submit_msg(&reqs[0]));
+    match parse_server(&line).unwrap() {
+        ServerMsg::NotPrimary { epoch, id } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(id, reqs[0].id().index());
+        }
+        other => panic!("expected not-primary, got {other:?}"),
+    }
+    // The slot clock of a standby advances only via replication.
+    match client.control(ControlAction::AdvanceSlot) {
+        ServerMsg::Error(msg) => assert!(msg.contains("standby"), "{msg}"),
+        other => panic!("expected an error, got {other:?}"),
+    }
+    match client.control(ControlAction::Promote) {
+        ServerMsg::Ack(ack) => assert_eq!(ack.epoch, 2),
+        other => panic!("promote refused: {other:?}"),
+    }
+    // Promoted: the same submit now gets a decision.
+    let line = client.send(&submit_msg(&reqs[0]));
+    assert!(matches!(
+        parse_server(&line).unwrap(),
+        ServerMsg::Decision(_)
+    ));
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    standby.join().unwrap().unwrap();
+}
+
+#[test]
+fn auto_promotion_waits_for_silence_then_fires() {
+    let (instance, reqs) = scenario(30, 28);
+    let cut = 12;
+    let fp = "repl-autopromote";
+    let (standby_addr, standby) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.standby = true;
+        c.auto_promote_after = Some(Duration::from_millis(500));
+        c
+    });
+    let (primary_addr, primary) = spawn_daemon(instance.clone(), Algo::Onsite, {
+        let mut c = base_config(fp);
+        c.replicate_to = Some(standby_addr.to_string());
+        c.repl_strict = true;
+        c
+    });
+    let mut client = Client::connect(&primary_addr.to_string());
+    client.submit_all(&reqs[..cut]);
+
+    // An idle but living primary heartbeats; the standby must NOT
+    // promote itself while it can still hear them.
+    std::thread::sleep(Duration::from_millis(1200));
+    let mut sc = Client::connect(&standby_addr.to_string());
+    match sc.control(ControlAction::Stats) {
+        ServerMsg::Ack(ack) => assert_eq!(
+            (ack.role.as_str(), ack.epoch),
+            ("standby", 1),
+            "standby self-promoted under a living primary"
+        ),
+        other => panic!("stats refused: {other:?}"),
+    }
+
+    // Primary gone: silence now means promotion, no operator needed.
+    assert!(matches!(
+        client.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    primary.join().unwrap().unwrap();
+    let ack = wait_for_ack(&standby_addr.to_string(), Duration::from_secs(10), |ack| {
+        ack.role == "primary"
+    });
+    assert_eq!(ack.epoch, 2);
+
+    let tail = sc.submit_all(&reqs[cut..]);
+    assert_eq!(tail.len(), reqs.len() - cut);
+    assert!(matches!(
+        sc.control(ControlAction::Shutdown),
+        ServerMsg::Ack(_)
+    ));
+    let report = standby.join().unwrap().unwrap();
+    assert_eq!(report.stats.decided as usize, reqs.len());
+}

@@ -1,0 +1,226 @@
+//! Wire-level hardening: torn (half-written) frames, oversized lines,
+//! slow multi-write continuations, garbage JSON and invalid UTF-8 must
+//! never wedge or kill the daemon — at worst they cost the offending
+//! connection.
+
+#[path = "serve_common.rs"]
+mod common;
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use common::{scenario, spawn_daemon, Algo};
+use mec_serve::{
+    encode_client, parse_server, ClientMsg, ControlAction, ServeConfig, ServerMsg, SubmitRequest,
+    MAX_LINE_BYTES,
+};
+use mec_workload::Request;
+
+fn submit_line(r: &Request) -> String {
+    let mut line = encode_client(&ClientMsg::Submit(SubmitRequest {
+        id: r.id().index(),
+        vnf: r.vnf().index(),
+        reliability: r.reliability_requirement().value(),
+        arrival: r.arrival(),
+        duration: r.duration(),
+        payment: r.payment(),
+    }));
+    line.push('\n');
+    line
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+            line: String::new(),
+        }
+    }
+
+    /// Reads one reply line; panics if the daemon closed the connection.
+    fn read_reply(&mut self) -> String {
+        self.line.clear();
+        assert!(
+            self.reader.read_line(&mut self.line).unwrap() > 0,
+            "daemon closed the connection"
+        );
+        self.line.trim().to_string()
+    }
+
+    /// Reads until EOF, asserting the daemon closed the connection.
+    fn expect_closed(&mut self) {
+        self.reader
+            .get_mut()
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        self.line.clear();
+        assert_eq!(
+            self.reader.read_line(&mut self.line).unwrap(),
+            0,
+            "expected the daemon to drop the connection, got: {}",
+            self.line
+        );
+    }
+
+    fn submit(&mut self, r: &Request) -> ServerMsg {
+        self.writer.write_all(submit_line(r).as_bytes()).unwrap();
+        parse_server(&self.read_reply()).unwrap()
+    }
+
+    fn shutdown_daemon(&mut self) {
+        let mut line = encode_client(&ClientMsg::Control(ControlAction::Shutdown));
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).unwrap();
+        let reply = self.read_reply();
+        assert!(
+            matches!(parse_server(&reply).unwrap(), ServerMsg::Ack(_)),
+            "shutdown not acked: {reply}"
+        );
+    }
+}
+
+fn boot(
+    n: usize,
+    seed: u64,
+    fp: &str,
+) -> (
+    Vec<Request>,
+    String,
+    std::thread::JoinHandle<Result<mec_serve::ServeReport, mec_serve::ServeError>>,
+) {
+    let (instance, reqs) = scenario(n, seed);
+    let mut config = ServeConfig::new("127.0.0.1:0");
+    config.fingerprint = fp.to_string();
+    let (addr, daemon) = spawn_daemon(instance, Algo::Onsite, config);
+    (reqs, addr.to_string(), daemon)
+}
+
+#[test]
+fn torn_frame_gets_an_error_and_daemon_survives() {
+    let (reqs, addr, daemon) = boot(4, 31, "torn");
+
+    // Write half a submit line and hang up the write side: the daemon
+    // must call out the torn frame rather than silently discarding it
+    // or treating the fragment as a request.
+    let mut torn = Client::connect(&addr);
+    let line = submit_line(&reqs[0]);
+    let half = &line.as_bytes()[..line.len() / 2];
+    torn.writer.write_all(half).unwrap();
+    torn.writer.flush().unwrap();
+    torn.writer.shutdown(Shutdown::Write).unwrap();
+    let reply = torn.read_reply();
+    match parse_server(&reply).unwrap() {
+        ServerMsg::Error(msg) => {
+            assert!(msg.contains("torn frame"), "unexpected error: {msg}")
+        }
+        other => panic!("expected a torn-frame error, got {other:?}"),
+    }
+    torn.expect_closed();
+
+    // The fragment left no trace: a fresh client gets ordinary service
+    // and the torn bytes were not counted as a decision.
+    let mut client = Client::connect(&addr);
+    assert!(matches!(client.submit(&reqs[0]), ServerMsg::Decision(_)));
+    client.shutdown_daemon();
+    let report = daemon.join().unwrap().unwrap();
+    assert_eq!(report.stats.decided, 1);
+}
+
+#[test]
+fn oversized_line_is_rejected_and_connection_dropped() {
+    let (reqs, addr, daemon) = boot(4, 32, "oversized");
+
+    let mut hog = Client::connect(&addr);
+    // No newline in sight: the daemon must bail out once the line
+    // exceeds the limit instead of buffering without bound.
+    let blob = vec![b'x'; MAX_LINE_BYTES + 10];
+    hog.writer.write_all(&blob).unwrap();
+    hog.writer.flush().unwrap();
+    let reply = hog.read_reply();
+    match parse_server(&reply).unwrap() {
+        ServerMsg::Error(msg) => {
+            assert!(msg.contains("oversized"), "unexpected error: {msg}");
+            assert!(
+                msg.contains(&MAX_LINE_BYTES.to_string()),
+                "error should state the limit: {msg}"
+            );
+        }
+        other => panic!("expected an oversized-frame error, got {other:?}"),
+    }
+    hog.expect_closed();
+
+    let mut client = Client::connect(&addr);
+    assert!(matches!(client.submit(&reqs[0]), ServerMsg::Decision(_)));
+    client.shutdown_daemon();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_two_part_write_still_decides() {
+    let (reqs, addr, daemon) = boot(4, 33, "slow");
+
+    // A client that stalls mid-line for longer than the daemon's read
+    // timeout is slow, not torn: the fragment must be kept and the
+    // completed line decided.
+    let mut slow = Client::connect(&addr);
+    let line = submit_line(&reqs[0]);
+    let (head, tail) = line.as_bytes().split_at(line.len() / 2);
+    slow.writer.write_all(head).unwrap();
+    slow.writer.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    slow.writer.write_all(tail).unwrap();
+    slow.writer.flush().unwrap();
+    let reply = slow.read_reply();
+    assert!(
+        matches!(parse_server(&reply).unwrap(), ServerMsg::Decision(_)),
+        "slow continuation not decided: {reply}"
+    );
+    slow.shutdown_daemon();
+    let report = daemon.join().unwrap().unwrap();
+    assert_eq!(report.stats.decided, 1);
+}
+
+#[test]
+fn garbage_json_errors_but_connection_survives() {
+    let (reqs, addr, daemon) = boot(4, 34, "garbage");
+
+    let mut client = Client::connect(&addr);
+    client
+        .writer
+        .write_all(b"{\"type\":\"submit\",\"v\":2,\"id\":oops}\n")
+        .unwrap();
+    let reply = client.read_reply();
+    assert!(
+        matches!(parse_server(&reply).unwrap(), ServerMsg::Error(_)),
+        "expected an error line, got: {reply}"
+    );
+    // A complete-but-malformed line costs a reply, not the connection.
+    assert!(matches!(client.submit(&reqs[0]), ServerMsg::Decision(_)));
+    client.shutdown_daemon();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn invalid_utf8_drops_the_connection_only() {
+    let (reqs, addr, daemon) = boot(4, 35, "utf8");
+
+    let mut bad = Client::connect(&addr);
+    bad.writer.write_all(b"\xff\xfe\n").unwrap();
+    bad.writer.flush().unwrap();
+    bad.expect_closed();
+
+    let mut client = Client::connect(&addr);
+    assert!(matches!(client.submit(&reqs[0]), ServerMsg::Decision(_)));
+    client.shutdown_daemon();
+    daemon.join().unwrap().unwrap();
+}
